@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared scaffolding for the evaluation harness: named configurations,
+ * suite runners, and table printing.  Each bench_* binary regenerates
+ * one table or figure of the reconstructed evaluation (see DESIGN.md
+ * for the experiment index and EXPERIMENTS.md for results).
+ */
+
+#ifndef CPE_BENCH_COMMON_HH
+#define CPE_BENCH_COMMON_HH
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+
+namespace cpe::bench {
+
+/** A labelled machine variant to sweep. */
+struct Variant
+{
+    std::string label;
+    core::PortTechConfig tech;
+    unsigned osLevel = 0;
+    /** Optional extra tweaks applied to the full config. */
+    std::function<void(sim::SimConfig &)> tweak = {};
+};
+
+/** Print the experiment banner. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::cout << "==== " << id << ": " << title << " ====\n\n";
+}
+
+/**
+ * Run every workload of the evaluation suite under every variant and
+ * return the populated grid.
+ */
+inline sim::ResultGrid
+runSuite(const std::vector<Variant> &variants,
+         const std::vector<std::string> &workloads =
+             workload::WorkloadRegistry::evaluationSuite())
+{
+    setVerbose(false);
+    sim::ResultGrid grid("IPC");
+    for (const auto &name : workloads) {
+        for (const auto &variant : variants) {
+            sim::SimConfig config = sim::SimConfig::defaults();
+            config.workloadName = name;
+            config.workload.osLevel = variant.osLevel;
+            config.core.dcache.tech = variant.tech;
+            config.label = variant.label;
+            if (variant.tweak)
+                variant.tweak(config);
+            grid.add(sim::simulate(config));
+        }
+    }
+    return grid;
+}
+
+/** Print absolute IPCs and the relative-to-baseline view. */
+inline void
+printGrid(const sim::ResultGrid &grid, const std::string &baseline)
+{
+    std::cout << "Instructions per cycle:\n"
+              << grid.ipcTable().render() << "\n";
+    std::cout << "Performance relative to '" << baseline << "':\n"
+              << grid.relativeTable(baseline).render() << "\n";
+}
+
+} // namespace cpe::bench
+
+#endif // CPE_BENCH_COMMON_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * F11 (extension) — branch predictors and the port question.  Fetch
+ * quality gates how much load/store pressure reaches the cache: a
+ * weak predictor starves the back end and hides the port bottleneck,
+ * a strong one exposes it.  Compares the four predictor kinds on the
+ * buffered single port.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cpe;
+    bench::banner("F11", "branch predictors x the buffered single port");
+
+    struct Kind
+    {
+        const char *name;
+        cpu::PredictorKind kind;
+    };
+    const Kind kinds[] = {
+        {"not-taken", cpu::PredictorKind::AlwaysNotTaken},
+        {"bimodal", cpu::PredictorKind::Bimodal},
+        {"gshare", cpu::PredictorKind::GShare},
+        {"local", cpu::PredictorKind::Local},
+    };
+
+    std::vector<bench::Variant> variants;
+    for (const auto &kind : kinds) {
+        variants.push_back(
+            {kind.name, core::PortTechConfig::singlePortAllTechniques(),
+             0, [k = kind.kind](sim::SimConfig &config) {
+                 config.core.bpred.kind = k;
+             }});
+    }
+    auto grid = bench::runSuite(variants);
+    std::cout << "IPC:\n" << grid.ipcTable().render() << "\n";
+
+    TextTable table;
+    table.setCaption("Conditional-branch direction accuracy:");
+    std::vector<std::string> header{"workload"};
+    for (const auto &kind : kinds)
+        header.push_back(kind.name);
+    table.addHeader(header);
+    for (const auto &name :
+         workload::WorkloadRegistry::evaluationSuite()) {
+        std::vector<std::string> row{name};
+        for (const auto &kind : kinds) {
+            sim::SimConfig config = sim::SimConfig::defaults();
+            config.workloadName = name;
+            config.core.dcache.tech =
+                core::PortTechConfig::singlePortAllTechniques();
+            config.core.bpred.kind = kind.kind;
+            auto result = sim::simulate(config);
+            row.push_back(
+                TextTable::num(100 * result.condAccuracy, 1) + "%");
+        }
+        table.addRow(row);
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "Reading: history-based predictors (gshare/local) beat "
+                 "bimodal on the\npattern-heavy kernels; IPC follows "
+                 "accuracy, and the port techniques'\nvalue grows as the "
+                 "front end stops stalling.\n";
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * F1 — The port bottleneck.  IPC as the number of cache data ports
+ * grows (1, 2, 4) with no buffering techniques: establishes how much
+ * performance multi-porting buys, i.e. the gap the paper's techniques
+ * must close.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cpe;
+    bench::banner("F1", "performance vs number of cache ports");
+
+    std::vector<bench::Variant> variants;
+    for (unsigned ports : {1u, 2u, 4u}) {
+        core::PortTechConfig tech = core::PortTechConfig::singlePortBase();
+        tech.ports = ports;
+        variants.push_back({std::to_string(ports) + " port" +
+                                (ports > 1 ? "s" : ""),
+                            tech});
+    }
+    auto grid = bench::runSuite(variants);
+    bench::printGrid(grid, "1 port");
+
+    std::cout << "Reading: the paper's premise is the 1-port column "
+                 "trailing the 2-port\nbaseline noticeably on "
+                 "memory-intensive codes, with diminishing returns\n"
+                 "beyond 2 ports.\n";
+    return 0;
+}

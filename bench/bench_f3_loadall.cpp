@@ -1,0 +1,44 @@
+/**
+ * @file
+ * F3 — Load-all line buffers.  Single-ported cache with a growing
+ * line-buffer file (port width fixed at 8 bytes, so each access
+ * captures one window; the wide-port amplification is F4's job).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cpe;
+    bench::banner("F3", "single-port IPC vs number of line buffers");
+
+    std::vector<bench::Variant> variants;
+    for (unsigned buffers : {0u, 1u, 2u, 4u, 8u}) {
+        core::PortTechConfig tech = core::PortTechConfig::singlePortBase();
+        tech.lineBuffers = buffers;
+        variants.push_back({buffers ? "lb" + std::to_string(buffers)
+                                    : "no lb",
+                            tech});
+    }
+    variants.push_back({"2 ports", core::PortTechConfig::dualPortBase()});
+
+    auto grid = bench::runSuite(variants);
+    bench::printGrid(grid, "no lb");
+
+    // Line-buffer hit rates for the largest file.
+    TextTable table;
+    table.setCaption("Line-buffer load hit rate (lb8, narrow port):");
+    table.addHeader({"workload", "hit rate"});
+    core::PortTechConfig tech = core::PortTechConfig::singlePortBase();
+    tech.lineBuffers = 8;
+    for (const auto &name :
+         workload::WorkloadRegistry::evaluationSuite()) {
+        auto result = sim::simulate(name, tech);
+        table.addRow({name,
+                      TextTable::num(100 * result.lineBufferHitRate, 1) +
+                          "%"});
+    }
+    std::cout << table.render() << "\n";
+    return 0;
+}

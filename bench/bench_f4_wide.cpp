@@ -1,0 +1,50 @@
+/**
+ * @file
+ * F4 — Port width.  With the buffering techniques in place (4 line
+ * buffers, 8-entry combining store buffer), how much does widening the
+ * single port to 16 and 32 bytes buy?  Wider accesses capture more of
+ * each line per load ("load-all-wide") and drain more combined store
+ * bytes per access.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cpe;
+    bench::banner("F4", "single buffered port: IPC vs port width");
+
+    std::vector<bench::Variant> variants;
+    for (unsigned width : {8u, 16u, 32u}) {
+        core::PortTechConfig tech =
+            core::PortTechConfig::singlePortAllTechniques();
+        tech.portWidthBytes = width;
+        variants.push_back({std::to_string(width) + "B", tech});
+    }
+    variants.push_back({"2 ports", core::PortTechConfig::dualPortBase()});
+
+    auto grid = bench::runSuite(variants);
+    bench::printGrid(grid, "8B");
+
+    // How the width changes technique effectiveness.
+    TextTable table;
+    table.setCaption(
+        "Technique activity vs width (suite member 'copy'):");
+    table.addHeader({"width", "lb hit rate", "stores/drain",
+                     "loads needing port"});
+    for (unsigned width : {8u, 16u, 32u}) {
+        core::PortTechConfig tech =
+            core::PortTechConfig::singlePortAllTechniques();
+        tech.portWidthBytes = width;
+        auto result = sim::simulate("copy", tech);
+        table.addRow({std::to_string(width) + "B",
+                      TextTable::num(100 * result.lineBufferHitRate, 1) +
+                          "%",
+                      TextTable::num(result.sbStoresPerDrain, 2),
+                      TextTable::num(100 * result.loadPortFraction, 1) +
+                          "%"});
+    }
+    std::cout << table.render() << "\n";
+    return 0;
+}

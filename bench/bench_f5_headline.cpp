@@ -1,0 +1,64 @@
+/**
+ * @file
+ * F5 — The headline result.  One buffered, wide, single-ported cache
+ * against the dual-ported baseline, with single-technique columns to
+ * attribute the recovery.  The paper reports its techniques reaching
+ * 91% of dual-ported performance; the geomean of the final column
+ * against '2 ports' is this reproduction's number.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cpe;
+    bench::banner("F5",
+                  "single port + techniques vs dual-ported cache");
+
+    core::PortTechConfig base = core::PortTechConfig::singlePortBase();
+
+    core::PortTechConfig sb_only = base;
+    sb_only.storeBufferEntries = 8;
+
+    core::PortTechConfig lb_only = base;
+    lb_only.lineBuffers = 4;
+
+    core::PortTechConfig wide_only = base;
+    wide_only.portWidthBytes = 32;
+
+    // The strong baseline: a dual-ported cache whose machine also has
+    // a conventional store buffer (as the paper's R10000-class baseline
+    // machine would) — the fairest stand-in for the paper's 100% mark.
+    core::PortTechConfig dual_sb = core::PortTechConfig::dualPortBase();
+    dual_sb.storeBufferEntries = 8;
+
+    std::vector<bench::Variant> variants = {
+        {"1p plain", base},
+        {"1p+sb", sb_only},
+        {"1p+lb", lb_only},
+        {"1p+wide", wide_only},
+        {"1p all", core::PortTechConfig::singlePortAllTechniques()},
+        {"2 ports", core::PortTechConfig::dualPortBase()},
+        {"2p+sb", dual_sb},
+    };
+
+    auto grid = bench::runSuite(variants);
+    bench::printGrid(grid, "2 ports");
+
+    double headline =
+        100.0 * grid.geomeanIpc("1p all") / grid.geomeanIpc("2 ports");
+    double vs_strong =
+        100.0 * grid.geomeanIpc("1p all") / grid.geomeanIpc("2p+sb");
+    double untreated =
+        100.0 * grid.geomeanIpc("1p plain") / grid.geomeanIpc("2 ports");
+    std::cout << "HEADLINE: buffered single-ported cache reaches "
+              << TextTable::num(headline, 1)
+              << "% of the plain dual-ported cache\n"
+              << "and " << TextTable::num(vs_strong, 1)
+              << "% of the buffered dual-ported machine "
+                 "(untreated single port: "
+              << TextTable::num(untreated, 1) << "%).\n"
+              << "The paper reports 91% for its suite.\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Simulator-performance microbenchmarks (google-benchmark): how fast
+ * the simulator itself runs — functional execution rate, timing-model
+ * rate under the key configurations, and the hot cache-access path in
+ * isolation.  Not a paper experiment; a tool for keeping the harness
+ * usable as it grows.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/dcache_unit.hh"
+#include "func/executor.hh"
+#include "sim/simulator.hh"
+#include "util/random.hh"
+#include "workload/registry.hh"
+
+namespace {
+
+using namespace cpe;
+
+void
+BM_FunctionalExecution(benchmark::State &state)
+{
+    setVerbose(false);
+    workload::WorkloadOptions options;
+    auto program =
+        workload::WorkloadRegistry::instance().build("crc", options);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        func::Executor executor(program);
+        insts += executor.run();
+    }
+    state.counters["inst_rate"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalExecution)->Unit(benchmark::kMillisecond);
+
+void
+timingRun(benchmark::State &state, const core::PortTechConfig &tech)
+{
+    setVerbose(false);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        auto result = sim::simulate("crc", tech);
+        insts += result.insts;
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.counters["inst_rate"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+void
+BM_TimingSinglePort(benchmark::State &state)
+{
+    timingRun(state, core::PortTechConfig::singlePortBase());
+}
+BENCHMARK(BM_TimingSinglePort)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingAllTechniques(benchmark::State &state)
+{
+    timingRun(state, core::PortTechConfig::singlePortAllTechniques());
+}
+BENCHMARK(BM_TimingAllTechniques)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheAccessPath(benchmark::State &state)
+{
+    mem::CacheParams params;
+    params.sizeBytes = 16 * 1024;
+    params.assoc = 2;
+    params.lineBytes = 32;
+    mem::Cache cache(params);
+    Rng rng(1);
+    std::vector<Addr> addrs(4096);
+    for (auto &addr : addrs)
+        addr = rng.below(64 * 1024);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        Addr addr = addrs[i++ & 4095];
+        if (!cache.access(addr, false))
+            cache.fill(addr);
+    }
+    state.counters["hit_rate"] = static_cast<double>(
+        cache.hits.value()) /
+        (cache.hits.value() + cache.misses.value());
+}
+BENCHMARK(BM_CacheAccessPath);
+
+void
+BM_StoreBufferDrain(benchmark::State &state)
+{
+    core::StoreBuffer sb("sb", 8, 32, true);
+    Rng rng(2);
+    Cycle now = 0;
+    for (auto _ : state) {
+        ++now;
+        sb.insert(rng.below(4096) & ~7ull, 8, now);
+        if (sb.occupancy() > 4)
+            benchmark::DoNotOptimize(sb.drainOne(32, now));
+    }
+}
+BENCHMARK(BM_StoreBufferDrain);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * T1 — Machine parameters.  Regenerates the paper's configuration
+ * table: the evaluation machine and the named port-subsystem variants
+ * every other experiment sweeps.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cpe;
+    bench::banner("T1", "machine configuration");
+
+    sim::SimConfig config = sim::SimConfig::defaults();
+    std::cout << config.describe() << "\n";
+
+    TextTable table;
+    table.setCaption("Named port-subsystem variants:");
+    table.addHeader({"tag", "ports", "width", "store buffer",
+                     "line buffers"});
+    auto row = [&](const core::PortTechConfig &tech) {
+        table.addRow({tech.describe(), std::to_string(tech.ports),
+                      std::to_string(tech.portWidthBytes) + "B",
+                      tech.storeBufferEntries
+                          ? std::to_string(tech.storeBufferEntries) +
+                                (tech.storeCombining ? " (combining)" : "")
+                          : "-",
+                      tech.lineBuffers ? std::to_string(tech.lineBuffers)
+                                       : "-"});
+    };
+    row(core::PortTechConfig::singlePortBase());
+    row(core::PortTechConfig::dualPortBase());
+    row(core::PortTechConfig::singlePortAllTechniques());
+    std::cout << table.render() << "\n";
+    return 0;
+}

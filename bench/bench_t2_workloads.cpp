@@ -1,0 +1,50 @@
+/**
+ * @file
+ * T2 — Workload characterization.  Regenerates the paper's workload
+ * table: dynamic instruction counts and mixes for the evaluation
+ * suite, with and without operating-system activity (the paper's
+ * distinguishing methodological point).
+ */
+
+#include "bench_common.hh"
+#include "workload/characterize.hh"
+
+int
+main()
+{
+    using namespace cpe;
+    bench::banner("T2", "workload characterization");
+    setVerbose(false);
+
+    auto &registry = workload::WorkloadRegistry::instance();
+
+    TextTable table;
+    table.addHeader({"workload", "category", "insts", "load%", "store%",
+                     "branch%", "fp%", "wset KiB", "kernel% (os2)"});
+    for (const auto &info : registry.list()) {
+        workload::WorkloadOptions user;
+        auto mix = workload::characterize(registry.build(info.name, user));
+        workload::WorkloadOptions os;
+        os.osLevel = 2;
+        auto os_mix =
+            workload::characterize(registry.build(info.name, os));
+        table.addRow({info.name, info.category,
+                      TextTable::num(mix.insts),
+                      TextTable::num(100 * mix.loadFrac(), 1),
+                      TextTable::num(100 * mix.storeFrac(), 1),
+                      TextTable::num(100 * mix.branchFrac(), 1),
+                      TextTable::num(100 * mix.fpFrac(), 1),
+                      TextTable::num(mix.workingSetKiB(), 0),
+                      TextTable::num(100 * os_mix.kernelFrac(), 1)});
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout << "Evaluation suite: ";
+    for (const auto &name : workload::WorkloadRegistry::evaluationSuite())
+        std::cout << name << " ";
+    std::cout << "\n\nWorkload descriptions:\n";
+    for (const auto &info : registry.list())
+        std::cout << "  " << info.name << ": " << info.description
+                  << "\n";
+    return 0;
+}

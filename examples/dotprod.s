@@ -1,0 +1,53 @@
+# Dot product of two 512-element double vectors, unrolled x2.
+# Demonstrates the text assembler; run with:
+#   run_asm dotprod.s [--ports N] [--sb N] [--lb N] [--width B]
+#
+# The result (sum of a[i]*b[i] with a[i]=b[i]=1.0 -> 512.0) is stored
+# at the `result` slot and printed by run_asm.
+
+        .data
+result: .space 16
+ones_a: .space 4096, 64
+ones_b: .space 4096, 64
+one:    .double 1.0
+
+        .text
+        # Fill both vectors with 1.0.
+        la   s0, ones_a
+        la   s1, ones_b
+        la   t0, one
+        fld  f1, 0(t0)
+        li   t1, 512
+fill:
+        fsd  f1, 0(s0)
+        fsd  f1, 0(s1)
+        addi s0, s0, 8
+        addi s1, s1, 8
+        addi t1, t1, -1
+        bne  t1, zero, fill
+
+        # acc = sum a[i] * b[i], two independent accumulators.
+        la   s0, ones_a
+        la   s1, ones_b
+        li   t1, 256           # 512 / 2 (unrolled x2)
+        li   t2, 0
+        fcvt.i2f f2, t2        # acc0 = 0.0
+        fcvt.i2f f3, t2        # acc1 = 0.0
+dot:
+        fld  f4, 0(s0)
+        fld  f5, 0(s1)
+        fmul f4, f4, f5
+        fadd f2, f2, f4
+        fld  f6, 8(s0)
+        fld  f7, 8(s1)
+        fmul f6, f6, f7
+        fadd f3, f3, f6
+        addi s0, s0, 16
+        addi s1, s1, 16
+        addi t1, t1, -1
+        bne  t1, zero, dot
+
+        fadd f2, f2, f3
+        la   t0, result
+        fsd  f2, 0(t0)
+        halt

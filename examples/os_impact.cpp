@@ -1,0 +1,72 @@
+/**
+ * @file
+ * OS-impact demo: the paper's methodological point in one screen.
+ * Runs each evaluation workload at three OS-activity levels and shows
+ * how kernel behaviour changes both raw performance and the
+ * effectiveness of the single-port techniques — what a user-only
+ * simulation would get wrong.
+ *
+ * Usage: os_impact [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+#include "workload/characterize.hh"
+#include "workload/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpe;
+    setVerbose(false);
+    unsigned scale = argc > 1
+        ? static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10))
+        : 1;
+
+    TextTable table;
+    table.addHeader({"workload", "os", "kernel%", "IPC 1p", "IPC 1p+tech",
+                     "IPC 2p", "recovery"});
+
+    for (const auto &name :
+         workload::WorkloadRegistry::evaluationSuite()) {
+        for (unsigned os : {0u, 2u}) {
+            workload::WorkloadOptions options;
+            options.scale = scale;
+            options.osLevel = os;
+            auto mix = workload::characterize(
+                workload::WorkloadRegistry::instance().build(name,
+                                                             options));
+
+            auto run = [&](const core::PortTechConfig &tech) {
+                sim::SimConfig config = sim::SimConfig::defaults();
+                config.workloadName = name;
+                config.workload = options;
+                config.core.dcache.tech = tech;
+                return sim::simulate(config);
+            };
+            auto plain = run(core::PortTechConfig::singlePortBase());
+            auto tech =
+                run(core::PortTechConfig::singlePortAllTechniques());
+            auto dual = run(core::PortTechConfig::dualPortBase());
+
+            table.addRow(
+                {name, os ? "heavy" : "none",
+                 TextTable::num(100 * mix.kernelFrac(), 1),
+                 TextTable::num(plain.ipc), TextTable::num(tech.ipc),
+                 TextTable::num(dual.ipc),
+                 TextTable::num(100 * tech.ipc / dual.ipc, 1) + "%"});
+        }
+    }
+    std::cout << table.render() << "\n";
+    std::cout
+        << "'recovery' = buffered single port as a fraction of the "
+           "dual-ported cache.\nKernel entries add port traffic and "
+           "disturb processor buffers; evaluating\nwithout them (as "
+           "user-only studies did) overstates how rosy either cache\n"
+           "looks and misses kernel-induced technique interactions.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Port-design-space study: sweeps ports x widths x buffering for one
+ * workload and prints the full grid (optionally as CSV), the kind of
+ * exploration an architect would run before committing to a cache
+ * design.
+ *
+ * Usage: port_study [workload] [--csv]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+#include "workload/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cpe;
+    setVerbose(false);
+
+    std::string workload = "copy";
+    bool csv = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0)
+            csv = true;
+        else
+            workload = argv[i];
+    }
+    if (!workload::WorkloadRegistry::instance().has(workload))
+        fatal(Msg() << "unknown workload '" << workload << "'");
+
+    TextTable table;
+    table.setCaption("Design space for workload '" + workload + "'");
+    table.addHeader({"ports", "width", "store buf", "line bufs", "IPC",
+                     "port util%", "cycles"});
+
+    double best_ipc = 0.0;
+    std::string best;
+    for (unsigned ports : {1u, 2u}) {
+        for (unsigned width : {8u, 16u, 32u}) {
+            for (unsigned sb : {0u, 8u}) {
+                for (unsigned lb : {0u, 4u}) {
+                    core::PortTechConfig tech;
+                    tech.ports = ports;
+                    tech.portWidthBytes = width;
+                    tech.storeBufferEntries = sb;
+                    tech.lineBuffers = lb;
+                    auto result = sim::simulate(workload, tech);
+                    table.addRow(
+                        {std::to_string(ports),
+                         std::to_string(width) + "B",
+                         sb ? std::to_string(sb) : "-",
+                         lb ? std::to_string(lb) : "-",
+                         TextTable::num(result.ipc),
+                         TextTable::num(100 * result.portUtilization, 1),
+                         TextTable::num(result.cycles)});
+                    if (result.ipc > best_ipc) {
+                        best_ipc = result.ipc;
+                        best = tech.describe();
+                    }
+                }
+            }
+        }
+    }
+
+    if (csv) {
+        std::cout << table.renderCsv();
+    } else {
+        std::cout << table.render() << "\n"
+                  << "Best configuration: " << best << " at IPC "
+                  << TextTable::num(best_ipc) << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+#include "core/port_config.hh"
+
+#include <sstream>
+
+namespace cpe::core {
+
+std::string
+PortTechConfig::describe() const
+{
+    std::ostringstream out;
+    out << ports << "p" << portWidthBytes << "B";
+    if (banks > 1)
+        out << "x" << banks << "bk";
+    if (storeBufferEntries) {
+        out << "+sb" << storeBufferEntries;
+        if (storeCombining)
+            out << "c";
+    }
+    if (lineBuffers)
+        out << "+lb" << lineBuffers;
+    if (fillPolicy == FillPolicy::DedicatedFillPort)
+        out << "+fp";
+    return out.str();
+}
+
+PortTechConfig
+PortTechConfig::singlePortBase()
+{
+    PortTechConfig config;
+    config.ports = 1;
+    config.portWidthBytes = 8;
+    config.storeBufferEntries = 0;
+    config.lineBuffers = 0;
+    return config;
+}
+
+PortTechConfig
+PortTechConfig::dualPortBase()
+{
+    PortTechConfig config = singlePortBase();
+    config.ports = 2;
+    return config;
+}
+
+PortTechConfig
+PortTechConfig::singlePortAllTechniques()
+{
+    PortTechConfig config;
+    config.ports = 1;
+    config.portWidthBytes = 32;
+    config.storeBufferEntries = 8;
+    config.storeCombining = true;
+    config.drainPolicy = DrainPolicy::IdleOnly;
+    config.lineBuffers = 4;
+    config.lineBufferWrite = LineBufferWritePolicy::Update;
+    config.flushLineBuffersOnModeSwitch = true;
+    return config;
+}
+
+} // namespace cpe::core

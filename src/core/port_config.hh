@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Configuration of the D-cache port subsystem — the knobs the paper's
+ * evaluation sweeps.
+ *
+ * The techniques, in the paper's terms:
+ *
+ *  - **Multi-porting** (`ports`): the expensive baseline the paper wants
+ *    to avoid; a dual-ported cache services two accesses per cycle.
+ *  - **Store buffer** (`storeBufferEntries`, `storeCombining`,
+ *    `drainPolicy`): committed stores park in a small buffer and retire
+ *    to the cache during idle port cycles; stores to the same line
+ *    combine so several stores cost one port access.
+ *  - **Load-all / line buffers** (`lineBuffers`): every load that uses
+ *    the port captures the whole port-width window it reads into a line
+ *    buffer inside the processor; later loads that fall in captured
+ *    bytes are serviced from the buffer without using a port.
+ *  - **Wide port** (`portWidthBytes`): a wider port amplifies both of
+ *    the above — one access captures more bytes for the line buffers
+ *    ("load-all-wide") and one drain writes more combined store bytes.
+ */
+
+#ifndef CPE_CORE_PORT_CONFIG_HH
+#define CPE_CORE_PORT_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cpe::core {
+
+/** How line fills obtain array bandwidth. */
+enum class FillPolicy : std::uint8_t {
+    /** Fills occupy a data port for lineBytes/portWidth cycles. */
+    StealPort,
+    /** A dedicated fill port exists; fills are free to the data ports. */
+    DedicatedFillPort,
+};
+
+/** When the store buffer writes to the cache. */
+enum class DrainPolicy : std::uint8_t {
+    /** Only into port cycles loads left idle (the paper's scheme). */
+    IdleOnly,
+    /**
+     * Drain whenever non-empty, still after same-cycle loads (loses
+     * combining opportunity but keeps the buffer near-empty).
+     */
+    Eager,
+    /** Hold entries for combining until occupancy crosses a threshold. */
+    Threshold,
+};
+
+/** What happens to line buffers when a store writes their line. */
+enum class LineBufferWritePolicy : std::uint8_t {
+    /** Invalidate the matching line buffer. */
+    Invalidate,
+    /** Patch the stored bytes into the buffer, keeping it hot. */
+    Update,
+};
+
+/** Full configuration of the D-cache port subsystem. */
+struct PortTechConfig
+{
+    /** Number of data ports (1 = the cheap cache, 2 = the baseline). */
+    unsigned ports = 1;
+    /** Port width in bytes: 8, 16, or 32 (= full line). */
+    unsigned portWidthBytes = 8;
+
+    /**
+     * Multi-banking — the classic cheaper alternative to true
+     * multi-porting.  With banks > 1 the array is split into
+     * single-ported banks selected by address; `ports` then counts the
+     * CPU-side access buses, and two same-cycle accesses succeed only
+     * when they fall in different banks (otherwise: bank conflict,
+     * retry).  banks == 1 models a true multi-ported array.
+     */
+    unsigned banks = 1;
+    /** Bank-interleave granularity in bytes (word vs line interleave). */
+    unsigned bankInterleaveBytes = 8;
+
+    /** Store-buffer capacity; 0 disables it (stores need a port at
+     *  commit). */
+    unsigned storeBufferEntries = 0;
+    /** Merge same-line stores into one entry. */
+    bool storeCombining = true;
+    DrainPolicy drainPolicy = DrainPolicy::IdleOnly;
+    /** Occupancy that triggers draining under Threshold policy. */
+    unsigned drainThreshold = 4;
+
+    /** Number of line buffers; 0 disables load-all. */
+    unsigned lineBuffers = 0;
+    LineBufferWritePolicy lineBufferWrite = LineBufferWritePolicy::Update;
+    /** Flush line buffers on user/kernel transitions (conservative,
+     *  models an OS that cannot trust stale user data). */
+    bool flushLineBuffersOnModeSwitch = true;
+
+    FillPolicy fillPolicy = FillPolicy::StealPort;
+    /**
+     * Array cycles one line fill occupies under StealPort.  This is a
+     * property of the array's internal (fill-path) width, not of the
+     * CPU-visible port width: real caches fill a 32 B line through a
+     * wide internal path in a couple of array accesses regardless of
+     * how narrow the load port is.
+     */
+    unsigned fillOccupancyCycles = 2;
+
+    /** One-line summary, used in bench table headers. */
+    std::string describe() const;
+
+    // --- Named configurations used throughout the evaluation ---------
+
+    /** 1 port, 8 B, no buffering: the cheap cache, untreated. */
+    static PortTechConfig singlePortBase();
+    /** 2 ports, 8 B, no buffering: the expensive baseline. */
+    static PortTechConfig dualPortBase();
+    /** 1 port + every technique (8-entry combining store buffer,
+     *  4 line buffers, 32 B wide port): the paper's headline config. */
+    static PortTechConfig singlePortAllTechniques();
+};
+
+} // namespace cpe::core
+
+#endif // CPE_CORE_PORT_CONFIG_HH

@@ -1,0 +1,205 @@
+#include "cpu/branch_predictor.hh"
+
+#include "prog/builder.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cpe::cpu {
+
+using isa::Inst;
+using isa::Opcode;
+
+BranchPredictor::BranchPredictor(const BranchPredictorParams &params)
+    : params_(params),
+      counters_(params.tableEntries, 1),  // weakly not-taken
+      localHistory_(params.localHistories, 0),
+      btb_(params.btbEntries),
+      ras_(params.rasEntries, 0),
+      statGroup_("bpred")
+{
+    CPE_ASSERT(isPowerOf2(params.tableEntries), "table size not pow2");
+    CPE_ASSERT(isPowerOf2(params.btbEntries), "BTB size not pow2");
+    CPE_ASSERT(params.btbAssoc >= 1 &&
+                   params.btbEntries % params.btbAssoc == 0,
+               "bad BTB associativity");
+    statGroup_.addScalar("lookups", &lookups, "control-flow predictions");
+    statGroup_.addScalar("cond_lookups", &condLookups,
+                         "conditional-branch predictions");
+    statGroup_.addScalar("dir_mispredicts", &dirMispredicts,
+                         "conditional direction mispredictions");
+    statGroup_.addScalar("target_mispredicts", &targetMispredicts,
+                         "indirect-target mispredictions");
+    statGroup_.addScalar("ras_mispredicts", &rasMispredicts,
+                         "return-address mispredictions");
+    statGroup_.addFormula(
+        "cond_accuracy",
+        [this]() {
+            return condLookups.value()
+                       ? 1.0 - static_cast<double>(
+                                   dirMispredicts.value()) /
+                                   condLookups.value()
+                       : 0.0;
+        },
+        "conditional-branch direction accuracy");
+}
+
+bool
+BranchPredictor::isReturn(const Inst &inst)
+{
+    return inst.op == Opcode::JALR && inst.rd == isa::ZeroReg &&
+           inst.rs1 == prog::reg::ra;
+}
+
+bool
+BranchPredictor::isCall(const Inst &inst)
+{
+    return (inst.op == Opcode::JAL || inst.op == Opcode::JALR) &&
+           inst.rd == prog::reg::ra;
+}
+
+std::size_t
+BranchPredictor::tableIndex(Addr pc) const
+{
+    std::uint64_t index = pc >> 2;
+    if (params_.kind == PredictorKind::GShare) {
+        index ^= globalHistory_ & mask(params_.historyBits);
+    } else if (params_.kind == PredictorKind::Local) {
+        std::uint64_t history =
+            localHistory_[(pc >> 2) & (params_.localHistories - 1)];
+        index ^= (history & mask(params_.historyBits))
+                 << 2;  // decorrelate from the PC's low bits
+    }
+    return static_cast<std::size_t>(index &
+                                    (params_.tableEntries - 1));
+}
+
+Addr
+BranchPredictor::btbLookup(Addr pc) const
+{
+    std::size_t sets = params_.btbEntries / params_.btbAssoc;
+    std::size_t set = static_cast<std::size_t>((pc >> 2) & (sets - 1));
+    const BtbEntry *base = &btb_[set * params_.btbAssoc];
+    for (unsigned way = 0; way < params_.btbAssoc; ++way)
+        if (base[way].valid && base[way].pc == pc)
+            return base[way].target;
+    return 0;
+}
+
+void
+BranchPredictor::btbInsert(Addr pc, Addr target)
+{
+    std::size_t sets = params_.btbEntries / params_.btbAssoc;
+    std::size_t set = static_cast<std::size_t>((pc >> 2) & (sets - 1));
+    BtbEntry *base = &btb_[set * params_.btbAssoc];
+    BtbEntry *victim = nullptr;
+    for (unsigned way = 0; way < params_.btbAssoc; ++way) {
+        BtbEntry &entry = base[way];
+        if (entry.valid && entry.pc == pc) {
+            victim = &entry;
+            break;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (!victim || entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lastUse = ++btbClock_;
+}
+
+BranchPredictor::Prediction
+BranchPredictor::predict(Addr pc, const Inst &inst)
+{
+    ++lookups;
+    Prediction pred;
+    Addr fallthrough = pc + isa::InstBytes;
+
+    switch (inst.op) {
+      case Opcode::JAL:
+        pred.taken = true;
+        pred.target = pc + static_cast<Addr>(inst.imm);
+        pred.targetKnown = true;
+        if (isCall(inst) && params_.rasEntries) {
+            if (rasTop_ < params_.rasEntries)
+                ras_[rasTop_++] = fallthrough;
+            else
+                ras_.back() = fallthrough;  // overflow: clobber top
+        }
+        return pred;
+
+      case Opcode::JALR: {
+        pred.taken = true;
+        if (isReturn(inst) && params_.rasEntries) {
+            if (rasTop_ > 0) {
+                pred.target = ras_[--rasTop_];
+                pred.targetKnown = true;
+            } else {
+                pred.target = btbLookup(pc);
+                pred.targetKnown = pred.target != 0;
+            }
+        } else {
+            pred.target = btbLookup(pc);
+            pred.targetKnown = pred.target != 0;
+            if (isCall(inst) && params_.rasEntries) {
+                if (rasTop_ < params_.rasEntries)
+                    ras_[rasTop_++] = fallthrough;
+                else
+                    ras_.back() = fallthrough;
+            }
+        }
+        return pred;
+      }
+
+      default:
+        CPE_ASSERT(isa::isCondBranch(inst.op),
+                   "predict on non-control op");
+        ++condLookups;
+        if (params_.kind == PredictorKind::AlwaysNotTaken) {
+            pred.taken = false;
+        } else {
+            pred.taken = counters_[tableIndex(pc)] >= 2;
+        }
+        pred.target = pc + static_cast<Addr>(inst.imm);
+        pred.targetKnown = true;  // PC-relative, known at decode
+        return pred;
+    }
+}
+
+void
+BranchPredictor::update(Addr pc, const Inst &inst, bool taken, Addr target)
+{
+    if (isa::isCondBranch(inst.op)) {
+        if (params_.kind != PredictorKind::AlwaysNotTaken) {
+            std::uint8_t &counter = counters_[tableIndex(pc)];
+            if (taken && counter < 3)
+                ++counter;
+            else if (!taken && counter > 0)
+                --counter;
+        }
+        globalHistory_ = (globalHistory_ << 1) | (taken ? 1 : 0);
+        std::uint64_t &local =
+            localHistory_[(pc >> 2) & (params_.localHistories - 1)];
+        local = (local << 1) | (taken ? 1 : 0);
+        return;
+    }
+    if (inst.op == Opcode::JALR && taken)
+        btbInsert(pc, target);
+}
+
+bool
+BranchPredictor::correct(const Prediction &pred, bool taken, Addr target,
+                         Addr fallthrough)
+{
+    if (!taken)
+        return !pred.taken;
+    if (!pred.taken || !pred.targetKnown)
+        return false;
+    (void)fallthrough;
+    return pred.target == target;
+}
+
+} // namespace cpe::cpu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Branch prediction for the dynamic superscalar front end: a bimodal
+ * or gshare direction predictor, a set-associative BTB for indirect
+ * targets, and a return-address stack.
+ *
+ * PC-relative targets (conditional branches, JAL) are computed from
+ * the static instruction at fetch, so only the direction can be wrong
+ * for them; JALR needs the BTB (or the RAS, for returns).
+ */
+
+#ifndef CPE_CPU_BRANCH_PREDICTOR_HH
+#define CPE_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "stats/stats.hh"
+#include "util/types.hh"
+
+namespace cpe::cpu {
+
+/** Direction predictor flavour. */
+enum class PredictorKind : std::uint8_t {
+    AlwaysNotTaken,  ///< static baseline
+    Bimodal,         ///< per-PC 2-bit counters
+    GShare,          ///< global history XOR PC into 2-bit counters
+    Local,           ///< two-level: per-PC history indexes the counters
+};
+
+/** Front-end predictor parameters. */
+struct BranchPredictorParams
+{
+    PredictorKind kind = PredictorKind::GShare;
+    std::size_t tableEntries = 4096;   ///< 2-bit counter table (pow2)
+    unsigned historyBits = 10;         ///< gshare global history length
+    std::size_t btbEntries = 512;      ///< BTB entries (pow2)
+    unsigned btbAssoc = 4;
+    std::size_t rasEntries = 8;        ///< return-address stack depth
+    /** Local predictor: per-PC history table entries (pow2). */
+    std::size_t localHistories = 1024;
+};
+
+/** The front-end predictor. */
+class BranchPredictor
+{
+  public:
+    /** What fetch decided for a control instruction. */
+    struct Prediction
+    {
+        bool taken = false;
+        Addr target = 0;
+        bool targetKnown = false;  ///< target trusted (PC-rel/BTB/RAS)
+    };
+
+    explicit BranchPredictor(const BranchPredictorParams &params);
+
+    /**
+     * Predict @p inst at @p pc.  Speculatively updates the RAS (calls
+     * push, returns pop), as real front ends do.
+     */
+    Prediction predict(Addr pc, const isa::Inst &inst);
+
+    /**
+     * Train with the architectural outcome (called at commit, in
+     * order): updates the counter table, history, and BTB.
+     */
+    void update(Addr pc, const isa::Inst &inst, bool taken, Addr target);
+
+    /**
+     * Did @p pred get this control instruction right?
+     * @return true when the prediction matches the true outcome.
+     */
+    static bool correct(const Prediction &pred, bool taken, Addr target,
+                        Addr fallthrough);
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    stats::Scalar lookups;
+    stats::Scalar condLookups;
+    stats::Scalar dirMispredicts;     ///< conditional direction wrong
+    stats::Scalar targetMispredicts;  ///< indirect target wrong
+    stats::Scalar rasMispredicts;     ///< return address wrong
+
+  private:
+    /** @return counter-table index for @p pc (and history, if gshare). */
+    std::size_t tableIndex(Addr pc) const;
+
+    /** BTB lookup; @return target or 0 when absent. */
+    Addr btbLookup(Addr pc) const;
+    void btbInsert(Addr pc, Addr target);
+
+    /** @return true for "JALR x0, ra"-shaped returns. */
+    static bool isReturn(const isa::Inst &inst);
+    /** @return true for calls (JAL/JALR writing ra). */
+    static bool isCall(const isa::Inst &inst);
+
+    BranchPredictorParams params_;
+    std::vector<std::uint8_t> counters_;  ///< 2-bit, init weakly NT
+    std::uint64_t globalHistory_ = 0;
+    std::vector<std::uint64_t> localHistory_;  ///< per-PC (Local kind)
+
+    struct BtbEntry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+        std::uint64_t lastUse = 0;
+    };
+    std::vector<BtbEntry> btb_;
+    std::uint64_t btbClock_ = 0;
+
+    std::vector<Addr> ras_;
+    std::size_t rasTop_ = 0;   ///< number of valid entries
+    stats::StatGroup statGroup_;
+};
+
+} // namespace cpe::cpu
+
+#endif // CPE_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The front end: fetches the committed-path instruction stream from
+ * the trace source, modelling I-cache behaviour, fetch-group rules
+ * (one line per cycle, groups end at taken branches), and branch
+ * prediction.  On a mispredicted control instruction the front end
+ * freezes — the wrong path is not simulated — and resumes a configured
+ * redirect penalty after the branch resolves, which is the standard
+ * trace-driven treatment.
+ */
+
+#ifndef CPE_CPU_FETCH_HH
+#define CPE_CPU_FETCH_HH
+
+#include <deque>
+#include <optional>
+
+#include "cpu/branch_predictor.hh"
+#include "cpu/pipeline_types.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+
+namespace cpe::cpu {
+
+/** Front-end parameters. */
+struct FetchParams
+{
+    unsigned fetchWidth = 4;
+    std::size_t queueCapacity = 16;
+    /** Cycles from mispredict resolution to first corrected fetch. */
+    unsigned redirectPenalty = 3;
+    /**
+     * Model wrong-path instruction fetch: while frozen on a
+     * mispredicted branch, keep fetching down the (wrong) predicted
+     * path one I-cache line per cycle, polluting the I-cache and
+     * consuming L2 bandwidth the way a real front end does.  Off by
+     * default (the classic trace-driven simplification).
+     */
+    bool modelWrongPathIFetch = false;
+    mem::CacheParams icache{
+        .name = "l1i", .sizeBytes = 16 * 1024, .assoc = 2,
+        .lineBytes = 32};
+};
+
+/** The fetch stage. */
+class FetchUnit
+{
+  public:
+    FetchUnit(const FetchParams &params, func::TraceSource *trace,
+              BranchPredictor *bpred, mem::MemHierarchy *next_level);
+
+    /** Fetch up to fetchWidth instructions into the queue. */
+    void tick(Cycle now);
+
+    /** Instructions awaiting rename (rename pops from the front). */
+    std::deque<TimingInst> &queue() { return queue_; }
+
+    /**
+     * A mispredicted control instruction resolved; fetch resumes at
+     * @p resume_cycle (resolution + redirect penalty, computed by the
+     * caller).
+     */
+    void resolveBranch(SeqNum seq, Cycle resume_cycle);
+
+    /** @return true when the trace has no more instructions. */
+    bool traceExhausted() const { return exhausted_ && !peeked_; }
+
+    /** @return true while fetch is frozen on a mispredicted branch. */
+    bool stalledOnBranch() const { return stalledOnSeq_ != 0; }
+
+    mem::Cache &icache() { return icache_; }
+    BranchPredictor &predictor() { return *bpred_; }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    stats::Scalar fetchedInsts;
+    stats::Scalar icacheMissCycles; ///< cycles frozen on I-misses
+    stats::Scalar redirectCycles;   ///< cycles frozen on mispredicts
+    stats::Scalar takenBreaks;      ///< groups ended by taken branches
+    stats::Scalar lineBreaks;       ///< groups ended at line boundaries
+    stats::Scalar queueFullBreaks;  ///< groups ended by a full queue
+    stats::Scalar mispredicts;      ///< total control mispredictions
+    stats::Scalar wrongPathLines;   ///< wrong-path I-lines fetched
+    stats::Scalar wrongPathMisses;  ///< ...that missed the I-cache
+
+  private:
+    /** Ensure peeked_ holds the next trace record; false at end. */
+    bool peek();
+
+    FetchParams params_;
+    func::TraceSource *trace_;
+    BranchPredictor *bpred_;
+    mem::Cache icache_;
+    mem::MemHierarchy *nextLevel_;
+
+    std::deque<TimingInst> queue_;
+    std::optional<func::DynInst> peeked_;
+    bool exhausted_ = false;
+
+    static constexpr Addr NoLine = ~Addr{0};
+    Addr currentLine_ = NoLine;
+    SeqNum stalledOnSeq_ = 0;
+    /** Next wrong-path PC while frozen (0 = unknown target). */
+    Addr wrongPathPc_ = 0;
+    Cycle wrongPathBusyUntil_ = 0;
+    Cycle resumeCycle_ = 0;
+    /** What the frozen cycles are waiting for (stat attribution). */
+    enum class WaitKind { None, ICache, Redirect } waitKind_ =
+        WaitKind::None;
+
+    stats::StatGroup statGroup_;
+};
+
+} // namespace cpe::cpu
+
+#endif // CPE_CPU_FETCH_HH

@@ -1,0 +1,88 @@
+#include "cpu/func_units.hh"
+
+#include "util/logging.hh"
+
+namespace cpe::cpu {
+
+namespace {
+std::vector<Cycle>
+cursors(const FuDesc &desc)
+{
+    return std::vector<Cycle>(desc.count, 0);
+}
+} // namespace
+
+FuPool::FuPool(const FuPoolParams &params)
+    : intAlu_{params.intAlu, cursors(params.intAlu)},
+      intMul_{params.intMul, cursors(params.intMul)},
+      intDiv_{params.intDiv, cursors(params.intDiv)},
+      fpAdd_{params.fpAdd, cursors(params.fpAdd)},
+      fpMul_{params.fpMul, cursors(params.fpMul)},
+      fpDiv_{params.fpDiv, cursors(params.fpDiv)},
+      memAgu_{params.memAgu, cursors(params.memAgu)},
+      statGroup_("fu_pool")
+{
+    statGroup_.addScalar("structural_stalls", &structuralStalls,
+                         "issue attempts refused: no free unit");
+}
+
+FuPool::Pool &
+FuPool::poolFor(isa::InstClass cls)
+{
+    switch (cls) {
+      case isa::InstClass::IntAlu:
+      case isa::InstClass::Branch:
+      case isa::InstClass::Jump:
+      case isa::InstClass::System:
+        return intAlu_;
+      case isa::InstClass::IntMul: return intMul_;
+      case isa::InstClass::IntDiv: return intDiv_;
+      case isa::InstClass::FpAdd: return fpAdd_;
+      case isa::InstClass::FpMul: return fpMul_;
+      case isa::InstClass::FpDiv: return fpDiv_;
+      case isa::InstClass::Load:
+      case isa::InstClass::Store:
+        return memAgu_;
+    }
+    panic("poolFor: bad class");
+}
+
+const FuPool::Pool &
+FuPool::poolFor(isa::InstClass cls) const
+{
+    return const_cast<FuPool *>(this)->poolFor(cls);
+}
+
+Cycle
+FuPool::tryIssue(isa::InstClass cls, Cycle now)
+{
+    Pool &pool = poolFor(cls);
+    for (auto &free_at : pool.nextFree) {
+        if (free_at > now)
+            continue;
+        // Pipelined units accept a new op next cycle; non-pipelined
+        // ones are busy for the whole latency.
+        free_at = now + (pool.desc.pipelined ? 1 : pool.desc.latency);
+        return now + pool.desc.latency;
+    }
+    ++structuralStalls;
+    return 0;
+}
+
+bool
+FuPool::canIssue(isa::InstClass cls, Cycle now) const
+{
+    const Pool &pool = poolFor(cls);
+    for (auto free_at : pool.nextFree)
+        if (free_at <= now)
+            return true;
+    return false;
+}
+
+unsigned
+FuPool::latency(isa::InstClass cls) const
+{
+    return poolFor(cls).desc.latency;
+}
+
+} // namespace cpe::cpu

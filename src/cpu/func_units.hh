@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Functional-unit pool: per-class counts, latencies, and pipelining.
+ */
+
+#ifndef CPE_CPU_FUNC_UNITS_HH
+#define CPE_CPU_FUNC_UNITS_HH
+
+#include <array>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "stats/stats.hh"
+#include "util/types.hh"
+
+namespace cpe::cpu {
+
+/** One class of functional units. */
+struct FuDesc
+{
+    unsigned count = 1;
+    unsigned latency = 1;
+    bool pipelined = true;  ///< can start a new op every cycle
+};
+
+/** Latency/occupancy description for every instruction class. */
+struct FuPoolParams
+{
+    FuDesc intAlu{2, 1, true};
+    FuDesc intMul{1, 3, true};
+    FuDesc intDiv{1, 20, false};
+    FuDesc fpAdd{1, 2, true};
+    FuDesc fpMul{1, 4, true};
+    FuDesc fpDiv{1, 12, false};
+    /** Address-generation units shared by loads and stores. */
+    FuDesc memAgu{2, 1, true};
+    /** Branch resolution shares the integer ALUs in this model. */
+};
+
+/**
+ * Books functional units per cycle.  For pipelined units only the
+ * initiation slot matters (one per unit per cycle); non-pipelined
+ * units stay busy for the whole latency.
+ */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuPoolParams &params);
+
+    /**
+     * Try to start an op of class @p cls at @p now.
+     * @return the completion cycle, or 0 if no unit can initiate.
+     */
+    Cycle tryIssue(isa::InstClass cls, Cycle now);
+
+    /**
+     * Would tryIssue succeed, without booking anything?  Used by the
+     * load path to check AGU availability before touching the cache.
+     */
+    bool canIssue(isa::InstClass cls, Cycle now) const;
+
+    /** The latency an op of @p cls would take. */
+    unsigned latency(isa::InstClass cls) const;
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    stats::Scalar structuralStalls;  ///< issue attempts refused
+
+  private:
+    struct Pool
+    {
+        FuDesc desc;
+        std::vector<Cycle> nextFree;  ///< per-unit initiation cursor
+    };
+
+    Pool &poolFor(isa::InstClass cls);
+    const Pool &poolFor(isa::InstClass cls) const;
+
+    Pool intAlu_, intMul_, intDiv_, fpAdd_, fpMul_, fpDiv_, memAgu_;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace cpe::cpu
+
+#endif // CPE_CPU_FUNC_UNITS_HH

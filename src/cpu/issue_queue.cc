@@ -1,0 +1,36 @@
+#include "cpu/issue_queue.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cpe::cpu {
+
+IssueQueue::IssueQueue(std::size_t capacity)
+    : capacity_(capacity), statGroup_("iq")
+{
+    CPE_ASSERT(capacity >= 1, "issue queue needs at least one entry");
+    statGroup_.addScalar("added", &added, "instructions dispatched");
+    statGroup_.addScalar("full_stalls", &fullStalls,
+                         "dispatch attempts refused: IQ full");
+}
+
+void
+IssueQueue::add(TimingInst *inst)
+{
+    CPE_ASSERT(!full(), "add to a full issue queue");
+    entries_.push_back(inst);
+    ++added;
+}
+
+void
+IssueQueue::removeIssued()
+{
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [](const TimingInst *inst) {
+                                      return inst->issued;
+                                  }),
+                   entries_.end());
+}
+
+} // namespace cpe::cpu

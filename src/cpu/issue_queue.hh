@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The issue queue: dispatched-but-unissued instructions awaiting
+ * operands and a functional unit.  Selection is oldest-first across
+ * the whole queue, bounded by the machine's issue width.
+ */
+
+#ifndef CPE_CPU_ISSUE_QUEUE_HH
+#define CPE_CPU_ISSUE_QUEUE_HH
+
+#include <vector>
+
+#include "cpu/pipeline_types.hh"
+#include "stats/stats.hh"
+
+namespace cpe::cpu {
+
+/** The unified issue queue. */
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(std::size_t capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Add a dispatched instruction (pointer owned by the ROB). */
+    void add(TimingInst *inst);
+
+    /**
+     * Instructions in age order, for the issue stage to scan.  Entries
+     * whose `issued` flag got set during the scan are reaped by
+     * removeIssued().
+     */
+    const std::vector<TimingInst *> &entries() const { return entries_; }
+
+    /** Drop every entry that has issued. */
+    void removeIssued();
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    stats::Scalar added;
+    stats::Scalar fullStalls;  ///< dispatch attempts refused: IQ full
+
+  private:
+    std::size_t capacity_;
+    std::vector<TimingInst *> entries_;  ///< kept in age order
+    stats::StatGroup statGroup_;
+};
+
+} // namespace cpe::cpu
+
+#endif // CPE_CPU_ISSUE_QUEUE_HH

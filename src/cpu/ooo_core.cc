@@ -1,0 +1,268 @@
+#include "cpu/ooo_core.hh"
+
+#include <ostream>
+
+#include "isa/disasm.hh"
+#include "util/logging.hh"
+
+namespace cpe::cpu {
+
+OooCore::OooCore(const CoreParams &params, func::TraceSource *trace,
+                 mem::MemHierarchy *next_level)
+    : params_(params),
+      nextLevel_(next_level),
+      bpred_(params.bpred),
+      fetch_(params.fetch, trace, &bpred_, next_level),
+      rob_(params.robSize),
+      iq_(params.iqSize),
+      fuPool_(params.fu),
+      lsq_(params.lsq),
+      dcache_(params.dcache, next_level),
+      statGroup_("core")
+{
+    statGroup_.addChild(&fetch_.statGroup());
+    statGroup_.addChild(&rename_.statGroup());
+    statGroup_.addChild(&rob_.statGroup());
+    statGroup_.addChild(&iq_.statGroup());
+    statGroup_.addChild(&fuPool_.statGroup());
+    statGroup_.addChild(&lsq_.statGroup());
+    statGroup_.addChild(&dcache_.statGroup());
+
+    statGroup_.addScalar("committed", &committed_,
+                         "instructions committed");
+    statGroup_.addScalar("committed_loads", &committedLoads,
+                         "loads committed");
+    statGroup_.addScalar("committed_stores", &committedStores,
+                         "stores committed");
+    statGroup_.addScalar("store_commit_stalls", &storeCommitStalls,
+                         "commit cycles blocked handing off a store");
+    statGroup_.addScalar("rob_empty_cycles", &robEmptyCycles,
+                         "cycles with an empty window (frontend bound)");
+    statGroup_.addScalar("commit_blocked_cycles", &commitBlockedCycles,
+                         "cycles the window head was incomplete");
+    statGroup_.addScalar("mode_switches", &modeSwitches,
+                         "user/kernel transitions committed");
+    statGroup_.addFormula(
+        "ipc",
+        [this]() { return ipc(); },
+        "committed instructions per cycle");
+
+    loadLatency.init(0, 128, 4);
+    statGroup_.addDistribution("load_latency", &loadLatency,
+                               "load issue-to-data latency (cycles)");
+    robOccupancy.init(0, static_cast<std::int64_t>(params_.robSize) + 1,
+                      8);
+    statGroup_.addDistribution("rob_occupancy", &robOccupancy,
+                               "window occupancy per cycle");
+}
+
+void
+OooCore::commit(Cycle now)
+{
+    for (unsigned n = 0; n < params_.commitWidth; ++n) {
+        TimingInst *head = rob_.head();
+        if (!head) {
+            if (n == 0)
+                ++robEmptyCycles;
+            return;
+        }
+        if (!head->done || head->doneCycle > now) {
+            if (n == 0)
+                ++commitBlockedCycles;
+            return;
+        }
+        // A store additionally needs its data computed to commit.
+        if (head->isStore() &&
+            !rob_.producerDone(head->srcProducer[1], now)) {
+            if (n == 0)
+                ++commitBlockedCycles;
+            return;
+        }
+
+        if (head->isStore()) {
+            if (!dcache_.tryStore(head->di.memAddr, head->di.memSize,
+                                  now)) {
+                ++storeCommitStalls;
+                return;
+            }
+            lsq_.commitStore(head);
+            ++committedStores;
+        } else if (head->isLoad()) {
+            lsq_.commitLoad(head);
+            ++committedLoads;
+        }
+
+        switch (head->di.inst.op) {
+          case isa::Opcode::EMODE:
+          case isa::Opcode::XMODE:
+            dcache_.onModeSwitch();
+            ++modeSwitches;
+            break;
+          case isa::Opcode::HALT:
+            halted_ = true;
+            break;
+          default:
+            break;
+        }
+
+        rename_.retire(*head);
+        head->commitCycle = now;
+        if (pipeTrace_) {
+            *pipeTrace_ << "seq=" << head->di.seq
+                        << " f=" << head->fetchCycle
+                        << " d=" << head->dispatchCycle
+                        << " i=" << head->issueCycle
+                        << " c=" << head->doneCycle
+                        << " r=" << head->commitCycle << "  "
+                        << isa::disassemble(head->di.inst, head->di.pc)
+                        << "\n";
+        }
+        ++committed_;
+        ++totalCommitted_;
+        rob_.popHead();
+        if (params_.warmupInsts &&
+            totalCommitted_ == params_.warmupInsts) {
+            // Warm-up complete: statistics describe the measurement
+            // region from here on.
+            statGroup_.resetAll();
+            warmupEndCycle_ = now;
+            if (onWarmupDone_)
+                onWarmupDone_();
+        }
+        if (halted_)
+            return;
+    }
+}
+
+void
+OooCore::issue(Cycle now)
+{
+    unsigned issued = 0;
+    for (TimingInst *inst : iq_.entries()) {
+        if (issued >= params_.issueWidth)
+            break;
+        if (inst->issued)
+            continue;
+
+        // Stores need only their address operand to issue the AGU;
+        // everything else waits for all sources.
+        bool ready = true;
+        unsigned needed_srcs = inst->isStore() ? 1 : MaxSrcs;
+        for (unsigned i = 0; i < needed_srcs; ++i) {
+            if (!rob_.producerDone(inst->srcProducer[i], now)) {
+                ready = false;
+                break;
+            }
+        }
+        if (!ready)
+            continue;
+
+        isa::InstClass cls = inst->di.cls;
+        if (inst->isLoad()) {
+            if (!fuPool_.canIssue(cls, now))
+                continue;
+            if (!lsq_.tryIssueLoad(inst, dcache_, rob_, now))
+                continue;  // structural/ordering reject: retry
+            Cycle agu_done = fuPool_.tryIssue(cls, now);
+            CPE_ASSERT(agu_done != 0, "AGU vanished between check/issue");
+            inst->issued = true;
+            inst->issueCycle = now;
+            inst->done = true;  // completes at doneCycle set by the LSQ
+            loadLatency.sample(
+                static_cast<std::int64_t>(inst->doneCycle - now));
+            ++issued;
+        } else {
+            Cycle done = fuPool_.tryIssue(cls, now);
+            if (!done)
+                continue;
+            inst->issued = true;
+            inst->issueCycle = now;
+            inst->done = true;
+            inst->doneCycle = done;
+            ++issued;
+        }
+
+        // A mispredicted control op resolving un-freezes the front end
+        // after the redirect penalty.
+        if (inst->mispredicted) {
+            fetch_.resolveBranch(inst->di.seq,
+                                 inst->doneCycle +
+                                     params_.fetch.redirectPenalty);
+        }
+    }
+    iq_.removeIssued();
+}
+
+void
+OooCore::dispatch(Cycle now)
+{
+    auto &fetch_queue = fetch_.queue();
+    for (unsigned n = 0; n < params_.renameWidth; ++n) {
+        if (fetch_queue.empty())
+            return;
+        TimingInst &front = fetch_queue.front();
+        if (now < front.fetchCycle + params_.decodeLatency)
+            return;  // still in the decode pipe
+        if (rob_.full()) {
+            ++rob_.fullStalls;
+            return;
+        }
+        bool is_mem = front.di.isMem();
+        if (is_mem && !lsq_.canDispatch(front.isStore())) {
+            ++lsq_.dispatchStalls;
+            return;
+        }
+        bool needs_iq = front.di.cls != isa::InstClass::System;
+        if (needs_iq && iq_.full()) {
+            ++iq_.fullStalls;
+            return;
+        }
+
+        TimingInst *inst = rob_.push(front);
+        fetch_queue.pop_front();
+        rename_.rename(*inst);
+        inst->dispatched = true;
+        inst->dispatchCycle = now;
+
+        if (!needs_iq) {
+            // NOP/HALT/EMODE/XMODE: no execution resources.
+            inst->issued = true;
+            inst->issueCycle = now;
+            inst->done = true;
+            inst->doneCycle = now;
+            continue;
+        }
+        iq_.add(inst);
+        if (is_mem)
+            lsq_.dispatch(inst);
+    }
+}
+
+Cycle
+OooCore::run()
+{
+    while (!halted_) {
+        robOccupancy.sample(static_cast<std::int64_t>(rob_.size()));
+        dcache_.beginCycle(now_);
+        commit(now_);
+        issue(now_);
+        dispatch(now_);
+        fetch_.tick(now_);
+        dcache_.endCycle(now_);
+        ++now_;
+
+        if (now_ >= params_.maxCycles) {
+            fatal(Msg() << "core exceeded cycle fuse of "
+                        << params_.maxCycles);
+        }
+        if (!halted_ && fetch_.traceExhausted() && rob_.empty() &&
+            fetch_.queue().empty()) {
+            // Trace ended without HALT (partial-run mode).
+            break;
+        }
+    }
+    now_ = dcache_.drainAll(now_);
+    return now_;
+}
+
+} // namespace cpe::cpu

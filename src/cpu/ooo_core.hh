@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The dynamic superscalar core: a 4-wide (configurable) out-of-order
+ * machine in the R10000 mould, replaying the committed-path trace
+ * through fetch -> rename/dispatch -> issue -> commit with the D-cache
+ * port subsystem under study bolted to the LSQ and commit stage.
+ */
+
+#ifndef CPE_CPU_OOO_CORE_HH
+#define CPE_CPU_OOO_CORE_HH
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+
+#include "core/dcache_unit.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/fetch.hh"
+#include "cpu/func_units.hh"
+#include "cpu/issue_queue.hh"
+#include "cpu/lsq.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+
+namespace cpe::cpu {
+
+/** All core parameters (memory-system parameters live in DCacheParams
+ *  and the MemHierarchy the caller provides). */
+struct CoreParams
+{
+    unsigned renameWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    std::size_t robSize = 64;
+    std::size_t iqSize = 32;
+    /** Front-end depth: fetch-to-dispatch latency, cycles. */
+    unsigned decodeLatency = 2;
+
+    FetchParams fetch;
+    BranchPredictorParams bpred;
+    FuPoolParams fu;
+    LsqParams lsq;
+    core::DCacheParams dcache;
+
+    /**
+     * Warm-up length in committed instructions: when nonzero, every
+     * statistic (including the committed counter) is reset once this
+     * many instructions have committed, so dumped stats and ipc()
+     * describe only the measurement region.  run() still returns
+     * total cycles including warm-up.
+     */
+    std::uint64_t warmupInsts = 0;
+
+    /** Safety fuse on simulated cycles. */
+    Cycle maxCycles = 2'000'000'000;
+};
+
+/** The timing core. */
+class OooCore
+{
+  public:
+    /**
+     * @param params Machine configuration.
+     * @param trace Committed-path instruction source (not owned).
+     * @param next_level L2+DRAM shared by both L1s (not owned).
+     */
+    OooCore(const CoreParams &params, func::TraceSource *trace,
+            mem::MemHierarchy *next_level);
+
+    /**
+     * Run until the program's HALT commits (or the trace ends), then
+     * drain the memory subsystem.
+     * @return total simulated cycles.
+     */
+    Cycle run();
+
+    /** Simulated cycles so far (including any warm-up). */
+    Cycle cycles() const { return now_; }
+    /** Cycles in the measurement region (excludes warm-up). */
+    Cycle measuredCycles() const { return now_ - warmupEndCycle_; }
+    /** Committed instructions in the measurement region. */
+    std::uint64_t committedInsts() const { return committed_.value(); }
+    /** Instructions per cycle over the measurement region. */
+    double ipc() const
+    {
+        Cycle cycles = measuredCycles();
+        return cycles ? static_cast<double>(committed_.value()) / cycles
+                      : 0.0;
+    }
+
+    /**
+     * Extra action to run when warm-up completes (e.g. resetting the
+     * shared memory-hierarchy statistics, which the core does not
+     * own).
+     */
+    void setOnWarmupDone(std::function<void()> fn)
+    {
+        onWarmupDone_ = std::move(fn);
+    }
+
+    /**
+     * Per-instruction pipeline tracing (a gem5-pipeview-style debug
+     * aid): when set, every commit writes one line with the
+     * instruction's fetch/dispatch/issue/complete/commit cycles and
+     * its disassembly.  Costs time; leave null for measurement runs.
+     */
+    void setPipeTrace(std::ostream *out) { pipeTrace_ = out; }
+
+    core::DCacheUnit &dcache() { return dcache_; }
+    FetchUnit &fetch() { return fetch_; }
+    Lsq &lsq() { return lsq_; }
+    Rob &rob() { return rob_; }
+    BranchPredictor &predictor() { return bpred_; }
+    FuPool &fuPool() { return fuPool_; }
+
+    /** Root of the whole core's statistics tree. */
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    stats::Scalar committed_;
+    stats::Scalar committedLoads;
+    stats::Scalar committedStores;
+    stats::Scalar storeCommitStalls;  ///< commit blocked handing a store off
+    stats::Scalar robEmptyCycles;     ///< frontend-bound cycles
+    stats::Scalar commitBlockedCycles;///< head not done (backend-bound)
+    stats::Scalar modeSwitches;
+    /** Load issue-to-data latency, cycles. */
+    stats::Distribution loadLatency;
+    /** ROB occupancy sampled once per cycle. */
+    stats::Distribution robOccupancy;
+
+  private:
+    void commit(Cycle now);
+    void issue(Cycle now);
+    void dispatch(Cycle now);
+
+    CoreParams params_;
+    mem::MemHierarchy *nextLevel_;
+
+    BranchPredictor bpred_;
+    FetchUnit fetch_;
+    RenameStage rename_;
+    Rob rob_;
+    IssueQueue iq_;
+    FuPool fuPool_;
+    Lsq lsq_;
+    core::DCacheUnit dcache_;
+
+    Cycle now_ = 0;
+    bool halted_ = false;
+    std::ostream *pipeTrace_ = nullptr;
+    std::uint64_t totalCommitted_ = 0;
+    Cycle warmupEndCycle_ = 0;
+    std::function<void()> onWarmupDone_;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace cpe::cpu
+
+#endif // CPE_CPU_OOO_CORE_HH

@@ -1,0 +1,63 @@
+#include "cpu/rename.hh"
+
+namespace cpe::cpu {
+
+RenameStage::RenameStage() : statGroup_("rename")
+{
+    lastWriter_.fill(0);
+    statGroup_.addScalar("renamed", &renamed, "instructions renamed");
+    statGroup_.addScalar("raw_deps", &rawDeps,
+                         "source operands with in-flight producers");
+}
+
+void
+RenameStage::rename(TimingInst &inst)
+{
+    if (inst.isStore()) {
+        // Fixed slots: [0] = address producer, [1] = data producer.
+        const isa::Inst &op = inst.di.inst;
+        auto writer = [&](RegIndex reg) -> SeqNum {
+            return (reg == isa::NoReg || reg == isa::ZeroReg)
+                       ? 0
+                       : lastWriter_[reg];
+        };
+        inst.srcProducer[0] = writer(op.rs1);
+        inst.srcProducer[1] = writer(op.rs2);
+        rawDeps += (inst.srcProducer[0] ? 1 : 0) +
+                   (inst.srcProducer[1] ? 1 : 0);
+        ++renamed;
+        return;
+    }
+
+    RegIndex srcs[MaxSrcs];
+    unsigned nsrcs = isa::srcRegs(inst.di.inst, srcs);
+    for (unsigned i = 0; i < nsrcs; ++i) {
+        SeqNum producer = lastWriter_[srcs[i]];
+        inst.srcProducer[i] = producer;
+        if (producer)
+            ++rawDeps;
+    }
+    for (unsigned i = nsrcs; i < MaxSrcs; ++i)
+        inst.srcProducer[i] = 0;
+
+    RegIndex dest = isa::destReg(inst.di.inst);
+    if (dest != isa::NoReg)
+        lastWriter_[dest] = inst.di.seq;
+    ++renamed;
+}
+
+void
+RenameStage::retire(const TimingInst &inst)
+{
+    RegIndex dest = isa::destReg(inst.di.inst);
+    if (dest != isa::NoReg && lastWriter_[dest] == inst.di.seq)
+        lastWriter_[dest] = 0;
+}
+
+void
+RenameStage::clear()
+{
+    lastWriter_.fill(0);
+}
+
+} // namespace cpe::cpu

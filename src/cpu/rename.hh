@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Register renaming for the trace-driven window: tracks, per
+ * architectural register, the youngest in-flight producer so that
+ * true (RAW) dependencies — and only those — serialize execution.
+ * WAR/WAW hazards vanish exactly as real renaming makes them vanish.
+ */
+
+#ifndef CPE_CPU_RENAME_HH
+#define CPE_CPU_RENAME_HH
+
+#include <array>
+
+#include "cpu/pipeline_types.hh"
+#include "stats/stats.hh"
+
+namespace cpe::cpu {
+
+/** The rename stage's map table. */
+class RenameStage
+{
+  public:
+    RenameStage();
+
+    /**
+     * Resolve @p inst's sources to producer sequence numbers (0 when
+     * the value is architectural) and claim its destination.
+     */
+    void rename(TimingInst &inst);
+
+    /**
+     * A producer left the window (committed); its consumers no longer
+     * need to look it up, and the map entry — if still pointing at it —
+     * becomes architectural.
+     */
+    void retire(const TimingInst &inst);
+
+    /** Reset the table (new program). */
+    void clear();
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    stats::Scalar renamed;
+    stats::Scalar rawDeps;  ///< source operands with in-flight producers
+
+  private:
+    std::array<SeqNum, isa::NumArchRegs> lastWriter_;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace cpe::cpu
+
+#endif // CPE_CPU_RENAME_HH

@@ -1,0 +1,55 @@
+#include "cpu/rob.hh"
+
+#include "util/logging.hh"
+
+namespace cpe::cpu {
+
+Rob::Rob(std::size_t capacity) : capacity_(capacity), statGroup_("rob")
+{
+    CPE_ASSERT(capacity >= 1, "ROB needs at least one entry");
+    statGroup_.addScalar("dispatched", &dispatched,
+                         "instructions entering the window");
+    statGroup_.addScalar("committed", &committed,
+                         "instructions committed");
+    statGroup_.addScalar("full_stalls", &fullStalls,
+                         "dispatch attempts refused: ROB full");
+}
+
+TimingInst *
+Rob::push(const TimingInst &inst)
+{
+    CPE_ASSERT(!full(), "push into a full ROB");
+    window_.push_back(inst);
+    TimingInst *stable = &window_.back();
+    bySeq_.emplace(stable->di.seq, stable);
+    ++dispatched;
+    return stable;
+}
+
+TimingInst *
+Rob::head()
+{
+    return window_.empty() ? nullptr : &window_.front();
+}
+
+void
+Rob::popHead()
+{
+    CPE_ASSERT(!window_.empty(), "popHead on empty ROB");
+    bySeq_.erase(window_.front().di.seq);
+    window_.pop_front();
+    ++committed;
+}
+
+bool
+Rob::producerDone(SeqNum seq, Cycle now) const
+{
+    if (seq == 0)
+        return true;
+    auto it = bySeq_.find(seq);
+    if (it == bySeq_.end())
+        return true;  // committed already
+    return it->second->done && it->second->doneCycle <= now;
+}
+
+} // namespace cpe::cpu

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reorder buffer: owns every in-flight TimingInst, provides in-order
+ * commit, and indexes producers by sequence number for wakeup checks.
+ *
+ * std::deque guarantees reference stability for push_back/pop_front,
+ * so raw TimingInst pointers handed to the issue queue and LSQ remain
+ * valid for an instruction's whole window lifetime.
+ */
+
+#ifndef CPE_CPU_ROB_HH
+#define CPE_CPU_ROB_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "cpu/pipeline_types.hh"
+#include "stats/stats.hh"
+
+namespace cpe::cpu {
+
+/** The reorder buffer. */
+class Rob
+{
+  public:
+    explicit Rob(std::size_t capacity);
+
+    bool full() const { return window_.size() >= capacity_; }
+    bool empty() const { return window_.empty(); }
+    std::size_t size() const { return window_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Insert at the tail (dispatch); @return the stable pointer. */
+    TimingInst *push(const TimingInst &inst);
+
+    /** Oldest in-flight instruction, or nullptr. */
+    TimingInst *head();
+
+    /** Remove the head (commit). */
+    void popHead();
+
+    /**
+     * Is the producer with sequence @p seq complete by @p now?
+     * Producers that already committed (absent from the index) count
+     * as complete.
+     */
+    bool producerDone(SeqNum seq, Cycle now) const;
+
+    /** Iterate the window oldest-first (issue-queue scans). */
+    std::deque<TimingInst> &window() { return window_; }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    stats::Scalar dispatched;
+    stats::Scalar committed;
+    stats::Scalar fullStalls;  ///< dispatch attempts with a full ROB
+
+  private:
+    std::size_t capacity_;
+    std::deque<TimingInst> window_;
+    std::unordered_map<SeqNum, const TimingInst *> bySeq_;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace cpe::cpu
+
+#endif // CPE_CPU_ROB_HH

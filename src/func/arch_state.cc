@@ -1,0 +1,73 @@
+#include "func/arch_state.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace cpe::func {
+
+ArchState::ArchState()
+{
+    regs_.fill(0);
+}
+
+std::uint64_t
+ArchState::readReg(RegIndex reg) const
+{
+    CPE_ASSERT(reg < isa::NumArchRegs, "register index " << reg);
+    if (reg == isa::ZeroReg)
+        return 0;
+    return regs_[reg];
+}
+
+void
+ArchState::writeReg(RegIndex reg, std::uint64_t value)
+{
+    CPE_ASSERT(reg < isa::NumArchRegs, "register index " << reg);
+    if (reg == isa::ZeroReg)
+        return;
+    regs_[reg] = value;
+}
+
+double
+ArchState::readFpReg(RegIndex reg) const
+{
+    std::uint64_t raw = readReg(reg);
+    double value;
+    std::memcpy(&value, &raw, sizeof(value));
+    return value;
+}
+
+void
+ArchState::writeFpReg(RegIndex reg, double value)
+{
+    std::uint64_t raw;
+    std::memcpy(&raw, &value, sizeof(raw));
+    writeReg(reg, raw);
+}
+
+bool
+ArchState::sameAs(const ArchState &other) const
+{
+    return pc_ == other.pc_ && kernel_ == other.kernel_ &&
+           regs_ == other.regs_;
+}
+
+std::string
+ArchState::dump() const
+{
+    std::ostringstream out;
+    out << "pc=0x" << std::hex << pc_ << std::dec
+        << " mode=" << (kernel_ ? "kernel" : "user")
+        << (halted_ ? " halted" : "") << "\n";
+    for (RegIndex reg = 0; reg < isa::NumArchRegs; ++reg) {
+        if (!regs_[reg])
+            continue;
+        out << "  " << isa::regName(reg) << " = 0x" << std::hex
+            << regs_[reg] << std::dec << "\n";
+    }
+    return out.str();
+}
+
+} // namespace cpe::func

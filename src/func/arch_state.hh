@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Architectural register state of a CPE-RISC core.
+ */
+
+#ifndef CPE_FUNC_ARCH_STATE_HH
+#define CPE_FUNC_ARCH_STATE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace cpe::func {
+
+/**
+ * Architectural state: PC, the unified 64-entry register file (int
+ * registers hold integers, FP registers hold raw IEEE-754 bit
+ * patterns), the privilege mode, and the halt flag.
+ */
+class ArchState
+{
+  public:
+    ArchState();
+
+    Addr pc() const { return pc_; }
+    void setPc(Addr pc) { pc_ = pc; }
+
+    /** Read a register by unified index; x0 always reads zero. */
+    std::uint64_t readReg(RegIndex reg) const;
+
+    /** Write a register; writes to x0 are discarded. */
+    void writeReg(RegIndex reg, std::uint64_t value);
+
+    /** Read an FP register as a double. */
+    double readFpReg(RegIndex reg) const;
+
+    /** Write an FP register from a double. */
+    void writeFpReg(RegIndex reg, double value);
+
+    bool kernelMode() const { return kernel_; }
+    void setKernelMode(bool kernel) { kernel_ = kernel; }
+
+    bool halted() const { return halted_; }
+    void setHalted() { halted_ = true; }
+
+    /** Deep equality of PC + registers + mode (test helper). */
+    bool sameAs(const ArchState &other) const;
+
+    /** Multi-line register dump for failure diagnostics. */
+    std::string dump() const;
+
+  private:
+    Addr pc_ = 0;
+    std::array<std::uint64_t, isa::NumArchRegs> regs_{};
+    bool kernel_ = false;
+    bool halted_ = false;
+};
+
+} // namespace cpe::func
+
+#endif // CPE_FUNC_ARCH_STATE_HH

@@ -1,0 +1,81 @@
+#include "func/memory.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace cpe::func {
+
+Memory::Page &
+Memory::pageFor(Addr addr)
+{
+    Addr page_addr = addr / PageBytes;
+    auto &slot = pages_[page_addr];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const Memory::Page *
+Memory::pageIfPresent(Addr addr) const
+{
+    auto it = pages_.find(addr / PageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+Memory::read(Addr addr, unsigned size) const
+{
+    CPE_ASSERT(size >= 1 && size <= 8, "bad read size " << size);
+    std::uint8_t raw[8] = {};
+    readBlock(addr, std::span<std::uint8_t>(raw, size));
+    std::uint64_t value = 0;
+    std::memcpy(&value, raw, 8);
+    return value;
+}
+
+void
+Memory::write(Addr addr, std::uint64_t value, unsigned size)
+{
+    CPE_ASSERT(size >= 1 && size <= 8, "bad write size " << size);
+    std::uint8_t raw[8];
+    std::memcpy(raw, &value, 8);
+    writeBlock(addr, std::span<const std::uint8_t>(raw, size));
+}
+
+void
+Memory::readBlock(Addr addr, std::span<std::uint8_t> out) const
+{
+    std::size_t done = 0;
+    while (done < out.size()) {
+        Addr cur = addr + done;
+        std::size_t in_page = PageBytes - (cur % PageBytes);
+        std::size_t chunk = std::min(in_page, out.size() - done);
+        const Page *page = pageIfPresent(cur);
+        if (page) {
+            std::memcpy(out.data() + done, page->data() + cur % PageBytes,
+                        chunk);
+        } else {
+            std::memset(out.data() + done, 0, chunk);
+        }
+        done += chunk;
+    }
+}
+
+void
+Memory::writeBlock(Addr addr, std::span<const std::uint8_t> in)
+{
+    std::size_t done = 0;
+    while (done < in.size()) {
+        Addr cur = addr + done;
+        std::size_t in_page = PageBytes - (cur % PageBytes);
+        std::size_t chunk = std::min(in_page, in.size() - done);
+        Page &page = pageFor(cur);
+        std::memcpy(page.data() + cur % PageBytes, in.data() + done, chunk);
+        done += chunk;
+    }
+}
+
+} // namespace cpe::func

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Sparse byte-addressable simulated memory.
+ *
+ * Backed by 4 KiB pages allocated on first touch, so multi-gigabyte
+ * address spaces (stack near 1 GiB, data at 1 MiB) cost only the pages
+ * actually used.  Little-endian, like the machines the paper models.
+ */
+
+#ifndef CPE_FUNC_MEMORY_HH
+#define CPE_FUNC_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "util/types.hh"
+
+namespace cpe::func {
+
+/** Sparse paged physical memory. */
+class Memory
+{
+  public:
+    static constexpr std::size_t PageBytes = 4096;
+
+    /** Read @p size (1..8) bytes at @p addr, little-endian. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size (1..8) bytes of @p value at @p addr. */
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    /** Bulk copy out of simulated memory. */
+    void readBlock(Addr addr, std::span<std::uint8_t> out) const;
+
+    /** Bulk copy into simulated memory. */
+    void writeBlock(Addr addr, std::span<const std::uint8_t> in);
+
+    /** Number of pages currently allocated. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Drop every page (fresh memory). */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, PageBytes>;
+
+    /** @return the page holding @p addr, allocating it zeroed if new. */
+    Page &pageFor(Addr addr);
+    /** @return the page holding @p addr or nullptr if untouched. */
+    const Page *pageIfPresent(Addr addr) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace cpe::func
+
+#endif // CPE_FUNC_MEMORY_HH

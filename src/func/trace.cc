@@ -1,0 +1,31 @@
+#include "func/trace.hh"
+
+#include "util/logging.hh"
+
+namespace cpe::func {
+
+std::vector<DynInst>
+recordTrace(TraceSource &source, std::size_t max_insts)
+{
+    std::vector<DynInst> trace;
+    DynInst inst;
+    while (trace.size() < max_insts && source.next(inst))
+        trace.push_back(inst);
+    return trace;
+}
+
+VectorTraceSource::VectorTraceSource(std::vector<DynInst> trace)
+    : trace_(std::move(trace))
+{
+}
+
+bool
+VectorTraceSource::next(DynInst &out)
+{
+    if (pos_ >= trace_.size())
+        return false;
+    out = trace_[pos_++];
+    return true;
+}
+
+} // namespace cpe::func

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The dynamic-instruction record and trace-source interface that couple
+ * the functional (golden) core to the timing model.
+ *
+ * The timing core replays the committed-path instruction stream: every
+ * DynInst carries its true memory address and branch outcome, so the
+ * timing model can charge correct cache and misprediction penalties
+ * without re-executing semantics.  This is the trace-driven methodology
+ * the paper's SimOS-based evaluation used.
+ */
+
+#ifndef CPE_FUNC_TRACE_HH
+#define CPE_FUNC_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace cpe::func {
+
+/** One committed dynamic instruction. */
+struct DynInst
+{
+    SeqNum seq = 0;          ///< commit-order sequence number
+    Addr pc = 0;
+    isa::Inst inst;          ///< static instruction
+    isa::InstClass cls = isa::InstClass::IntAlu;
+
+    Addr memAddr = 0;        ///< effective address (mem ops only)
+    std::uint8_t memSize = 0;///< access bytes (mem ops only)
+
+    Addr nextPc = 0;         ///< true successor PC
+    bool taken = false;      ///< control op actually redirected
+    bool kernelMode = false; ///< executed in kernel mode
+
+    bool isLoad() const { return cls == isa::InstClass::Load; }
+    bool isStore() const { return cls == isa::InstClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool
+    isControl() const
+    {
+        return cls == isa::InstClass::Branch || cls == isa::InstClass::Jump;
+    }
+};
+
+/**
+ * Pull-based producer of the committed instruction stream.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next committed instruction.
+     * @return false when the program has halted (out untouched).
+     */
+    virtual bool next(DynInst &out) = 0;
+};
+
+/**
+ * Replays a pre-recorded trace.  Used by unit tests to feed the timing
+ * core hand-crafted instruction streams.
+ */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<DynInst> trace);
+
+    bool next(DynInst &out) override;
+
+    /** Rewind to the start of the trace. */
+    void rewind() { pos_ = 0; }
+
+  private:
+    std::vector<DynInst> trace_;
+    std::size_t pos_ = 0;
+};
+
+/** Drain up to @p max_insts records from @p source into a vector. */
+std::vector<DynInst> recordTrace(TraceSource &source,
+                                 std::size_t max_insts);
+
+} // namespace cpe::func
+
+#endif // CPE_FUNC_TRACE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Binary trace files: record a committed-path instruction stream to
+ * disk and replay it later without re-executing the program — the
+ * workflow trace-driven studies of the paper's era used to share
+ * workloads between groups.
+ *
+ * Format: a 16-byte header (magic "CPET", version, record count)
+ * followed by fixed-size records.  The static instruction is stored
+ * in its 32-bit binary encoding, so reading a trace exercises the
+ * same decoder as reading a program image.
+ */
+
+#ifndef CPE_FUNC_TRACE_FILE_HH
+#define CPE_FUNC_TRACE_FILE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "func/trace.hh"
+
+namespace cpe::func {
+
+/**
+ * Record up to @p max_insts records from @p source into the file at
+ * @p path.
+ * @return the number of records written, or 0 on I/O failure.
+ */
+std::uint64_t writeTrace(TraceSource &source, const std::string &path,
+                         std::uint64_t max_insts = ~0ull);
+
+/**
+ * Streams a trace file as a TraceSource.  Fails fast (fatal) on a
+ * missing or malformed file; record-level corruption surfaces as a
+ * decode failure.
+ */
+class FileTraceSource : public TraceSource
+{
+  public:
+    explicit FileTraceSource(const std::string &path);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
+
+    bool next(DynInst &out) override;
+
+    /** Total records the header promises. */
+    std::uint64_t recordCount() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t read_ = 0;
+};
+
+} // namespace cpe::func
+
+#endif // CPE_FUNC_TRACE_FILE_HH

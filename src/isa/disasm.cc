@@ -1,0 +1,68 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "isa/encoding.hh"
+
+namespace cpe::isa {
+
+std::string
+disassemble(const Inst &inst, Addr pc)
+{
+    std::ostringstream out;
+    out << opcodeName(inst.op);
+    Opcode op = inst.op;
+
+    auto target = [&](std::int64_t offset) -> std::string {
+        std::ostringstream t;
+        if (pc) {
+            t << "0x" << std::hex << (pc + static_cast<Addr>(offset));
+        } else {
+            t << offset;
+        }
+        return t.str();
+    };
+
+    switch (classOf(op)) {
+      case InstClass::Load:
+        out << " " << regName(inst.rd) << ", " << inst.imm << "("
+            << regName(inst.rs1) << ")";
+        break;
+      case InstClass::Store:
+        out << " " << regName(inst.rs2) << ", " << inst.imm << "("
+            << regName(inst.rs1) << ")";
+        break;
+      case InstClass::Branch:
+        out << " " << regName(inst.rs1) << ", " << regName(inst.rs2)
+            << ", " << target(inst.imm);
+        break;
+      case InstClass::Jump:
+        if (op == Opcode::JAL) {
+            out << " " << regName(inst.rd) << ", " << target(inst.imm);
+        } else {
+            out << " " << regName(inst.rd) << ", " << inst.imm << "("
+                << regName(inst.rs1) << ")";
+        }
+        break;
+      case InstClass::System:
+        break;  // mnemonic only
+      default:
+        if (op == Opcode::LUI) {
+            out << " " << regName(inst.rd) << ", " << inst.imm;
+        } else if (op == Opcode::FNEG || op == Opcode::FCVT_I2F ||
+                   op == Opcode::FCVT_F2I) {
+            // Unary: rs2 is an encoding artifact (duplicates rs1).
+            out << " " << regName(inst.rd) << ", " << regName(inst.rs1);
+        } else if (isRFormat(op)) {
+            out << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+                << ", " << regName(inst.rs2);
+        } else {
+            out << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+                << ", " << inst.imm;
+        }
+        break;
+    }
+    return out.str();
+}
+
+} // namespace cpe::isa

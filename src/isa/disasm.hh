@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Human-readable disassembly of CPE-RISC instructions, for debug traces
+ * and test failure messages.
+ */
+
+#ifndef CPE_ISA_DISASM_HH
+#define CPE_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace cpe::isa {
+
+/**
+ * Disassemble one instruction.  @p pc, when nonzero, is used to render
+ * branch/jump targets as absolute addresses instead of raw offsets.
+ */
+std::string disassemble(const Inst &inst, Addr pc = 0);
+
+} // namespace cpe::isa
+
+#endif // CPE_ISA_DISASM_HH

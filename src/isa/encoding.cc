@@ -1,0 +1,214 @@
+#include "isa/encoding.hh"
+
+#include "util/bits.hh"
+
+namespace cpe::isa {
+
+namespace {
+
+/** Operand-usage queries shared by encode and decode. */
+bool
+usesRd(Opcode op)
+{
+    switch (classOf(op)) {
+      case InstClass::Store:
+      case InstClass::Branch:
+      case InstClass::System:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+usesRs1(Opcode op)
+{
+    switch (op) {
+      case Opcode::LUI:
+      case Opcode::JAL:
+      case Opcode::EMODE:
+      case Opcode::XMODE:
+      case Opcode::NOP:
+      case Opcode::HALT:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+usesRs2(Opcode op)
+{
+    if (isRFormat(op))
+        return true;
+    // Stores carry the data register; branches compare two registers.
+    return isStore(op) || isCondBranch(op);
+}
+
+/** Unary R-format ops: the rs2 field mirrors rs1 canonically. */
+bool
+isUnary(Opcode op)
+{
+    return op == Opcode::FNEG || op == Opcode::FCVT_I2F ||
+           op == Opcode::FCVT_F2I;
+}
+
+bool
+fitsSigned(std::int64_t value, unsigned bits_wide)
+{
+    std::int64_t lo = -(std::int64_t{1} << (bits_wide - 1));
+    std::int64_t hi = (std::int64_t{1} << (bits_wide - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+} // namespace
+
+bool
+isRFormat(Opcode op)
+{
+    switch (classOf(op)) {
+      case InstClass::IntAlu:
+        switch (op) {
+          case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+          case Opcode::XORI: case Opcode::SLTI: case Opcode::SLLI:
+          case Opcode::SRLI: case Opcode::SRAI: case Opcode::LUI:
+            return false;
+          default:
+            return true;
+        }
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+      case InstClass::FpAdd:
+      case InstClass::FpMul:
+      case InstClass::FpDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isJFormat(Opcode op)
+{
+    return op == Opcode::JAL || op == Opcode::LUI;
+}
+
+EncodeResult
+encode(const Inst &inst)
+{
+    EncodeResult result;
+    std::uint32_t word = 0;
+    word = static_cast<std::uint32_t>(
+        insertBits(word, 31, 24, static_cast<std::uint64_t>(inst.op)));
+
+    Opcode op = inst.op;
+    // Slot A at [23:18] holds rd, or rs2 for store/branch formats.
+    RegIndex slot_a = usesRd(op) ? inst.rd
+                                 : (usesRs2(op) ? inst.rs2 : 0);
+    if (slot_a == NoReg) {
+        result.error = "missing register operand";
+        return result;
+    }
+    if (slot_a >= NumArchRegs) {
+        result.error = "register index out of range";
+        return result;
+    }
+    word = static_cast<std::uint32_t>(insertBits(word, 23, 18, slot_a));
+
+    if (isJFormat(op)) {
+        if (!fitsSigned(inst.imm, 18)) {
+            result.error = "J-format immediate out of range";
+            return result;
+        }
+        word = static_cast<std::uint32_t>(
+            insertBits(word, 17, 0,
+                       static_cast<std::uint64_t>(inst.imm) & mask(18)));
+        result.word = word;
+        return result;
+    }
+
+    RegIndex rs1 = usesRs1(op) ? inst.rs1 : 0;
+    if (rs1 == NoReg || rs1 >= NumArchRegs) {
+        result.error = "bad rs1";
+        return result;
+    }
+    word = static_cast<std::uint32_t>(insertBits(word, 17, 12, rs1));
+
+    if (isRFormat(op)) {
+        RegIndex rs2 = isUnary(op) ? rs1
+                                   : (usesRs2(op) ? inst.rs2 : 0);
+        if (rs2 == NoReg || rs2 >= NumArchRegs) {
+            result.error = "bad rs2";
+            return result;
+        }
+        word = static_cast<std::uint32_t>(insertBits(word, 11, 6, rs2));
+    } else if (classOf(op) == InstClass::System) {
+        // System ops carry no operands at all.
+        if (inst.imm != 0) {
+            result.error = "system opcode takes no immediate";
+            return result;
+        }
+    } else {
+        // I format: stores/branches put rs2 in slot A (handled above).
+        if (!fitsSigned(inst.imm, 12)) {
+            result.error = "I-format immediate out of range";
+            return result;
+        }
+        word = static_cast<std::uint32_t>(
+            insertBits(word, 11, 0,
+                       static_cast<std::uint64_t>(inst.imm) & mask(12)));
+    }
+    result.word = word;
+    return result;
+}
+
+std::optional<Inst>
+decode(std::uint32_t word)
+{
+    std::uint64_t op_field = bits(word, 31, 24);
+    if (op_field >= static_cast<std::uint64_t>(Opcode::NumOpcodes))
+        return std::nullopt;
+    Opcode op = static_cast<Opcode>(op_field);
+
+    Inst inst;
+    inst.op = op;
+    inst.rd = NoReg;
+    inst.rs1 = NoReg;
+    inst.rs2 = NoReg;
+    inst.imm = 0;
+
+    RegIndex slot_a = static_cast<RegIndex>(bits(word, 23, 18));
+    if (usesRd(op))
+        inst.rd = slot_a;
+    else if (usesRs2(op))
+        inst.rs2 = slot_a;
+    else if (slot_a != 0)
+        return std::nullopt;  // must-be-zero field violated
+
+    if (isJFormat(op)) {
+        if (usesRs2(op))
+            return std::nullopt;
+        inst.imm = sext(bits(word, 17, 0), 18);
+        return inst;
+    }
+
+    RegIndex rs1 = static_cast<RegIndex>(bits(word, 17, 12));
+    if (usesRs1(op))
+        inst.rs1 = rs1;
+    else if (rs1 != 0)
+        return std::nullopt;
+
+    if (isRFormat(op)) {
+        inst.rs2 = static_cast<RegIndex>(bits(word, 11, 6));
+        if (bits(word, 5, 0) != 0)
+            return std::nullopt;
+    } else if (classOf(op) == InstClass::System) {
+        if (bits(word, 11, 0) != 0)
+            return std::nullopt;  // must-be-zero
+    } else {
+        inst.imm = sext(bits(word, 11, 0), 12);
+    }
+    return inst;
+}
+
+} // namespace cpe::isa

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Binary encoding of CPE-RISC instructions into 32-bit words.
+ *
+ * Layout (bit ranges inclusive):
+ *
+ *   [31:24] opcode
+ *   [23:18] rd    (or rs2 for stores/branches, which write no register)
+ *   [17:12] rs1
+ *
+ * then by format:
+ *
+ *   R-type (reg-reg ALU, FP): [11:6] rs2, [5:0] zero
+ *   I-type (ALU-imm, loads, stores, branches, JALR): [11:0] imm12, signed
+ *   J-type (JAL, LUI): [17:0] imm18, signed (rs1 field is part of imm)
+ *
+ * Immediates for control flow are byte offsets relative to the PC of the
+ * instruction, so conditional branches reach +-2 KiB and JAL +-128 KiB.
+ * The program builder synthesizes longer ranges with JALR.
+ */
+
+#ifndef CPE_ISA_ENCODING_HH
+#define CPE_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/isa.hh"
+
+namespace cpe::isa {
+
+/** Result of attempting to encode: the word, or why it cannot encode. */
+struct EncodeResult
+{
+    std::uint32_t word = 0;
+    const char *error = nullptr;  ///< nullptr on success.
+
+    bool ok() const { return error == nullptr; }
+};
+
+/** Encode @p inst; fails (with a reason) if an immediate overflows. */
+EncodeResult encode(const Inst &inst);
+
+/**
+ * Decode a 32-bit word.  Returns std::nullopt for malformed words
+ * (unknown opcode, nonzero must-be-zero bits).
+ */
+std::optional<Inst> decode(std::uint32_t word);
+
+/** @return true if the opcode uses the R (three-register) format. */
+bool isRFormat(Opcode op);
+
+/** @return true if the opcode uses the long-immediate J format. */
+bool isJFormat(Opcode op);
+
+} // namespace cpe::isa
+
+#endif // CPE_ISA_ENCODING_HH

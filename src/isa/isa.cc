@@ -1,0 +1,233 @@
+#include "isa/isa.hh"
+
+#include "util/logging.hh"
+
+namespace cpe::isa {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLL: return "sll";
+      case Opcode::SRL: return "srl";
+      case Opcode::SRA: return "sra";
+      case Opcode::SLT: return "slt";
+      case Opcode::SLTU: return "sltu";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::REM: return "rem";
+      case Opcode::ADDI: return "addi";
+      case Opcode::ANDI: return "andi";
+      case Opcode::ORI: return "ori";
+      case Opcode::XORI: return "xori";
+      case Opcode::SLTI: return "slti";
+      case Opcode::SLLI: return "slli";
+      case Opcode::SRLI: return "srli";
+      case Opcode::SRAI: return "srai";
+      case Opcode::LUI: return "lui";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FSUB: return "fsub";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::FNEG: return "fneg";
+      case Opcode::FCVT_I2F: return "fcvt.i2f";
+      case Opcode::FCVT_F2I: return "fcvt.f2i";
+      case Opcode::FCMPLT: return "fcmplt";
+      case Opcode::LB: return "lb";
+      case Opcode::LBU: return "lbu";
+      case Opcode::LH: return "lh";
+      case Opcode::LHU: return "lhu";
+      case Opcode::LW: return "lw";
+      case Opcode::LWU: return "lwu";
+      case Opcode::LD: return "ld";
+      case Opcode::FLD: return "fld";
+      case Opcode::SB: return "sb";
+      case Opcode::SH: return "sh";
+      case Opcode::SW: return "sw";
+      case Opcode::SD: return "sd";
+      case Opcode::FSD: return "fsd";
+      case Opcode::BEQ: return "beq";
+      case Opcode::BNE: return "bne";
+      case Opcode::BLT: return "blt";
+      case Opcode::BGE: return "bge";
+      case Opcode::BLTU: return "bltu";
+      case Opcode::BGEU: return "bgeu";
+      case Opcode::JAL: return "jal";
+      case Opcode::JALR: return "jalr";
+      case Opcode::EMODE: return "emode";
+      case Opcode::XMODE: return "xmode";
+      case Opcode::NOP: return "nop";
+      case Opcode::HALT: return "halt";
+      default:
+        panic(Msg() << "opcodeName: bad opcode "
+                    << static_cast<int>(op));
+    }
+}
+
+InstClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND: case Opcode::OR:
+      case Opcode::XOR: case Opcode::SLL: case Opcode::SRL: case Opcode::SRA:
+      case Opcode::SLT: case Opcode::SLTU:
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLTI: case Opcode::SLLI:
+      case Opcode::SRLI: case Opcode::SRAI: case Opcode::LUI:
+        return InstClass::IntAlu;
+      case Opcode::MUL:
+        return InstClass::IntMul;
+      case Opcode::DIV: case Opcode::REM:
+        return InstClass::IntDiv;
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FNEG:
+      case Opcode::FCVT_I2F: case Opcode::FCVT_F2I: case Opcode::FCMPLT:
+        return InstClass::FpAdd;
+      case Opcode::FMUL:
+        return InstClass::FpMul;
+      case Opcode::FDIV:
+        return InstClass::FpDiv;
+      case Opcode::LB: case Opcode::LBU: case Opcode::LH: case Opcode::LHU:
+      case Opcode::LW: case Opcode::LWU: case Opcode::LD: case Opcode::FLD:
+        return InstClass::Load;
+      case Opcode::SB: case Opcode::SH: case Opcode::SW: case Opcode::SD:
+      case Opcode::FSD:
+        return InstClass::Store;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT: case Opcode::BGE:
+      case Opcode::BLTU: case Opcode::BGEU:
+        return InstClass::Branch;
+      case Opcode::JAL: case Opcode::JALR:
+        return InstClass::Jump;
+      case Opcode::EMODE: case Opcode::XMODE: case Opcode::NOP:
+      case Opcode::HALT:
+        return InstClass::System;
+      default:
+        panic(Msg() << "classOf: bad opcode " << static_cast<int>(op));
+    }
+}
+
+bool
+isLoad(Opcode op)
+{
+    return classOf(op) == InstClass::Load;
+}
+
+bool
+isStore(Opcode op)
+{
+    return classOf(op) == InstClass::Store;
+}
+
+bool
+isControl(Opcode op)
+{
+    InstClass cls = classOf(op);
+    return cls == InstClass::Branch || cls == InstClass::Jump;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return classOf(op) == InstClass::Branch;
+}
+
+unsigned
+memBytes(Opcode op)
+{
+    switch (op) {
+      case Opcode::LB: case Opcode::LBU: case Opcode::SB:
+        return 1;
+      case Opcode::LH: case Opcode::LHU: case Opcode::SH:
+        return 2;
+      case Opcode::LW: case Opcode::LWU: case Opcode::SW:
+        return 4;
+      case Opcode::LD: case Opcode::FLD: case Opcode::SD: case Opcode::FSD:
+        return 8;
+      default:
+        panic(Msg() << "memBytes: not a memory opcode "
+                    << opcodeName(op));
+    }
+}
+
+bool
+loadSigned(Opcode op)
+{
+    switch (op) {
+      case Opcode::LB: case Opcode::LH: case Opcode::LW:
+        return true;
+      case Opcode::LBU: case Opcode::LHU: case Opcode::LWU:
+      case Opcode::LD: case Opcode::FLD:
+        return false;
+      default:
+        panic(Msg() << "loadSigned: not a load opcode " << opcodeName(op));
+    }
+}
+
+unsigned
+srcRegs(const Inst &inst, RegIndex out[2])
+{
+    unsigned count = 0;
+    auto push = [&](RegIndex reg) {
+        if (reg == NoReg || reg == ZeroReg)
+            return;
+        for (unsigned i = 0; i < count; ++i)
+            if (out[i] == reg)
+                return;
+        out[count++] = reg;
+    };
+
+    switch (inst.op) {
+      // No register sources.
+      case Opcode::LUI: case Opcode::JAL: case Opcode::EMODE:
+      case Opcode::XMODE: case Opcode::NOP: case Opcode::HALT:
+        break;
+      // Single source (rs1).
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLTI: case Opcode::SLLI:
+      case Opcode::SRLI: case Opcode::SRAI:
+      case Opcode::FNEG: case Opcode::FCVT_I2F: case Opcode::FCVT_F2I:
+      case Opcode::JALR:
+      case Opcode::LB: case Opcode::LBU: case Opcode::LH:
+      case Opcode::LHU: case Opcode::LW: case Opcode::LWU:
+      case Opcode::LD: case Opcode::FLD:
+        push(inst.rs1);
+        break;
+      // Two sources (rs1, rs2): reg-reg ALU/FP, stores, branches.
+      default:
+        push(inst.rs1);
+        push(inst.rs2);
+        break;
+    }
+    return count;
+}
+
+RegIndex
+destReg(const Inst &inst)
+{
+    switch (classOf(inst.op)) {
+      case InstClass::Store:
+      case InstClass::Branch:
+      case InstClass::System:
+        return NoReg;
+      default:
+        return (inst.rd == ZeroReg) ? NoReg : inst.rd;
+    }
+}
+
+std::string
+regName(RegIndex reg)
+{
+    if (reg == NoReg)
+        return "-";
+    if (reg < FpBase)
+        return "x" + std::to_string(reg);
+    if (reg < NumArchRegs)
+        return "f" + std::to_string(reg - FpBase);
+    return "r" + std::to_string(reg);
+}
+
+} // namespace cpe::isa

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The CPE-RISC instruction set.
+ *
+ * A small 64-bit load/store RISC ISA in the MIPS/DLX tradition the paper's
+ * machine model assumes: 32 integer registers (x0 hardwired to zero), 32
+ * double-precision FP registers, byte/half/word/double memory accesses,
+ * and explicit kernel-entry/exit markers (EMODE/XMODE) that let workloads
+ * model operating-system activity, which the paper's evaluation includes.
+ *
+ * Registers live in a unified architectural index space: [0, 32) are the
+ * integer registers, [32, 64) the FP registers.  That keeps the rename
+ * map and dependency tracking uniform across both files.
+ */
+
+#ifndef CPE_ISA_ISA_HH
+#define CPE_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace cpe::isa {
+
+/** Number of integer architectural registers. */
+constexpr RegIndex NumIntRegs = 32;
+/** Number of floating-point architectural registers. */
+constexpr RegIndex NumFpRegs = 32;
+/** Total architectural register namespace (int + fp). */
+constexpr RegIndex NumArchRegs = NumIntRegs + NumFpRegs;
+/** First FP register's unified index. */
+constexpr RegIndex FpBase = NumIntRegs;
+/** The hardwired-zero integer register. */
+constexpr RegIndex ZeroReg = 0;
+/** Sentinel meaning "no register operand". */
+constexpr RegIndex NoReg = 0xffff;
+
+/** Bytes per instruction word. */
+constexpr unsigned InstBytes = 4;
+
+/** Every operation in the ISA. */
+enum class Opcode : std::uint8_t {
+    // Integer register-register ALU.
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU, MUL, DIV, REM,
+    // Integer register-immediate ALU.
+    ADDI, ANDI, ORI, XORI, SLTI, SLLI, SRLI, SRAI, LUI,
+    // Floating point (double precision).
+    FADD, FSUB, FMUL, FDIV, FNEG, FCVT_I2F, FCVT_F2I, FCMPLT,
+    // Loads (signed/unsigned variants by width) and the FP load.
+    LB, LBU, LH, LHU, LW, LWU, LD, FLD,
+    // Stores and the FP store.
+    SB, SH, SW, SD, FSD,
+    // Control transfer.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU, JAL, JALR,
+    // System.
+    EMODE,  ///< Enter kernel mode (models exception/syscall entry).
+    XMODE,  ///< Return to user mode.
+    NOP,
+    HALT,   ///< Terminate the program.
+    NumOpcodes
+};
+
+/** Coarse classification used for FU selection and statistics. */
+enum class InstClass : std::uint8_t {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd,   ///< FP add/sub/compare/convert/negate.
+    FpMul,
+    FpDiv,
+    Load,
+    Store,
+    Branch,  ///< Conditional branches.
+    Jump,    ///< JAL/JALR.
+    System,  ///< EMODE/XMODE/NOP/HALT.
+};
+
+/**
+ * A decoded instruction.  @c rd is NoReg when the op writes nothing;
+ * likewise rs1/rs2.  For stores, rs2 carries the data register and
+ * rs1 the base address register.
+ */
+struct Inst
+{
+    Opcode op = Opcode::NOP;
+    RegIndex rd = NoReg;
+    RegIndex rs1 = NoReg;
+    RegIndex rs2 = NoReg;
+    std::int64_t imm = 0;
+
+    bool operator==(const Inst &) const = default;
+};
+
+/** @return the mnemonic for @p op ("add", "ld", ...). */
+const char *opcodeName(Opcode op);
+
+/** @return the coarse class of @p op. */
+InstClass classOf(Opcode op);
+
+/** @return true for any load opcode (including FLD). */
+bool isLoad(Opcode op);
+
+/** @return true for any store opcode (including FSD). */
+bool isStore(Opcode op);
+
+/** @return true for any memory opcode. */
+inline bool isMem(Opcode op) { return isLoad(op) || isStore(op); }
+
+/** @return true for conditional branches and jumps. */
+bool isControl(Opcode op);
+
+/** @return true only for conditional branches. */
+bool isCondBranch(Opcode op);
+
+/** @return the access size in bytes of a load/store opcode. */
+unsigned memBytes(Opcode op);
+
+/** @return true if the load sign-extends (LB/LH/LW). */
+bool loadSigned(Opcode op);
+
+/** @return register name: x0..x31 or f0..f31 (by unified index). */
+std::string regName(RegIndex reg);
+
+/**
+ * Collect the source registers of @p inst into @p out (capacity 2),
+ * skipping x0 and absent operands, de-duplicating repeats.
+ * @return the number of sources written.
+ */
+unsigned srcRegs(const Inst &inst, RegIndex out[2]);
+
+/** @return the destination register of @p inst, or NoReg. */
+RegIndex destReg(const Inst &inst);
+
+} // namespace cpe::isa
+
+#endif // CPE_ISA_ISA_HH

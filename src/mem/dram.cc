@@ -1,0 +1,40 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace cpe::mem {
+
+Dram::Dram(const DramParams &params, std::string name)
+    : params_(params), statGroup_(std::move(name))
+{
+    statGroup_.addScalar("reads", &reads, "line reads (fills)");
+    statGroup_.addScalar("writes", &writes, "line writes (writebacks)");
+    statGroup_.addAverage("queue_delay", &queueDelay,
+                          "cycles spent waiting for the memory bus");
+}
+
+Cycle
+Dram::bookBus(Cycle now)
+{
+    Cycle start = std::max(now, busBusyUntil_);
+    queueDelay.sample(static_cast<double>(start - now));
+    busBusyUntil_ = start + params_.cyclesPerLine;
+    return start;
+}
+
+Cycle
+Dram::readLine(Cycle now)
+{
+    ++reads;
+    Cycle start = bookBus(now);
+    return start + params_.latency;
+}
+
+void
+Dram::writeLine(Cycle now)
+{
+    ++writes;
+    bookBus(now);
+}
+
+} // namespace cpe::mem

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simple main-memory timing model: fixed access latency plus a single
+ * shared data bus with limited bandwidth, which is what bounds fill
+ * traffic in the paper's machine model.
+ */
+
+#ifndef CPE_MEM_DRAM_HH
+#define CPE_MEM_DRAM_HH
+
+#include <string>
+
+#include "stats/stats.hh"
+#include "util/types.hh"
+
+namespace cpe::mem {
+
+/** Main-memory timing parameters. */
+struct DramParams
+{
+    /** Cycles from request to first data. */
+    unsigned latency = 50;
+    /** Bus occupancy per line transfer (cycles the bus is busy). */
+    unsigned cyclesPerLine = 4;
+};
+
+/**
+ * Occupancy-based DRAM model.  Requests queue on the bus: each line
+ * transfer holds the bus for cyclesPerLine, and data arrives latency
+ * cycles after the transfer starts.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params, std::string name = "dram");
+
+    /**
+     * Schedule a line read beginning no earlier than @p now.
+     * @return the cycle the line is available to the requester.
+     */
+    Cycle readLine(Cycle now);
+
+    /**
+     * Schedule a line writeback; consumes bus bandwidth but the caller
+     * does not wait for completion.
+     */
+    void writeLine(Cycle now);
+
+    /** Cycle until which the bus is currently booked. */
+    Cycle busBusyUntil() const { return busBusyUntil_; }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+    stats::Scalar reads;
+    stats::Scalar writes;
+    stats::Average queueDelay;  ///< cycles requests waited for the bus
+
+  private:
+    /** Book the bus; @return the transfer start cycle. */
+    Cycle bookBus(Cycle now);
+
+    DramParams params_;
+    Cycle busBusyUntil_ = 0;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace cpe::mem
+
+#endif // CPE_MEM_DRAM_HH

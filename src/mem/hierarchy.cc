@@ -1,0 +1,51 @@
+#include "mem/hierarchy.hh"
+
+namespace cpe::mem {
+
+MemHierarchy::MemHierarchy(const L2Params &l2_params,
+                           const DramParams &dram_params)
+    : params_(l2_params), l2_(l2_params.cache), dram_(dram_params),
+      statGroup_("memsys")
+{
+    statGroup_.addChild(&l2_.statGroup());
+    statGroup_.addChild(&dram_.statGroup());
+}
+
+Cycle
+MemHierarchy::bookL2(Cycle now)
+{
+    Cycle start = std::max(now, l2BusyUntil_);
+    l2BusyUntil_ = start + params_.cyclesPerAccess;
+    return start;
+}
+
+Cycle
+MemHierarchy::fetchLine(Addr addr, Cycle now)
+{
+    Cycle start = bookL2(now);
+    if (l2_.access(addr, false))
+        return start + params_.hitLatency;
+
+    // L2 miss: fetch from DRAM, install in L2, forward to L1.
+    Cycle dram_done = dram_.readLine(start + params_.hitLatency);
+    auto fill = l2_.fill(addr, false);
+    if (fill.evicted && fill.evictedDirty)
+        dram_.writeLine(dram_done);
+    return dram_done + params_.hitLatency;
+}
+
+void
+MemHierarchy::writebackLine(Addr addr, Cycle now)
+{
+    Cycle start = bookL2(now);
+    if (l2_.access(addr, true))
+        return;
+    // Write-allocate at L2: pull the line (cheaply modeled as a DRAM
+    // read) and install it dirty.
+    dram_.readLine(start + params_.hitLatency);
+    auto fill = l2_.fill(addr, true);
+    if (fill.evicted && fill.evictedDirty)
+        dram_.writeLine(start + params_.hitLatency);
+}
+
+} // namespace cpe::mem

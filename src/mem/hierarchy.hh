@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The shared memory system behind the two L1 caches: a unified L2 plus
+ * the DRAM model.  The L1 units (fetch's I-side, the D-cache unit)
+ * request line fills here and get back an arrival cycle.
+ */
+
+#ifndef CPE_MEM_HIERARCHY_HH
+#define CPE_MEM_HIERARCHY_HH
+
+#include <algorithm>
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "stats/stats.hh"
+
+namespace cpe::mem {
+
+/** L2 timing parameters layered onto a CacheParams geometry. */
+struct L2Params
+{
+    CacheParams cache{
+        .name = "l2", .sizeBytes = 512 * 1024, .assoc = 4, .lineBytes = 32};
+    /** L2 hit latency (request to data at L1), cycles. */
+    unsigned hitLatency = 8;
+    /** Minimum spacing between L2 accesses (bank occupancy), cycles. */
+    unsigned cyclesPerAccess = 1;
+};
+
+/**
+ * Unified L2 + DRAM.  All methods are latency oracles: they update
+ * occupancy state and return when data will be ready; there is no
+ * per-cycle tick.
+ */
+class MemHierarchy
+{
+  public:
+    MemHierarchy(const L2Params &l2_params, const DramParams &dram_params);
+
+    /**
+     * Request the line containing @p addr for an L1 fill.
+     * @return the cycle the full line arrives at the L1.
+     */
+    Cycle fetchLine(Addr addr, Cycle now);
+
+    /**
+     * Accept a dirty line written back from an L1.  Consumes L2 (and
+     * possibly DRAM) bandwidth; the L1 does not wait.
+     */
+    void writebackLine(Addr addr, Cycle now);
+
+    Cache &l2() { return l2_; }
+    Dram &dram() { return dram_; }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+  private:
+    /** Book the L2 array; @return access start cycle. */
+    Cycle bookL2(Cycle now);
+
+    L2Params params_;
+    Cache l2_;
+    Dram dram_;
+    Cycle l2BusyUntil_ = 0;
+    stats::StatGroup statGroup_;
+};
+
+} // namespace cpe::mem
+
+#endif // CPE_MEM_HIERARCHY_HH

@@ -1,0 +1,543 @@
+#include "prog/assembler.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "isa/encoding.hh"
+#include "prog/builder.hh"
+#include "util/logging.hh"
+
+namespace cpe::prog {
+
+namespace {
+
+/** Register-name table: x0..x31, f0..f31, and ABI aliases. */
+std::optional<RegIndex>
+parseRegister(const std::string &token)
+{
+    static const std::map<std::string, RegIndex> aliases = {
+        {"zero", reg::zero}, {"ra", reg::ra}, {"sp", reg::sp},
+        {"t0", reg::t0}, {"t1", reg::t1}, {"t2", reg::t2},
+        {"t3", reg::t3}, {"t4", reg::t4}, {"t5", reg::t5},
+        {"t6", reg::t6}, {"t7", reg::t7}, {"t8", reg::t8},
+        {"a0", reg::a0}, {"a1", reg::a1}, {"a2", reg::a2},
+        {"a3", reg::a3}, {"a4", reg::a4}, {"a5", reg::a5},
+        {"s0", reg::s0}, {"s1", reg::s1}, {"s2", reg::s2},
+        {"s3", reg::s3}, {"s4", reg::s4}, {"s5", reg::s5},
+        {"s6", reg::s6}, {"s7", reg::s7}, {"s8", reg::s8},
+        {"s9", reg::s9}, {"s10", reg::s10}, {"s11", reg::s11},
+        {"k0", 30}, {"k1", 31},
+    };
+    auto it = aliases.find(token);
+    if (it != aliases.end())
+        return it->second;
+    if (token.size() >= 2 && (token[0] == 'x' || token[0] == 'f')) {
+        bool digits = true;
+        for (std::size_t i = 1; i < token.size(); ++i)
+            digits = digits && std::isdigit(
+                static_cast<unsigned char>(token[i]));
+        if (digits) {
+            unsigned n = static_cast<unsigned>(
+                std::strtoul(token.c_str() + 1, nullptr, 10));
+            if (n < 32)
+                return token[0] == 'x'
+                    ? static_cast<RegIndex>(n)
+                    : static_cast<RegIndex>(isa::FpBase + n);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::int64_t>
+parseImmediate(const std::string &token)
+{
+    if (token.empty())
+        return std::nullopt;
+    const char *begin = token.c_str();
+    char *end = nullptr;
+    errno = 0;
+    long long value = std::strtoll(begin, &end, 0);  // handles 0x too
+    if (end == begin || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return static_cast<std::int64_t>(value);
+}
+
+/** One parsed source line. */
+struct LineTokens
+{
+    std::string label;     ///< "foo" if the line starts "foo:"
+    std::string op;        ///< mnemonic or ".directive"
+    std::vector<std::string> operands;
+};
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    std::size_t last = text.find_last_not_of(" \t\r");
+    return text.substr(first, last - first + 1);
+}
+
+LineTokens
+tokenize(std::string line)
+{
+    for (const char *mark : {"#", ";", "//"}) {
+        std::size_t pos = line.find(mark);
+        if (pos != std::string::npos)
+            line = line.substr(0, pos);
+    }
+    LineTokens tokens;
+    line = trim(line);
+
+    std::size_t colon = line.find(':');
+    if (colon != std::string::npos &&
+        line.find_first_of(" \t") > colon) {
+        tokens.label = trim(line.substr(0, colon));
+        line = trim(line.substr(colon + 1));
+    }
+    if (line.empty())
+        return tokens;
+
+    std::size_t space = line.find_first_of(" \t");
+    tokens.op = line.substr(0, space);
+    if (space != std::string::npos) {
+        std::string rest = line.substr(space + 1);
+        std::string current;
+        for (char c : rest) {
+            if (c == ',') {
+                tokens.operands.push_back(trim(current));
+                current.clear();
+            } else {
+                current.push_back(c);
+            }
+        }
+        current = trim(current);
+        if (!current.empty())
+            tokens.operands.push_back(current);
+    }
+    return tokens;
+}
+
+/** Assembler state threaded through the line handlers. */
+class Assembler
+{
+  public:
+    explicit Assembler(const std::string &name) : builder_(name) {}
+
+    bool
+    run(const std::string &source, AssembleResult &result)
+    {
+        std::istringstream stream(source);
+        std::string line;
+        lineNo_ = 0;
+        while (std::getline(stream, line)) {
+            ++lineNo_;
+            if (!handleLine(tokenize(line))) {
+                result.error = "line " + std::to_string(lineNo_) + ": " +
+                               error_;
+                return false;
+            }
+        }
+        for (const auto &entry : textLabels_) {
+            if (!bound_.count(entry.first)) {
+                result.error = "undefined label '" + entry.first + "'";
+                return false;
+            }
+        }
+        result.program = builder_.build();
+        result.ok = true;
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &message)
+    {
+        error_ = message;
+        return false;
+    }
+
+    Label
+    labelFor(const std::string &name)
+    {
+        auto it = textLabels_.find(name);
+        if (it != textLabels_.end())
+            return it->second;
+        Label label = builder_.newLabel();
+        textLabels_.emplace(name, label);
+        return label;
+    }
+
+    bool
+    handleLine(const LineTokens &tokens)
+    {
+        if (!tokens.label.empty()) {
+            if (inData_) {
+                // A data label names the next allocation address; the
+                // address becomes known when the next directive runs.
+                pendingDataLabel_ = tokens.label;
+            } else {
+                if (bound_.count(tokens.label))
+                    return fail("label '" + tokens.label +
+                                "' bound twice");
+                builder_.bind(labelFor(tokens.label));
+                bound_.insert(tokens.label);
+            }
+        }
+        if (tokens.op.empty())
+            return true;
+        if (tokens.op[0] == '.')
+            return handleDirective(tokens);
+        if (inData_)
+            return fail("instruction in .data section");
+        return handleInstruction(tokens);
+    }
+
+    bool
+    handleDirective(const LineTokens &tokens)
+    {
+        const std::string &op = tokens.op;
+        const auto &args = tokens.operands;
+        if (op == ".text") {
+            inData_ = false;
+            return true;
+        }
+        if (op == ".data") {
+            inData_ = true;
+            return true;
+        }
+        if (!inData_)
+            return fail(op + " outside .data");
+
+        if (op == ".align") {
+            auto n = args.size() == 1
+                ? parseImmediate(args[0])
+                : std::optional<std::int64_t>{};
+            if (!n || *n <= 0)
+                return fail(".align needs one positive power of two");
+            builder_.allocData(0, static_cast<std::size_t>(*n));
+            return true;
+        }
+        if (op == ".space") {
+            if (args.empty() || args.size() > 2)
+                return fail(".space N [, align]");
+            auto n = parseImmediate(args[0]);
+            std::int64_t align = 8;
+            if (args.size() == 2) {
+                auto a = parseImmediate(args[1]);
+                if (!a)
+                    return fail("bad alignment");
+                align = *a;
+            }
+            if (!n || *n < 0)
+                return fail("bad .space size");
+            bindDataLabel(builder_.allocData(
+                static_cast<std::size_t>(*n),
+                static_cast<std::size_t>(align)));
+            return true;
+        }
+        if (op == ".word64" || op == ".byte" || op == ".double") {
+            if (args.empty())
+                return fail(op + " needs at least one value");
+            unsigned unit = op == ".byte" ? 1 : 8;
+            Addr base = builder_.allocData(args.size() * unit, unit);
+            bindDataLabel(base);
+            for (std::size_t i = 0; i < args.size(); ++i) {
+                if (op == ".double") {
+                    char *end = nullptr;
+                    double value = std::strtod(args[i].c_str(), &end);
+                    if (end == args[i].c_str() || *end != '\0')
+                        return fail("bad double '" + args[i] + "'");
+                    builder_.setDataF64(base + 8 * i, value);
+                } else {
+                    auto value = parseImmediate(args[i]);
+                    if (!value)
+                        return fail("bad value '" + args[i] + "'");
+                    if (op == ".byte") {
+                        auto byte = static_cast<std::uint8_t>(*value);
+                        builder_.setData(
+                            base + i,
+                            std::span<const std::uint8_t>(&byte, 1));
+                    } else {
+                        builder_.setData64(
+                            base + 8 * i,
+                            static_cast<std::uint64_t>(*value));
+                    }
+                }
+            }
+            return true;
+        }
+        return fail("unknown directive " + op);
+    }
+
+    void
+    bindDataLabel(Addr addr)
+    {
+        if (!pendingDataLabel_.empty()) {
+            dataLabels_[pendingDataLabel_] = addr;
+            pendingDataLabel_.clear();
+        }
+    }
+
+    // ---- operand helpers --------------------------------------------
+
+    bool
+    wantOperands(const LineTokens &tokens, std::size_t count)
+    {
+        if (tokens.operands.size() != count)
+            return fail(tokens.op + " expects " + std::to_string(count) +
+                        " operands");
+        return true;
+    }
+
+    bool
+    regOf(const std::string &token, RegIndex &out)
+    {
+        auto reg = parseRegister(token);
+        if (!reg)
+            return fail("bad register '" + token + "'");
+        out = *reg;
+        return true;
+    }
+
+    bool
+    immOf(const std::string &token, std::int64_t &out)
+    {
+        auto imm = parseImmediate(token);
+        if (!imm)
+            return fail("bad immediate '" + token + "'");
+        out = *imm;
+        return true;
+    }
+
+    /** Parse "off(base)". */
+    bool
+    memOf(const std::string &token, std::int64_t &off, RegIndex &base)
+    {
+        std::size_t open = token.find('(');
+        std::size_t close = token.rfind(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+            return fail("expected off(base), got '" + token + "'");
+        std::string off_str = trim(token.substr(0, open));
+        auto imm = off_str.empty()
+            ? std::optional<std::int64_t>(0)
+            : parseImmediate(off_str);
+        if (!imm)
+            return fail("bad offset '" + off_str + "'");
+        off = *imm;
+        return regOf(trim(token.substr(open + 1, close - open - 1)),
+                     base);
+    }
+
+    bool
+    handleInstruction(const LineTokens &tokens)
+    {
+        const std::string &op = tokens.op;
+        Builder &b = builder_;
+        RegIndex rd, rs1, rs2;
+        std::int64_t imm;
+
+        // ---- pseudo-instructions ----------------------------------
+        if (op == "li") {
+            if (!wantOperands(tokens, 2) ||
+                !regOf(tokens.operands[0], rd) ||
+                !immOf(tokens.operands[1], imm))
+                return false;
+            b.loadImm(rd, static_cast<std::uint64_t>(imm));
+            return true;
+        }
+        if (op == "la") {
+            if (!wantOperands(tokens, 2) ||
+                !regOf(tokens.operands[0], rd))
+                return false;
+            auto it = dataLabels_.find(tokens.operands[1]);
+            if (it == dataLabels_.end())
+                return fail("unknown data label '" + tokens.operands[1] +
+                            "' (data must precede its use)");
+            b.loadImm(rd, it->second);
+            return true;
+        }
+        if (op == "mv") {
+            if (!wantOperands(tokens, 2) ||
+                !regOf(tokens.operands[0], rd) ||
+                !regOf(tokens.operands[1], rs1))
+                return false;
+            b.mv(rd, rs1);
+            return true;
+        }
+        if (op == "j" || op == "call") {
+            if (!wantOperands(tokens, 1))
+                return false;
+            Label target = labelFor(tokens.operands[0]);
+            op == "j" ? b.j(target) : b.call(target);
+            return true;
+        }
+        if (op == "ret") { b.ret(); return true; }
+        if (op == "nop") { b.nop(); return true; }
+        if (op == "halt") { b.halt(); return true; }
+        if (op == "emode") { b.emode(); return true; }
+        if (op == "xmode") { b.xmode(); return true; }
+
+        // ---- real opcodes, by format ------------------------------
+        using isa::Opcode;
+        std::optional<Opcode> opcode;
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+            if (op == isa::opcodeName(static_cast<Opcode>(i))) {
+                opcode = static_cast<Opcode>(i);
+                break;
+            }
+        }
+        if (!opcode)
+            return fail("unknown mnemonic '" + op + "'");
+
+        isa::InstClass cls = isa::classOf(*opcode);
+        isa::Inst inst;
+        inst.op = *opcode;
+
+        if (cls == isa::InstClass::Load) {
+            if (!wantOperands(tokens, 2) ||
+                !regOf(tokens.operands[0], rd) ||
+                !memOf(tokens.operands[1], imm, rs1))
+                return false;
+            inst.rd = rd;
+            inst.rs1 = rs1;
+            inst.imm = imm;
+            return emit(inst);
+        }
+        if (cls == isa::InstClass::Store) {
+            if (!wantOperands(tokens, 2) ||
+                !regOf(tokens.operands[0], rs2) ||
+                !memOf(tokens.operands[1], imm, rs1))
+                return false;
+            inst.rs1 = rs1;
+            inst.rs2 = rs2;
+            inst.imm = imm;
+            return emit(inst);
+        }
+        if (cls == isa::InstClass::Branch) {
+            if (!wantOperands(tokens, 3) ||
+                !regOf(tokens.operands[0], rs1) ||
+                !regOf(tokens.operands[1], rs2))
+                return false;
+            // Emit via the Builder so the label fixup machinery runs.
+            Label target = labelFor(tokens.operands[2]);
+            switch (*opcode) {
+              case Opcode::BEQ: b.beq(rs1, rs2, target); break;
+              case Opcode::BNE: b.bne(rs1, rs2, target); break;
+              case Opcode::BLT: b.blt(rs1, rs2, target); break;
+              case Opcode::BGE: b.bge(rs1, rs2, target); break;
+              case Opcode::BLTU: b.bltu(rs1, rs2, target); break;
+              case Opcode::BGEU: b.bgeu(rs1, rs2, target); break;
+              default: return fail("bad branch");
+            }
+            return true;
+        }
+        if (*opcode == Opcode::JAL) {
+            if (!wantOperands(tokens, 2) ||
+                !regOf(tokens.operands[0], rd))
+                return false;
+            b.jal(rd, labelFor(tokens.operands[1]));
+            return true;
+        }
+        if (*opcode == Opcode::JALR) {
+            if (tokens.operands.size() == 2) {
+                if (!regOf(tokens.operands[0], rd) ||
+                    !regOf(tokens.operands[1], rs1))
+                    return false;
+                b.jalr(rd, rs1, 0);
+                return true;
+            }
+            if (!wantOperands(tokens, 3) ||
+                !regOf(tokens.operands[0], rd) ||
+                !regOf(tokens.operands[1], rs1) ||
+                !immOf(tokens.operands[2], imm))
+                return false;
+            b.jalr(rd, rs1, imm);
+            return true;
+        }
+        if (*opcode == Opcode::LUI) {
+            if (!wantOperands(tokens, 2) ||
+                !regOf(tokens.operands[0], rd) ||
+                !immOf(tokens.operands[1], imm))
+                return false;
+            inst.rd = rd;
+            inst.imm = imm;
+            return emit(inst);
+        }
+        if (cls == isa::InstClass::System) {
+            inst.rd = inst.rs1 = inst.rs2 = isa::NoReg;
+            return emit(inst);
+        }
+        if (isa::isRFormat(*opcode)) {
+            bool unary = *opcode == Opcode::FNEG ||
+                         *opcode == Opcode::FCVT_I2F ||
+                         *opcode == Opcode::FCVT_F2I;
+            if (!wantOperands(tokens, unary ? 2 : 3) ||
+                !regOf(tokens.operands[0], rd) ||
+                !regOf(tokens.operands[1], rs1))
+                return false;
+            rs2 = rs1;
+            if (!unary && !regOf(tokens.operands[2], rs2))
+                return false;
+            inst.rd = rd;
+            inst.rs1 = rs1;
+            inst.rs2 = rs2;
+            return emit(inst);
+        }
+        // I-format ALU.
+        if (!wantOperands(tokens, 3) ||
+            !regOf(tokens.operands[0], rd) ||
+            !regOf(tokens.operands[1], rs1) ||
+            !immOf(tokens.operands[2], imm))
+            return false;
+        inst.rd = rd;
+        inst.rs1 = rs1;
+        inst.imm = imm;
+        return emit(inst);
+    }
+
+    /** Validate immediate ranges via the encoder, then emit raw. */
+    bool
+    emit(const isa::Inst &inst)
+    {
+        auto encoded = isa::encode(inst);
+        if (!encoded.ok())
+            return fail(std::string(isa::opcodeName(inst.op)) + ": " +
+                        encoded.error);
+        builder_.raw(inst);
+        return true;
+    }
+
+    Builder builder_;
+    bool inData_ = false;
+    unsigned lineNo_ = 0;
+    std::string error_;
+    std::map<std::string, Label> textLabels_;
+    std::set<std::string> bound_;
+    std::map<std::string, Addr> dataLabels_;
+    std::string pendingDataLabel_;
+};
+
+} // namespace
+
+AssembleResult
+assemble(const std::string &name, const std::string &source)
+{
+    AssembleResult result;
+    Assembler assembler(name);
+    assembler.run(source, result);
+    return result;
+}
+
+} // namespace cpe::prog

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A text assembler for CPE-RISC.
+ *
+ * The programmatic Builder is how the built-in workloads are written;
+ * this module provides the same capability for users who prefer plain
+ * assembly source.  Supported syntax:
+ *
+ *   # line comments (also ';' and '//')
+ *   .text                       switch to the text section (default)
+ *   .data                       switch to the data section
+ *   label:                      bind a label (text) or name an address
+ *                               (data)
+ *   .space N [, align]          reserve N zeroed bytes
+ *   .word64 v [, v ...]         emit 64-bit little-endian words
+ *   .byte v [, v ...]           emit bytes
+ *   .double v [, v ...]         emit IEEE-754 doubles
+ *   .align N                    align the data cursor
+ *
+ * Instructions use the mnemonics of isa::opcodeName with operands in
+ * the disassembler's style:
+ *
+ *   add  x5, x6, x7             register-register
+ *   addi t0, t0, -12            register-immediate (decimal or 0x hex)
+ *   ld   t1, 8(s0)              loads/stores: offset(base)
+ *   beq  t0, zero, loop         branches: label target
+ *   jal  ra, func / jalr ra, t0, 0
+ *   li   t0, 0xdeadbeef         pseudo: load immediate (expands)
+ *   mv/j/call/ret/nop/halt/emode/xmode
+ *
+ * Registers: x0..x31, f0..f31, and the ABI aliases zero, ra, sp,
+ * t0-t8, a0-a5, s0-s11, k0, k1.
+ */
+
+#ifndef CPE_PROG_ASSEMBLER_HH
+#define CPE_PROG_ASSEMBLER_HH
+
+#include <string>
+
+#include "prog/program.hh"
+
+namespace cpe::prog {
+
+/** Outcome of assembling a source string. */
+struct AssembleResult
+{
+    bool ok = false;
+    std::string error;      ///< first error, with a line number
+    Program program;        ///< valid only when ok
+
+    /** Convenience for tests. */
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Assemble @p source into a Program named @p name.  Never panics on
+ * user input: syntax errors come back in AssembleResult::error.
+ */
+AssembleResult assemble(const std::string &name,
+                        const std::string &source);
+
+} // namespace cpe::prog
+
+#endif // CPE_PROG_ASSEMBLER_HH

@@ -1,0 +1,422 @@
+#include "prog/builder.hh"
+
+#include <cstring>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cpe::prog {
+
+using isa::Inst;
+using isa::Opcode;
+
+Builder::Builder(std::string name, Addr text_base)
+    : name_(std::move(name)), textBase_(text_base)
+{
+}
+
+Label
+Builder::newLabel()
+{
+    Label label{static_cast<std::uint32_t>(labelPos_.size())};
+    labelPos_.push_back(-1);
+    return label;
+}
+
+void
+Builder::bind(Label label)
+{
+    CPE_ASSERT(label.valid() && label.id < labelPos_.size(),
+               "bind of invalid label");
+    CPE_ASSERT(labelPos_[label.id] < 0, "label bound twice");
+    labelPos_[label.id] = static_cast<std::int64_t>(text_.size());
+}
+
+Label
+Builder::here()
+{
+    Label label = newLabel();
+    bind(label);
+    return label;
+}
+
+void
+Builder::emit(Inst inst)
+{
+    CPE_ASSERT(!built_, "emit after build()");
+    text_.push_back(inst);
+}
+
+// R-type helpers ------------------------------------------------------
+
+namespace {
+Inst
+rtype(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    Inst inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    return inst;
+}
+
+Inst
+itype(Opcode op, RegIndex rd, RegIndex rs1, std::int64_t imm)
+{
+    Inst inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.imm = imm;
+    return inst;
+}
+} // namespace
+
+#define CPE_R(NAME, OP)                                                    \
+    void Builder::NAME(RegIndex rd, RegIndex rs1, RegIndex rs2)            \
+    {                                                                      \
+        emit(rtype(Opcode::OP, rd, rs1, rs2));                             \
+    }
+
+CPE_R(add, ADD)
+CPE_R(sub, SUB)
+CPE_R(and_, AND)
+CPE_R(or_, OR)
+CPE_R(xor_, XOR)
+CPE_R(sll, SLL)
+CPE_R(srl, SRL)
+CPE_R(sra, SRA)
+CPE_R(slt, SLT)
+CPE_R(sltu, SLTU)
+CPE_R(mul, MUL)
+CPE_R(div, DIV)
+CPE_R(rem, REM)
+CPE_R(fadd, FADD)
+CPE_R(fsub, FSUB)
+CPE_R(fmul, FMUL)
+CPE_R(fdiv, FDIV)
+CPE_R(fcmplt, FCMPLT)
+#undef CPE_R
+
+void
+Builder::fneg(RegIndex fd, RegIndex fs1)
+{
+    emit(rtype(Opcode::FNEG, fd, fs1, fs1));
+}
+
+void
+Builder::fcvtI2f(RegIndex fd, RegIndex rs1)
+{
+    emit(rtype(Opcode::FCVT_I2F, fd, rs1, rs1));
+}
+
+void
+Builder::fcvtF2i(RegIndex rd, RegIndex fs1)
+{
+    emit(rtype(Opcode::FCVT_F2I, rd, fs1, fs1));
+}
+
+#define CPE_I(NAME, OP)                                                   \
+    void Builder::NAME(RegIndex rd, RegIndex rs1, std::int64_t imm)       \
+    {                                                                     \
+        emit(itype(Opcode::OP, rd, rs1, imm));                            \
+    }
+
+CPE_I(addi, ADDI)
+CPE_I(andi, ANDI)
+CPE_I(ori, ORI)
+CPE_I(xori, XORI)
+CPE_I(slti, SLTI)
+#undef CPE_I
+
+void
+Builder::slli(RegIndex rd, RegIndex rs1, unsigned shamt)
+{
+    CPE_ASSERT(shamt < 64, "shift amount out of range");
+    emit(itype(Opcode::SLLI, rd, rs1, shamt));
+}
+
+void
+Builder::srli(RegIndex rd, RegIndex rs1, unsigned shamt)
+{
+    CPE_ASSERT(shamt < 64, "shift amount out of range");
+    emit(itype(Opcode::SRLI, rd, rs1, shamt));
+}
+
+void
+Builder::srai(RegIndex rd, RegIndex rs1, unsigned shamt)
+{
+    CPE_ASSERT(shamt < 64, "shift amount out of range");
+    emit(itype(Opcode::SRAI, rd, rs1, shamt));
+}
+
+void
+Builder::lui(RegIndex rd, std::int64_t imm18)
+{
+    Inst inst;
+    inst.op = Opcode::LUI;
+    inst.rd = rd;
+    inst.imm = imm18;
+    emit(inst);
+}
+
+#define CPE_LOAD(NAME, OP)                                                \
+    void Builder::NAME(RegIndex rd, std::int64_t off, RegIndex base)      \
+    {                                                                     \
+        emit(itype(Opcode::OP, rd, base, off));                           \
+    }
+
+CPE_LOAD(lb, LB)
+CPE_LOAD(lbu, LBU)
+CPE_LOAD(lh, LH)
+CPE_LOAD(lhu, LHU)
+CPE_LOAD(lw, LW)
+CPE_LOAD(lwu, LWU)
+CPE_LOAD(ld, LD)
+CPE_LOAD(fld, FLD)
+#undef CPE_LOAD
+
+#define CPE_STORE(NAME, OP)                                               \
+    void Builder::NAME(RegIndex rs2, std::int64_t off, RegIndex base)     \
+    {                                                                     \
+        Inst inst;                                                        \
+        inst.op = Opcode::OP;                                             \
+        inst.rs1 = base;                                                  \
+        inst.rs2 = rs2;                                                   \
+        inst.imm = off;                                                   \
+        emit(inst);                                                       \
+    }
+
+CPE_STORE(sb, SB)
+CPE_STORE(sh, SH)
+CPE_STORE(sw, SW)
+CPE_STORE(sd, SD)
+CPE_STORE(fsd, FSD)
+#undef CPE_STORE
+
+void
+Builder::emitBranch(Opcode op, RegIndex rs1, RegIndex rs2, Label target)
+{
+    CPE_ASSERT(target.valid() && target.id < labelPos_.size(),
+               "branch to invalid label");
+    Inst inst;
+    inst.op = op;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    fixups_.push_back({text_.size(), target.id});
+    emit(inst);
+}
+
+void
+Builder::beq(RegIndex rs1, RegIndex rs2, Label t)
+{
+    emitBranch(Opcode::BEQ, rs1, rs2, t);
+}
+
+void
+Builder::bne(RegIndex rs1, RegIndex rs2, Label t)
+{
+    emitBranch(Opcode::BNE, rs1, rs2, t);
+}
+
+void
+Builder::blt(RegIndex rs1, RegIndex rs2, Label t)
+{
+    emitBranch(Opcode::BLT, rs1, rs2, t);
+}
+
+void
+Builder::bge(RegIndex rs1, RegIndex rs2, Label t)
+{
+    emitBranch(Opcode::BGE, rs1, rs2, t);
+}
+
+void
+Builder::bltu(RegIndex rs1, RegIndex rs2, Label t)
+{
+    emitBranch(Opcode::BLTU, rs1, rs2, t);
+}
+
+void
+Builder::bgeu(RegIndex rs1, RegIndex rs2, Label t)
+{
+    emitBranch(Opcode::BGEU, rs1, rs2, t);
+}
+
+void
+Builder::jal(RegIndex rd, Label target)
+{
+    CPE_ASSERT(target.valid() && target.id < labelPos_.size(),
+               "jal to invalid label");
+    Inst inst;
+    inst.op = Opcode::JAL;
+    inst.rd = rd;
+    fixups_.push_back({text_.size(), target.id});
+    emit(inst);
+}
+
+void
+Builder::jalr(RegIndex rd, RegIndex rs1, std::int64_t off)
+{
+    emit(itype(Opcode::JALR, rd, rs1, off));
+}
+
+void
+Builder::emode()
+{
+    emit(Inst{Opcode::EMODE, isa::NoReg, isa::NoReg, isa::NoReg, 0});
+}
+
+void
+Builder::xmode()
+{
+    emit(Inst{Opcode::XMODE, isa::NoReg, isa::NoReg, isa::NoReg, 0});
+}
+
+void
+Builder::nop()
+{
+    emit(Inst{Opcode::NOP, isa::NoReg, isa::NoReg, isa::NoReg, 0});
+}
+
+void
+Builder::halt()
+{
+    emit(Inst{Opcode::HALT, isa::NoReg, isa::NoReg, isa::NoReg, 0});
+}
+
+void
+Builder::loadImm(RegIndex rd, std::uint64_t value)
+{
+    std::int64_t sval = static_cast<std::int64_t>(value);
+    // 12-bit immediates fit in a single ADDI from x0.
+    if (sval >= -2048 && sval <= 2047) {
+        addi(rd, reg::zero, sval);
+        return;
+    }
+    // ~29-bit non-negative values: LUI (imm18 << 12) plus a *signed*
+    // 12-bit ADDI correction, so the low part always stays encodable.
+    if (sval >= 0 && sval < (std::int64_t{1} << 29) - 2048) {
+        std::int64_t hi = (sval + 2048) >> 12;
+        std::int64_t low = sval - (hi << 12);
+        lui(rd, hi);
+        if (low)
+            addi(rd, rd, low);
+        return;
+    }
+    // General case: build 64 bits in 11-bit positive chunks (keeps every
+    // ORI immediate non-negative so sign extension can't corrupt bits).
+    bool started = false;
+    for (int shift = 55; shift >= 0; shift -= 11) {
+        std::uint64_t chunk = (value >> shift) & 0x7ff;
+        if (!started) {
+            if (!chunk && shift != 0)
+                continue;
+            addi(rd, reg::zero, static_cast<std::int64_t>(chunk));
+            started = true;
+        } else {
+            slli(rd, rd, 11);
+            if (chunk)
+                ori(rd, rd, static_cast<std::int64_t>(chunk));
+        }
+    }
+    if (!started)
+        addi(rd, reg::zero, 0);
+}
+
+void
+Builder::mv(RegIndex rd, RegIndex rs)
+{
+    addi(rd, rs, 0);
+}
+
+void
+Builder::j(Label target)
+{
+    jal(reg::zero, target);
+}
+
+void
+Builder::call(Label target)
+{
+    jal(reg::ra, target);
+}
+
+void
+Builder::ret()
+{
+    jalr(reg::zero, reg::ra, 0);
+}
+
+Addr
+Builder::allocData(std::size_t size, std::size_t align)
+{
+    CPE_ASSERT(isPowerOf2(align), "data alignment must be a power of two");
+    dataTop_ = alignUp(dataTop_, align);
+    Addr addr = dataTop_;
+    dataTop_ += size;
+    std::size_t need = static_cast<std::size_t>(dataTop_ - layout::DataBase);
+    if (data_.size() < need)
+        data_.resize(need, 0);
+    return addr;
+}
+
+void
+Builder::setData(Addr addr, std::span<const std::uint8_t> bytes)
+{
+    CPE_ASSERT(addr >= layout::DataBase &&
+                   addr + bytes.size() <= dataTop_,
+               "setData outside allocated data segment");
+    std::memcpy(data_.data() + (addr - layout::DataBase), bytes.data(),
+                bytes.size());
+}
+
+void
+Builder::setData64(Addr addr, std::uint64_t value)
+{
+    std::uint8_t raw[8];
+    std::memcpy(raw, &value, 8);
+    setData(addr, raw);
+}
+
+void
+Builder::setDataF64(Addr addr, double value)
+{
+    std::uint64_t raw;
+    std::memcpy(&raw, &value, 8);
+    setData64(addr, raw);
+}
+
+Program
+Builder::build()
+{
+    CPE_ASSERT(!built_, "build() called twice");
+    built_ = true;
+
+    for (const auto &fixup : fixups_) {
+        std::int64_t pos = labelPos_[fixup.label];
+        CPE_ASSERT(pos >= 0,
+                   "program " << name_ << ": unbound label " << fixup.label);
+        std::int64_t offset =
+            (pos - static_cast<std::int64_t>(fixup.index)) *
+            static_cast<std::int64_t>(isa::InstBytes);
+        Inst &inst = text_[fixup.index];
+        inst.imm = offset;
+        // Range check: branches have 12-bit reach, JAL 18-bit.
+        std::int64_t limit = (inst.op == Opcode::JAL) ? (1 << 17)
+                                                      : (1 << 11);
+        CPE_ASSERT(offset >= -limit && offset < limit,
+                   "program " << name_ << ": "
+                              << isa::opcodeName(inst.op)
+                              << " target out of range (" << offset
+                              << " bytes)");
+    }
+
+    std::vector<DataSegment> segments;
+    if (!data_.empty())
+        segments.push_back({layout::DataBase, data_});
+    return Program(name_, textBase_, std::move(text_), std::move(segments));
+}
+
+} // namespace cpe::prog

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Programmatic assembler for CPE-RISC.
+ *
+ * Workload kernels are written against this API rather than a text
+ * assembler: each mnemonic is a method, labels are integer handles bound
+ * to the next emitted instruction, and pseudo-ops (loadImm, call, j)
+ * expand to real instruction sequences.  build() resolves every label
+ * and returns an immutable Program.
+ */
+
+#ifndef CPE_PROG_BUILDER_HH
+#define CPE_PROG_BUILDER_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace cpe::prog {
+
+/** Opaque label handle produced by Builder::newLabel(). */
+struct Label
+{
+    std::uint32_t id = 0xffffffff;
+    bool valid() const { return id != 0xffffffff; }
+};
+
+/** Common register aliases for kernel-writing readability. */
+namespace reg {
+constexpr RegIndex zero = 0;
+constexpr RegIndex ra = 1;    ///< return address
+constexpr RegIndex sp = 2;    ///< stack pointer
+constexpr RegIndex t0 = 5, t1 = 6, t2 = 7, t3 = 8, t4 = 9, t5 = 10;
+constexpr RegIndex a0 = 11, a1 = 12, a2 = 13, a3 = 14, a4 = 15, a5 = 16;
+constexpr RegIndex s0 = 17, s1 = 18, s2 = 19, s3 = 20, s4 = 21, s5 = 22;
+constexpr RegIndex s6 = 23, s7 = 24, s8 = 25, s9 = 26, s10 = 27, s11 = 28;
+constexpr RegIndex t6 = 29, t7 = 30, t8 = 31;
+
+/** FP register by number (f0..f31) as a unified index. */
+constexpr RegIndex
+f(unsigned n)
+{
+    return static_cast<RegIndex>(cpe::isa::FpBase + n);
+}
+} // namespace reg
+
+/**
+ * Accumulates instructions and data, then links them into a Program.
+ */
+class Builder
+{
+  public:
+    explicit Builder(std::string name, Addr text_base = layout::TextBase);
+
+    // --- Labels -----------------------------------------------------
+    /** Create an unbound label. */
+    Label newLabel();
+    /** Bind @p label to the next instruction to be emitted. */
+    void bind(Label label);
+    /** Convenience: create and immediately bind. */
+    Label here();
+
+    // --- Integer ALU ------------------------------------------------
+    void add(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void and_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void or_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void xor_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sll(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void srl(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sra(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void slt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sltu(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void mul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void div(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void rem(RegIndex rd, RegIndex rs1, RegIndex rs2);
+
+    void addi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void andi(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void ori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void xori(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void slti(RegIndex rd, RegIndex rs1, std::int64_t imm);
+    void slli(RegIndex rd, RegIndex rs1, unsigned shamt);
+    void srli(RegIndex rd, RegIndex rs1, unsigned shamt);
+    void srai(RegIndex rd, RegIndex rs1, unsigned shamt);
+    void lui(RegIndex rd, std::int64_t imm18);
+
+    // --- Floating point ----------------------------------------------
+    void fadd(RegIndex fd, RegIndex fs1, RegIndex fs2);
+    void fsub(RegIndex fd, RegIndex fs1, RegIndex fs2);
+    void fmul(RegIndex fd, RegIndex fs1, RegIndex fs2);
+    void fdiv(RegIndex fd, RegIndex fs1, RegIndex fs2);
+    void fneg(RegIndex fd, RegIndex fs1);
+    void fcvtI2f(RegIndex fd, RegIndex rs1);
+    void fcvtF2i(RegIndex rd, RegIndex fs1);
+    void fcmplt(RegIndex rd, RegIndex fs1, RegIndex fs2);
+
+    // --- Memory -------------------------------------------------------
+    void lb(RegIndex rd, std::int64_t off, RegIndex base);
+    void lbu(RegIndex rd, std::int64_t off, RegIndex base);
+    void lh(RegIndex rd, std::int64_t off, RegIndex base);
+    void lhu(RegIndex rd, std::int64_t off, RegIndex base);
+    void lw(RegIndex rd, std::int64_t off, RegIndex base);
+    void lwu(RegIndex rd, std::int64_t off, RegIndex base);
+    void ld(RegIndex rd, std::int64_t off, RegIndex base);
+    void fld(RegIndex fd, std::int64_t off, RegIndex base);
+
+    void sb(RegIndex rs2, std::int64_t off, RegIndex base);
+    void sh(RegIndex rs2, std::int64_t off, RegIndex base);
+    void sw(RegIndex rs2, std::int64_t off, RegIndex base);
+    void sd(RegIndex rs2, std::int64_t off, RegIndex base);
+    void fsd(RegIndex fs2, std::int64_t off, RegIndex base);
+
+    // --- Control flow --------------------------------------------------
+    void beq(RegIndex rs1, RegIndex rs2, Label target);
+    void bne(RegIndex rs1, RegIndex rs2, Label target);
+    void blt(RegIndex rs1, RegIndex rs2, Label target);
+    void bge(RegIndex rs1, RegIndex rs2, Label target);
+    void bltu(RegIndex rs1, RegIndex rs2, Label target);
+    void bgeu(RegIndex rs1, RegIndex rs2, Label target);
+    void jal(RegIndex rd, Label target);
+    void jalr(RegIndex rd, RegIndex rs1, std::int64_t off = 0);
+
+    // --- Raw emission (assembler back end) --------------------------
+    /**
+     * Append an already-formed instruction verbatim.  The caller is
+     * responsible for operand validity; used by the text assembler,
+     * which validates through the encoder first.
+     */
+    void raw(const isa::Inst &inst) { emit(inst); }
+
+    // --- System ---------------------------------------------------------
+    void emode();
+    void xmode();
+    void nop();
+    void halt();
+
+    // --- Pseudo-instructions ---------------------------------------------
+    /** rd = value, via the shortest ADDI/LUI/ORI/SLLI sequence. */
+    void loadImm(RegIndex rd, std::uint64_t value);
+    /** rd = rs (ADDI rd, rs, 0). */
+    void mv(RegIndex rd, RegIndex rs);
+    /** Unconditional jump (JAL x0). */
+    void j(Label target);
+    /** Call a label (JAL ra). */
+    void call(Label target);
+    /** Return (JALR x0, ra, 0). */
+    void ret();
+
+    // --- Data segment -------------------------------------------------
+    /**
+     * Reserve @p size bytes in the data segment at @p align alignment
+     * and return the address.  Contents default to zero.
+     */
+    Addr allocData(std::size_t size, std::size_t align = 8);
+    /** Copy raw bytes into a previously allocated region. */
+    void setData(Addr addr, std::span<const std::uint8_t> bytes);
+    /** Store one little-endian 64-bit word. */
+    void setData64(Addr addr, std::uint64_t value);
+    /** Store one double. */
+    void setDataF64(Addr addr, double value);
+
+    /** Number of instructions emitted so far. */
+    std::size_t textSize() const { return text_.size(); }
+
+    /**
+     * Link: resolve labels and produce the Program.  Panics on unbound
+     * labels or out-of-range branch offsets (kernels must keep loops
+     * within branch reach; use j/call for long transfers).
+     */
+    Program build();
+
+  private:
+    void emit(isa::Inst inst);
+    void emitBranch(isa::Opcode op, RegIndex rs1, RegIndex rs2,
+                    Label target);
+
+    struct Fixup
+    {
+        std::size_t index;   ///< instruction to patch
+        std::uint32_t label; ///< label id it targets
+    };
+
+    std::string name_;
+    Addr textBase_;
+    std::vector<isa::Inst> text_;
+    std::vector<std::int64_t> labelPos_;  ///< -1 while unbound
+    std::vector<Fixup> fixups_;
+    std::vector<std::uint8_t> data_;
+    Addr dataTop_ = layout::DataBase;
+    bool built_ = false;
+};
+
+} // namespace cpe::prog
+
+#endif // CPE_PROG_BUILDER_HH

@@ -1,0 +1,59 @@
+#include "prog/program.hh"
+
+#include <sstream>
+
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+#include "util/logging.hh"
+
+namespace cpe::prog {
+
+Program::Program(std::string name, Addr text_base,
+                 std::vector<isa::Inst> text, std::vector<DataSegment> data)
+    : name_(std::move(name)), textBase_(text_base), text_(std::move(text)),
+      data_(std::move(data))
+{
+    CPE_ASSERT(!text_.empty(), "empty program " << name_);
+    CPE_ASSERT(text_.back().op == isa::Opcode::HALT ||
+                   isa::isControl(text_.back().op),
+               "program " << name_ << " can run off the end of text");
+}
+
+const isa::Inst &
+Program::fetch(Addr pc) const
+{
+    CPE_ASSERT(contains(pc),
+               "fetch outside text: pc=0x" << std::hex << pc);
+    return text_[(pc - textBase_) / isa::InstBytes];
+}
+
+std::vector<std::uint32_t>
+Program::encodedText() const
+{
+    std::vector<std::uint32_t> words;
+    words.reserve(text_.size());
+    for (std::size_t i = 0; i < text_.size(); ++i) {
+        auto enc = isa::encode(text_[i]);
+        if (!enc.ok()) {
+            panic(Msg() << "program " << name_ << ": instruction " << i
+                        << " (" << isa::disassemble(text_[i])
+                        << ") unencodable: " << enc.error);
+        }
+        words.push_back(enc.word);
+    }
+    return words;
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < text_.size(); ++i) {
+        Addr pc = textBase_ + i * isa::InstBytes;
+        out << "0x" << std::hex << pc << std::dec << ":  "
+            << isa::disassemble(text_[i], pc) << "\n";
+    }
+    return out.str();
+}
+
+} // namespace cpe::prog

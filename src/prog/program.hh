@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A fully linked CPE-RISC program: text, initialized data, entry point.
+ */
+
+#ifndef CPE_PROG_PROGRAM_HH
+#define CPE_PROG_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace cpe::prog {
+
+/** Conventional memory-map constants shared by builder and workloads. */
+namespace layout {
+/** Base of the text segment. */
+constexpr Addr TextBase = 0x1000;
+/** Base of the static data segment. */
+constexpr Addr DataBase = 0x10'0000;
+/** Initial stack pointer (stack grows down). */
+constexpr Addr StackTop = 0x4000'0000;
+} // namespace layout
+
+/** One initialized data region. */
+struct DataSegment
+{
+    Addr base = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/**
+ * A linked program.  Text is stored decoded; encodedText() re-encodes
+ * on demand (used by tests and by the I-side of the timing model, which
+ * only needs PCs).
+ */
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::string name, Addr text_base, std::vector<isa::Inst> text,
+            std::vector<DataSegment> data);
+
+    const std::string &name() const { return name_; }
+    Addr textBase() const { return textBase_; }
+    Addr entry() const { return textBase_; }
+    /** First address past the text segment. */
+    Addr textEnd() const
+    {
+        return textBase_ + text_.size() * isa::InstBytes;
+    }
+
+    std::size_t size() const { return text_.size(); }
+
+    /** @return the instruction at @p pc; panics if out of range. */
+    const isa::Inst &fetch(Addr pc) const;
+
+    /** @return true iff @p pc addresses an instruction of this program. */
+    bool contains(Addr pc) const
+    {
+        return pc >= textBase_ && pc < textEnd() &&
+               (pc - textBase_) % isa::InstBytes == 0;
+    }
+
+    const std::vector<isa::Inst> &text() const { return text_; }
+    const std::vector<DataSegment> &data() const { return data_; }
+
+    /** Encode the full text segment; panics on unencodable text. */
+    std::vector<std::uint32_t> encodedText() const;
+
+    /** Multi-line disassembly listing (debugging aid). */
+    std::string listing() const;
+
+  private:
+    std::string name_;
+    Addr textBase_ = layout::TextBase;
+    std::vector<isa::Inst> text_;
+    std::vector<DataSegment> data_;
+};
+
+} // namespace cpe::prog
+
+#endif // CPE_PROG_PROGRAM_HH

@@ -1,0 +1,91 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+namespace cpe::sim {
+
+SimConfig
+SimConfig::defaults()
+{
+    SimConfig config;
+    // The defaults declared inline in the component parameter structs
+    // already describe the evaluation machine; restate the key ones
+    // here so this function is the single authoritative source.
+    config.core.renameWidth = 4;
+    config.core.issueWidth = 4;
+    config.core.commitWidth = 4;
+    config.core.robSize = 64;
+    config.core.iqSize = 32;
+    config.core.fetch.fetchWidth = 4;
+    config.core.dcache.cache.sizeBytes = 16 * 1024;
+    config.core.dcache.cache.assoc = 2;
+    config.core.dcache.cache.lineBytes = 32;
+    config.core.dcache.hitLatency = 1;
+    config.core.dcache.mshrs = 8;
+    config.l2.cache.sizeBytes = 512 * 1024;
+    config.l2.hitLatency = 8;
+    config.dram.latency = 50;
+    return config;
+}
+
+std::string
+SimConfig::tag() const
+{
+    return label.empty() ? tech().describe() : label;
+}
+
+std::string
+SimConfig::describe() const
+{
+    std::ostringstream out;
+    auto line = [&](const std::string &key, const std::string &value) {
+        out << "  " << key;
+        if (key.size() < 28)
+            out << std::string(28 - key.size(), ' ');
+        out << value << "\n";
+    };
+    const auto &d = core.dcache;
+    const auto &t = d.tech;
+    out << "Machine configuration\n";
+    line("issue width", std::to_string(core.issueWidth) + "-way ooo");
+    line("fetch width", std::to_string(core.fetch.fetchWidth));
+    line("rob / iq", std::to_string(core.robSize) + " / " +
+                         std::to_string(core.iqSize));
+    line("lsq (ld/st)", std::to_string(core.lsq.loadEntries) + " / " +
+                            std::to_string(core.lsq.storeEntries));
+    line("branch predictor",
+         core.bpred.kind == cpu::PredictorKind::GShare
+             ? "gshare " + std::to_string(core.bpred.tableEntries)
+             : "bimodal " + std::to_string(core.bpred.tableEntries));
+    line("l1i", std::to_string(core.fetch.icache.sizeBytes / 1024) +
+                    " KiB, " + std::to_string(core.fetch.icache.assoc) +
+                    "-way, " +
+                    std::to_string(core.fetch.icache.lineBytes) + "B");
+    line("l1d", std::to_string(d.cache.sizeBytes / 1024) + " KiB, " +
+                    std::to_string(d.cache.assoc) + "-way, " +
+                    std::to_string(d.cache.lineBytes) + "B, " +
+                    std::to_string(d.hitLatency) + "-cycle hit");
+    line("l1d mshrs", std::to_string(d.mshrs));
+    line("l2", std::to_string(l2.cache.sizeBytes / 1024) + " KiB, " +
+                   std::to_string(l2.cache.assoc) + "-way, " +
+                   std::to_string(l2.hitLatency) + "-cycle");
+    line("dram", std::to_string(dram.latency) + "-cycle + " +
+                     std::to_string(dram.cyclesPerLine) +
+                     "-cycle/line bus");
+    out << "D-cache port subsystem\n";
+    line("data ports", std::to_string(t.ports));
+    line("port width", std::to_string(t.portWidthBytes) + " bytes");
+    line("store buffer",
+         t.storeBufferEntries
+             ? std::to_string(t.storeBufferEntries) + " entries" +
+                   (t.storeCombining ? ", combining" : "")
+             : "disabled");
+    line("line buffers",
+         t.lineBuffers ? std::to_string(t.lineBuffers) : "disabled");
+    line("fill policy", t.fillPolicy == core::FillPolicy::StealPort
+                            ? "steals data port"
+                            : "dedicated fill port");
+    return out.str();
+}
+
+} // namespace cpe::sim

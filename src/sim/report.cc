@@ -1,0 +1,122 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cpe::sim {
+
+ResultGrid::ResultGrid(std::string value_name)
+    : valueName_(std::move(value_name))
+{
+}
+
+void
+ResultGrid::add(const SimResult &result)
+{
+    cells_.push_back({result.workload, result.configTag, result});
+    if (std::find(workloads_.begin(), workloads_.end(), result.workload) ==
+        workloads_.end())
+        workloads_.push_back(result.workload);
+    if (std::find(configs_.begin(), configs_.end(), result.configTag) ==
+        configs_.end())
+        configs_.push_back(result.configTag);
+}
+
+const SimResult *
+ResultGrid::find(const std::string &workload,
+                 const std::string &config) const
+{
+    for (const auto &cell : cells_)
+        if (cell.workload == workload && cell.config == config)
+            return &cell.result;
+    return nullptr;
+}
+
+double
+ResultGrid::ipc(const std::string &workload,
+                const std::string &config) const
+{
+    const SimResult *result = find(workload, config);
+    if (!result)
+        panic(Msg() << "no result for (" << workload << ", " << config
+                    << ")");
+    return result->ipc;
+}
+
+double
+ResultGrid::geomeanIpc(const std::string &config) const
+{
+    double log_sum = 0.0;
+    unsigned count = 0;
+    for (const auto &workload : workloads_) {
+        if (const SimResult *result = find(workload, config)) {
+            log_sum += std::log(result->ipc);
+            ++count;
+        }
+    }
+    return count ? std::exp(log_sum / count) : 0.0;
+}
+
+cpe::TextTable
+ResultGrid::ipcTable() const
+{
+    cpe::TextTable table;
+    std::vector<std::string> header{"workload"};
+    for (const auto &config : configs_)
+        header.push_back(config);
+    table.addHeader(header);
+    for (const auto &workload : workloads_) {
+        std::vector<std::string> row{workload};
+        for (const auto &config : configs_) {
+            const SimResult *result = find(workload, config);
+            row.push_back(result ? cpe::TextTable::num(result->ipc)
+                                 : "-");
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> mean{"geomean"};
+    for (const auto &config : configs_)
+        mean.push_back(cpe::TextTable::num(geomeanIpc(config)));
+    table.addRow(mean);
+    return table;
+}
+
+cpe::TextTable
+ResultGrid::relativeTable(const std::string &baseline) const
+{
+    cpe::TextTable table;
+    std::vector<std::string> header{"workload"};
+    for (const auto &config : configs_)
+        header.push_back(config);
+    table.addHeader(header);
+    for (const auto &workload : workloads_) {
+        const SimResult *base = find(workload, baseline);
+        if (!base)
+            panic(Msg() << "relativeTable: no baseline column '"
+                        << baseline << "' for " << workload);
+        std::vector<std::string> row{workload};
+        for (const auto &config : configs_) {
+            const SimResult *result = find(workload, config);
+            row.push_back(result
+                              ? ratioStr(result->ipc / base->ipc)
+                              : "-");
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> mean{"geomean"};
+    double base_mean = geomeanIpc(baseline);
+    for (const auto &config : configs_)
+        mean.push_back(ratioStr(geomeanIpc(config) / base_mean));
+    table.addRow(mean);
+    return table;
+}
+
+std::string
+ratioStr(double value)
+{
+    return cpe::TextTable::num(value, 3) + "x";
+}
+
+} // namespace cpe::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reporting helpers for the evaluation harness: paper-style tables of
+ * IPC, relative performance, and technique statistics.
+ */
+
+#ifndef CPE_SIM_REPORT_HH
+#define CPE_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "util/table.hh"
+
+namespace cpe::sim {
+
+/**
+ * A grid of results: one row per workload, one column per
+ * configuration, as the paper's performance figures lay out.
+ */
+class ResultGrid
+{
+  public:
+    /** @param value_name column-group heading ("IPC", "relative"). */
+    explicit ResultGrid(std::string value_name);
+
+    /** Record one run. */
+    void add(const SimResult &result);
+
+    /** All column tags in insertion order. */
+    const std::vector<std::string> &configs() const { return configs_; }
+    const std::vector<std::string> &workloads() const
+    {
+        return workloads_;
+    }
+
+    /** Raw IPC of (workload, config); panics if absent. */
+    double ipc(const std::string &workload,
+               const std::string &config) const;
+
+    /** Geometric-mean IPC of a config column across workloads. */
+    double geomeanIpc(const std::string &config) const;
+
+    /** Render an absolute-IPC table. */
+    cpe::TextTable ipcTable() const;
+
+    /**
+     * Render IPCs normalized to @p baseline's column (the paper's
+     * "performance relative to X" presentation), with a geometric-mean
+     * summary row.
+     */
+    cpe::TextTable relativeTable(const std::string &baseline) const;
+
+  private:
+    struct Cell
+    {
+        std::string workload;
+        std::string config;
+        SimResult result;
+    };
+
+    const SimResult *find(const std::string &workload,
+                          const std::string &config) const;
+
+    std::string valueName_;
+    std::vector<Cell> cells_;
+    std::vector<std::string> workloads_;  ///< insertion order, unique
+    std::vector<std::string> configs_;    ///< insertion order, unique
+};
+
+/** Format a ratio as "0.91x". */
+std::string ratioStr(double value);
+
+} // namespace cpe::sim
+
+#endif // CPE_SIM_REPORT_HH

@@ -1,0 +1,71 @@
+#include "sim/simulator.hh"
+
+#include "func/executor.hh"
+#include "util/logging.hh"
+
+namespace cpe::sim {
+
+Simulator::Simulator(SimConfig config) : config_(std::move(config)) {}
+
+SimResult
+Simulator::run()
+{
+    const auto &registry = workload::WorkloadRegistry::instance();
+    prog::Program program =
+        registry.build(config_.workloadName, config_.workload);
+
+    func::Executor executor(program);
+    mem::MemHierarchy hierarchy(config_.l2, config_.dram);
+    cpu::CoreParams core_params = config_.core;
+    core_params.warmupInsts = config_.warmupInsts;
+    cpu::OooCore core(core_params, &executor, &hierarchy);
+    core.setOnWarmupDone(
+        [&hierarchy]() { hierarchy.statGroup().resetAll(); });
+
+    core.run();
+
+    SimResult result;
+    result.workload = config_.workloadName;
+    result.configTag = config_.tag();
+    result.cycles = core.measuredCycles();
+    result.insts = core.committedInsts();
+    result.ipc = core.ipc();
+
+    auto &dcache = core.dcache();
+    result.portUtilization =
+        dcache.ports().statGroup().formulaValue("utilization");
+    result.l1dMissRate = dcache.l1d().statGroup().formulaValue("miss_rate");
+    result.lineBufferHitRate =
+        dcache.lineBuffers().statGroup().formulaValue("hit_rate");
+    result.sbStoresPerDrain =
+        dcache.storeBuffer().statGroup().formulaValue("stores_per_drain");
+    result.loadPortFraction =
+        dcache.statGroup().formulaValue("port_accesses_per_load");
+    result.condAccuracy =
+        core.predictor().statGroup().formulaValue("cond_accuracy");
+    result.storeCommitStalls = core.storeCommitStalls.value();
+    result.modeSwitches = core.modeSwitches.value();
+    result.statsDump =
+        core.statGroup().dump() + hierarchy.statGroup().dump();
+    return result;
+}
+
+SimResult
+simulate(const SimConfig &config)
+{
+    Simulator simulator(config);
+    return simulator.run();
+}
+
+SimResult
+simulate(const std::string &workload, const core::PortTechConfig &tech,
+         unsigned os_level)
+{
+    SimConfig config = SimConfig::defaults();
+    config.workloadName = workload;
+    config.workload.osLevel = os_level;
+    config.core.dcache.tech = tech;
+    return simulate(config);
+}
+
+} // namespace cpe::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The public entry point: build a workload, wire up the machine, run
+ * it, and return the measured results.  Everything the examples,
+ * tests, and bench harnesses do goes through this class.
+ */
+
+#ifndef CPE_SIM_SIMULATOR_HH
+#define CPE_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hh"
+
+namespace cpe::sim {
+
+/** Measurements from one simulation run. */
+struct SimResult
+{
+    std::string workload;
+    std::string configTag;
+
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    double ipc = 0.0;
+
+    // Key derived metrics for the evaluation tables.
+    double portUtilization = 0.0;   ///< data-port busy fraction
+    double l1dMissRate = 0.0;
+    double lineBufferHitRate = 0.0; ///< loads hit in line buffers
+    double sbStoresPerDrain = 0.0;  ///< store-combining ratio
+    double loadPortFraction = 0.0;  ///< loads that needed a port
+    double condAccuracy = 0.0;      ///< branch direction accuracy
+    std::uint64_t storeCommitStalls = 0;
+    std::uint64_t modeSwitches = 0;
+
+    /** Full gem5-style stats listing. */
+    std::string statsDump;
+};
+
+/** One-shot simulator: construct with a config, call run(). */
+class Simulator
+{
+  public:
+    explicit Simulator(SimConfig config);
+
+    /** Execute to completion and collect results. */
+    SimResult run();
+
+  private:
+    SimConfig config_;
+};
+
+/** Convenience: build, run, and return in one call. */
+SimResult simulate(const SimConfig &config);
+
+/**
+ * Convenience used throughout the benches: run @p workload under
+ * @p tech with otherwise-default parameters.
+ */
+SimResult simulate(const std::string &workload,
+                   const core::PortTechConfig &tech,
+                   unsigned os_level = 0);
+
+} // namespace cpe::sim
+
+#endif // CPE_SIM_SIMULATOR_HH

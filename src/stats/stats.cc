@@ -1,0 +1,187 @@
+#include "stats/stats.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cpe::stats {
+
+void
+Distribution::init(std::int64_t min, std::int64_t max,
+                   std::int64_t bucket_size)
+{
+    CPE_ASSERT(max > min && bucket_size > 0, "bad distribution bounds");
+    min_ = min;
+    max_ = max;
+    bucketSize_ = bucket_size;
+    buckets_.assign(
+        static_cast<std::size_t>((max - min + bucket_size - 1) / bucket_size),
+        0);
+}
+
+void
+Distribution::sample(std::int64_t value, std::uint64_t count)
+{
+    CPE_ASSERT(!buckets_.empty(), "Distribution::sample before init");
+    samples_ += count;
+    sum_ += static_cast<double>(value) * count;
+    if (value < min_) {
+        underflow_ += count;
+    } else if (value >= max_) {
+        overflow_ += count;
+    } else {
+        buckets_[static_cast<std::size_t>((value - min_) / bucketSize_)] +=
+            count;
+    }
+}
+
+void
+Distribution::reset()
+{
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = 0.0;
+    for (auto &bucket : buckets_)
+        bucket = 0;
+}
+
+void
+StatGroup::addScalar(const std::string &name, Scalar *stat,
+                     const std::string &desc)
+{
+    scalars_.push_back({name, stat, desc});
+}
+
+void
+StatGroup::addAverage(const std::string &name, Average *stat,
+                      const std::string &desc)
+{
+    averages_.push_back({name, stat, desc});
+}
+
+void
+StatGroup::addDistribution(const std::string &name, Distribution *stat,
+                           const std::string &desc)
+{
+    dists_.push_back({name, stat, desc});
+}
+
+void
+StatGroup::addFormula(const std::string &name, std::function<double()> fn,
+                      const std::string &desc)
+{
+    formulas_.push_back({name, std::move(fn), desc});
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &entry : scalars_)
+        entry.stat->reset();
+    for (auto &entry : averages_)
+        entry.stat->reset();
+    for (auto &entry : dists_)
+        entry.stat->reset();
+    for (auto *child : children_)
+        child->resetAll();
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream out;
+    std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+
+    auto line = [&](const std::string &name, const std::string &value,
+                    const std::string &desc) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), "%-44s %16s  # %s\n",
+                      (base + "." + name).c_str(), value.c_str(),
+                      desc.c_str());
+        out << buf;
+    };
+
+    for (const auto &entry : scalars_)
+        line(entry.name, std::to_string(entry.stat->value()), entry.desc);
+    for (const auto &entry : averages_) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", entry.stat->mean());
+        line(entry.name, buf, entry.desc);
+    }
+    for (const auto &entry : formulas_) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", entry.fn());
+        line(entry.name, buf, entry.desc);
+    }
+    for (const auto &entry : dists_) {
+        line(entry.name + ".samples",
+             std::to_string(entry.stat->totalSamples()), entry.desc);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4f", entry.stat->mean());
+        line(entry.name + ".mean", buf, entry.desc);
+        const auto &buckets = entry.stat->buckets();
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            if (!buckets[i])
+                continue;
+            line(entry.name + "." + std::to_string(entry.stat->bucketMin(i)),
+                 std::to_string(buckets[i]), entry.desc);
+        }
+        if (entry.stat->underflow())
+            line(entry.name + ".underflow",
+                 std::to_string(entry.stat->underflow()), entry.desc);
+        if (entry.stat->overflow())
+            line(entry.name + ".overflow",
+                 std::to_string(entry.stat->overflow()), entry.desc);
+    }
+    for (const auto *child : children_)
+        out << child->dump(base);
+    return out.str();
+}
+
+std::string
+StatGroup::dumpCsv(const std::string &prefix) const
+{
+    std::ostringstream out;
+    std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &entry : scalars_)
+        out << base << "." << entry.name << "," << entry.stat->value()
+            << "\n";
+    for (const auto &entry : averages_)
+        out << base << "." << entry.name << "," << entry.stat->mean()
+            << "\n";
+    for (const auto &entry : formulas_)
+        out << base << "." << entry.name << "," << entry.fn() << "\n";
+    for (const auto &entry : dists_) {
+        out << base << "." << entry.name << ".samples,"
+            << entry.stat->totalSamples() << "\n";
+        out << base << "." << entry.name << ".mean,"
+            << entry.stat->mean() << "\n";
+    }
+    for (const auto *child : children_)
+        out << child->dumpCsv(base);
+    return out.str();
+}
+
+std::uint64_t
+StatGroup::scalarValue(const std::string &name) const
+{
+    for (const auto &entry : scalars_)
+        if (entry.name == name)
+            return entry.stat->value();
+    panic(Msg() << "no scalar stat '" << name << "' in group " << name_);
+}
+
+double
+StatGroup::formulaValue(const std::string &name) const
+{
+    for (const auto &entry : formulas_)
+        if (entry.name == name)
+            return entry.fn();
+    panic(Msg() << "no formula stat '" << name << "' in group " << name_);
+}
+
+} // namespace cpe::stats

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the cache and ISA code.
+ */
+
+#ifndef CPE_UTIL_BITS_HH
+#define CPE_UTIL_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace cpe {
+
+/** @return true iff @p value is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** @return log2 of a power-of-two @p value. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned log = 0;
+    while (value >>= 1)
+        ++log;
+    return log;
+}
+
+/** @return @p addr rounded down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** @return @p addr rounded up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** @return bits [hi:lo] of @p value (inclusive, hi >= lo). */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned hi, unsigned lo)
+{
+    std::uint64_t mask = (hi - lo >= 63)
+        ? ~std::uint64_t{0}
+        : ((std::uint64_t{1} << (hi - lo + 1)) - 1);
+    return (value >> lo) & mask;
+}
+
+/** @return @p value with bits [hi:lo] replaced by @p field. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned hi, unsigned lo,
+           std::uint64_t field)
+{
+    std::uint64_t mask = (hi - lo >= 63)
+        ? ~std::uint64_t{0}
+        : ((std::uint64_t{1} << (hi - lo + 1)) - 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t value, unsigned width)
+{
+    if (width >= 64)
+        return static_cast<std::int64_t>(value);
+    std::uint64_t sign_bit = std::uint64_t{1} << (width - 1);
+    std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+    value &= mask;
+    return static_cast<std::int64_t>((value ^ sign_bit) - sign_bit);
+}
+
+/** @return a mask of @p width low ones (width <= 64). */
+constexpr std::uint64_t
+mask(unsigned width)
+{
+    return width >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << width) - 1;
+}
+
+/** Population count convenience wrapper. */
+inline unsigned
+popCount(std::uint64_t value)
+{
+    return static_cast<unsigned>(std::popcount(value));
+}
+
+} // namespace cpe
+
+#endif // CPE_UTIL_BITS_HH

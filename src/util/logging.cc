@@ -1,0 +1,51 @@
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cpe {
+
+namespace {
+bool verboseFlag = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseFlag)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace cpe

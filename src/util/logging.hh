@@ -1,0 +1,85 @@
+/**
+ * @file
+ * gem5-flavoured status/error reporting: panic() for simulator bugs,
+ * fatal() for user/configuration errors, warn()/inform() for advisories.
+ *
+ * All of these format with std::format-style printf semantics kept
+ * deliberately simple: they accept a pre-formatted string built by the
+ * caller (we avoid a variadic printf clone so that format errors are
+ * compile-time errors at the call site).
+ */
+
+#ifndef CPE_UTIL_LOGGING_HH
+#define CPE_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace cpe {
+
+/**
+ * Verbosity gate for inform(); warn()/panic()/fatal() always print.
+ * Defaults to true; benches flip it off to keep table output clean.
+ */
+void setVerbose(bool verbose);
+
+/** @return whether inform() currently prints. */
+bool verbose();
+
+/**
+ * Report an internal simulator bug and abort().  Never returns.
+ * Use for conditions that cannot happen unless cpesim itself is broken.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * workload arguments) and exit(1).  Never returns.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a warning about questionable-but-survivable conditions. */
+void warn(const std::string &msg);
+
+/** Print an informational status message (suppressed when !verbose()). */
+void inform(const std::string &msg);
+
+/**
+ * Tiny stream-style message builder so call sites can write
+ * @code panic(Msg() << "bad opcode " << op); @endcode
+ */
+class Msg
+{
+  public:
+    template <typename T>
+    Msg &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+    /** Implicit conversion so Msg can be passed straight to panic(). */
+    operator std::string() const { return stream_.str(); }
+
+  private:
+    std::ostringstream stream_;
+};
+
+/**
+ * Assertion macro that survives NDEBUG builds; fires panic() with
+ * file/line context.  Use for simulator invariants on hot-but-not-
+ * innermost paths; plain assert() remains fine for innermost loops.
+ */
+#define CPE_ASSERT(cond, msg)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::cpe::panic(::cpe::Msg()                                     \
+                         << __FILE__ << ":" << __LINE__                   \
+                         << ": assertion failed: " #cond ": " << msg);    \
+        }                                                                 \
+    } while (0)
+
+} // namespace cpe
+
+#endif // CPE_UTIL_LOGGING_HH

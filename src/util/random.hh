@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator never uses std::rand or hardware entropy: every stochastic
+ * choice (random replacement, workload data generation) flows through an
+ * explicitly seeded Xoshiro256** instance so runs are exactly repeatable.
+ */
+
+#ifndef CPE_UTIL_RANDOM_HH
+#define CPE_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace cpe {
+
+/**
+ * Xoshiro256** PRNG.  Small, fast, and good enough for workload data and
+ * replacement decisions; not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 expansion of @p seed (any value is fine). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return the next 64 uniformly random bits. */
+    std::uint64_t next64();
+
+    /** @return a uniform integer in [0, bound) — bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double uniform();
+
+    /** @return true with probability @p p. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace cpe
+
+#endif // CPE_UTIL_RANDOM_HH

@@ -1,0 +1,152 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace cpe {
+
+namespace {
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+    if (i >= cell.size())
+        return false;
+    for (; i < cell.size(); ++i) {
+        char c = cell[i];
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != ',' && c != '%' && c != 'x' && c != 'e' && c != '-' &&
+            c != '+') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+void
+TextTable::addHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::num(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    measure(header_);
+    for (const auto &row : rows_)
+        measure(row);
+
+    std::ostringstream out;
+    if (!caption_.empty())
+        out << caption_ << "\n";
+
+    auto emit = [&](const std::vector<std::string> &row, bool align_num) {
+        std::string line;
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            bool right = align_num && looksNumeric(cell);
+            std::size_t pad = width[c] - cell.size();
+            if (c)
+                line += "  ";
+            if (right)
+                line += std::string(pad, ' ') + cell;
+            else
+                line += cell + std::string(pad, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        out << line << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_, false);
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < cols; ++c)
+            total += width[c] + (c ? 2 : 0);
+        out << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        emit(row, true);
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string q = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                q += "\"\"";
+            else
+                q.push_back(c);
+        }
+        q.push_back('"');
+        return q;
+    };
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ",";
+            out << quote(row[c]);
+        }
+        out << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+} // namespace cpe

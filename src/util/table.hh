@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain-text table formatter used by the bench harness and reporters to
+ * print paper-style tables (fixed-width, right-aligned numerics).
+ */
+
+#ifndef CPE_UTIL_TABLE_HH
+#define CPE_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpe {
+
+/**
+ * Accumulates rows of cells and renders them as an aligned text table.
+ *
+ * The first row added with addHeader() is underlined; numeric-looking
+ * cells are right-aligned, text left-aligned.  Also exports CSV.
+ */
+class TextTable
+{
+  public:
+    /** Optional table caption printed above the header. */
+    void setCaption(std::string caption) { caption_ = std::move(caption); }
+
+    /** Set the header row. */
+    void addHeader(std::vector<std::string> cells);
+
+    /** Append a data row (ragged rows are padded with empty cells). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 3);
+
+    /** Convenience: format an integer with thousands grouping. */
+    static std::string num(std::uint64_t value);
+
+    /** Render as an aligned plain-text table. */
+    std::string render() const;
+
+    /** Render as CSV (caption omitted). */
+    std::string renderCsv() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cpe
+
+#endif // CPE_UTIL_TABLE_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the simulator.
+ */
+
+#ifndef CPE_UTIL_TYPES_HH
+#define CPE_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace cpe {
+
+/** Simulated byte address. */
+using Addr = std::uint64_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Dynamic-instruction sequence number (commit order). */
+using SeqNum = std::uint64_t;
+
+/** Architectural or physical register index. */
+using RegIndex = std::uint16_t;
+
+} // namespace cpe
+
+#endif // CPE_UTIL_TYPES_HH

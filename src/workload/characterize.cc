@@ -1,0 +1,56 @@
+#include "workload/characterize.hh"
+
+#include <unordered_set>
+
+#include "func/executor.hh"
+
+namespace cpe::workload {
+
+Characterization
+characterize(const prog::Program &program, std::uint64_t max_insts)
+{
+    func::Executor executor(program, max_insts);
+    Characterization mix;
+    std::unordered_set<Addr> lines;
+    func::DynInst record;
+    while (executor.next(record)) {
+        ++mix.insts;
+        if (record.kernelMode)
+            ++mix.kernelInsts;
+        switch (record.cls) {
+          case isa::InstClass::Load:
+            ++mix.loads;
+            mix.loadBytes += record.memSize;
+            lines.insert(record.memAddr / 32);
+            break;
+          case isa::InstClass::Store:
+            ++mix.stores;
+            mix.storeBytes += record.memSize;
+            lines.insert(record.memAddr / 32);
+            break;
+          case isa::InstClass::Branch:
+            ++mix.branches;
+            if (record.taken)
+                ++mix.takenBranches;
+            break;
+          case isa::InstClass::Jump:
+            ++mix.jumps;
+            break;
+          case isa::InstClass::FpAdd:
+          case isa::InstClass::FpMul:
+          case isa::InstClass::FpDiv:
+            ++mix.fpOps;
+            break;
+          case isa::InstClass::IntMul:
+          case isa::InstClass::IntDiv:
+            ++mix.mulDiv;
+            break;
+          default:
+            break;
+        }
+    }
+    mix.touchedLines = lines.size();
+    return mix;
+}
+
+} // namespace cpe::workload

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Workload characterization: dynamic instruction-mix statistics
+ * gathered by functional execution, feeding the evaluation's workload
+ * table (experiment T2).
+ */
+
+#ifndef CPE_WORKLOAD_CHARACTERIZE_HH
+#define CPE_WORKLOAD_CHARACTERIZE_HH
+
+#include <cstdint>
+
+#include "prog/program.hh"
+
+namespace cpe::workload {
+
+/** Dynamic-mix summary of one program run to completion. */
+struct Characterization
+{
+    std::uint64_t insts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;      ///< conditional only
+    std::uint64_t takenBranches = 0;
+    std::uint64_t jumps = 0;
+    std::uint64_t fpOps = 0;
+    std::uint64_t mulDiv = 0;
+    std::uint64_t kernelInsts = 0;   ///< executed in kernel mode
+    std::uint64_t loadBytes = 0;
+    std::uint64_t storeBytes = 0;
+    /** Distinct 32-byte lines touched (data working set). */
+    std::uint64_t touchedLines = 0;
+
+    /** Data working-set size in KiB (32-byte lines). */
+    double workingSetKiB() const { return touchedLines * 32.0 / 1024.0; }
+
+    double loadFrac() const { return frac(loads); }
+    double storeFrac() const { return frac(stores); }
+    double memFrac() const { return frac(loads + stores); }
+    double branchFrac() const { return frac(branches + jumps); }
+    double fpFrac() const { return frac(fpOps); }
+    double kernelFrac() const { return frac(kernelInsts); }
+    double avgLoadBytes() const
+    {
+        return loads ? static_cast<double>(loadBytes) / loads : 0.0;
+    }
+    double avgStoreBytes() const
+    {
+        return stores ? static_cast<double>(storeBytes) / stores : 0.0;
+    }
+
+  private:
+    double
+    frac(std::uint64_t part) const
+    {
+        return insts ? static_cast<double>(part) / insts : 0.0;
+    }
+};
+
+/**
+ * Functionally execute @p program to completion (bounded by
+ * @p max_insts) and tally its dynamic mix.
+ */
+Characterization characterize(const prog::Program &program,
+                              std::uint64_t max_insts = 100'000'000);
+
+} // namespace cpe::workload
+
+#endif // CPE_WORKLOAD_CHARACTERIZE_HH

@@ -1,0 +1,582 @@
+/**
+ * @file
+ * Floating-point workload kernels: dense matrix multiply (the
+ * spatial-locality showcase), a 5-point Jacobi stencil, and a
+ * STREAM-style triad.  All operate on double-precision data, like the
+ * FP applications in the paper's suite.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hh"
+#include "workload/os_activity.hh"
+#include "workload/registry.hh"
+
+namespace cpe::workload {
+
+using namespace prog::reg;
+using prog::Builder;
+using prog::Label;
+
+namespace {
+
+RegIndex
+f(unsigned n)
+{
+    return prog::reg::f(n);
+}
+
+/**
+ * matmul: C = A x B on N x N doubles, ikj loop order so the inner loop
+ * streams B and C rows — long runs of sequential 8-byte loads and
+ * stores that wide ports and line buffers amplify.
+ */
+prog::Program
+buildMatmul(const WorkloadOptions &options)
+{
+    const unsigned n = 32 * options.scale;
+    const Addr row_bytes = static_cast<Addr>(n) * 8;
+
+    Builder b("matmul");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+    Addr a_base = b.allocData(n * n * 8, 64);
+    Addr b_base = b.allocData(n * n * 8, 64);
+    Addr c_base = b.allocData(n * n * 8, 64);
+
+    Rng rng(options.seed);
+    for (unsigned i = 0; i < n * n; ++i) {
+        b.setDataF64(a_base + 8 * static_cast<Addr>(i), rng.uniform());
+        b.setDataF64(b_base + 8 * static_cast<Addr>(i), rng.uniform());
+    }
+
+    Label main = b.newLabel();
+    b.j(main);
+    os.emitHandler();
+    b.bind(main);
+
+    b.loadImm(s0, a_base);
+    b.loadImm(s1, b_base);
+    b.loadImm(s2, c_base);
+    b.loadImm(s3, n);
+
+    b.loadImm(s5, 0);                 // i
+    Label i_loop = b.here();
+    // s7 = &A[i][0], s8 = &C[i][0]
+    b.mul(t0, s5, s3);
+    b.slli(t0, t0, 3);
+    b.add(s7, s0, t0);
+    b.add(s8, s2, t0);
+
+    b.loadImm(s6, 0);                 // k
+    Label k_loop = b.here();
+    b.slli(t0, s6, 3);
+    b.add(t0, s7, t0);
+    b.fld(f(0), 0, t0);               // f0 = A[i][k]
+    // t1 = &B[k][0]
+    b.mul(t1, s6, s3);
+    b.slli(t1, t1, 3);
+    b.add(t1, s1, t1);
+    b.mv(t4, t1);                     // B cursor
+    b.mv(t5, s8);                     // C cursor
+    b.srli(t3, s3, 2);                // j count / 4 (unrolled x4)
+
+    Label j_loop = b.here();
+    for (unsigned u = 0; u < 4; ++u) {
+        std::int64_t off = static_cast<std::int64_t>(u) * 8;
+        b.fld(f(1 + 2 * u), off, t4);
+        b.fld(f(2 + 2 * u), off, t5);
+        b.fmul(f(1 + 2 * u), f(1 + 2 * u), f(0));
+        b.fadd(f(2 + 2 * u), f(2 + 2 * u), f(1 + 2 * u));
+        b.fsd(f(2 + 2 * u), off, t5);
+    }
+    b.addi(t4, t4, 32);
+    b.addi(t5, t5, 32);
+    b.addi(t3, t3, -1);
+    b.bne(t3, zero, j_loop);
+
+    b.addi(s6, s6, 1);
+    b.blt(s6, s3, k_loop);
+
+    os.call();                        // one handler call per i row
+    b.addi(s5, s5, 1);
+    b.blt(s5, s3, i_loop);
+
+    // Result: sum of every C element (order fixed: row-major).
+    b.loadImm(t0, c_base);
+    b.mul(t1, s3, s3);
+    b.loadImm(t2, 0);
+    b.fcvtI2f(f(4), t2);              // acc = 0.0
+    Label sum_loop = b.here();
+    b.fld(f(5), 0, t0);
+    b.fadd(f(4), f(4), f(5));
+    b.addi(t0, t0, 8);
+    b.addi(t1, t1, -1);
+    b.bne(t1, zero, sum_loop);
+    b.loadImm(t0, result);
+    b.fsd(f(4), 0, t0);
+    b.halt();
+    (void)row_bytes;
+    return b.build();
+}
+
+/**
+ * stencil: T sweeps of a 5-point Jacobi kernel on an N x N grid,
+ * ping-ponging between two buffers.  Three input rows stream together
+ * — heavy spatial reuse across neighbouring loads.
+ */
+prog::Program
+buildStencil(const WorkloadOptions &options)
+{
+    const unsigned n = 64;
+    const unsigned sweeps = 4 * options.scale;
+    const std::int64_t row = static_cast<std::int64_t>(n) * 8;
+
+    Builder b("stencil");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+    Addr coeff = b.allocData(8, 8);
+    Addr grid0 = b.allocData(n * n * 8, 64);
+    Addr grid1 = b.allocData(n * n * 8, 64);
+
+    b.setDataF64(coeff, 0.2);
+    Rng rng(options.seed);
+    for (unsigned i = 0; i < n * n; ++i)
+        b.setDataF64(grid0 + 8 * static_cast<Addr>(i), rng.uniform());
+
+    Label main = b.newLabel();
+    b.j(main);
+    os.emitHandler();
+    b.bind(main);
+
+    b.loadImm(s0, grid0);             // src
+    b.loadImm(s1, grid1);             // dst
+    b.loadImm(s2, n);
+    b.loadImm(s3, sweeps);
+    b.loadImm(t0, coeff);
+    b.fld(f(9), 0, t0);               // 0.2
+
+    Label sweep_loop = b.here();
+    b.loadImm(s5, 1);                 // i = 1 .. n-2
+    Label i_loop = b.here();
+    // t0 = &src[i][1], t1 = &dst[i][1]
+    b.mul(t2, s5, s2);
+    b.addi(t2, t2, 1);
+    b.slli(t2, t2, 3);
+    b.add(t0, s0, t2);
+    b.add(t1, s1, t2);
+    b.addi(t3, s2, -2);               // j count
+
+    b.srli(t3, t3, 1);                // interior width 62 -> 31 pairs
+    Label j_loop = b.here();
+    // Unrolled x2 with independent accumulator chains.
+    for (unsigned u = 0; u < 2; ++u) {
+        std::int64_t off = static_cast<std::int64_t>(u) * 8;
+        unsigned base = u * 4;
+        b.fld(f(base + 0), off, t0);          // centre
+        b.fld(f(base + 1), off - 8, t0);      // left
+        b.fld(f(base + 2), off + 8, t0);      // right
+        b.fld(f(base + 3), off - row, t0);    // up
+        b.fadd(f(base + 0), f(base + 0), f(base + 1));
+        b.fld(f(base + 1), off + row, t0);    // down
+        b.fadd(f(base + 2), f(base + 2), f(base + 3));
+        b.fadd(f(base + 0), f(base + 0), f(base + 2));
+        b.fadd(f(base + 0), f(base + 0), f(base + 1));
+        b.fmul(f(base + 0), f(base + 0), f(9));
+        b.fsd(f(base + 0), off, t1);
+    }
+    b.addi(t0, t0, 16);
+    b.addi(t1, t1, 16);
+    b.addi(t3, t3, -1);
+    b.bne(t3, zero, j_loop);
+
+    os.maybeCounterCall(s9, 15);      // handler every 16 rows
+    b.addi(s5, s5, 1);
+    b.addi(t4, s2, -1);
+    b.blt(s5, t4, i_loop);
+
+    // Swap src/dst.
+    b.mv(t0, s0);
+    b.mv(s0, s1);
+    b.mv(s1, t0);
+    b.addi(s3, s3, -1);
+    b.bne(s3, zero, sweep_loop);
+
+    // Result: sum of the final source grid's interior diagonal.
+    b.loadImm(t1, 1);
+    b.loadImm(t2, 0);
+    b.fcvtI2f(f(4), t2);
+    b.addi(t5, s2, -1);
+    Label diag_loop = b.here();
+    b.mul(t0, t1, s2);
+    b.add(t0, t0, t1);
+    b.slli(t0, t0, 3);
+    b.add(t0, s0, t0);
+    b.fld(f(5), 0, t0);
+    b.fadd(f(4), f(4), f(5));
+    b.addi(t1, t1, 1);
+    b.blt(t1, t5, diag_loop);
+    b.loadImm(t0, result);
+    b.fsd(f(4), 0, t0);
+    b.halt();
+    return b.build();
+}
+
+/**
+ * saxpy: STREAM-triad z[i] = a * x[i] + y[i], several passes over
+ * arrays larger than L1.  Two loads + one store per element, fully
+ * sequential — maximal wide-port leverage.
+ */
+prog::Program
+buildSaxpy(const WorkloadOptions &options)
+{
+    // Arrays sized to stay L1-resident (3 x 4 KiB): this kernel
+    // measures pure L1 port bandwidth, not memory latency.
+    const unsigned n = 512;
+    const unsigned passes = 48 * options.scale;
+
+    Builder b("saxpy");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+    Addr coeff = b.allocData(8, 8);
+    Addr x_base = b.allocData(n * 8, 64);
+    Addr y_base = b.allocData(n * 8, 64);
+    Addr z_base = b.allocData(n * 8, 64);
+
+    b.setDataF64(coeff, 2.5);
+    Rng rng(options.seed);
+    for (unsigned i = 0; i < n; ++i) {
+        b.setDataF64(x_base + 8 * static_cast<Addr>(i), rng.uniform());
+        b.setDataF64(y_base + 8 * static_cast<Addr>(i), rng.uniform());
+    }
+
+    Label main = b.newLabel();
+    b.j(main);
+    os.emitHandler();
+    b.bind(main);
+
+    b.loadImm(t0, coeff);
+    b.fld(f(9), 0, t0);
+    b.loadImm(s3, passes);
+
+    Label pass_loop = b.here();
+    b.loadImm(t0, x_base);
+    b.loadImm(t1, y_base);
+    b.loadImm(t2, z_base);
+    b.loadImm(t4, n / 4);
+    // Unrolled x4, as a compiler would emit: independent FP chains in
+    // distinct registers expose the ILP the 4-wide core needs.
+    Label elem_loop = b.here();
+    for (unsigned u = 0; u < 4; ++u) {
+        std::int64_t off = static_cast<std::int64_t>(u) * 8;
+        b.fld(f(2 * u), off, t0);
+        b.fld(f(2 * u + 1), off, t1);
+        b.fmul(f(2 * u), f(2 * u), f(9));
+        b.fadd(f(2 * u), f(2 * u), f(2 * u + 1));
+        b.fsd(f(2 * u), off, t2);
+    }
+    b.addi(t0, t0, 32);
+    b.addi(t1, t1, 32);
+    b.addi(t2, t2, 32);
+    b.addi(t4, t4, -1);
+    b.bne(t4, zero, elem_loop);
+    os.call();                        // one handler call per pass
+    b.addi(s3, s3, -1);
+    b.bne(s3, zero, pass_loop);
+
+    // Result: z[n-1] raw bits.
+    b.loadImm(t0, z_base + 8 * static_cast<Addr>(n - 1));
+    b.ld(t1, 0, t0);
+    b.loadImm(t0, result);
+    b.sd(t1, 0, t0);
+    b.halt();
+    return b.build();
+}
+
+/**
+ * spmv: sparse matrix-vector multiply in CSR form.  Row pointers and
+ * column indices stream sequentially, but the x-vector gathers are
+ * data-dependent scatter reads — the irregular FP access pattern
+ * (finite-element, circuit-simulation codes) that defeats simple
+ * spatial locality.
+ */
+prog::Program
+buildSpmv(const WorkloadOptions &options)
+{
+    const unsigned rows = 2048 * options.scale;
+    const unsigned cols = 4096;
+
+    Builder b("spmv");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+
+    // Build the CSR structure host-side.
+    Rng rng(options.seed);
+    std::vector<std::uint64_t> row_ptr(rows + 1, 0);
+    std::vector<std::uint64_t> col_idx;
+    std::vector<double> values;
+    for (unsigned i = 0; i < rows; ++i) {
+        unsigned nnz = 4 + static_cast<unsigned>(rng.below(8));
+        for (unsigned k = 0; k < nnz; ++k) {
+            col_idx.push_back(rng.below(cols));
+            values.push_back(rng.uniform());
+        }
+        row_ptr[i + 1] = col_idx.size();
+    }
+
+    Addr rp_base = b.allocData((rows + 1) * 8, 64);
+    Addr ci_base = b.allocData(col_idx.size() * 8, 64);
+    Addr va_base = b.allocData(values.size() * 8, 64);
+    Addr x_base = b.allocData(cols * 8, 64);
+    Addr y_base = b.allocData(rows * 8, 64);
+
+    for (unsigned i = 0; i <= rows; ++i)
+        b.setData64(rp_base + 8 * static_cast<Addr>(i), row_ptr[i]);
+    for (std::size_t k = 0; k < col_idx.size(); ++k) {
+        b.setData64(ci_base + 8 * k, col_idx[k]);
+        b.setDataF64(va_base + 8 * k, values[k]);
+    }
+    for (unsigned i = 0; i < cols; ++i)
+        b.setDataF64(x_base + 8 * static_cast<Addr>(i), rng.uniform());
+
+    Label main = b.newLabel();
+    b.j(main);
+    os.emitHandler();
+    b.bind(main);
+
+    b.loadImm(s0, rp_base);
+    b.loadImm(s1, ci_base);
+    b.loadImm(s2, va_base);
+    b.loadImm(s3, x_base);
+    b.loadImm(s4, y_base);
+    b.loadImm(s5, rows);
+    b.loadImm(s6, 0);                 // i
+    b.loadImm(t0, 0);
+    b.fcvtI2f(f(8), t0);              // 0.0 template
+
+    Label row_loop = b.here();
+    b.slli(t0, s6, 3);
+    b.add(t0, s0, t0);
+    b.ld(t1, 0, t0);                  // k = row_ptr[i]
+    b.ld(t2, 8, t0);                  // kend = row_ptr[i+1]
+    b.fadd(f(0), f(8), f(8));         // acc = 0.0
+
+    Label inner = b.here();
+    Label row_done = b.newLabel();
+    b.bgeu(t1, t2, row_done);
+    b.slli(t3, t1, 3);
+    b.add(t4, s1, t3);
+    b.ld(t4, 0, t4);                  // col
+    b.add(t5, s2, t3);
+    b.fld(f(1), 0, t5);               // value
+    b.slli(t4, t4, 3);
+    b.add(t4, s3, t4);
+    b.fld(f(2), 0, t4);               // x[col]: the gather
+    b.fmul(f(1), f(1), f(2));
+    b.fadd(f(0), f(0), f(1));
+    b.addi(t1, t1, 1);
+    b.j(inner);
+    b.bind(row_done);
+
+    b.slli(t0, s6, 3);
+    b.add(t0, s4, t0);
+    b.fsd(f(0), 0, t0);               // y[i]
+    os.maybeCounterCall(s9, 255);
+    b.addi(s6, s6, 1);
+    b.blt(s6, s5, row_loop);
+
+    // Result: sum of y.
+    b.loadImm(t0, y_base);
+    b.mv(t1, s5);
+    b.fadd(f(4), f(8), f(8));         // 0.0
+    Label sum_loop = b.here();
+    b.fld(f(5), 0, t0);
+    b.fadd(f(4), f(4), f(5));
+    b.addi(t0, t0, 8);
+    b.addi(t1, t1, -1);
+    b.bne(t1, zero, sum_loop);
+    b.loadImm(t0, result);
+    b.fsd(f(4), 0, t0);
+    b.halt();
+    return b.build();
+}
+
+/**
+ * fft: iterative radix-2 in-place FFT over 256 complex doubles,
+ * repeated for several rounds (each round re-transforms the output).
+ * Bit-reversal gathers through an index table, butterfly stages walk
+ * strided pairs with twiddle-table loads: the mixed
+ * sequential/strided/gather FP pattern of the era's signal-processing
+ * codes.
+ */
+prog::Program
+buildFft(const WorkloadOptions &options)
+{
+    const unsigned n = 256;           // complex points (pow2)
+    const unsigned rounds = 6 * options.scale;
+
+    Builder b("fft");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+    Addr data = b.allocData(n * 16, 64);     // interleaved re/im
+    Addr twiddle = b.allocData((n / 2) * 16, 64);
+    Addr rev = b.allocData(n * 8, 64);       // bit-reversal indices
+
+    Rng rng(options.seed);
+    for (unsigned i = 0; i < n; ++i) {
+        b.setDataF64(data + 16 * static_cast<Addr>(i),
+                     2.0 * rng.uniform() - 1.0);
+        b.setDataF64(data + 16 * static_cast<Addr>(i) + 8,
+                     2.0 * rng.uniform() - 1.0);
+    }
+    for (unsigned k = 0; k < n / 2; ++k) {
+        double angle = -2.0 * 3.14159265358979323846 * k / n;
+        b.setDataF64(twiddle + 16 * static_cast<Addr>(k),
+                     std::cos(angle));
+        b.setDataF64(twiddle + 16 * static_cast<Addr>(k) + 8,
+                     std::sin(angle));
+    }
+    unsigned log2n = 0;
+    while ((1u << log2n) < n)
+        ++log2n;
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned r = 0;
+        for (unsigned bit = 0; bit < log2n; ++bit)
+            r |= ((i >> bit) & 1) << (log2n - 1 - bit);
+        b.setData64(rev + 8 * static_cast<Addr>(i), r);
+    }
+
+    Label main = b.newLabel();
+    b.j(main);
+    os.emitHandler();
+    b.bind(main);
+
+    b.loadImm(s0, data);
+    b.loadImm(s1, twiddle);
+    b.loadImm(s2, n);
+    b.loadImm(s10, rev);
+    b.loadImm(s11, rounds);
+
+    Label round_loop = b.here();
+
+    // ---- bit-reversal permutation (in-place swap) -----------------
+    b.loadImm(s7, 0);                  // i
+    Label rev_loop = b.here();
+    Label rev_skip = b.newLabel();
+    b.slli(t0, s7, 3);
+    b.add(t0, s10, t0);
+    b.ld(t1, 0, t0);                   // r = rev[i]
+    b.bgeu(s7, t1, rev_skip);          // swap once per pair
+    b.slli(t2, s7, 4);
+    b.add(t2, s0, t2);                 // &a[i]
+    b.slli(t3, t1, 4);
+    b.add(t3, s0, t3);                 // &a[r]
+    b.fld(f(0), 0, t2);
+    b.fld(f(1), 8, t2);
+    b.fld(f(2), 0, t3);
+    b.fld(f(3), 8, t3);
+    b.fsd(f(2), 0, t2);
+    b.fsd(f(3), 8, t2);
+    b.fsd(f(0), 0, t3);
+    b.fsd(f(1), 8, t3);
+    b.bind(rev_skip);
+    b.addi(s7, s7, 1);
+    b.blt(s7, s2, rev_loop);
+
+    // ---- butterfly stages -----------------------------------------
+    b.loadImm(s3, 2);                  // len
+    Label stage_loop = b.here();
+    b.srli(s4, s3, 1);                 // half
+    b.div(s5, s2, s3);                 // twiddle stride = n / len
+    b.slli(s8, s4, 4);                 // half * 16 bytes
+
+    b.loadImm(s6, 0);                  // start
+    Label start_loop = b.here();
+    b.loadImm(s7, 0);                  // j
+    Label bfly_loop = b.here();
+    b.add(t0, s6, s7);
+    b.slli(t0, t0, 4);
+    b.add(t0, s0, t0);                 // &a[start + j]
+    b.add(t1, t0, s8);                 // &a[start + j + half]
+    b.mul(t2, s7, s5);
+    b.slli(t2, t2, 4);
+    b.add(t2, s1, t2);                 // &W[j * stride]
+    b.fld(f(0), 0, t0);                // u.re
+    b.fld(f(1), 8, t0);                // u.im
+    b.fld(f(2), 0, t1);                // x.re
+    b.fld(f(3), 8, t1);                // x.im
+    b.fld(f(4), 0, t2);                // w.re
+    b.fld(f(5), 8, t2);                // w.im
+    b.fmul(f(6), f(2), f(4));          // v.re = xr*wr - xi*wi
+    b.fmul(f(7), f(3), f(5));
+    b.fsub(f(6), f(6), f(7));
+    b.fmul(f(7), f(2), f(5));          // v.im = xr*wi + xi*wr
+    b.fmul(f(8), f(3), f(4));
+    b.fadd(f(7), f(7), f(8));
+    b.fadd(f(8), f(0), f(6));
+    b.fsd(f(8), 0, t0);
+    b.fadd(f(8), f(1), f(7));
+    b.fsd(f(8), 8, t0);
+    b.fsub(f(8), f(0), f(6));
+    b.fsd(f(8), 0, t1);
+    b.fsub(f(8), f(1), f(7));
+    b.fsd(f(8), 8, t1);
+    b.addi(s7, s7, 1);
+    b.blt(s7, s4, bfly_loop);
+
+    b.add(s6, s6, s3);
+    b.blt(s6, s2, start_loop);
+
+    b.slli(s3, s3, 1);
+    b.bgeu(s2, s3, stage_loop);        // while len <= n
+
+    os.call();                         // kernel entry per round
+    b.addi(s11, s11, -1);
+    b.bne(s11, zero, round_loop);
+
+    // Result: sequential sum of every re and im component.
+    b.loadImm(t0, data);
+    b.loadImm(t1, 2 * n);
+    b.loadImm(t2, 0);
+    b.fcvtI2f(f(4), t2);
+    Label sum_loop = b.here();
+    b.fld(f(5), 0, t0);
+    b.fadd(f(4), f(4), f(5));
+    b.addi(t0, t0, 8);
+    b.addi(t1, t1, -1);
+    b.bne(t1, zero, sum_loop);
+    b.loadImm(t0, result);
+    b.fsd(f(4), 0, t0);
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+void
+registerFpKernels(WorkloadRegistry &registry)
+{
+    registry.add({"matmul",
+                  "dense double-precision matrix multiply (ikj)",
+                  "fp"},
+                 buildMatmul);
+    registry.add({"stencil",
+                  "5-point Jacobi sweeps on a 64x64 grid",
+                  "fp"},
+                 buildStencil);
+    registry.add({"saxpy",
+                  "STREAM triad z = a*x + y, 3 passes",
+                  "fp"},
+                 buildSaxpy);
+    registry.add({"spmv",
+                  "CSR sparse matrix-vector multiply (gather loads)",
+                  "fp"},
+                 buildSpmv);
+    registry.add({"fft",
+                  "radix-2 FFT over 256 complex points, 6 rounds",
+                  "fp"},
+                 buildFft);
+}
+
+} // namespace cpe::workload

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Integer workload kernels: LZW compression (the paper-era classic),
+ * recursive quicksort (call/return + data movement), table-driven CRC
+ * (load-heavy, cache-friendly), and byte histogram (read-modify-write
+ * store traffic).
+ */
+
+#include <array>
+#include <vector>
+
+#include "util/random.hh"
+#include "workload/os_activity.hh"
+#include "workload/registry.hh"
+
+namespace cpe::workload {
+
+using namespace prog::reg;
+using prog::Builder;
+using prog::Label;
+
+namespace {
+
+/** Text-like compressible byte stream: runs + a small alphabet. */
+std::vector<std::uint8_t>
+makeTextInput(unsigned bytes, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> input;
+    input.reserve(bytes);
+    std::uint8_t last = 0;
+    while (input.size() < bytes) {
+        if (rng.chance(0.35) && !input.empty()) {
+            input.push_back(last);  // run continuation
+        } else {
+            last = static_cast<std::uint8_t>(rng.below(24)) + 'a';
+            input.push_back(last);
+        }
+    }
+    return input;
+}
+
+/**
+ * compress: LZW with a linear-probed dictionary of (prefix, byte)
+ * pairs.  Sequential byte loads from the input, hash-scattered probes
+ * and inserts into a 128 KiB table, and 2-byte code stores to the
+ * output: the mixed access pattern of real compressors.
+ */
+prog::Program
+buildCompress(const WorkloadOptions &options)
+{
+    const unsigned in_bytes = 20 * 1024 * options.scale;
+    const unsigned table_slots = 8192;      // {key, code} x 16 B
+    const unsigned max_codes = 256 + 3072;  // < slots: probes terminate
+    const std::uint64_t golden = 0x9e3779b97f4a7c15ull;
+
+    Builder b("compress");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+    Addr input = b.allocData(in_bytes, 64);
+    Addr table = b.allocData(table_slots * 16, 64);
+    Addr output = b.allocData(in_bytes * 2 + 16, 64);
+
+    auto text = makeTextInput(in_bytes, options.seed);
+    b.setData(input, text);
+
+    Label main = b.newLabel();
+    b.j(main);
+    os.emitHandler();
+    b.bind(main);
+
+    b.loadImm(s0, input);            // in cursor
+    b.loadImm(s1, input + in_bytes); // in end
+    b.loadImm(s2, table);
+    b.loadImm(s3, table_slots - 1);  // hash mask
+    b.loadImm(s4, golden);
+    b.loadImm(s5, 256);              // next code
+    b.loadImm(s7, output);           // out cursor
+    b.loadImm(s8, max_codes);
+
+    // prefix = first byte
+    b.lbu(s6, 0, s0);
+    b.addi(s0, s0, 1);
+
+    Label loop = b.here();
+    b.lbu(t0, 0, s0);                // c
+    b.addi(s0, s0, 1);
+    // key = ((prefix + 1) << 8) | c   (nonzero; 0 marks empty slots)
+    b.addi(t1, s6, 1);
+    b.slli(t1, t1, 8);
+    b.or_(t1, t1, t0);
+    // idx = (key * golden) >> 51, masked
+    b.mul(t2, t1, s4);
+    b.srli(t2, t2, 51);
+    b.and_(t2, t2, s3);
+
+    Label probe = b.here();
+    Label found = b.newLabel();
+    Label miss = b.newLabel();
+    b.slli(t3, t2, 4);
+    b.add(t3, s2, t3);               // slot address
+    b.ld(t4, 0, t3);
+    b.beq(t4, t1, found);
+    b.beq(t4, zero, miss);
+    b.addi(t2, t2, 1);
+    b.and_(t2, t2, s3);
+    b.j(probe);
+
+    Label next = b.newLabel();
+    b.bind(found);
+    b.ld(s6, 8, t3);                 // prefix = code(slot)
+    b.j(next);
+
+    b.bind(miss);
+    b.sh(s6, 0, s7);                 // emit prefix code
+    b.addi(s7, s7, 2);
+    Label no_insert = b.newLabel();
+    b.bge(s5, s8, no_insert);        // dictionary full
+    b.sd(t1, 0, t3);
+    b.sd(s5, 8, t3);
+    b.addi(s5, s5, 1);
+    b.bind(no_insert);
+    b.mv(s6, t0);                    // prefix = c
+
+    b.bind(next);
+    os.maybeAddrCall(s0, 2047);      // handler every 2 KiB of input
+    b.bltu(s0, s1, loop);
+
+    b.sh(s6, 0, s7);                 // final code
+    b.addi(s7, s7, 2);
+
+    // Result: output length in bytes and final code count.
+    b.loadImm(t0, result);
+    b.loadImm(t1, output);
+    b.sub(t1, s7, t1);
+    b.sd(t1, 0, t0);
+    b.sd(s5, 8, t0);
+    b.halt();
+    return b.build();
+}
+
+/**
+ * sort: recursive quicksort (Lomuto partition) over random 64-bit
+ * keys.  Deep call/return chains exercise the RAS and stack traffic;
+ * partitioning streams loads with data-dependent swap stores.
+ */
+prog::Program
+buildSort(const WorkloadOptions &options)
+{
+    const unsigned n = 4096 * options.scale;
+
+    Builder b("sort");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+    Addr array = b.allocData(n * 8, 64);
+
+    Rng rng(options.seed);
+    for (unsigned i = 0; i < n; ++i)
+        b.setData64(array + 8 * static_cast<Addr>(i), rng.next64() >> 2);
+
+    Label start = b.newLabel();
+    Label qsort = b.newLabel();
+    b.j(start);
+    os.emitHandler();
+
+    // ---- qsort(a0 = lo addr, a1 = hi addr), inclusive ----------------
+    b.bind(qsort);
+    Label done = b.newLabel();
+    b.bgeu(a0, a1, done);
+    b.addi(sp, sp, -32);
+    b.sd(ra, 0, sp);
+    b.sd(a0, 8, sp);
+    b.sd(a1, 16, sp);
+    os.maybeCounterCall(s9, 63);     // ra is saved: safe site
+
+    // Lomuto partition, pivot = *hi.
+    b.ld(t0, 0, a1);                 // pivot
+    b.addi(t1, a0, -8);              // i
+    b.mv(t2, a0);                    // j
+    Label part_loop = b.here();
+    Label part_done = b.newLabel();
+    Label no_swap = b.newLabel();
+    b.bgeu(t2, a1, part_done);
+    b.ld(t3, 0, t2);
+    b.bge(t3, t0, no_swap);
+    b.addi(t1, t1, 8);
+    b.ld(t4, 0, t1);
+    b.sd(t3, 0, t1);
+    b.sd(t4, 0, t2);
+    b.bind(no_swap);
+    b.addi(t2, t2, 8);
+    b.j(part_loop);
+    b.bind(part_done);
+    b.addi(t1, t1, 8);               // pivot slot
+    b.ld(t4, 0, t1);
+    b.sd(t4, 0, a1);
+    b.sd(t0, 0, t1);
+    b.sd(t1, 24, sp);                // save pivot slot
+
+    b.addi(a1, t1, -8);              // right edge of left part
+    b.jal(ra, qsort);                // qsort(lo, p-8)
+
+    b.ld(t1, 24, sp);
+    b.addi(a0, t1, 8);
+    b.ld(a1, 16, sp);
+    b.jal(ra, qsort);                // qsort(p+8, hi)
+
+    b.ld(ra, 0, sp);
+    b.addi(sp, sp, 32);
+    b.bind(done);
+    b.ret();
+
+    // ---- main ----------------------------------------------------------
+    b.bind(start);
+    b.loadImm(a0, array);
+    b.loadImm(a1, array + 8 * static_cast<Addr>(n - 1));
+    b.call(qsort);
+
+    // Result: order-sensitive checksum sum(a[i] * (i + 1)) mod 2^64.
+    b.loadImm(t0, array);
+    b.loadImm(t1, n);
+    b.loadImm(t2, 0);                // acc
+    b.loadImm(t3, 1);                // i + 1
+    Label sum_loop = b.here();
+    b.ld(t4, 0, t0);
+    b.mul(t4, t4, t3);
+    b.add(t2, t2, t4);
+    b.addi(t0, t0, 8);
+    b.addi(t3, t3, 1);
+    b.addi(t1, t1, -1);
+    b.bne(t1, zero, sum_loop);
+    b.loadImm(t0, result);
+    b.sd(t2, 0, t0);
+    b.halt();
+    return b.build();
+}
+
+/**
+ * crc: table-driven CRC-32 over a random buffer.  The 2 KiB table
+ * stays L1-resident: a load-dominated, high-hit-rate kernel whose
+ * single-port bottleneck is pure load bandwidth.
+ */
+prog::Program
+buildCrc(const WorkloadOptions &options)
+{
+    const unsigned in_bytes = 24 * 1024 * options.scale;
+
+    Builder b("crc");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+    Addr input = b.allocData(in_bytes, 64);
+    Addr table = b.allocData(256 * 8, 64);
+
+    Rng rng(options.seed);
+    for (unsigned off = 0; off < in_bytes; off += 8)
+        b.setData64(input + off, rng.next64());
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+        b.setData64(table + 8 * static_cast<Addr>(i), crc);
+    }
+
+    Label main = b.newLabel();
+    b.j(main);
+    os.emitHandler();
+    b.bind(main);
+
+    b.loadImm(s0, input);
+    b.loadImm(s1, input + in_bytes);
+    b.loadImm(s2, table);
+    b.loadImm(s3, 0xFFFFFFFFull);    // crc register
+
+    Label loop = b.here();
+    b.lbu(t0, 0, s0);
+    b.addi(s0, s0, 1);
+    b.xor_(t1, s3, t0);
+    b.andi(t1, t1, 255);
+    b.slli(t1, t1, 3);
+    b.add(t1, s2, t1);
+    b.ld(t1, 0, t1);
+    b.srli(t2, s3, 8);
+    b.xor_(s3, t1, t2);
+    os.maybeAddrCall(s0, 2047);
+    b.bltu(s0, s1, loop);
+
+    b.loadImm(t0, result);
+    b.sd(s3, 0, t0);
+    b.halt();
+    return b.build();
+}
+
+/**
+ * histogram: byte-frequency counting.  Every input byte costs one
+ * load of the byte, one load of its counter, and one store back: a
+ * read-modify-write pattern whose scattered small stores are exactly
+ * what store-buffer combining targets.
+ */
+prog::Program
+buildHistogram(const WorkloadOptions &options)
+{
+    const unsigned in_bytes = 24 * 1024 * options.scale;
+
+    Builder b("histogram");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+    Addr input = b.allocData(in_bytes, 64);
+    Addr hist = b.allocData(256 * 8, 64);
+
+    Rng rng(options.seed);
+    for (unsigned off = 0; off < in_bytes; ++off) {
+        // Skewed distribution: small byte values dominate, so counter
+        // lines see reuse (combining-friendly).
+        std::uint8_t value = static_cast<std::uint8_t>(
+            rng.below(16) * rng.below(16));
+        b.setData(input + off, std::span<const std::uint8_t>(&value, 1));
+    }
+
+    Label main = b.newLabel();
+    b.j(main);
+    os.emitHandler();
+    b.bind(main);
+
+    b.loadImm(s0, input);
+    b.loadImm(s1, input + in_bytes);
+    b.loadImm(s2, hist);
+
+    Label loop = b.here();
+    b.lbu(t0, 0, s0);
+    b.addi(s0, s0, 1);
+    b.slli(t0, t0, 3);
+    b.add(t0, s2, t0);
+    b.ld(t1, 0, t0);
+    b.addi(t1, t1, 1);
+    b.sd(t1, 0, t0);
+    os.maybeAddrCall(s0, 2047);
+    b.bltu(s0, s1, loop);
+
+    // Result: weighted sum of counters.
+    b.loadImm(t0, hist);
+    b.loadImm(t1, 256);
+    b.loadImm(t2, 0);                // acc
+    b.loadImm(t3, 0);                // index
+    Label sum_loop = b.here();
+    b.ld(t4, 0, t0);
+    b.mul(t4, t4, t3);
+    b.add(t2, t2, t4);
+    b.addi(t0, t0, 8);
+    b.addi(t3, t3, 1);
+    b.addi(t1, t1, -1);
+    b.bne(t1, zero, sum_loop);
+    b.loadImm(t0, result);
+    b.sd(t2, 0, t0);
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+void
+registerIntKernels(WorkloadRegistry &registry)
+{
+    registry.add({"compress",
+                  "LZW compression with a 128 KiB hashed dictionary",
+                  "integer"},
+                 buildCompress);
+    registry.add({"sort",
+                  "recursive quicksort of 4 K random 64-bit keys",
+                  "integer"},
+                 buildSort);
+    registry.add({"crc",
+                  "table-driven CRC-32 over 24 KiB",
+                  "integer"},
+                 buildCrc);
+    registry.add({"histogram",
+                  "byte histogram: read-modify-write counters",
+                  "integer"},
+                 buildHistogram);
+}
+
+} // namespace cpe::workload

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Additional workload kernels: binary search (branchy, dependent
+ * low-locality loads — the classic cache-unfriendly search) and string
+ * operations (byte-granular loads/stores with data-dependent lengths,
+ * the sub-word pattern where load-all shines even on narrow ports).
+ */
+
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+#include "workload/os_activity.hh"
+#include "workload/registry.hh"
+
+namespace cpe::workload {
+
+using namespace prog::reg;
+using prog::Builder;
+using prog::Label;
+
+namespace {
+
+/**
+ * bsearch: M binary searches over a sorted 64 K-entry array (512 KiB,
+ * far beyond L1).  Each probe's address depends on the previous
+ * comparison: a serial chain of scattered loads plus hard-to-predict
+ * branches.  A latency-bound control case like pchase, but with the
+ * branchy flavour of real search code.
+ */
+prog::Program
+buildBsearch(const WorkloadOptions &options)
+{
+    const unsigned n = 65536;
+    const unsigned lookups = 12288 * options.scale;
+
+    Builder b("bsearch");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+    Addr array = b.allocData(n * 8, 64);
+    Addr keys = b.allocData(lookups * 8, 64);
+
+    // Sorted array: strictly increasing with random gaps.
+    Rng rng(options.seed);
+    std::vector<std::uint64_t> values(n);
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        value += 1 + rng.below(64);
+        values[i] = value;
+        b.setData64(array + 8 * static_cast<Addr>(i), value);
+    }
+    for (unsigned i = 0; i < lookups; ++i) {
+        // ~half the keys are present, half miss between elements.
+        std::uint64_t key = rng.chance(0.5)
+            ? values[rng.below(n)]
+            : values[rng.below(n - 1)] + 1;
+        b.setData64(keys + 8 * static_cast<Addr>(i), key);
+    }
+
+    Label main = b.newLabel();
+    b.j(main);
+    os.emitHandler();
+    b.bind(main);
+
+    b.loadImm(s0, keys);
+    b.loadImm(s1, lookups);
+    b.loadImm(s2, array);
+    b.loadImm(s7, 0);                  // found-index accumulator
+    b.loadImm(s8, 0);                  // i
+
+    Label lookup_loop = b.here();
+    b.slli(t0, s8, 3);
+    b.add(t0, s0, t0);
+    b.ld(t0, 0, t0);                   // key
+    b.loadImm(t1, 0);                  // lo
+    b.loadImm(t2, n);                  // hi (exclusive)
+
+    Label search = b.here();
+    Label found = b.newLabel();
+    Label miss = b.newLabel();
+    Label go_right = b.newLabel();
+    Label next = b.newLabel();
+    b.bgeu(t1, t2, miss);
+    b.add(t3, t1, t2);
+    b.srli(t3, t3, 1);                 // mid
+    b.slli(t4, t3, 3);
+    b.add(t4, s2, t4);
+    b.ld(t4, 0, t4);                   // array[mid]
+    b.beq(t4, t0, found);
+    b.bltu(t4, t0, go_right);
+    b.mv(t2, t3);                      // hi = mid
+    b.j(search);
+    b.bind(go_right);
+    b.addi(t1, t3, 1);                 // lo = mid + 1
+    b.j(search);
+
+    b.bind(found);
+    b.add(s7, s7, t3);
+    b.addi(s7, s7, 1);                 // count hits distinctly
+    b.bind(miss);
+    os.maybeCounterCall(s9, 511);
+    b.bind(next);
+    b.addi(s8, s8, 1);
+    b.blt(s8, s1, lookup_loop);
+
+    b.loadImm(t0, result);
+    b.sd(s7, 0, t0);
+    b.halt();
+    return b.build();
+}
+
+/**
+ * strops: a pool of NUL-terminated strings is measured (strlen),
+ * copied (strcpy), and compared against the copy (strcmp).  Everything
+ * is byte-granular with data-dependent trip counts — dense sub-word
+ * traffic where one wide port access serves many later byte loads.
+ */
+prog::Program
+buildStrops(const WorkloadOptions &options)
+{
+    const unsigned strings = 192 * options.scale;
+    const unsigned slot = 96;  // max string size incl. NUL
+
+    Builder b("strops");
+    Addr result = b.allocData(16, 8);
+    OsActivity os(b, options);
+    Addr pool = b.allocData(strings * slot, 64);
+    Addr copies = b.allocData(strings * slot, 64);
+
+    Rng rng(options.seed);
+    for (unsigned i = 0; i < strings; ++i) {
+        unsigned length = 8 + static_cast<unsigned>(rng.below(slot - 9));
+        std::vector<std::uint8_t> text(length + 1);
+        for (unsigned c = 0; c < length; ++c)
+            text[c] = static_cast<std::uint8_t>('a' + rng.below(26));
+        text[length] = 0;
+        b.setData(pool + static_cast<Addr>(i) * slot, text);
+    }
+
+    Label main = b.newLabel();
+    b.j(main);
+    os.emitHandler();
+    b.bind(main);
+
+    b.loadImm(s0, pool);
+    b.loadImm(s1, copies);
+    b.loadImm(s2, strings);
+    b.loadImm(s7, 0);                 // total length accumulator
+    b.loadImm(s8, 0);                 // equal-compare count
+    b.loadImm(s3, 0);                 // i
+
+    Label str_loop = b.here();
+    // t0 = &pool[i*slot], t1 = &copies[i*slot]
+    b.loadImm(t5, slot);
+    b.mul(t0, s3, t5);
+    b.add(t1, s1, t0);
+    b.add(t0, s0, t0);
+
+    // --- strlen + strcpy fused: copy until NUL, counting ----------
+    b.mv(t2, t0);
+    b.mv(t3, t1);
+    Label copy_loop = b.here();
+    Label copy_done = b.newLabel();
+    b.lbu(t4, 0, t2);
+    b.sb(t4, 0, t3);
+    b.addi(t2, t2, 1);
+    b.addi(t3, t3, 1);
+    b.bne(t4, zero, copy_loop);
+    b.bind(copy_done);
+    b.sub(t2, t2, t0);
+    b.addi(t2, t2, -1);               // exclude the NUL
+    b.add(s7, s7, t2);
+
+    // --- strcmp(original, copy): must be equal --------------------
+    b.mv(t2, t0);
+    b.mv(t3, t1);
+    Label cmp_loop = b.here();
+    Label cmp_ne = b.newLabel();
+    Label cmp_done = b.newLabel();
+    b.lbu(t4, 0, t2);
+    b.lbu(t5, 0, t3);
+    b.bne(t4, t5, cmp_ne);
+    b.addi(t2, t2, 1);
+    b.addi(t3, t3, 1);
+    b.bne(t4, zero, cmp_loop);
+    b.addi(s8, s8, 1);                // equal
+    b.j(cmp_done);
+    b.bind(cmp_ne);
+    b.bind(cmp_done);
+
+    os.maybeCounterCall(s9, 31);
+    b.addi(s3, s3, 1);
+    b.blt(s3, s2, str_loop);
+
+    b.loadImm(t0, result);
+    b.sd(s7, 0, t0);
+    b.sd(s8, 8, t0);
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+void
+registerMiscKernels(WorkloadRegistry &registry)
+{
+    registry.add({"bsearch",
+                  "binary searches over a 512 KiB sorted array",
+                  "integer"},
+                 buildBsearch);
+    registry.add({"strops",
+                  "strlen/strcpy/strcmp over a string pool",
+                  "integer"},
+                 buildStrops);
+}
+
+} // namespace cpe::workload

@@ -1,0 +1,146 @@
+#include "workload/os_activity.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cpe::workload {
+
+using namespace prog::reg;
+using prog::Label;
+
+OsActivity::OsActivity(prog::Builder &builder,
+                       const WorkloadOptions &options)
+    : builder_(builder), level_(options.osLevel)
+{
+    if (!enabled())
+        return;
+    handler_ = builder_.newLabel();
+    saveArea_ = builder_.allocData(64, 64);
+    counters_ = builder_.allocData(64, 64);
+    // Copy buffers sized for the heavier level; level 1 copies less.
+    copySrc_ = builder_.allocData(512, 64);
+    copyDst_ = builder_.allocData(512, 64);
+    if (level_ >= 2)
+        touchPage_ = builder_.allocData(4096, 64);
+}
+
+void
+OsActivity::emitHandler()
+{
+    if (!enabled())
+        return;
+    CPE_ASSERT(!emitted_, "OS handler emitted twice");
+    emitted_ = true;
+
+    prog::Builder &b = builder_;
+    b.bind(handler_);
+    b.emode();
+
+    // Exception entry: save the temporaries the handler uses.  k0/k1
+    // are kernel-reserved and need no saving.
+    b.loadImm(k0, saveArea_);
+    b.sd(t0, 0, k0);
+    b.sd(t1, 8, k0);
+    b.sd(t2, 16, k0);
+    b.sd(t3, 24, k0);
+    b.sd(t4, 32, k0);
+
+    // Kernel bookkeeping: bump a handful of counters (load-modify-
+    // store on kernel data, the classic scattered small-store
+    // pattern).
+    b.loadImm(k1, counters_);
+    for (unsigned i = 0; i < (level_ >= 2 ? 4u : 2u); ++i) {
+        b.ld(t0, static_cast<std::int64_t>(8 * i), k1);
+        b.addi(t0, t0, 1);
+        b.sd(t0, static_cast<std::int64_t>(8 * i), k1);
+    }
+
+    // Handler body: a buffer copy, the dominant kernel memory pattern
+    // (networking, read()/write() paths).  Level 1 copies 64 bytes,
+    // level 2 copies 512.
+    unsigned copy_bytes = level_ >= 2 ? 512 : 64;
+    b.loadImm(t1, copySrc_);
+    b.loadImm(t2, copyDst_);
+    b.loadImm(t3, copy_bytes / 8);
+    Label copy_loop = b.here();
+    b.ld(t0, 0, t1);
+    b.sd(t0, 0, t2);
+    b.addi(t1, t1, 8);
+    b.addi(t2, t2, 8);
+    b.addi(t3, t3, -1);
+    b.bne(t3, zero, copy_loop);
+
+    if (level_ >= 2) {
+        // Scattered single-word stores across a kernel page: models
+        // page-table/metadata updates with little spatial locality.
+        // A fixed-stride walk with a prime stride hits many lines.
+        b.loadImm(t1, touchPage_);
+        b.loadImm(t2, 0);        // offset
+        b.loadImm(t3, 16);       // touches
+        Label touch_loop = b.here();
+        b.add(t4, t1, t2);
+        b.sd(t3, 0, t4);
+        b.addi(t2, t2, 248);     // 31 * 8: crosses lines every touch
+        b.andi(t2, t2, 2047 & ~7);  // wrap within 2 KiB, 8-aligned
+        b.addi(t3, t3, -1);
+        b.bne(t3, zero, touch_loop);
+    }
+
+    // Exception exit: restore and return to user mode.
+    b.loadImm(k0, saveArea_);
+    b.ld(t0, 0, k0);
+    b.ld(t1, 8, k0);
+    b.ld(t2, 16, k0);
+    b.ld(t3, 24, k0);
+    b.ld(t4, 32, k0);
+    b.xmode();
+    b.ret();
+}
+
+void
+OsActivity::call()
+{
+    if (!enabled())
+        return;
+    builder_.call(handler_);
+}
+
+std::int64_t
+OsActivity::scaledMask(std::int64_t mask) const
+{
+    if (level_ < 2)
+        return mask;
+    return std::max<std::int64_t>(63, mask >> 3);
+}
+
+void
+OsActivity::maybeCounterCall(RegIndex counter_reg, std::int64_t mask)
+{
+    if (!enabled())
+        return;
+    mask = scaledMask(mask);
+    prog::Builder &b = builder_;
+    Label skip = b.newLabel();
+    b.addi(counter_reg, counter_reg, 1);
+    b.andi(k1, counter_reg, mask);
+    b.bne(k1, zero, skip);
+    b.call(handler_);
+    b.bind(skip);
+}
+
+void
+OsActivity::maybeAddrCall(RegIndex addr_reg, std::int64_t mask)
+{
+    if (!enabled())
+        return;
+    mask = scaledMask(mask);
+    prog::Builder &b = builder_;
+    Label skip = b.newLabel();
+    b.andi(k1, addr_reg, mask);
+    b.bne(k1, zero, skip);
+    b.call(handler_);
+    b.bind(skip);
+}
+
+} // namespace cpe::workload

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The operating-system activity model.
+ *
+ * The paper's evaluation stresses that realistic results must include
+ * OS behaviour: kernel code adds low-locality loads and stores, bursts
+ * of copy traffic, and mode switches that disturb the processor's
+ * buffering state.  SimOS gave the authors a real IRIX kernel; we do
+ * not have one, so this module generates a synthetic kernel handler —
+ * exception entry (register save), handler work (counter updates, a
+ * buffer copy, scattered page touches), and exception exit (register
+ * restore) — bracketed by EMODE/XMODE so the D-cache unit sees real
+ * mode switches.  Workload kernels invoke it periodically, like timer
+ * interrupts and system calls would.
+ *
+ * Register convention: x30/x31 (aliases k0/k1) are kernel-reserved, as
+ * on MIPS; user kernels must not hold live values there.
+ */
+
+#ifndef CPE_WORKLOAD_OS_ACTIVITY_HH
+#define CPE_WORKLOAD_OS_ACTIVITY_HH
+
+#include "prog/builder.hh"
+#include "workload/registry.hh"
+
+namespace cpe::workload {
+
+/** Kernel-reserved scratch registers (MIPS k0/k1 convention). */
+constexpr RegIndex k0 = 30;
+constexpr RegIndex k1 = 31;
+
+/**
+ * Emits the synthetic kernel handler into a program under
+ * construction and provides gated call sites.
+ */
+class OsActivity
+{
+  public:
+    /**
+     * @param builder Program under construction.
+     * @param options The workload's options; osLevel selects handler
+     *        weight (0 = the model is completely absent, no code or
+     *        data is emitted).
+     */
+    OsActivity(prog::Builder &builder, const WorkloadOptions &options);
+
+    bool enabled() const { return level_ > 0; }
+
+    /**
+     * Emit the handler subroutine at the current text position.  Call
+     * exactly once, in a spot normal control flow jumps over.  No-op
+     * when disabled.
+     */
+    void emitHandler();
+
+    /**
+     * Emit an unconditional handler invocation (clobbers ra, k0, k1).
+     * Use at sites where ra is dead or saved.  No-op when disabled.
+     */
+    void call();
+
+    /**
+     * Emit a gated invocation: increments @p counter_reg and calls the
+     * handler when (counter & mask) == 0.  Clobbers k1 (+ call
+     * clobbers).  No-op when disabled.  @p mask is the level-1 cadence;
+     * level 2 fires 8x as often (heavier kernel presence).
+     */
+    void maybeCounterCall(RegIndex counter_reg, std::int64_t mask);
+
+    /**
+     * Emit an address-gated invocation: calls when
+     * (@p addr_reg & mask) == 0.  Useful inside byte-streaming loops.
+     * Clobbers k1.  No-op when disabled.  Same level scaling as
+     * maybeCounterCall.
+     */
+    void maybeAddrCall(RegIndex addr_reg, std::int64_t mask);
+
+  private:
+    /** Level-adjusted gate mask: level 2 fires 8x as often. */
+    std::int64_t scaledMask(std::int64_t mask) const;
+
+    prog::Builder &builder_;
+    unsigned level_;
+    prog::Label handler_;
+    bool emitted_ = false;
+
+    Addr saveArea_ = 0;   ///< register save frame
+    Addr counters_ = 0;   ///< kernel statistics counters
+    Addr copySrc_ = 0;    ///< kernel copy source buffer
+    Addr copyDst_ = 0;    ///< kernel copy destination buffer
+    Addr touchPage_ = 0;  ///< page scattered stores land in (level 2)
+};
+
+} // namespace cpe::workload
+
+#endif // CPE_WORKLOAD_OS_ACTIVITY_HH

@@ -1,0 +1,72 @@
+#include "workload/registry.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cpe::workload {
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+WorkloadRegistry::WorkloadRegistry()
+{
+    registerIntKernels(*this);
+    registerFpKernels(*this);
+    registerMemKernels(*this);
+    registerMiscKernels(*this);
+}
+
+void
+WorkloadRegistry::add(WorkloadInfo info, WorkloadFactory factory)
+{
+    CPE_ASSERT(!has(info.name),
+               "duplicate workload name: " << info.name);
+    entries_.push_back({std::move(info), std::move(factory)});
+}
+
+bool
+WorkloadRegistry::has(const std::string &name) const
+{
+    for (const auto &entry : entries_)
+        if (entry.info.name == name)
+            return true;
+    return false;
+}
+
+prog::Program
+WorkloadRegistry::build(const std::string &name,
+                        const WorkloadOptions &options) const
+{
+    for (const auto &entry : entries_)
+        if (entry.info.name == name)
+            return entry.factory(options);
+    fatal(Msg() << "unknown workload '" << name
+                << "' (see WorkloadRegistry::list)");
+}
+
+std::vector<WorkloadInfo>
+WorkloadRegistry::list() const
+{
+    std::vector<WorkloadInfo> infos;
+    infos.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        infos.push_back(entry.info);
+    std::sort(infos.begin(), infos.end(),
+              [](const WorkloadInfo &a, const WorkloadInfo &b) {
+                  return a.name < b.name;
+              });
+    return infos;
+}
+
+std::vector<std::string>
+WorkloadRegistry::evaluationSuite()
+{
+    return {"compress", "sort", "matmul", "stencil", "copy", "hashjoin"};
+}
+
+} // namespace cpe::workload

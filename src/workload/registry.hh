@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The workload registry: named kernel programs the evaluation runs.
+ *
+ * Each workload is a from-scratch CPE-RISC program emitted through the
+ * program builder, parameterized by a scale factor (problem size), an
+ * RNG seed (input data), and an OS-activity level that interleaves
+ * kernel-mode handler invocations into the computation — standing in
+ * for the operating-system behaviour the paper's SimOS evaluation
+ * captured.
+ */
+
+#ifndef CPE_WORKLOAD_REGISTRY_HH
+#define CPE_WORKLOAD_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace cpe::workload {
+
+/** Knobs common to every workload. */
+struct WorkloadOptions
+{
+    /** Problem-size multiplier (1 = default evaluation size). */
+    unsigned scale = 1;
+    /** Seed for input-data generation. */
+    std::uint64_t seed = 42;
+    /**
+     * OS-activity level: 0 = pure user code, 1 = periodic kernel
+     * handler invocations (timer-tick-like), 2 = heavy kernel activity
+     * (adds buffer copies, models an I/O-intensive run).
+     */
+    unsigned osLevel = 0;
+};
+
+/** Metadata describing a registered workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string description;
+    /** Memory-behaviour class: "integer", "fp", or "memory". */
+    std::string category;
+};
+
+/** Builds the program for a set of options. */
+using WorkloadFactory =
+    std::function<prog::Program(const WorkloadOptions &)>;
+
+/** Global name -> factory table. */
+class WorkloadRegistry
+{
+  public:
+    /** The process-wide registry (kernels register on first use). */
+    static WorkloadRegistry &instance();
+
+    /** Register a workload; duplicate names are a bug. */
+    void add(WorkloadInfo info, WorkloadFactory factory);
+
+    bool has(const std::string &name) const;
+
+    /** Build @p name with @p options; fatal() on unknown names. */
+    prog::Program build(const std::string &name,
+                        const WorkloadOptions &options) const;
+
+    /** All registered workloads, sorted by name. */
+    std::vector<WorkloadInfo> list() const;
+
+    /**
+     * The six-workload suite the reconstructed evaluation uses
+     * (mirrors the paper's mix of integer, FP, and memory-bound
+     * applications).
+     */
+    static std::vector<std::string> evaluationSuite();
+
+  private:
+    WorkloadRegistry();
+
+    struct Entry
+    {
+        WorkloadInfo info;
+        WorkloadFactory factory;
+    };
+    std::vector<Entry> entries_;
+};
+
+/** Registration hooks implemented by the kernel translation units. */
+void registerIntKernels(WorkloadRegistry &registry);
+void registerFpKernels(WorkloadRegistry &registry);
+void registerMemKernels(WorkloadRegistry &registry);
+void registerMiscKernels(WorkloadRegistry &registry);
+
+} // namespace cpe::workload
+
+#endif // CPE_WORKLOAD_REGISTRY_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Branch-predictor tests: 2-bit counter dynamics, gshare history,
+ * BTB fill/replace, return-address stack, and accuracy on synthetic
+ * branch streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+#include "prog/builder.hh"
+
+namespace cpe::cpu {
+namespace {
+
+using isa::Inst;
+using isa::Opcode;
+
+Inst
+branch()
+{
+    Inst inst;
+    inst.op = Opcode::BEQ;
+    inst.rs1 = 1;
+    inst.rs2 = 2;
+    inst.imm = -16;
+    return inst;
+}
+
+Inst
+jal(RegIndex rd)
+{
+    Inst inst;
+    inst.op = Opcode::JAL;
+    inst.rd = rd;
+    inst.imm = 64;
+    return inst;
+}
+
+Inst
+jalr(RegIndex rd, RegIndex rs1)
+{
+    Inst inst;
+    inst.op = Opcode::JALR;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    return inst;
+}
+
+BranchPredictorParams
+bimodal()
+{
+    BranchPredictorParams params;
+    params.kind = PredictorKind::Bimodal;
+    return params;
+}
+
+TEST(Bpred, TwoBitCounterHysteresis)
+{
+    BranchPredictor bp(bimodal());
+    Addr pc = 0x1000;
+    Inst br = branch();
+
+    // Initialized weakly not-taken.
+    EXPECT_FALSE(bp.predict(pc, br).taken);
+    bp.update(pc, br, true, pc - 16);
+    EXPECT_TRUE(bp.predict(pc, br).taken);   // weakly taken
+    bp.update(pc, br, true, pc - 16);        // strongly taken
+    bp.update(pc, br, false, 0);             // back to weakly taken
+    EXPECT_TRUE(bp.predict(pc, br).taken);   // hysteresis holds
+    bp.update(pc, br, false, 0);
+    EXPECT_FALSE(bp.predict(pc, br).taken);
+}
+
+TEST(Bpred, PcRelativeTargetAlwaysKnown)
+{
+    BranchPredictor bp(bimodal());
+    auto pred = bp.predict(0x2000, branch());
+    EXPECT_TRUE(pred.targetKnown);
+    EXPECT_EQ(pred.target, 0x2000u - 16);
+
+    auto jpred = bp.predict(0x3000, jal(0));
+    EXPECT_TRUE(jpred.taken);
+    EXPECT_EQ(jpred.target, 0x3000u + 64);
+}
+
+TEST(Bpred, LoopBranchLearnedByBimodal)
+{
+    BranchPredictor bp(bimodal());
+    Addr pc = 0x4000;
+    Inst br = branch();
+    // 10-iteration loop repeated: T T T ... T N pattern.
+    unsigned mispredicts = 0;
+    for (int rep = 0; rep < 20; ++rep) {
+        for (int it = 0; it < 10; ++it) {
+            bool taken = it != 9;
+            auto pred = bp.predict(pc, br);
+            if (pred.taken != taken)
+                ++mispredicts;
+            bp.update(pc, br, taken, pc - 16);
+        }
+    }
+    // Bimodal settles to ~1 mispredict (the exit) per loop visit.
+    EXPECT_LE(mispredicts, 2u + 20u);
+    EXPECT_GE(mispredicts, 20u);  // the exit is always missed
+}
+
+TEST(Bpred, GShareLearnsAlternation)
+{
+    BranchPredictorParams params;
+    params.kind = PredictorKind::GShare;
+    params.historyBits = 8;
+    BranchPredictor bp(params);
+    Addr pc = 0x5000;
+    Inst br = branch();
+    // Strict alternation T N T N: bimodal oscillates, gshare learns.
+    unsigned late_mispredicts = 0;
+    for (int i = 0; i < 400; ++i) {
+        bool taken = (i % 2) == 0;
+        auto pred = bp.predict(pc, br);
+        if (i >= 200 && pred.taken != taken)
+            ++late_mispredicts;
+        bp.update(pc, br, taken, pc - 16);
+    }
+    EXPECT_LT(late_mispredicts, 5u);
+}
+
+TEST(Bpred, BtbLearnsIndirectTargets)
+{
+    BranchPredictor bp(bimodal());
+    Addr pc = 0x6000;
+    Inst ind = jalr(0, 5);  // indirect jump, not a return
+
+    auto cold = bp.predict(pc, ind);
+    EXPECT_TRUE(cold.taken);
+    EXPECT_FALSE(cold.targetKnown);  // BTB cold
+
+    bp.update(pc, ind, true, 0x8888);
+    auto warm = bp.predict(pc, ind);
+    EXPECT_TRUE(warm.targetKnown);
+    EXPECT_EQ(warm.target, 0x8888u);
+
+    // Target changes are re-learned.
+    bp.update(pc, ind, true, 0x9999);
+    EXPECT_EQ(bp.predict(pc, ind).target, 0x9999u);
+}
+
+TEST(Bpred, RasPredictsReturns)
+{
+    BranchPredictor bp(bimodal());
+    Inst call = jal(prog::reg::ra);
+    Inst ret = jalr(0, prog::reg::ra);
+
+    // call at 0x1000 -> return should target 0x1004.
+    bp.predict(0x1000, call);
+    auto pred = bp.predict(0x2000, ret);
+    EXPECT_TRUE(pred.targetKnown);
+    EXPECT_EQ(pred.target, 0x1004u);
+
+    // Nested calls unwind in LIFO order.
+    bp.predict(0x1000, call);
+    bp.predict(0x1100, call);
+    EXPECT_EQ(bp.predict(0x3000, ret).target, 0x1104u);
+    EXPECT_EQ(bp.predict(0x3000, ret).target, 0x1004u);
+}
+
+TEST(Bpred, CorrectnessJudgement)
+{
+    BranchPredictor::Prediction pred;
+    pred.taken = false;
+    // Not-taken prediction, not-taken outcome.
+    EXPECT_TRUE(BranchPredictor::correct(pred, false, 0, 0x1004));
+    // Not-taken prediction, taken outcome.
+    EXPECT_FALSE(BranchPredictor::correct(pred, true, 0x2000, 0x1004));
+
+    pred.taken = true;
+    pred.target = 0x2000;
+    pred.targetKnown = true;
+    EXPECT_TRUE(BranchPredictor::correct(pred, true, 0x2000, 0x1004));
+    EXPECT_FALSE(BranchPredictor::correct(pred, true, 0x3000, 0x1004));
+    EXPECT_FALSE(BranchPredictor::correct(pred, false, 0, 0x1004));
+
+    pred.targetKnown = false;
+    EXPECT_FALSE(BranchPredictor::correct(pred, true, 0x2000, 0x1004));
+}
+
+TEST(Bpred, LocalLearnsPerBranchPatterns)
+{
+    // Two branches at different PCs with different periodic patterns;
+    // a local predictor learns both without cross-interference.
+    BranchPredictorParams params;
+    params.kind = PredictorKind::Local;
+    params.historyBits = 8;
+    BranchPredictor bp(params);
+    Inst br = branch();
+    unsigned late_mispredicts = 0;
+    for (int i = 0; i < 600; ++i) {
+        bool taken_a = (i % 3) != 2;   // T T N pattern at 0x7000
+        bool taken_b = (i % 2) == 0;   // T N pattern at 0x8000
+        auto pa = bp.predict(0x7000, br);
+        if (i >= 300 && pa.taken != taken_a)
+            ++late_mispredicts;
+        bp.update(0x7000, br, taken_a, 0x7000 - 16);
+        auto pb = bp.predict(0x8000, br);
+        if (i >= 300 && pb.taken != taken_b)
+            ++late_mispredicts;
+        bp.update(0x8000, br, taken_b, 0x8000 - 16);
+    }
+    EXPECT_LT(late_mispredicts, 10u);
+}
+
+TEST(Bpred, AlwaysNotTakenBaseline)
+{
+    BranchPredictorParams params;
+    params.kind = PredictorKind::AlwaysNotTaken;
+    BranchPredictor bp(params);
+    Inst br = branch();
+    bp.update(0x1000, br, true, 0x900);
+    bp.update(0x1000, br, true, 0x900);
+    EXPECT_FALSE(bp.predict(0x1000, br).taken);
+}
+
+} // namespace
+} // namespace cpe::cpu

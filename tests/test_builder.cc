@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Program-builder tests: label binding and fixups, pseudo-instruction
+ * expansion (loadImm checked against the executor — a property test),
+ * data-segment allocation, and linker error detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "func/executor.hh"
+#include "prog/builder.hh"
+#include "util/random.hh"
+
+namespace cpe::prog {
+namespace {
+
+using namespace reg;
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    Builder b("labels");
+    Label fwd = b.newLabel();
+    b.loadImm(t0, 0);
+    Label back = b.here();
+    b.addi(t0, t0, 1);
+    b.slti(t1, t0, 3);
+    b.bne(t1, zero, back);   // backward branch
+    b.j(fwd);                // forward jump
+    b.addi(t0, t0, 100);     // skipped
+    b.bind(fwd);
+    b.halt();
+    Program p = b.build();
+
+    func::Executor exec(p);
+    exec.run();
+    EXPECT_EQ(exec.state().readReg(t0), 3u);
+}
+
+TEST(Builder, CallAndRet)
+{
+    Builder b("callret");
+    Label fn = b.newLabel();
+    Label main = b.newLabel();
+    b.j(main);
+    b.bind(fn);
+    b.addi(a0, a0, 7);
+    b.ret();
+    b.bind(main);
+    b.loadImm(a0, 10);
+    b.call(fn);
+    b.call(fn);
+    b.halt();
+    Program p = b.build();
+
+    func::Executor exec(p);
+    exec.run();
+    EXPECT_EQ(exec.state().readReg(a0), 24u);
+}
+
+TEST(Builder, DataSegments)
+{
+    Builder b("data");
+    Addr first = b.allocData(16, 8);
+    Addr aligned = b.allocData(100, 64);
+    EXPECT_EQ(first, layout::DataBase);
+    EXPECT_EQ(aligned % 64, 0u);
+    EXPECT_GT(aligned, first);
+
+    b.setData64(first, 0x1122334455667788ull);
+    b.setDataF64(first + 8, 2.5);
+    b.halt();
+    Program p = b.build();
+
+    func::Executor exec(p);
+    EXPECT_EQ(exec.memory().read(first, 8), 0x1122334455667788ull);
+    double d;
+    std::uint64_t raw = exec.memory().read(first + 8, 8);
+    std::memcpy(&d, &raw, 8);
+    EXPECT_EQ(d, 2.5);
+    // Little-endian byte order.
+    EXPECT_EQ(exec.memory().read(first, 1), 0x88u);
+    EXPECT_EQ(exec.memory().read(first + 7, 1), 0x11u);
+}
+
+/** Property: loadImm materializes any 64-bit constant exactly. */
+class LoadImmProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LoadImmProperty, MaterializesExactValue)
+{
+    Rng rng(GetParam());
+    std::vector<std::uint64_t> values = {
+        0, 1, 2047, 2048, -1ull, 0x7fffffffffffffffull,
+        0x8000000000000000ull, 4096, 0xdeadbeefull, 0x123456789abcdef0ull,
+        static_cast<std::uint64_t>(-2048), static_cast<std::uint64_t>(-2049),
+        (1ull << 29) - 1, 1ull << 29,
+    };
+    for (int i = 0; i < 40; ++i)
+        values.push_back(rng.next64() >> rng.below(64));
+
+    for (std::uint64_t value : values) {
+        Builder b("imm");
+        b.loadImm(t0, value);
+        b.halt();
+        Program p = b.build();
+        func::Executor exec(p);
+        exec.run();
+        EXPECT_EQ(exec.state().readReg(t0), value)
+            << "value 0x" << std::hex << value << "\n"
+            << p.listing();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoadImmProperty,
+                         ::testing::Values(11, 22, 33));
+
+TEST(Builder, LoadImmIsCompactForSmallValues)
+{
+    Builder b("compact");
+    b.loadImm(t0, 42);       // 1 inst (addi)
+    b.loadImm(t1, 0x12345);  // 2 insts (lui + ori)
+    b.halt();
+    EXPECT_EQ(b.textSize(), 4u);
+}
+
+TEST(Builder, ProgramAccessors)
+{
+    Builder b("acc");
+    b.nop();
+    b.nop();
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.entry(), layout::TextBase);
+    EXPECT_EQ(p.textEnd(), layout::TextBase + 12);
+    EXPECT_TRUE(p.contains(layout::TextBase + 4));
+    EXPECT_FALSE(p.contains(layout::TextBase + 5));
+    EXPECT_FALSE(p.contains(layout::TextBase + 12));
+    EXPECT_EQ(p.fetch(layout::TextBase).op, isa::Opcode::NOP);
+
+    auto words = p.encodedText();
+    EXPECT_EQ(words.size(), 3u);
+    EXPECT_NE(p.listing().find("halt"), std::string::npos);
+}
+
+TEST(BuilderDeathTest, UnboundLabel)
+{
+    Builder b("unbound");
+    Label missing = b.newLabel();
+    b.j(missing);
+    b.halt();
+    EXPECT_DEATH(b.build(), "unbound label");
+}
+
+TEST(BuilderDeathTest, DoubleBind)
+{
+    Builder b("dbl");
+    Label l = b.here();
+    EXPECT_DEATH(b.bind(l), "bound twice");
+}
+
+TEST(BuilderDeathTest, BranchOutOfRange)
+{
+    Builder b("far");
+    Label target = b.here();
+    for (int i = 0; i < 600; ++i)
+        b.nop();
+    b.beq(zero, zero, target);  // > 2 KiB away
+    b.halt();
+    EXPECT_DEATH(b.build(), "out of range");
+}
+
+TEST(BuilderDeathTest, RunsOffTextEnd)
+{
+    Builder b("offend");
+    b.nop();
+    EXPECT_DEATH(b.build(), "run off the end");
+}
+
+} // namespace
+} // namespace cpe::prog

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Cache state-model tests: geometry, hit/miss behaviour, LRU and
+ * random replacement, dirty tracking, invalidation, and a
+ * parameterized sweep over geometries against a reference model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "mem/cache.hh"
+#include "util/random.hh"
+
+namespace cpe::mem {
+namespace {
+
+CacheParams
+smallCache()
+{
+    CacheParams params;
+    params.name = "test";
+    params.sizeBytes = 256;   // 4 sets x 2 ways x 32 B
+    params.assoc = 2;
+    params.lineBytes = 32;
+    return params;
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache cache(smallCache());
+    EXPECT_EQ(cache.params().sets(), 4u);
+    EXPECT_EQ(cache.lineBytes(), 32u);
+    EXPECT_EQ(cache.lineAddr(0x1234), 0x1220u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(smallCache());
+    EXPECT_FALSE(cache.probe(0x1000));
+    EXPECT_FALSE(cache.access(0x1000, false));
+    EXPECT_EQ(cache.misses.value(), 1u);
+
+    cache.fill(0x1000);
+    EXPECT_TRUE(cache.probe(0x1000));
+    EXPECT_TRUE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x101f, false));  // same line
+    EXPECT_FALSE(cache.access(0x1020, false)); // next line
+    EXPECT_EQ(cache.hits.value(), 2u);
+}
+
+TEST(Cache, LruReplacement)
+{
+    Cache cache(smallCache());
+    // Three lines mapping to set 0 (set stride = 4 * 32 = 128).
+    Addr a = 0x1000, b = 0x1080, c = 0x1100;
+    cache.fill(a);
+    cache.fill(b);
+    cache.access(a, false);  // a is now MRU
+    auto result = cache.fill(c);
+    EXPECT_TRUE(result.evicted);
+    EXPECT_EQ(result.evictedAddr, b);  // b was LRU
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache cache(smallCache());
+    cache.fill(0x1000);
+    cache.access(0x1000, true);  // dirty it
+    EXPECT_TRUE(cache.isDirty(0x1000));
+    cache.fill(0x1080);
+    auto result = cache.fill(0x1100);  // evicts 0x1000 (LRU)
+    EXPECT_TRUE(result.evicted);
+    EXPECT_EQ(result.evictedAddr, 0x1000u);
+    EXPECT_TRUE(result.evictedDirty);
+    EXPECT_EQ(cache.writebacks.value(), 1u);
+}
+
+TEST(Cache, FillWithDirtyFlag)
+{
+    Cache cache(smallCache());
+    cache.fill(0x2000, true);
+    EXPECT_TRUE(cache.isDirty(0x2000));
+}
+
+TEST(Cache, SetDirtyAndInvalidate)
+{
+    Cache cache(smallCache());
+    cache.fill(0x1000);
+    EXPECT_FALSE(cache.isDirty(0x1000));
+    cache.setDirty(0x1000);
+    EXPECT_TRUE(cache.isDirty(0x1000));
+    EXPECT_TRUE(cache.invalidate(0x1000));
+    EXPECT_FALSE(cache.probe(0x1000));
+    EXPECT_FALSE(cache.invalidate(0x1000));  // already gone
+}
+
+TEST(Cache, FlushAllAndValidLines)
+{
+    Cache cache(smallCache());
+    cache.fill(0x1000);
+    cache.fill(0x2000);
+    EXPECT_EQ(cache.validLines(), 2u);
+    cache.flushAll();
+    EXPECT_EQ(cache.validLines(), 0u);
+}
+
+TEST(Cache, RandomReplacementStaysInSet)
+{
+    CacheParams params = smallCache();
+    params.repl = ReplPolicy::Random;
+    Cache cache(params);
+    // Fill set 0 beyond capacity many times; victims must always be
+    // set-0 lines and the cache must never exceed 2 valid lines/set.
+    for (unsigned i = 0; i < 32; ++i) {
+        Addr addr = 0x1000 + static_cast<Addr>(i) * 128;
+        if (!cache.probe(addr)) {
+            auto result = cache.fill(addr);
+            if (result.evicted) {
+                EXPECT_EQ(cache.lineAddr(result.evictedAddr) % 128, 0x0u)
+                    << "victim from wrong set";
+            }
+        }
+    }
+    EXPECT_LE(cache.validLines(), 8u);
+}
+
+TEST(CacheDeathTest, DoubleFillPanics)
+{
+    Cache cache(smallCache());
+    cache.fill(0x1000);
+    EXPECT_DEATH(cache.fill(0x1008), "already-present");
+}
+
+TEST(CacheDeathTest, BadGeometry)
+{
+    CacheParams params = smallCache();
+    params.lineBytes = 24;  // not a power of two
+    EXPECT_DEATH(Cache{params}, "power of 2");
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: the cache must agree with a simple reference model
+// (per-set LRU lists) across geometries and random traffic.
+// ---------------------------------------------------------------------
+
+struct Geometry
+{
+    std::size_t size;
+    unsigned assoc;
+    unsigned line;
+};
+
+class CacheVsReference : public ::testing::TestWithParam<Geometry>
+{
+};
+
+/** Minimal known-good model: map set -> LRU-ordered list of tags. */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(const Geometry &g)
+        : sets_(g.size / (g.assoc * g.line)), assoc_(g.assoc),
+          line_(g.line), lru_(sets_)
+    {
+    }
+
+    bool
+    access(Addr addr)
+    {
+        auto [set, tag] = split(addr);
+        auto &list = lru_[set];
+        for (auto it = list.begin(); it != list.end(); ++it) {
+            if (*it == tag) {
+                list.erase(it);
+                list.push_front(tag);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    fill(Addr addr)
+    {
+        auto [set, tag] = split(addr);
+        auto &list = lru_[set];
+        if (list.size() >= assoc_)
+            list.pop_back();
+        list.push_front(tag);
+    }
+
+  private:
+    std::pair<std::size_t, Addr>
+    split(Addr addr) const
+    {
+        Addr line_addr = addr / line_;
+        return {static_cast<std::size_t>(line_addr % sets_), line_addr};
+    }
+
+    std::size_t sets_;
+    unsigned assoc_;
+    unsigned line_;
+    std::vector<std::list<Addr>> lru_;
+};
+
+TEST_P(CacheVsReference, RandomTrafficAgrees)
+{
+    Geometry g = GetParam();
+    CacheParams params;
+    params.name = "sweep";
+    params.sizeBytes = g.size;
+    params.assoc = g.assoc;
+    params.lineBytes = g.line;
+    Cache cache(params);
+    ReferenceCache reference(g);
+
+    Rng rng(g.size + g.assoc * 131 + g.line);
+    for (int op = 0; op < 20000; ++op) {
+        // Addresses drawn from 4x the cache size: plenty of conflict.
+        Addr addr = rng.below(4 * g.size);
+        bool hit = cache.access(addr, rng.chance(0.3));
+        bool ref_hit = reference.access(addr);
+        ASSERT_EQ(hit, ref_hit) << "op " << op << " addr 0x" << std::hex
+                                << addr;
+        if (!hit) {
+            cache.fill(addr);
+            reference.fill(addr);
+        }
+    }
+    EXPECT_GT(cache.hits.value(), 0u);
+    EXPECT_GT(cache.misses.value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheVsReference,
+    ::testing::Values(Geometry{256, 1, 32}, Geometry{256, 2, 32},
+                      Geometry{1024, 4, 32}, Geometry{1024, 2, 16},
+                      Geometry{4096, 8, 64}, Geometry{16 * 1024, 2, 32},
+                      Geometry{512, 16, 32} /* fully assoc set */));
+
+} // namespace
+} // namespace cpe::mem

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cross-configuration integration sweep: real workloads must commit
+ * the same instruction count as the functional model under every port
+ * configuration — including the extension features (banking,
+ * prefetching, drain policies) — and cycle counts must respect the
+ * obvious dominance relations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/executor.hh"
+#include "sim/simulator.hh"
+#include "workload/registry.hh"
+
+namespace cpe {
+namespace {
+
+std::vector<core::PortTechConfig>
+sweepConfigs()
+{
+    using TC = core::PortTechConfig;
+    std::vector<TC> configs = {TC::singlePortBase(), TC::dualPortBase(),
+                               TC::singlePortAllTechniques()};
+    TC banked = TC::dualPortBase();
+    banked.banks = 2;
+    configs.push_back(banked);
+    TC threshold = TC::singlePortAllTechniques();
+    threshold.drainPolicy = core::DrainPolicy::Threshold;
+    configs.push_back(threshold);
+    return configs;
+}
+
+class ConfigSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ConfigSweep, EveryConfigCommitsTheFunctionalStream)
+{
+    setVerbose(false);
+    const std::string workload = GetParam();
+    workload::WorkloadOptions options;
+    auto program =
+        workload::WorkloadRegistry::instance().build(workload, options);
+    func::Executor golden(program);
+    std::uint64_t expected = golden.run();
+
+    for (const auto &tech : sweepConfigs()) {
+        auto result = sim::simulate(workload, tech);
+        EXPECT_EQ(result.insts, expected) << tech.describe();
+        EXPECT_GE(result.cycles, expected / 4) << tech.describe();
+    }
+
+    // Prefetch variant too (not a PortTechConfig knob).
+    sim::SimConfig config = sim::SimConfig::defaults();
+    config.workloadName = workload;
+    config.core.dcache.nextLinePrefetch = true;
+    auto prefetch = sim::simulate(config);
+    EXPECT_EQ(prefetch.insts, expected);
+}
+
+TEST_P(ConfigSweep, MorePortsNeverHurtMuch)
+{
+    setVerbose(false);
+    const std::string workload = GetParam();
+    auto one = sim::simulate(workload,
+                             core::PortTechConfig::singlePortBase());
+    auto two = sim::simulate(workload,
+                             core::PortTechConfig::dualPortBase());
+    // The second port can only remove structural stalls; tiny
+    // second-order scheduling wobbles are tolerated (1%).
+    EXPECT_LE(two.cycles, one.cycles * 101 / 100) << workload;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ConfigSweep,
+                         ::testing::Values("histogram", "saxpy",
+                                           "stencil", "strops"));
+
+} // namespace
+} // namespace cpe

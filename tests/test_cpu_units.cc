@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the pipeline building blocks: rename map, ROB,
+ * issue queue, functional-unit pool, and the fetch unit driven by a
+ * recorded trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/fetch.hh"
+#include "cpu/func_units.hh"
+#include "cpu/issue_queue.hh"
+#include "cpu/rename.hh"
+#include "cpu/rob.hh"
+#include "func/executor.hh"
+#include "prog/builder.hh"
+
+namespace cpe::cpu {
+namespace {
+
+using namespace prog::reg;
+
+TimingInst
+makeInst(SeqNum seq, isa::Inst op)
+{
+    TimingInst inst;
+    inst.di.seq = seq;
+    inst.di.inst = op;
+    inst.di.cls = isa::classOf(op.op);
+    return inst;
+}
+
+TEST(Rename, TracksRawDependencies)
+{
+    RenameStage rename;
+    // i1: add x5 = x1 + x2 ; i2: add x6 = x5 + x5 ; i3: add x5 = x6+x0
+    auto i1 = makeInst(1, {isa::Opcode::ADD, 5, 1, 2, 0});
+    auto i2 = makeInst(2, {isa::Opcode::ADD, 6, 5, 5, 0});
+    auto i3 = makeInst(3, {isa::Opcode::ADD, 5, 6, 0, 0});
+    rename.rename(i1);
+    rename.rename(i2);
+    rename.rename(i3);
+    EXPECT_EQ(i1.srcProducer[0], 0u);   // architectural
+    EXPECT_EQ(i2.srcProducer[0], 1u);   // produced by i1 (dedup'd)
+    EXPECT_EQ(i3.srcProducer[0], 2u);
+
+    // i4 reads x5: the *youngest* writer (i3) wins.
+    auto i4 = makeInst(4, {isa::Opcode::ADD, 7, 5, 0, 0});
+    rename.rename(i4);
+    EXPECT_EQ(i4.srcProducer[0], 3u);
+
+    // After i3 retires, x5 is architectural again.
+    rename.retire(i3);
+    auto i5 = makeInst(5, {isa::Opcode::ADD, 8, 5, 0, 0});
+    rename.rename(i5);
+    EXPECT_EQ(i5.srcProducer[0], 0u);
+}
+
+TEST(Rename, StoreSlotsAreAddrThenData)
+{
+    RenameStage rename;
+    auto addr_prod = makeInst(1, {isa::Opcode::ADD, 5, 1, 2, 0});
+    auto data_prod = makeInst(2, {isa::Opcode::ADD, 6, 1, 2, 0});
+    rename.rename(addr_prod);
+    rename.rename(data_prod);
+    // sd x6, 0(x5)
+    auto store = makeInst(3, {isa::Opcode::SD, isa::NoReg, 5, 6, 0});
+    rename.rename(store);
+    EXPECT_EQ(store.srcProducer[0], 1u);  // address
+    EXPECT_EQ(store.srcProducer[1], 2u);  // data
+}
+
+TEST(Rob, InOrderCommitAndProducerLookup)
+{
+    Rob rob(4);
+    EXPECT_TRUE(rob.empty());
+    auto *a = rob.push(makeInst(1, {isa::Opcode::ADD, 5, 1, 2, 0}));
+    auto *b = rob.push(makeInst(2, {isa::Opcode::ADD, 6, 5, 0, 0}));
+    EXPECT_EQ(rob.size(), 2u);
+    EXPECT_EQ(rob.head(), a);
+
+    // Producer not done yet.
+    EXPECT_FALSE(rob.producerDone(1, 100));
+    a->done = true;
+    a->doneCycle = 50;
+    EXPECT_FALSE(rob.producerDone(1, 49));
+    EXPECT_TRUE(rob.producerDone(1, 50));
+    // Unknown/committed producers count as done; seq 0 always done.
+    EXPECT_TRUE(rob.producerDone(0, 0));
+    EXPECT_TRUE(rob.producerDone(999, 0));
+
+    rob.popHead();
+    EXPECT_EQ(rob.head(), b);
+    EXPECT_TRUE(rob.producerDone(1, 0));  // committed
+}
+
+TEST(Rob, CapacityAndStability)
+{
+    Rob rob(3);
+    std::vector<TimingInst *> ptrs;
+    for (SeqNum seq = 1; seq <= 3; ++seq)
+        ptrs.push_back(rob.push(makeInst(seq, {isa::Opcode::NOP,
+                                               isa::NoReg, isa::NoReg,
+                                               isa::NoReg, 0})));
+    EXPECT_TRUE(rob.full());
+    // Pointers must stay valid across pop/push churn (deque property).
+    rob.popHead();
+    rob.push(makeInst(4, {isa::Opcode::NOP, isa::NoReg, isa::NoReg,
+                          isa::NoReg, 0}));
+    EXPECT_EQ(ptrs[1]->di.seq, 2u);
+    EXPECT_EQ(ptrs[2]->di.seq, 3u);
+}
+
+TEST(IssueQueueTest, AgeOrderAndReaping)
+{
+    IssueQueue iq(4);
+    auto a = makeInst(1, {isa::Opcode::ADD, 5, 1, 2, 0});
+    auto b = makeInst(2, {isa::Opcode::ADD, 6, 1, 2, 0});
+    auto c = makeInst(3, {isa::Opcode::ADD, 7, 1, 2, 0});
+    iq.add(&a);
+    iq.add(&b);
+    iq.add(&c);
+    EXPECT_EQ(iq.entries()[0]->di.seq, 1u);
+    EXPECT_EQ(iq.entries()[2]->di.seq, 3u);
+
+    b.issued = true;
+    iq.removeIssued();
+    ASSERT_EQ(iq.size(), 2u);
+    EXPECT_EQ(iq.entries()[0]->di.seq, 1u);
+    EXPECT_EQ(iq.entries()[1]->di.seq, 3u);
+    EXPECT_FALSE(iq.full());
+}
+
+TEST(FuPoolTest, PipelinedThroughput)
+{
+    FuPoolParams params;
+    params.intAlu = {1, 1, true};
+    FuPool pool(params);
+    // One ALU, pipelined: one issue per cycle.
+    EXPECT_EQ(pool.tryIssue(isa::InstClass::IntAlu, 10), 11u);
+    EXPECT_EQ(pool.tryIssue(isa::InstClass::IntAlu, 10), 0u);
+    EXPECT_TRUE(pool.canIssue(isa::InstClass::IntAlu, 11));
+    EXPECT_EQ(pool.tryIssue(isa::InstClass::IntAlu, 11), 12u);
+}
+
+TEST(FuPoolTest, NonPipelinedOccupancy)
+{
+    FuPoolParams params;
+    params.intDiv = {1, 20, false};
+    FuPool pool(params);
+    EXPECT_EQ(pool.tryIssue(isa::InstClass::IntDiv, 0), 20u);
+    EXPECT_FALSE(pool.canIssue(isa::InstClass::IntDiv, 10));
+    EXPECT_EQ(pool.tryIssue(isa::InstClass::IntDiv, 10), 0u);
+    EXPECT_EQ(pool.structuralStalls.value(), 1u);
+    EXPECT_EQ(pool.tryIssue(isa::InstClass::IntDiv, 20), 40u);
+}
+
+TEST(FuPoolTest, ClassMappingAndLatency)
+{
+    FuPool pool(FuPoolParams{});
+    EXPECT_EQ(pool.latency(isa::InstClass::IntAlu), 1u);
+    EXPECT_EQ(pool.latency(isa::InstClass::Branch), 1u);  // shares ALUs
+    EXPECT_GT(pool.latency(isa::InstClass::FpMul), 1u);
+    EXPECT_GT(pool.latency(isa::InstClass::IntDiv),
+              pool.latency(isa::InstClass::IntMul));
+    // Loads and stores share the AGUs.
+    EXPECT_TRUE(pool.canIssue(isa::InstClass::Load, 0));
+    EXPECT_TRUE(pool.canIssue(isa::InstClass::Store, 0));
+}
+
+// --- Fetch unit -------------------------------------------------------
+
+struct FetchRig
+{
+    prog::Program program;
+    func::Executor executor;
+    BranchPredictor bpred;
+    mem::MemHierarchy hierarchy;
+    FetchUnit fetch;
+
+    explicit FetchRig(prog::Program prog,
+                      FetchParams params = FetchParams{})
+        : program(std::move(prog)), executor(program),
+          bpred(BranchPredictorParams{}),
+          hierarchy(mem::L2Params{}, mem::DramParams{}),
+          fetch(params, &executor, &bpred, &hierarchy)
+    {
+    }
+};
+
+prog::Program
+straightLine(unsigned count)
+{
+    prog::Builder b("straight");
+    for (unsigned i = 0; i < count; ++i)
+        b.addi(t0, t0, 1);
+    b.halt();
+    return b.build();
+}
+
+TEST(Fetch, WidthLimitAndQueueing)
+{
+    FetchRig rig(straightLine(10));
+    Cycle now = 0;
+    // First access misses the I-cache: nothing fetched yet.
+    rig.fetch.tick(now);
+    EXPECT_TRUE(rig.fetch.queue().empty());
+    EXPECT_GT(rig.fetch.icacheMissCycles.value(), 0u);
+
+    // Wait out the fill, then groups of fetchWidth arrive per cycle.
+    for (now = 1; now < 500 && rig.fetch.queue().empty(); ++now)
+        rig.fetch.tick(now);
+    EXPECT_LE(rig.fetch.queue().size(), 4u);
+    std::size_t before = rig.fetch.queue().size();
+    rig.fetch.tick(now);
+    EXPECT_LE(rig.fetch.queue().size() - before, 4u);
+}
+
+TEST(Fetch, StopsAtQueueCapacity)
+{
+    FetchParams params;
+    params.queueCapacity = 6;
+    FetchRig rig(straightLine(40), params);
+    for (Cycle now = 0; now < 500; ++now)
+        rig.fetch.tick(now);
+    EXPECT_LE(rig.fetch.queue().size(), 6u);
+    EXPECT_GT(rig.fetch.queueFullBreaks.value(), 0u);
+}
+
+TEST(Fetch, FreezesOnMispredictUntilResolved)
+{
+    // A data-dependent branch the predictor cannot know cold: first
+    // encounter of a taken branch predicted not-taken.
+    prog::Builder b("br");
+    prog::Label target = b.newLabel();
+    b.loadImm(t0, 1);
+    b.bne(t0, zero, target);  // taken, cold predictor says not-taken
+    b.addi(t1, t1, 1);        // wrong path (never committed)
+    b.bind(target);
+    b.addi(t2, t2, 1);
+    b.halt();
+    FetchRig rig(b.build());
+
+    // Run until the branch has been fetched.
+    Cycle now = 0;
+    SeqNum branch_seq = 0;
+    for (; now < 1000 && !branch_seq; ++now) {
+        rig.fetch.tick(now);
+        for (auto &inst : rig.fetch.queue())
+            if (inst.mispredicted)
+                branch_seq = inst.di.seq;
+    }
+    ASSERT_NE(branch_seq, 0u);
+    EXPECT_TRUE(rig.fetch.stalledOnBranch());
+
+    // Frozen: further ticks fetch nothing.
+    std::size_t frozen_size = rig.fetch.queue().size();
+    rig.fetch.tick(now);
+    rig.fetch.tick(now + 1);
+    EXPECT_EQ(rig.fetch.queue().size(), frozen_size);
+
+    // Resolution un-freezes at the given cycle.
+    rig.fetch.resolveBranch(branch_seq, now + 5);
+    rig.fetch.tick(now + 4);
+    EXPECT_EQ(rig.fetch.queue().size(), frozen_size);
+    rig.fetch.tick(now + 5);
+    EXPECT_GT(rig.fetch.queue().size(), frozen_size);
+    // The next fetched instruction is the branch target (committed
+    // path), not the wrong path.
+    const auto &resumed = rig.fetch.queue()[frozen_size];
+    EXPECT_EQ(resumed.di.inst.op, isa::Opcode::ADDI);
+    EXPECT_EQ(resumed.di.inst.rd, t2);
+}
+
+TEST(Fetch, WrongPathFetchPollutesICache)
+{
+    // A cold taken branch far forward: while frozen, the wrong-path
+    // front end streams fall-through lines through the I-cache.
+    prog::Builder b("wp");
+    prog::Label target = b.newLabel();
+    b.loadImm(t0, 1);
+    b.bne(t0, zero, target);   // cold predictor: not-taken (wrong)
+    for (int i = 0; i < 64; ++i)
+        b.nop();               // wrong path: several I-lines
+    b.bind(target);
+    b.addi(t2, t2, 1);
+    b.halt();
+    prog::Program program = b.build();
+
+    FetchParams params;
+    params.modelWrongPathIFetch = true;
+    FetchRig rig(std::move(program), params);
+
+    Cycle now = 0;
+    for (; now < 2000 && !rig.fetch.stalledOnBranch(); ++now)
+        rig.fetch.tick(now);
+    ASSERT_TRUE(rig.fetch.stalledOnBranch());
+
+    // Let the wrong path run for a while.
+    std::uint64_t misses_before = rig.fetch.icache().misses.value();
+    for (Cycle t = now; t < now + 400; ++t)
+        rig.fetch.tick(t);
+    EXPECT_GT(rig.fetch.wrongPathLines.value(), 2u);
+    EXPECT_GT(rig.fetch.wrongPathMisses.value(), 0u);
+    EXPECT_GT(rig.fetch.icache().misses.value(), misses_before);
+
+    // Resolution stops the wrong path and fetch resumes correctly.
+    std::uint64_t wp_lines = rig.fetch.wrongPathLines.value();
+    rig.fetch.resolveBranch(2, now + 401);
+    // The target line is cold (the wrong path went the other way), so
+    // allow the I-miss to resolve.
+    bool fetched_target = false;
+    for (Cycle t = now + 401; t < now + 900 && !fetched_target; ++t) {
+        rig.fetch.tick(t);
+        for (const auto &inst : rig.fetch.queue())
+            fetched_target |= inst.di.inst.op == isa::Opcode::ADDI &&
+                              inst.di.inst.rd == t2;
+    }
+    EXPECT_EQ(rig.fetch.wrongPathLines.value(), wp_lines);
+    EXPECT_TRUE(fetched_target)
+        << "fetch resumed somewhere other than the branch target";
+}
+
+TEST(Fetch, TraceExhaustion)
+{
+    FetchRig rig(straightLine(2));
+    for (Cycle now = 0; now < 500 && !rig.fetch.traceExhausted(); ++now)
+        rig.fetch.tick(now);
+    EXPECT_TRUE(rig.fetch.traceExhausted());
+    EXPECT_EQ(rig.fetch.queue().size(), 3u);  // 2 addi + halt
+}
+
+} // namespace
+} // namespace cpe::cpu

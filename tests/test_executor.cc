@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Functional-executor tests: per-opcode semantics, memory access
+ * widths and sign extension, control flow, mode switching, the
+ * DynInst trace records, and the sparse memory model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "func/executor.hh"
+#include "prog/builder.hh"
+
+namespace cpe::func {
+namespace {
+
+using namespace prog::reg;
+using prog::Builder;
+using prog::Label;
+using prog::Program;
+
+/** Build, run, and return the executor for register inspection. */
+template <typename EmitFn>
+Executor
+runProgram(EmitFn &&emit)
+{
+    Builder b("t");
+    emit(b);
+    b.halt();
+    static std::vector<Program> keep_alive;  // executor holds a pointer
+    keep_alive.push_back(b.build());
+    Executor exec(keep_alive.back());
+    exec.run();
+    return exec;
+}
+
+TEST(Exec, IntArithmetic)
+{
+    auto exec = runProgram([](Builder &b) {
+        b.loadImm(t0, 100);
+        b.loadImm(t1, 7);
+        b.add(s0, t0, t1);    // 107
+        b.sub(s1, t0, t1);    // 93
+        b.mul(s2, t0, t1);    // 700
+        b.div(s3, t0, t1);    // 14
+        b.rem(s4, t0, t1);    // 2
+    });
+    EXPECT_EQ(exec.state().readReg(s0), 107u);
+    EXPECT_EQ(exec.state().readReg(s1), 93u);
+    EXPECT_EQ(exec.state().readReg(s2), 700u);
+    EXPECT_EQ(exec.state().readReg(s3), 14u);
+    EXPECT_EQ(exec.state().readReg(s4), 2u);
+}
+
+TEST(Exec, SignedDivision)
+{
+    auto exec = runProgram([](Builder &b) {
+        b.loadImm(t0, static_cast<std::uint64_t>(-100));
+        b.loadImm(t1, 7);
+        b.div(s0, t0, t1);    // -14 (trunc toward zero)
+        b.rem(s1, t0, t1);    // -2
+        b.loadImm(t2, 0);
+        b.div(s2, t0, t2);    // div by zero -> all ones
+        b.rem(s3, t0, t2);    // rem by zero -> dividend
+    });
+    EXPECT_EQ(static_cast<std::int64_t>(exec.state().readReg(s0)), -14);
+    EXPECT_EQ(static_cast<std::int64_t>(exec.state().readReg(s1)), -2);
+    EXPECT_EQ(exec.state().readReg(s2), ~0ull);
+    EXPECT_EQ(static_cast<std::int64_t>(exec.state().readReg(s3)), -100);
+}
+
+TEST(Exec, LogicAndShifts)
+{
+    auto exec = runProgram([](Builder &b) {
+        b.loadImm(t0, 0xF0F0);
+        b.loadImm(t1, 0x0FF0);
+        b.and_(s0, t0, t1);   // 0x0FF0 & 0xF0F0 = 0x00F0
+        b.or_(s1, t0, t1);    // 0xFFF0
+        b.xor_(s2, t0, t1);   // 0xFF00
+        b.slli(s3, t0, 4);    // 0xF0F00
+        b.srli(s4, t0, 4);    // 0xF0F
+        b.loadImm(t2, static_cast<std::uint64_t>(-16));
+        b.srai(s5, t2, 2);    // -4
+        b.slt(s6, t2, t0);    // -16 < 0xF0F0 -> 1
+        b.sltu(s7, t2, t0);   // huge unsigned -> 0
+    });
+    EXPECT_EQ(exec.state().readReg(s0), 0x00F0u);
+    EXPECT_EQ(exec.state().readReg(s1), 0xFFF0u);
+    EXPECT_EQ(exec.state().readReg(s2), 0xFF00u);
+    EXPECT_EQ(exec.state().readReg(s3), 0xF0F00u);
+    EXPECT_EQ(exec.state().readReg(s4), 0xF0Fu);
+    EXPECT_EQ(static_cast<std::int64_t>(exec.state().readReg(s5)), -4);
+    EXPECT_EQ(exec.state().readReg(s6), 1u);
+    EXPECT_EQ(exec.state().readReg(s7), 0u);
+}
+
+TEST(Exec, ZeroRegisterIsImmutable)
+{
+    auto exec = runProgram([](Builder &b) {
+        b.addi(zero, zero, 55);
+        b.add(s0, zero, zero);
+    });
+    EXPECT_EQ(exec.state().readReg(zero), 0u);
+    EXPECT_EQ(exec.state().readReg(s0), 0u);
+}
+
+TEST(Exec, LoadStoreWidthsAndSigns)
+{
+    auto exec = runProgram([](Builder &b) {
+        Addr data = b.allocData(64, 8);
+        b.setData64(data, 0xFFEE'DDCC'BBAA'9988ull);
+        b.loadImm(s0, data);
+        b.lb(s1, 0, s0);   // 0x88 sign-extended -> -120
+        b.lbu(s2, 0, s0);  // 0x88
+        b.lh(s3, 0, s0);   // 0x9988 -> negative
+        b.lhu(s4, 0, s0);  // 0x9988
+        b.lw(s5, 0, s0);   // 0xBBAA9988 -> negative
+        b.lwu(s6, 0, s0);  // 0xBBAA9988
+        b.ld(s7, 0, s0);   // full word
+
+        b.loadImm(t0, 0x1234'5678'9ABC'DEF0ull);
+        b.sb(t0, 16, s0);
+        b.sh(t0, 18, s0);
+        b.sw(t0, 20, s0);
+        b.sd(t0, 24, s0);
+        b.ld(s8, 16, s0);
+        b.ld(s9, 24, s0);
+    });
+    auto &st = exec.state();
+    EXPECT_EQ(static_cast<std::int64_t>(st.readReg(s1)), -120);
+    EXPECT_EQ(st.readReg(s2), 0x88u);
+    EXPECT_EQ(static_cast<std::int64_t>(st.readReg(s3)),
+              static_cast<std::int16_t>(0x9988));
+    EXPECT_EQ(st.readReg(s4), 0x9988u);
+    EXPECT_EQ(static_cast<std::int64_t>(st.readReg(s5)),
+              static_cast<std::int32_t>(0xBBAA9988));
+    EXPECT_EQ(st.readReg(s6), 0xBBAA9988u);
+    EXPECT_EQ(st.readReg(s7), 0xFFEE'DDCC'BBAA'9988ull);
+    // sb wrote F0 at +16, sh wrote DEF0 at +18, sw wrote 9ABCDEF0 at +20.
+    EXPECT_EQ(st.readReg(s8) & 0xff, 0xF0u);
+    EXPECT_EQ((st.readReg(s8) >> 16) & 0xffff, 0xDEF0u);
+    EXPECT_EQ(st.readReg(s9), 0x1234'5678'9ABC'DEF0ull);
+}
+
+TEST(Exec, FloatingPoint)
+{
+    auto exec = runProgram([](Builder &b) {
+        Addr data = b.allocData(32, 8);
+        b.setDataF64(data, 1.5);
+        b.setDataF64(data + 8, -2.25);
+        b.loadImm(s0, data);
+        b.fld(f(0), 0, s0);
+        b.fld(f(1), 8, s0);
+        b.fadd(f(2), f(0), f(1));   // -0.75
+        b.fsub(f(3), f(0), f(1));   // 3.75
+        b.fmul(f(4), f(0), f(1));   // -3.375
+        b.fdiv(f(5), f(1), f(0));   // -1.5
+        b.fneg(f(6), f(1));         // 2.25
+        b.fcmplt(s1, f(1), f(0));   // 1
+        b.fcmplt(s2, f(0), f(1));   // 0
+        b.loadImm(t0, 7);
+        b.fcvtI2f(f(7), t0);        // 7.0
+        b.fcvtF2i(s3, f(7));        // 7
+        b.fsd(f(2), 16, s0);
+    });
+    auto &st = exec.state();
+    EXPECT_DOUBLE_EQ(st.readFpReg(f(2)), -0.75);
+    EXPECT_DOUBLE_EQ(st.readFpReg(f(3)), 3.75);
+    EXPECT_DOUBLE_EQ(st.readFpReg(f(4)), -3.375);
+    EXPECT_DOUBLE_EQ(st.readFpReg(f(5)), -1.5);
+    EXPECT_DOUBLE_EQ(st.readFpReg(f(6)), 2.25);
+    EXPECT_EQ(st.readReg(s1), 1u);
+    EXPECT_EQ(st.readReg(s2), 0u);
+    EXPECT_EQ(st.readReg(s3), 7u);
+    std::uint64_t raw = exec.memory().read(prog::layout::DataBase + 16, 8);
+    double stored;
+    std::memcpy(&stored, &raw, 8);
+    EXPECT_DOUBLE_EQ(stored, -0.75);
+}
+
+TEST(Exec, BranchVariants)
+{
+    auto exec = runProgram([](Builder &b) {
+        b.loadImm(s0, 0);  // score
+        b.loadImm(t0, 5);
+        b.loadImm(t1, static_cast<std::uint64_t>(-5));
+
+        auto check = [&](auto emit_branch, int bit) {
+            Label taken = b.newLabel();
+            Label after = b.newLabel();
+            emit_branch(taken);
+            b.j(after);
+            b.bind(taken);
+            b.ori(s0, s0, 1 << bit);
+            b.bind(after);
+        };
+        check([&](Label l) { b.beq(t0, t0, l); }, 0);    // 5 == 5: taken
+        check([&](Label l) { b.bne(t0, t1, l); }, 1);    // taken
+        check([&](Label l) { b.blt(t1, t0, l); }, 2);    // -5 < 5: taken
+        check([&](Label l) { b.bge(t0, t1, l); }, 3);    // taken
+        check([&](Label l) { b.bltu(t1, t0, l); }, 4);   // huge: NOT taken
+        check([&](Label l) { b.bgeu(t1, t0, l); }, 5);   // taken
+    });
+    EXPECT_EQ(exec.state().readReg(s0), 0b101111u);
+}
+
+TEST(Exec, JalrLinksAndJumps)
+{
+    auto exec = runProgram([](Builder &b) {
+        Label fn = b.newLabel();
+        Label main = b.newLabel();
+        b.j(main);
+        b.bind(fn);
+        b.loadImm(s1, 99);
+        b.ret();
+        b.bind(main);
+        // Call through a register (JALR with computed target).
+        b.loadImm(t0,
+                  prog::layout::TextBase + 4);  // address of fn's body
+        b.jalr(ra, t0, 0);
+        b.mv(s2, ra);  // link register points past the jalr
+    });
+    EXPECT_EQ(exec.state().readReg(s1), 99u);
+    EXPECT_NE(exec.state().readReg(s2), 0u);
+}
+
+TEST(Exec, ModeSwitchTracked)
+{
+    Builder b("mode");
+    b.emode();
+    b.nop();
+    b.xmode();
+    b.nop();
+    b.halt();
+    Program p = b.build();
+    Executor exec(p);
+
+    DynInst record;
+    ASSERT_TRUE(exec.next(record));  // emode: executed in user mode
+    EXPECT_FALSE(record.kernelMode);
+    ASSERT_TRUE(exec.next(record));  // nop: kernel
+    EXPECT_TRUE(record.kernelMode);
+    ASSERT_TRUE(exec.next(record));  // xmode: still kernel
+    EXPECT_TRUE(record.kernelMode);
+    ASSERT_TRUE(exec.next(record));  // nop: user again
+    EXPECT_FALSE(record.kernelMode);
+}
+
+TEST(Exec, TraceRecordsAreComplete)
+{
+    Builder b("trace");
+    Addr data = b.allocData(16, 8);
+    b.loadImm(t0, data);       // may expand to several insts
+    b.sd(t0, 0, t0);
+    b.ld(t1, 0, t0);
+    Label skip = b.newLabel();
+    b.beq(t0, t1, skip);
+    b.nop();
+    b.bind(skip);
+    b.halt();
+    Program p = b.build();
+    Executor exec(p);
+
+    auto trace = recordTrace(exec, 100);
+    ASSERT_GE(trace.size(), 5u);
+
+    // Sequence numbers are dense and start at 1.
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].seq, i + 1);
+    // nextPc links the committed path.
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i)
+        EXPECT_EQ(trace[i].nextPc, trace[i + 1].pc);
+
+    // Find the store and load records.
+    bool saw_store = false, saw_load = false, saw_taken = false;
+    for (const auto &record : trace) {
+        if (record.isStore()) {
+            saw_store = true;
+            EXPECT_EQ(record.memAddr, data);
+            EXPECT_EQ(record.memSize, 8);
+        }
+        if (record.isLoad()) {
+            saw_load = true;
+            EXPECT_EQ(record.memAddr, data);
+        }
+        if (record.isControl() && record.taken)
+            saw_taken = true;
+    }
+    EXPECT_TRUE(saw_store);
+    EXPECT_TRUE(saw_load);
+    EXPECT_TRUE(saw_taken);  // the beq compares equal values
+}
+
+TEST(Exec, VectorTraceSourceReplays)
+{
+    Builder b("vts");
+    b.loadImm(t0, 3);
+    b.halt();
+    Program p = b.build();
+    Executor exec(p);
+    auto trace = recordTrace(exec, 100);
+
+    VectorTraceSource source(trace);
+    DynInst record;
+    std::size_t count = 0;
+    while (source.next(record))
+        EXPECT_EQ(record.seq, trace[count++].seq);
+    EXPECT_EQ(count, trace.size());
+    source.rewind();
+    EXPECT_TRUE(source.next(record));
+    EXPECT_EQ(record.seq, trace[0].seq);
+}
+
+TEST(Exec, InstructionFuse)
+{
+    Builder b("fuse");
+    Label spin = b.here();
+    b.j(spin);
+    b.halt();
+    Program p = b.build();
+    Executor exec(p, 1000);
+    EXPECT_DEATH(exec.run(), "exceeded instruction fuse");
+}
+
+TEST(ExecDeathTest, UnalignedAccessPanics)
+{
+    Builder b("unaligned");
+    Addr data = b.allocData(16, 8);
+    b.loadImm(t0, data + 1);
+    b.ld(t1, 0, t0);
+    b.halt();
+    Program p = b.build();
+    Executor exec(p);
+    EXPECT_DEATH(exec.run(), "unaligned");
+}
+
+TEST(Memory, SparsePagesAndBlocks)
+{
+    Memory mem;
+    EXPECT_EQ(mem.pageCount(), 0u);
+    EXPECT_EQ(mem.read(0x5000, 8), 0u);  // untouched reads as zero
+    EXPECT_EQ(mem.pageCount(), 0u);      // ...without allocating
+
+    mem.write(0x5000, 0xAABB, 2);
+    EXPECT_EQ(mem.pageCount(), 1u);
+    EXPECT_EQ(mem.read(0x5000, 2), 0xAABBu);
+    EXPECT_EQ(mem.read(0x5001, 1), 0xAAu);
+
+    // Cross-page block write/read.
+    std::vector<std::uint8_t> out(64), in(64);
+    for (unsigned i = 0; i < 64; ++i)
+        in[i] = static_cast<std::uint8_t>(i + 1);
+    Addr boundary = 2 * Memory::PageBytes - 32;
+    mem.writeBlock(boundary, in);
+    mem.readBlock(boundary, out);
+    EXPECT_EQ(in, out);
+    EXPECT_EQ(mem.pageCount(), 3u);
+
+    mem.clear();
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(ArchState, DumpAndCompare)
+{
+    ArchState a, c;
+    a.writeReg(5, 42);
+    EXPECT_FALSE(a.sameAs(c));
+    c.writeReg(5, 42);
+    EXPECT_TRUE(a.sameAs(c));
+    c.setKernelMode(true);
+    EXPECT_FALSE(a.sameAs(c));
+    EXPECT_NE(a.dump().find("x5"), std::string::npos);
+}
+
+} // namespace
+} // namespace cpe::func

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * ISA-layer tests: opcode classification, operand queries, binary
+ * encode/decode round-trips (directed + property-based), and the
+ * disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+#include "isa/isa.hh"
+#include "util/random.hh"
+
+namespace cpe::isa {
+namespace {
+
+TEST(IsaClass, LoadsAndStores)
+{
+    EXPECT_TRUE(isLoad(Opcode::LB));
+    EXPECT_TRUE(isLoad(Opcode::LWU));
+    EXPECT_TRUE(isLoad(Opcode::FLD));
+    EXPECT_FALSE(isLoad(Opcode::SD));
+    EXPECT_TRUE(isStore(Opcode::SB));
+    EXPECT_TRUE(isStore(Opcode::FSD));
+    EXPECT_FALSE(isStore(Opcode::LD));
+    EXPECT_TRUE(isMem(Opcode::LH));
+    EXPECT_TRUE(isMem(Opcode::SW));
+    EXPECT_FALSE(isMem(Opcode::ADD));
+}
+
+TEST(IsaClass, Control)
+{
+    EXPECT_TRUE(isControl(Opcode::BEQ));
+    EXPECT_TRUE(isControl(Opcode::JAL));
+    EXPECT_TRUE(isControl(Opcode::JALR));
+    EXPECT_FALSE(isControl(Opcode::ADD));
+    EXPECT_TRUE(isCondBranch(Opcode::BGEU));
+    EXPECT_FALSE(isCondBranch(Opcode::JAL));
+}
+
+TEST(IsaClass, EveryOpcodeClassifies)
+{
+    for (unsigned op = 0;
+         op < static_cast<unsigned>(Opcode::NumOpcodes); ++op) {
+        // classOf and opcodeName must not panic for any valid opcode.
+        InstClass cls = classOf(static_cast<Opcode>(op));
+        EXPECT_LE(static_cast<unsigned>(cls),
+                  static_cast<unsigned>(InstClass::System));
+        EXPECT_NE(opcodeName(static_cast<Opcode>(op)), nullptr);
+    }
+}
+
+TEST(IsaMem, AccessBytes)
+{
+    EXPECT_EQ(memBytes(Opcode::LB), 1u);
+    EXPECT_EQ(memBytes(Opcode::LHU), 2u);
+    EXPECT_EQ(memBytes(Opcode::SW), 4u);
+    EXPECT_EQ(memBytes(Opcode::FSD), 8u);
+    EXPECT_EQ(memBytes(Opcode::LD), 8u);
+}
+
+TEST(IsaMem, SignednessOfLoads)
+{
+    EXPECT_TRUE(loadSigned(Opcode::LB));
+    EXPECT_TRUE(loadSigned(Opcode::LW));
+    EXPECT_FALSE(loadSigned(Opcode::LBU));
+    EXPECT_FALSE(loadSigned(Opcode::LD));
+    EXPECT_FALSE(loadSigned(Opcode::FLD));
+}
+
+TEST(IsaRegs, Names)
+{
+    EXPECT_EQ(regName(0), "x0");
+    EXPECT_EQ(regName(31), "x31");
+    EXPECT_EQ(regName(FpBase), "f0");
+    EXPECT_EQ(regName(FpBase + 31), "f31");
+    EXPECT_EQ(regName(NoReg), "-");
+}
+
+TEST(IsaRegs, SrcRegsPerFormat)
+{
+    RegIndex srcs[2];
+
+    Inst add{Opcode::ADD, 3, 4, 5, 0};
+    EXPECT_EQ(srcRegs(add, srcs), 2u);
+    EXPECT_EQ(srcs[0], 4);
+    EXPECT_EQ(srcs[1], 5);
+
+    // x0 sources are dropped.
+    Inst addz{Opcode::ADD, 3, 0, 5, 0};
+    EXPECT_EQ(srcRegs(addz, srcs), 1u);
+    EXPECT_EQ(srcs[0], 5);
+
+    // Duplicate sources are de-duplicated.
+    Inst dup{Opcode::ADD, 3, 7, 7, 0};
+    EXPECT_EQ(srcRegs(dup, srcs), 1u);
+
+    Inst load{Opcode::LD, 3, 4, NoReg, 16};
+    EXPECT_EQ(srcRegs(load, srcs), 1u);
+    EXPECT_EQ(srcs[0], 4);
+
+    Inst store{Opcode::SD, NoReg, 4, 9, 16};
+    EXPECT_EQ(srcRegs(store, srcs), 2u);
+
+    Inst lui{Opcode::LUI, 3, NoReg, NoReg, 5};
+    EXPECT_EQ(srcRegs(lui, srcs), 0u);
+
+    Inst halt{Opcode::HALT, NoReg, NoReg, NoReg, 0};
+    EXPECT_EQ(srcRegs(halt, srcs), 0u);
+}
+
+TEST(IsaRegs, DestReg)
+{
+    EXPECT_EQ(destReg(Inst{Opcode::ADD, 3, 4, 5, 0}), 3);
+    EXPECT_EQ(destReg(Inst{Opcode::ADD, 0, 4, 5, 0}), NoReg); // x0 sink
+    EXPECT_EQ(destReg(Inst{Opcode::SD, NoReg, 4, 5, 0}), NoReg);
+    EXPECT_EQ(destReg(Inst{Opcode::BEQ, NoReg, 4, 5, 8}), NoReg);
+    EXPECT_EQ(destReg(Inst{Opcode::JAL, 1, NoReg, NoReg, 8}), 1);
+}
+
+TEST(Encoding, RoundTripDirected)
+{
+    std::vector<Inst> cases = {
+        {Opcode::ADD, 1, 2, 3, 0},
+        {Opcode::ADDI, 1, 2, NoReg, -2048},
+        {Opcode::ADDI, 1, 2, NoReg, 2047},
+        {Opcode::LUI, 5, NoReg, NoReg, -131072},
+        {Opcode::LUI, 5, NoReg, NoReg, 131071},
+        {Opcode::LD, 9, 10, NoReg, 1024},
+        {Opcode::SD, NoReg, 10, 9, -8},
+        {Opcode::BEQ, NoReg, 4, 5, -2048},
+        {Opcode::JAL, 1, NoReg, NoReg, 4096},
+        {Opcode::JALR, 0, 1, NoReg, 0},
+        {Opcode::FADD, static_cast<RegIndex>(FpBase + 1),
+         static_cast<RegIndex>(FpBase + 2),
+         static_cast<RegIndex>(FpBase + 3), 0},
+        {Opcode::HALT, NoReg, NoReg, NoReg, 0},
+        {Opcode::EMODE, NoReg, NoReg, NoReg, 0},
+    };
+    for (const auto &inst : cases) {
+        auto enc = encode(inst);
+        ASSERT_TRUE(enc.ok()) << disassemble(inst) << ": " << enc.error;
+        auto dec = decode(enc.word);
+        ASSERT_TRUE(dec.has_value()) << disassemble(inst);
+        EXPECT_EQ(*dec, inst) << disassemble(inst) << " vs "
+                              << disassemble(*dec);
+    }
+}
+
+TEST(Encoding, RejectsOutOfRangeImmediates)
+{
+    EXPECT_FALSE(encode(Inst{Opcode::ADDI, 1, 2, NoReg, 2048}).ok());
+    EXPECT_FALSE(encode(Inst{Opcode::ADDI, 1, 2, NoReg, -2049}).ok());
+    EXPECT_FALSE(encode(Inst{Opcode::JAL, 1, NoReg, NoReg, 1 << 17}).ok());
+    EXPECT_TRUE(
+        encode(Inst{Opcode::JAL, 1, NoReg, NoReg, (1 << 17) - 4}).ok());
+}
+
+TEST(Encoding, RejectsMalformedWords)
+{
+    // Unknown opcode byte.
+    std::uint32_t bad_op =
+        static_cast<std::uint32_t>(Opcode::NumOpcodes) << 24;
+    EXPECT_FALSE(decode(bad_op).has_value());
+    EXPECT_FALSE(decode(0xff000000u).has_value());
+
+    // R-format with nonzero must-be-zero low bits.
+    auto enc = encode(Inst{Opcode::ADD, 1, 2, 3, 0});
+    ASSERT_TRUE(enc.ok());
+    EXPECT_FALSE(decode(enc.word | 0x1).has_value());
+
+    // HALT with a nonzero register field.
+    auto halt = encode(Inst{Opcode::HALT, NoReg, NoReg, NoReg, 0});
+    ASSERT_TRUE(halt.ok());
+    EXPECT_FALSE(decode(halt.word | (5u << 18)).has_value());
+}
+
+/** Property: any encodable random instruction round-trips exactly. */
+class EncodingRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EncodingRoundTrip, RandomInstructions)
+{
+    Rng rng(GetParam());
+    unsigned encoded = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        Inst inst;
+        inst.op = static_cast<Opcode>(
+            rng.below(static_cast<std::uint64_t>(Opcode::NumOpcodes)));
+        inst.rd = static_cast<RegIndex>(rng.below(NumArchRegs));
+        inst.rs1 = static_cast<RegIndex>(rng.below(NumArchRegs));
+        inst.rs2 = static_cast<RegIndex>(rng.below(NumArchRegs));
+        inst.imm = isJFormat(inst.op) ? rng.range(-(1 << 17), (1 << 17) - 1)
+                                      : rng.range(-2048, 2047);
+
+        auto enc = encode(inst);
+        if (!enc.ok())
+            continue;  // operand constellation not valid for format
+        ++encoded;
+        auto dec = decode(enc.word);
+        ASSERT_TRUE(dec.has_value());
+        // Decode normalizes unused operand fields; re-encoding must
+        // reproduce the identical word (canonical-form property).
+        auto enc2 = encode(*dec);
+        ASSERT_TRUE(enc2.ok());
+        EXPECT_EQ(enc.word, enc2.word) << disassemble(inst);
+    }
+    EXPECT_GT(encoded, 500u);  // the generator must exercise encode
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTrip,
+                         ::testing::Values(1, 2, 3, 42, 1996));
+
+TEST(Disasm, Readable)
+{
+    EXPECT_EQ(disassemble(Inst{Opcode::ADD, 3, 4, 5, 0}), "add x3, x4, x5");
+    EXPECT_EQ(disassemble(Inst{Opcode::ADDI, 3, 4, NoReg, -5}),
+              "addi x3, x4, -5");
+    EXPECT_EQ(disassemble(Inst{Opcode::LD, 3, 4, NoReg, 16}),
+              "ld x3, 16(x4)");
+    EXPECT_EQ(disassemble(Inst{Opcode::SD, NoReg, 4, 3, 8}),
+              "sd x3, 8(x4)");
+    EXPECT_EQ(disassemble(Inst{Opcode::BEQ, NoReg, 1, 2, 8}),
+              "beq x1, x2, 8");
+    EXPECT_EQ(disassemble(Inst{Opcode::BEQ, NoReg, 1, 2, 8}, 0x1000),
+              "beq x1, x2, 0x1008");
+    EXPECT_EQ(disassemble(Inst{Opcode::HALT, NoReg, NoReg, NoReg, 0}),
+              "halt");
+    EXPECT_EQ(
+        disassemble(Inst{Opcode::FADD, static_cast<RegIndex>(FpBase),
+                         static_cast<RegIndex>(FpBase + 1),
+                         static_cast<RegIndex>(FpBase + 2), 0}),
+        "fadd f0, f1, f2");
+}
+
+} // namespace
+} // namespace cpe::isa

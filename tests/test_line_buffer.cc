@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Line-buffer ("load-all") tests: capture windows, lookup coverage,
+ * LRU allocation, store patch/invalidate policies, exclusion masks,
+ * L1-eviction invalidation, and full flushes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/line_buffer.hh"
+#include "core/port_arbiter.hh"
+
+namespace cpe::core {
+namespace {
+
+constexpr unsigned Line = 32;
+
+TEST(LineBuffer, DisabledFileNeverHits)
+{
+    LineBufferFile lb("lb", 0, Line, LineBufferWritePolicy::Update);
+    EXPECT_FALSE(lb.enabled());
+    lb.capture(0x1000, 32, 0);
+    EXPECT_FALSE(lb.lookup(0x1000, 8));
+}
+
+TEST(LineBuffer, CaptureWindowThenHit)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Update);
+    // An 8-byte port access at 0x1008 captures the aligned window.
+    lb.capture(0x1008, 8, 0);
+    EXPECT_TRUE(lb.lookup(0x1008, 8));
+    EXPECT_TRUE(lb.lookup(0x100c, 4));
+    EXPECT_FALSE(lb.lookup(0x1000, 8));   // outside the window
+    EXPECT_FALSE(lb.lookup(0x1010, 8));
+    EXPECT_EQ(lb.lineMask(0x1000), 0xff00ull);
+}
+
+TEST(LineBuffer, WideCaptureCoversWholeLine)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Update);
+    lb.capture(0x1010, 32, 0);  // load-all-wide: full line
+    for (unsigned off = 0; off < Line; off += 8)
+        EXPECT_TRUE(lb.lookup(0x1000 + off, 8)) << off;
+    EXPECT_FALSE(lb.lookup(0x1020, 8));  // next line
+}
+
+TEST(LineBuffer, SixteenByteWindowAlignment)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Update);
+    lb.capture(0x1018, 16, 0);  // 16 B window containing 0x18: [0x10,0x20)
+    EXPECT_TRUE(lb.lookup(0x1010, 8));
+    EXPECT_TRUE(lb.lookup(0x1018, 8));
+    EXPECT_FALSE(lb.lookup(0x1008, 8));
+}
+
+TEST(LineBuffer, WindowsAccumulatePerLine)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Update);
+    lb.capture(0x1000, 8, 0);
+    lb.capture(0x1010, 8, 0);
+    EXPECT_EQ(lb.validBuffers(), 1u);  // same line, one buffer
+    EXPECT_TRUE(lb.lookup(0x1000, 8));
+    EXPECT_TRUE(lb.lookup(0x1010, 8));
+    EXPECT_FALSE(lb.lookup(0x1008, 8));
+}
+
+TEST(LineBuffer, LruVictimSelection)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Update);
+    lb.capture(0x1000, 32, 0);
+    lb.capture(0x2000, 32, 0);
+    EXPECT_TRUE(lb.lookup(0x1000, 8));  // 0x1000 is MRU now
+    lb.capture(0x3000, 32, 0);          // evicts LRU = 0x2000
+    EXPECT_TRUE(lb.lookup(0x1000, 8));
+    EXPECT_FALSE(lb.lookup(0x2000, 8));
+    EXPECT_TRUE(lb.lookup(0x3000, 8));
+    EXPECT_EQ(lb.replacements.value(), 1u);
+}
+
+TEST(LineBuffer, ExclusionMaskKeepsStaleBytesInvalid)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Update);
+    // The store buffer owns bytes 8-15 of the line: the cache copy is
+    // stale there, so a capture must not mark them valid.
+    std::uint64_t exclude = 0xff00;
+    lb.capture(0x1000, 32, exclude);
+    EXPECT_TRUE(lb.lookup(0x1000, 8));
+    EXPECT_FALSE(lb.lookup(0x1008, 8));
+    EXPECT_TRUE(lb.lookup(0x1010, 8));
+}
+
+TEST(LineBuffer, UpdatePolicyPatchesStores)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Update);
+    lb.capture(0x1000, 8, 0);
+    lb.onStore(0x1010, 8);  // patches bytes 16-23 valid
+    EXPECT_TRUE(lb.lookup(0x1010, 8));
+    EXPECT_EQ(lb.storePatches.value(), 1u);
+    EXPECT_EQ(lb.validBuffers(), 1u);
+}
+
+TEST(LineBuffer, InvalidatePolicyDropsBuffer)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Invalidate);
+    lb.capture(0x1000, 32, 0);
+    lb.onStore(0x1010, 8);
+    EXPECT_FALSE(lb.lookup(0x1000, 8));
+    EXPECT_EQ(lb.storeInvals.value(), 1u);
+    EXPECT_EQ(lb.validBuffers(), 0u);
+}
+
+TEST(LineBuffer, StoreToUncachedLineIsNoop)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Update);
+    lb.onStore(0x5000, 8);
+    EXPECT_EQ(lb.storePatches.value(), 0u);
+    EXPECT_EQ(lb.validBuffers(), 0u);
+}
+
+TEST(LineBuffer, EvictionInvalidates)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Update);
+    lb.capture(0x1000, 32, 0);
+    lb.invalidateLine(0x1000);
+    EXPECT_FALSE(lb.lookup(0x1000, 8));
+    EXPECT_EQ(lb.lineInvals.value(), 1u);
+}
+
+TEST(LineBuffer, FlushAll)
+{
+    LineBufferFile lb("lb", 4, Line, LineBufferWritePolicy::Update);
+    lb.capture(0x1000, 32, 0);
+    lb.capture(0x2000, 32, 0);
+    lb.flushAll();
+    EXPECT_EQ(lb.validBuffers(), 0u);
+    EXPECT_FALSE(lb.lookup(0x1000, 8));
+    EXPECT_EQ(lb.flushes.value(), 1u);
+}
+
+TEST(LineBuffer, HitRateFormula)
+{
+    LineBufferFile lb("lb", 2, Line, LineBufferWritePolicy::Update);
+    lb.capture(0x1000, 32, 0);
+    lb.lookup(0x1000, 8);   // hit
+    lb.lookup(0x1008, 8);   // hit
+    lb.lookup(0x2000, 8);   // miss
+    lb.lookup(0x3000, 8);   // miss
+    EXPECT_DOUBLE_EQ(lb.statGroup().formulaValue("hit_rate"), 0.5);
+}
+
+// --- Port arbiter -----------------------------------------------------
+
+TEST(PortArbiter, SinglePortOnePerCycle)
+{
+    PortArbiter ports("p", 1);
+    EXPECT_EQ(ports.freePorts(10), 1u);
+    EXPECT_TRUE(ports.tryAcquire(10));
+    EXPECT_FALSE(ports.tryAcquire(10));
+    EXPECT_EQ(ports.freePorts(10), 0u);
+    EXPECT_TRUE(ports.tryAcquire(11));
+    EXPECT_EQ(ports.grants.value(), 2u);
+    EXPECT_EQ(ports.rejections.value(), 1u);
+}
+
+TEST(PortArbiter, DualPortTwoPerCycle)
+{
+    PortArbiter ports("p", 2);
+    EXPECT_TRUE(ports.tryAcquire(5));
+    EXPECT_TRUE(ports.tryAcquire(5));
+    EXPECT_FALSE(ports.tryAcquire(5));
+    EXPECT_EQ(ports.freePorts(6), 2u);
+}
+
+TEST(PortArbiter, MultiCycleOccupancy)
+{
+    PortArbiter ports("p", 1);
+    EXPECT_TRUE(ports.tryAcquire(10, 4));  // e.g. a line fill
+    EXPECT_FALSE(ports.tryAcquire(12));
+    EXPECT_FALSE(ports.tryAcquire(13));
+    EXPECT_TRUE(ports.tryAcquire(14));
+}
+
+TEST(PortArbiter, UtilizationStats)
+{
+    PortArbiter ports("p", 2);
+    ports.tryAcquire(0);
+    ports.tickStats(0);  // one busy, one idle
+    ports.tickStats(1);  // both idle
+    EXPECT_EQ(ports.busyPortCycles.value(), 1u);
+    EXPECT_EQ(ports.idlePortCycles.value(), 3u);
+    EXPECT_DOUBLE_EQ(ports.statGroup().formulaValue("utilization"), 0.25);
+}
+
+} // namespace
+} // namespace cpe::core

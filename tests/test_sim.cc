@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the top-level simulation facade: configuration handling,
+ * the simulate() API, warm-up, result extraction, and the ResultGrid
+ * reporting used by the bench harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+namespace cpe::sim {
+namespace {
+
+TEST(SimConfig, DefaultsDescribeTheEvaluationMachine)
+{
+    SimConfig config = SimConfig::defaults();
+    EXPECT_EQ(config.core.issueWidth, 4u);
+    EXPECT_EQ(config.core.dcache.cache.sizeBytes, 16u * 1024);
+    EXPECT_EQ(config.core.dcache.cache.lineBytes, 32u);
+    std::string text = config.describe();
+    EXPECT_NE(text.find("issue width"), std::string::npos);
+    EXPECT_NE(text.find("4-way ooo"), std::string::npos);
+    EXPECT_NE(text.find("16 KiB"), std::string::npos);
+    EXPECT_NE(text.find("store buffer"), std::string::npos);
+}
+
+TEST(SimConfig, TagFallsBackToTechDescription)
+{
+    SimConfig config = SimConfig::defaults();
+    EXPECT_EQ(config.tag(), config.tech().describe());
+    config.label = "custom";
+    EXPECT_EQ(config.tag(), "custom");
+}
+
+TEST(SimConfig, TechDescribeIsUnambiguous)
+{
+    using core::PortTechConfig;
+    EXPECT_EQ(PortTechConfig::singlePortBase().describe(), "1p8B");
+    EXPECT_EQ(PortTechConfig::dualPortBase().describe(), "2p8B");
+    EXPECT_EQ(PortTechConfig::singlePortAllTechniques().describe(),
+              "1p32B+sb8c+lb4");
+    PortTechConfig banked = PortTechConfig::dualPortBase();
+    banked.banks = 4;
+    EXPECT_EQ(banked.describe(), "2p8Bx4bk");
+}
+
+TEST(Simulate, ReturnsConsistentResults)
+{
+    setVerbose(false);
+    auto result = simulate("crc", core::PortTechConfig::dualPortBase());
+    EXPECT_EQ(result.workload, "crc");
+    EXPECT_GT(result.insts, 100'000u);
+    EXPECT_GT(result.cycles, result.insts / 4);
+    EXPECT_NEAR(result.ipc,
+                static_cast<double>(result.insts) / result.cycles,
+                1e-9);
+    EXPECT_GT(result.condAccuracy, 0.5);
+    EXPECT_GE(result.portUtilization, 0.0);
+    EXPECT_LE(result.portUtilization, 1.0);
+    EXPECT_NE(result.statsDump.find("core.ipc"), std::string::npos);
+    EXPECT_NE(result.statsDump.find("memsys.l2"), std::string::npos);
+}
+
+TEST(Simulate, DeterministicAcrossCalls)
+{
+    setVerbose(false);
+    auto a = simulate("sort", core::PortTechConfig::singlePortBase());
+    auto b = simulate("sort", core::PortTechConfig::singlePortBase());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+}
+
+TEST(Simulate, WarmupShrinksMeasuredRegion)
+{
+    setVerbose(false);
+    SimConfig whole = SimConfig::defaults();
+    whole.workloadName = "crc";
+    auto full = simulate(whole);
+
+    SimConfig warm = whole;
+    warm.warmupInsts = full.insts / 2;
+    auto measured = simulate(warm);
+
+    EXPECT_EQ(measured.insts, full.insts - full.insts / 2);
+    EXPECT_LT(measured.cycles, full.cycles);
+    // The steady-state region is at least as fast as the whole run.
+    EXPECT_GE(measured.ipc, full.ipc * 0.99);
+}
+
+TEST(ResultGrid, LookupAndGeomean)
+{
+    ResultGrid grid("IPC");
+    SimResult a;
+    a.workload = "w1";
+    a.configTag = "c1";
+    a.ipc = 1.0;
+    SimResult b = a;
+    b.workload = "w2";
+    b.ipc = 4.0;
+    SimResult c = a;
+    c.configTag = "c2";
+    c.ipc = 2.0;
+    grid.add(a);
+    grid.add(b);
+    grid.add(c);
+
+    EXPECT_EQ(grid.workloads().size(), 2u);
+    EXPECT_EQ(grid.configs().size(), 2u);
+    EXPECT_DOUBLE_EQ(grid.ipc("w1", "c1"), 1.0);
+    EXPECT_DOUBLE_EQ(grid.geomeanIpc("c1"), 2.0);  // sqrt(1 * 4)
+    EXPECT_DOUBLE_EQ(grid.geomeanIpc("c2"), 2.0);  // only w1
+}
+
+TEST(ResultGrid, Tables)
+{
+    ResultGrid grid("IPC");
+    SimResult a;
+    a.workload = "w";
+    a.configTag = "base";
+    a.ipc = 2.0;
+    SimResult b = a;
+    b.configTag = "fast";
+    b.ipc = 3.0;
+    grid.add(a);
+    grid.add(b);
+
+    std::string ipc_table = grid.ipcTable().render();
+    EXPECT_NE(ipc_table.find("base"), std::string::npos);
+    EXPECT_NE(ipc_table.find("3.000"), std::string::npos);
+    EXPECT_NE(ipc_table.find("geomean"), std::string::npos);
+
+    std::string rel = grid.relativeTable("base").render();
+    EXPECT_NE(rel.find("1.500x"), std::string::npos);
+    EXPECT_NE(rel.find("1.000x"), std::string::npos);
+}
+
+TEST(ResultGridDeathTest, MissingCellsPanic)
+{
+    ResultGrid grid("IPC");
+    SimResult a;
+    a.workload = "w";
+    a.configTag = "c";
+    a.ipc = 1.0;
+    grid.add(a);
+    EXPECT_DEATH(grid.ipc("w", "nope"), "no result");
+    EXPECT_DEATH(grid.relativeTable("nope"), "baseline");
+}
+
+TEST(RatioStr, Format)
+{
+    EXPECT_EQ(ratioStr(1.0), "1.000x");
+    EXPECT_EQ(ratioStr(0.9126), "0.913x");  // banker-rounding-safe value
+}
+
+} // namespace
+} // namespace cpe::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Statistics-package tests: counters, averages, distributions,
+ * formulas, group nesting, reset, and dump formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+
+namespace cpe::stats {
+namespace {
+
+TEST(Scalar, CountsAndResets)
+{
+    Scalar counter;
+    EXPECT_EQ(counter.value(), 0u);
+    ++counter;
+    counter++;
+    counter += 10;
+    EXPECT_EQ(counter.value(), 12u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(AverageStat, Mean)
+{
+    Average avg;
+    EXPECT_EQ(avg.mean(), 0.0);
+    avg.sample(1.0);
+    avg.sample(2.0);
+    avg.sample(6.0);
+    EXPECT_DOUBLE_EQ(avg.mean(), 3.0);
+    EXPECT_EQ(avg.count(), 3u);
+    avg.reset();
+    EXPECT_EQ(avg.count(), 0u);
+}
+
+TEST(DistributionStat, Buckets)
+{
+    Distribution dist;
+    dist.init(0, 100, 10);
+    dist.sample(5);
+    dist.sample(15);
+    dist.sample(15);
+    dist.sample(-1);
+    dist.sample(100);
+    EXPECT_EQ(dist.totalSamples(), 5u);
+    EXPECT_EQ(dist.buckets()[0], 1u);
+    EXPECT_EQ(dist.buckets()[1], 2u);
+    EXPECT_EQ(dist.underflow(), 1u);
+    EXPECT_EQ(dist.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(dist.mean(), (5 + 15 + 15 - 1 + 100) / 5.0);
+    EXPECT_EQ(dist.bucketMin(1), 10);
+
+    dist.reset();
+    EXPECT_EQ(dist.totalSamples(), 0u);
+    EXPECT_EQ(dist.buckets()[1], 0u);
+}
+
+TEST(DistributionStat, WeightedSamples)
+{
+    Distribution dist;
+    dist.init(0, 10, 1);
+    dist.sample(3, 7);
+    EXPECT_EQ(dist.totalSamples(), 7u);
+    EXPECT_EQ(dist.buckets()[3], 7u);
+}
+
+TEST(Group, DumpAndLookups)
+{
+    StatGroup group("unit");
+    Scalar hits, misses;
+    group.addScalar("hits", &hits, "hit count");
+    group.addScalar("misses", &misses, "miss count");
+    group.addFormula(
+        "ratio",
+        [&]() {
+            std::uint64_t total = hits.value() + misses.value();
+            return total ? static_cast<double>(hits.value()) / total : 0.0;
+        },
+        "hit ratio");
+
+    hits += 3;
+    ++misses;
+
+    EXPECT_EQ(group.scalarValue("hits"), 3u);
+    EXPECT_EQ(group.scalarValue("misses"), 1u);
+    EXPECT_DOUBLE_EQ(group.formulaValue("ratio"), 0.75);
+
+    std::string dump = group.dump();
+    EXPECT_NE(dump.find("unit.hits"), std::string::npos);
+    EXPECT_NE(dump.find("# hit count"), std::string::npos);
+    EXPECT_NE(dump.find("0.7500"), std::string::npos);
+}
+
+TEST(Group, NestingAndReset)
+{
+    StatGroup parent("core");
+    StatGroup child("cache");
+    Scalar a, b;
+    parent.addScalar("a", &a, "parent stat");
+    child.addScalar("b", &b, "child stat");
+    parent.addChild(&child);
+
+    a += 5;
+    b += 7;
+    std::string dump = parent.dump();
+    EXPECT_NE(dump.find("core.a"), std::string::npos);
+    EXPECT_NE(dump.find("core.cache.b"), std::string::npos);
+
+    parent.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Group, CsvExport)
+{
+    StatGroup parent("core");
+    StatGroup child("cache");
+    Scalar hits;
+    Average lat;
+    parent.addScalar("hits", &hits, "x");
+    child.addAverage("latency", &lat, "y");
+    parent.addChild(&child);
+    hits += 3;
+    lat.sample(2.0);
+    lat.sample(4.0);
+    std::string csv = parent.dumpCsv();
+    EXPECT_NE(csv.find("core.hits,3"), std::string::npos);
+    EXPECT_NE(csv.find("core.cache.latency,3"), std::string::npos);
+}
+
+TEST(GroupDeathTest, MissingStatPanics)
+{
+    StatGroup group("g");
+    EXPECT_DEATH(group.scalarValue("nope"), "no scalar stat");
+    EXPECT_DEATH(group.formulaValue("nope"), "no formula stat");
+}
+
+} // namespace
+} // namespace cpe::stats

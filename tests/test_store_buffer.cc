@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Combining-store-buffer tests: insert/merge, coverage classification,
+ * window-at-a-time draining under different port widths, priority
+ * (forced) drains, ordering of same-line entries without combining,
+ * and the restore path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/store_buffer.hh"
+#include "util/bits.hh"
+
+namespace cpe::core {
+namespace {
+
+constexpr unsigned Line = 32;
+
+TEST(StoreBuffer, DisabledBuffer)
+{
+    StoreBuffer sb("sb", 0, Line, true);
+    EXPECT_FALSE(sb.enabled());
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST(StoreBuffer, InsertAndCombine)
+{
+    StoreBuffer sb("sb", 4, Line, true);
+    EXPECT_TRUE(sb.insert(0x1000, 8, 1));
+    EXPECT_TRUE(sb.insert(0x1008, 8, 2));   // same line: combines
+    EXPECT_TRUE(sb.insert(0x1010, 4, 3));   // same line: combines
+    EXPECT_EQ(sb.occupancy(), 1u);
+    EXPECT_EQ(sb.combines.value(), 2u);
+    EXPECT_EQ(sb.inserts.value(), 3u);
+    EXPECT_EQ(sb.lineMask(0x1000), 0x000f'ffffull);
+
+    EXPECT_TRUE(sb.insert(0x2000, 8, 4));   // new line
+    EXPECT_EQ(sb.occupancy(), 2u);
+}
+
+TEST(StoreBuffer, FullRejects)
+{
+    StoreBuffer sb("sb", 2, Line, true);
+    EXPECT_TRUE(sb.insert(0x1000, 8, 1));
+    EXPECT_TRUE(sb.insert(0x2000, 8, 1));
+    EXPECT_FALSE(sb.insert(0x3000, 8, 1));
+    EXPECT_EQ(sb.fullRejects.value(), 1u);
+    // But a combining store to a live line still fits.
+    EXPECT_TRUE(sb.insert(0x1018, 8, 1));
+}
+
+TEST(StoreBuffer, CoverageClasses)
+{
+    StoreBuffer sb("sb", 4, Line, true);
+    sb.insert(0x1008, 8, 1);
+    EXPECT_EQ(sb.coverage(0x1008, 8), Coverage::Full);
+    EXPECT_EQ(sb.coverage(0x1008, 4), Coverage::Full);
+    EXPECT_EQ(sb.coverage(0x100c, 4), Coverage::Full);
+    EXPECT_EQ(sb.coverage(0x1000, 8), Coverage::None);
+    EXPECT_EQ(sb.coverage(0x2000, 8), Coverage::None);
+    // Load spanning buffered + unbuffered bytes: partial.
+    EXPECT_EQ(sb.coverage(0x1008, 8), Coverage::Full);
+    sb.insert(0x1018, 4, 1);
+    EXPECT_EQ(sb.coverage(0x1018, 8), Coverage::Partial);
+}
+
+TEST(StoreBuffer, DrainNarrowPortWindowAtATime)
+{
+    StoreBuffer sb("sb", 4, Line, true);
+    sb.insert(0x1000, 8, 1);
+    sb.insert(0x1010, 8, 1);   // different 8 B window, same line
+    ASSERT_TRUE(sb.drainReady(5));
+
+    auto op1 = sb.drainOne(8, 5);
+    EXPECT_EQ(op1.addr, 0x1000u);
+    EXPECT_EQ(op1.bytes, 8u);
+    EXPECT_FALSE(op1.entryFinished);
+    EXPECT_EQ(sb.occupancy(), 1u);
+
+    auto op2 = sb.drainOne(8, 5);
+    EXPECT_EQ(op2.addr, 0x1010u);
+    EXPECT_TRUE(op2.entryFinished);
+    EXPECT_TRUE(sb.empty());
+    EXPECT_EQ(sb.drainOps.value(), 2u);
+    EXPECT_EQ(sb.bytesDrained.value(), 16u);
+}
+
+TEST(StoreBuffer, DrainWidePortWholeLineInOneOp)
+{
+    StoreBuffer sb("sb", 4, Line, true);
+    // Fill the whole line with 4 stores.
+    for (unsigned off = 0; off < Line; off += 8)
+        sb.insert(0x1000 + off, 8, 1);
+    EXPECT_EQ(sb.occupancy(), 1u);
+
+    auto op = sb.drainOne(32, 5);
+    EXPECT_EQ(op.addr, 0x1000u);
+    EXPECT_EQ(op.bytes, 32u);
+    EXPECT_TRUE(op.entryFinished);
+    EXPECT_TRUE(sb.empty());
+    // Combining ratio: 4 stores retired by 1 port access.
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(sb.inserts.value()) / sb.drainOps.value(),
+        4.0);
+}
+
+TEST(StoreBuffer, FifoOrderAndForcedPriority)
+{
+    StoreBuffer sb("sb", 4, Line, true);
+    sb.insert(0x1000, 8, 1);
+    sb.insert(0x2000, 8, 2);
+    sb.insert(0x3000, 8, 3);
+
+    // A partial-overlap load flags the 0x3000 entry.
+    sb.requestDrain(0x3004);
+    EXPECT_TRUE(sb.urgentDrainReady(5));
+    auto op = sb.drainOne(8, 5);
+    EXPECT_EQ(op.lineAddr, 0x3000u);  // forced entry jumps the queue
+
+    // Without a flag, FIFO order resumes.
+    auto op2 = sb.drainOne(8, 5);
+    EXPECT_EQ(op2.lineAddr, 0x1000u);
+}
+
+TEST(StoreBuffer, BlockedEntriesWait)
+{
+    StoreBuffer sb("sb", 4, Line, true);
+    sb.insert(0x1000, 8, 1);
+    sb.blockEntry(0x1000, 100);
+    EXPECT_FALSE(sb.drainReady(50));
+    EXPECT_TRUE(sb.drainReady(100));
+}
+
+TEST(StoreBuffer, RestorePutsExactBytesBack)
+{
+    StoreBuffer sb("sb", 4, Line, true);
+    sb.insert(0x1000, 4, 1);   // bytes 0-3 only
+    auto op = sb.drainOne(8, 5);
+    EXPECT_EQ(op.validMask, 0xfull);
+    EXPECT_TRUE(sb.empty());
+
+    sb.restore(op, 6);
+    EXPECT_EQ(sb.occupancy(), 1u);
+    EXPECT_EQ(sb.lineMask(0x1000), 0xfull);  // not the whole window
+    EXPECT_EQ(sb.coverage(0x1000, 4), Coverage::Full);
+    EXPECT_EQ(sb.coverage(0x1004, 4), Coverage::None);
+}
+
+TEST(StoreBuffer, NonCombiningKeepsEntriesSeparate)
+{
+    StoreBuffer sb("sb", 4, Line, false);
+    EXPECT_TRUE(sb.insert(0x1000, 8, 1));
+    EXPECT_TRUE(sb.insert(0x1008, 8, 2));  // same line, no combine
+    EXPECT_EQ(sb.occupancy(), 2u);
+    EXPECT_EQ(sb.combines.value(), 0u);
+
+    // Youngest-entry forwarding rule.
+    EXPECT_EQ(sb.coverage(0x1008, 8), Coverage::Full);
+    EXPECT_EQ(sb.coverage(0x1000, 8), Coverage::Full);
+
+    // Overwrite: the younger entry holds current data for byte 0-7.
+    EXPECT_TRUE(sb.insert(0x1000, 4, 3));
+    EXPECT_EQ(sb.occupancy(), 3u);
+    EXPECT_EQ(sb.coverage(0x1000, 4), Coverage::Full);
+    // A full 8-byte load overlaps the youngest (4-byte) entry only
+    // partially: must wait.
+    EXPECT_EQ(sb.coverage(0x1000, 8), Coverage::Partial);
+
+    // Drains proceed oldest-first, preserving same-line write order.
+    auto op1 = sb.drainOne(8, 5);
+    EXPECT_EQ(op1.addr, 0x1000u);
+    EXPECT_EQ(op1.validMask, 0xffull);
+    auto op2 = sb.drainOne(8, 5);
+    EXPECT_EQ(op2.addr, 0x1008u);
+    auto op3 = sb.drainOne(8, 5);
+    EXPECT_EQ(op3.addr, 0x1000u);
+    EXPECT_EQ(op3.validMask, 0xfull);
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST(StoreBuffer, PeekMatchesDrain)
+{
+    StoreBuffer sb("sb", 4, Line, true);
+    sb.insert(0x1000, 8, 1);
+    sb.insert(0x2000, 8, 2);
+    sb.requestDrain(0x2000);
+    EXPECT_EQ(sb.peekDrainLine(5), 0x2000u);
+    auto op = sb.drainOne(8, 5);
+    EXPECT_EQ(op.lineAddr, 0x2000u);
+    EXPECT_EQ(sb.peekDrainLine(5), 0x1000u);
+}
+
+TEST(StoreBufferDeathTest, CrossLineStore)
+{
+    StoreBuffer sb("sb", 4, Line, true);
+    EXPECT_DEATH(sb.insert(0x101c, 8, 1), "crosses");
+}
+
+} // namespace
+} // namespace cpe::core

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Trace-file tests: write/read round trip, field fidelity, and —
+ * the strong property — cycle-exact equivalence between a timing run
+ * driven live by the executor and one replayed from the file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cpu/ooo_core.hh"
+#include "func/executor.hh"
+#include "func/trace_file.hh"
+#include "workload/registry.hh"
+
+namespace cpe::func {
+namespace {
+
+/** Temp path helper; removed in the destructor. */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const std::string &name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+prog::Program
+sampleProgram()
+{
+    workload::WorkloadOptions options;
+    options.osLevel = 1;  // include kernel-mode records
+    return workload::WorkloadRegistry::instance().build("histogram",
+                                                        options);
+}
+
+TEST(TraceFile, RoundTripsEveryField)
+{
+    TempFile file("cpe_roundtrip.trace");
+    prog::Program program = sampleProgram();
+
+    Executor writer_exec(program);
+    std::uint64_t written = writeTrace(writer_exec, file.path, 5000);
+    ASSERT_EQ(written, 5000u);
+
+    Executor golden(program);
+    auto expected = recordTrace(golden, 5000);
+
+    FileTraceSource reader(file.path);
+    EXPECT_EQ(reader.recordCount(), 5000u);
+    DynInst inst;
+    for (const auto &want : expected) {
+        ASSERT_TRUE(reader.next(inst));
+        EXPECT_EQ(inst.seq, want.seq);
+        EXPECT_EQ(inst.pc, want.pc);
+        EXPECT_EQ(inst.inst, want.inst);
+        EXPECT_EQ(inst.cls, want.cls);
+        EXPECT_EQ(inst.memAddr, want.memAddr);
+        EXPECT_EQ(inst.memSize, want.memSize);
+        EXPECT_EQ(inst.nextPc, want.nextPc);
+        EXPECT_EQ(inst.taken, want.taken);
+        EXPECT_EQ(inst.kernelMode, want.kernelMode);
+    }
+    EXPECT_FALSE(reader.next(inst));
+}
+
+TEST(TraceFile, WholeProgramCapture)
+{
+    TempFile file("cpe_whole.trace");
+    prog::Program program = sampleProgram();
+    Executor exec(program);
+    std::uint64_t written = writeTrace(exec, file.path);
+
+    Executor counter(program);
+    EXPECT_EQ(written, counter.run());
+}
+
+TEST(TraceFile, ReplayedTimingRunIsCycleExact)
+{
+    TempFile file("cpe_replay.trace");
+    prog::Program program = sampleProgram();
+    Executor writer_exec(program);
+    writeTrace(writer_exec, file.path);
+
+    auto run = [&](TraceSource &source) {
+        cpu::CoreParams params;
+        params.dcache.tech =
+            core::PortTechConfig::singlePortAllTechniques();
+        mem::MemHierarchy hierarchy(mem::L2Params{}, mem::DramParams{});
+        cpu::OooCore core(params, &source, &hierarchy);
+        Cycle cycles = core.run();
+        return std::make_pair(cycles, core.committedInsts());
+    };
+
+    Executor live(program);
+    auto from_live = run(live);
+    FileTraceSource replay(file.path);
+    auto from_file = run(replay);
+
+    EXPECT_EQ(from_live.first, from_file.first)
+        << "trace replay must be cycle-exact";
+    EXPECT_EQ(from_live.second, from_file.second);
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    EXPECT_DEATH(FileTraceSource("/nonexistent/trace.bin"),
+                 "cannot open");
+}
+
+TEST(TraceFile, RejectsGarbage)
+{
+    TempFile file("cpe_garbage.trace");
+    std::FILE *f = std::fopen(file.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_DEATH(FileTraceSource{file.path}, "not a CPET trace");
+}
+
+} // namespace
+} // namespace cpe::func

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the utility layer: bit manipulation, RNG determinism,
+ * and the table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace cpe {
+namespace {
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 63));
+    EXPECT_FALSE(isPowerOf2((1ull << 63) + 1));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(32), 5u);
+    EXPECT_EQ(floorLog2(1ull << 40), 40u);
+}
+
+TEST(Bits, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1234, 16), 0x1240u);
+    EXPECT_EQ(alignDown(0x1230, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1230, 16), 0x1230u);
+    EXPECT_EQ(alignDown(31, 32), 0u);
+    EXPECT_EQ(alignUp(1, 32), 32u);
+}
+
+TEST(Bits, BitsExtractInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xff, 7, 0), 0xffu);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffff, 7, 4, 0), 0xff0fu);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+    EXPECT_EQ(sext(0x7ff, 12), 2047);
+    EXPECT_EQ(sext(0, 12), 0);
+    EXPECT_EQ(sext(0xffffffffffffffffull, 64), -1);
+}
+
+TEST(Bits, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(64), ~0ull);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123), c(124);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next64();
+        EXPECT_EQ(va, b.next64());
+        if (va != c.next64())
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t value = rng.range(-3, 3);
+        EXPECT_GE(value, -3);
+        EXPECT_LE(value, 3);
+        saw_lo |= value == -3;
+        saw_hi |= value == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformAndChance)
+{
+    Rng rng(99);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Table, RendersAligned)
+{
+    TextTable table;
+    table.addHeader({"name", "value"});
+    table.addRow({"alpha", "1.000"});
+    table.addRow({"b", "22.5"});
+    std::string text = table.render();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    // Numeric cells right-align: "22.5" should end at the same column
+    // as "1.000".
+    EXPECT_NE(text.find(" 22.5"), std::string::npos);
+}
+
+TEST(Table, Csv)
+{
+    TextTable table;
+    table.addHeader({"a", "b"});
+    table.addRow({"x,y", "2"});
+    std::string csv = table.renderCsv();
+    EXPECT_NE(csv.find("\"x,y\",2"), std::string::npos);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(std::uint64_t{1234567}), "1,234,567");
+    EXPECT_EQ(TextTable::num(std::uint64_t{12}), "12");
+}
+
+} // namespace
+} // namespace cpe

@@ -1,0 +1,555 @@
+/**
+ * @file
+ * Workload correctness tests: every kernel's architectural result is
+ * checked against an independent C++ reimplementation fed the same
+ * deterministic inputs.  These double as end-to-end validation of the
+ * ISA, builder, and functional executor on real program shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "func/executor.hh"
+#include "util/random.hh"
+#include "workload/characterize.hh"
+#include "workload/registry.hh"
+
+namespace cpe::workload {
+namespace {
+
+constexpr Addr ResultAddr = prog::layout::DataBase;
+
+std::uint64_t
+runAndReadResult(const std::string &name, const WorkloadOptions &options,
+                 std::uint64_t *aux = nullptr)
+{
+    auto program = WorkloadRegistry::instance().build(name, options);
+    func::Executor exec(program);
+    exec.run();
+    if (aux)
+        *aux = exec.memory().read(ResultAddr + 8, 8);
+    return exec.memory().read(ResultAddr, 8);
+}
+
+TEST(Workloads, RegistryContents)
+{
+    auto &registry = WorkloadRegistry::instance();
+    auto infos = registry.list();
+    EXPECT_GE(infos.size(), 10u);
+    EXPECT_TRUE(registry.has("compress"));
+    EXPECT_TRUE(registry.has("matmul"));
+    EXPECT_FALSE(registry.has("nope"));
+    for (const auto &info : infos) {
+        EXPECT_FALSE(info.description.empty()) << info.name;
+        EXPECT_FALSE(info.category.empty()) << info.name;
+    }
+    for (const auto &name : WorkloadRegistry::evaluationSuite())
+        EXPECT_TRUE(registry.has(name)) << name;
+}
+
+TEST(Workloads, CopyChecksum)
+{
+    const unsigned bytes = 8 * 1024;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::vector<std::uint64_t> src(bytes / 8);
+    for (auto &word : src)
+        word = rng.next64();
+    std::uint64_t expected = 0;
+    for (unsigned i = src.size() - 64; i < src.size(); ++i)
+        expected += src[i];
+
+    EXPECT_EQ(runAndReadResult("copy", options), expected);
+}
+
+TEST(Workloads, PchaseEndsOnPredictedNode)
+{
+    const unsigned nodes = 2048, stride = 64, steps = 49152;
+    WorkloadOptions options;
+
+    std::vector<unsigned> perm(nodes);
+    for (unsigned i = 0; i < nodes; ++i)
+        perm[i] = i;
+    Rng rng(options.seed);
+    for (unsigned i = nodes - 1; i > 0; --i) {
+        unsigned j = static_cast<unsigned>(rng.below(i));
+        std::swap(perm[i], perm[j]);
+    }
+    // Replicate the ring walk.  The ring base is the first 64-aligned
+    // address after the 16-byte result slot.
+    Addr ring = ResultAddr + 64;
+    unsigned node = 0;
+    for (unsigned s = 0; s < steps; ++s)
+        node = perm[node];
+    Addr expected = ring + static_cast<Addr>(node) * stride;
+
+    EXPECT_EQ(runAndReadResult("pchase", options), expected);
+}
+
+TEST(Workloads, HashjoinMatchCount)
+{
+    const unsigned build_n = 4096, probe_n = 3 * build_n;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::vector<std::uint64_t> keys(build_n);
+    std::unordered_map<std::uint64_t, std::uint64_t> index;
+    for (unsigned i = 0; i < build_n; ++i) {
+        keys[i] = rng.next64() | 1;
+        index.emplace(keys[i], i);  // first insertion wins
+    }
+    std::uint64_t expected = 0;
+    for (unsigned i = 0; i < probe_n; ++i) {
+        std::uint64_t key = rng.chance(0.5)
+            ? keys[rng.below(build_n)]
+            : (rng.next64() | 1);
+        auto it = index.find(key);
+        if (it != index.end())
+            expected += it->second + 1;
+    }
+
+    EXPECT_EQ(runAndReadResult("hashjoin", options), expected);
+}
+
+/** Reference LZW matching the kernel's dictionary policy. */
+std::pair<std::uint64_t, std::uint64_t>
+referenceCompress(const std::vector<std::uint8_t> &input,
+                  unsigned max_codes)
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> dict;
+    std::uint64_t next_code = 256;
+    std::uint64_t prefix = input[0];
+    std::uint64_t emitted = 0;
+    for (std::size_t i = 1; i < input.size(); ++i) {
+        std::uint64_t key = ((prefix + 1) << 8) | input[i];
+        auto it = dict.find(key);
+        if (it != dict.end()) {
+            prefix = it->second;
+            continue;
+        }
+        ++emitted;
+        if (next_code < max_codes)
+            dict.emplace(key, next_code++);
+        prefix = input[i];
+    }
+    ++emitted;  // final prefix
+    return {emitted * 2, next_code};
+}
+
+TEST(Workloads, CompressOutputMatchesReferenceLzw)
+{
+    WorkloadOptions options;
+    // Reproduce the generator (kernels_int.cc makeTextInput).
+    const unsigned in_bytes = 20 * 1024;
+    Rng rng(options.seed);
+    std::vector<std::uint8_t> input;
+    std::uint8_t last = 0;
+    while (input.size() < in_bytes) {
+        if (rng.chance(0.35) && !input.empty()) {
+            input.push_back(last);
+        } else {
+            last = static_cast<std::uint8_t>(rng.below(24)) + 'a';
+            input.push_back(last);
+        }
+    }
+    auto [expected_bytes, expected_codes] =
+        referenceCompress(input, 256 + 3072);
+
+    std::uint64_t codes = 0;
+    std::uint64_t out_bytes = runAndReadResult("compress", options, &codes);
+    EXPECT_EQ(out_bytes, expected_bytes);
+    EXPECT_EQ(codes, expected_codes);
+    // Sanity: it actually compressed.
+    EXPECT_LT(out_bytes, in_bytes);
+}
+
+TEST(Workloads, SortProducesSortedChecksum)
+{
+    const unsigned n = 4096;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::vector<std::uint64_t> values(n);
+    for (auto &value : values)
+        value = rng.next64() >> 2;
+    std::sort(values.begin(), values.end());
+    std::uint64_t expected = 0;
+    for (unsigned i = 0; i < n; ++i)
+        expected += values[i] * (i + 1);
+
+    EXPECT_EQ(runAndReadResult("sort", options), expected);
+}
+
+TEST(Workloads, SortedArrayInMemory)
+{
+    WorkloadOptions options;
+    auto program = WorkloadRegistry::instance().build("sort", options);
+    func::Executor exec(program);
+    exec.run();
+    // The array follows the result slot at the next 64-byte boundary.
+    Addr array = ResultAddr + 64;
+    std::uint64_t prev = 0;
+    for (unsigned i = 0; i < 4096; ++i) {
+        std::uint64_t value = exec.memory().read(array + 8ull * i, 8);
+        EXPECT_GE(value, prev) << "unsorted at " << i;
+        prev = value;
+    }
+}
+
+TEST(Workloads, CrcMatchesReference)
+{
+    const unsigned in_bytes = 24 * 1024;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::vector<std::uint8_t> input(in_bytes);
+    for (unsigned off = 0; off < in_bytes; off += 8) {
+        std::uint64_t word = rng.next64();
+        std::memcpy(&input[off], &word, 8);
+    }
+    std::uint64_t table[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+        table[i] = crc;
+    }
+    std::uint64_t crc = 0xFFFFFFFFull;
+    for (std::uint8_t byte : input)
+        crc = table[(crc ^ byte) & 0xff] ^ (crc >> 8);
+
+    EXPECT_EQ(runAndReadResult("crc", options), crc);
+}
+
+TEST(Workloads, HistogramWeightedSum)
+{
+    const unsigned in_bytes = 24 * 1024;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::uint64_t hist[256] = {};
+    for (unsigned i = 0; i < in_bytes; ++i)
+        ++hist[static_cast<std::uint8_t>(rng.below(16) * rng.below(16))];
+    std::uint64_t expected = 0;
+    for (unsigned i = 0; i < 256; ++i)
+        expected += hist[i] * i;
+
+    EXPECT_EQ(runAndReadResult("histogram", options), expected);
+}
+
+TEST(Workloads, MatmulSumMatchesDouble)
+{
+    const unsigned n = 32;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::vector<double> a(n * n), bm(n * n), c(n * n, 0.0);
+    for (unsigned i = 0; i < n * n; ++i) {
+        a[i] = rng.uniform();
+        bm[i] = rng.uniform();
+    }
+    for (unsigned i = 0; i < n; ++i)
+        for (unsigned k = 0; k < n; ++k) {
+            double f0 = a[i * n + k];
+            for (unsigned j = 0; j < n; ++j)
+                c[i * n + j] += f0 * bm[k * n + j];
+        }
+    double sum = 0.0;
+    for (unsigned i = 0; i < n * n; ++i)
+        sum += c[i];
+
+    std::uint64_t raw = runAndReadResult("matmul", options);
+    double measured;
+    std::memcpy(&measured, &raw, 8);
+    EXPECT_DOUBLE_EQ(measured, sum);
+}
+
+TEST(Workloads, SaxpyFinalElement)
+{
+    const unsigned n = 512;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::vector<double> x(n), y(n);
+    for (unsigned i = 0; i < n; ++i) {
+        x[i] = rng.uniform();
+        y[i] = rng.uniform();
+    }
+    double z_last = 2.5 * x[n - 1] + y[n - 1];
+    std::uint64_t expected;
+    std::memcpy(&expected, &z_last, 8);
+
+    EXPECT_EQ(runAndReadResult("saxpy", options), expected);
+}
+
+TEST(Workloads, StencilDiagonalSum)
+{
+    const unsigned n = 64, sweeps = 4;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::vector<double> src(n * n), dst(n * n, 0.0);
+    for (auto &value : src)
+        value = rng.uniform();
+    for (unsigned t = 0; t < sweeps; ++t) {
+        for (unsigned i = 1; i < n - 1; ++i) {
+            for (unsigned j = 1; j < n - 1; ++j) {
+                double centre = src[i * n + j];
+                double left = src[i * n + j - 1];
+                double right = src[i * n + j + 1];
+                double up = src[(i - 1) * n + j];
+                double down = src[(i + 1) * n + j];
+                // Exact association order of the unrolled kernel.
+                double acc = centre + left;
+                double rl = right + up;
+                acc = acc + rl;
+                acc = acc + down;
+                dst[i * n + j] = acc * 0.2;
+            }
+        }
+        std::swap(src, dst);
+    }
+    double sum = 0.0;
+    for (unsigned i = 1; i < n - 1; ++i)
+        sum += src[i * n + i];
+
+    std::uint64_t raw = runAndReadResult("stencil", options);
+    double measured;
+    std::memcpy(&measured, &raw, 8);
+    EXPECT_DOUBLE_EQ(measured, sum);
+}
+
+// --- OS-activity model ------------------------------------------------
+
+TEST(Workloads, OsLevelsAddKernelWork)
+{
+    for (const std::string name : {"copy", "matmul", "compress"}) {
+        WorkloadOptions user, os;
+        os.osLevel = 2;
+        auto user_prog = WorkloadRegistry::instance().build(name, user);
+        auto os_prog = WorkloadRegistry::instance().build(name, os);
+        auto user_mix = characterize(user_prog);
+        auto os_mix = characterize(os_prog);
+        EXPECT_EQ(user_mix.kernelInsts, 0u) << name;
+        EXPECT_GT(os_mix.kernelInsts, 0u) << name;
+        EXPECT_GT(os_mix.insts, user_mix.insts) << name;
+    }
+}
+
+TEST(Workloads, OsActivityPreservesResults)
+{
+    // The kernel handler must not corrupt user state: results are
+    // identical with and without OS activity.
+    for (const std::string name :
+         {"copy", "sort", "crc", "histogram", "hashjoin", "compress"}) {
+        WorkloadOptions user, os;
+        os.osLevel = 2;
+        EXPECT_EQ(runAndReadResult(name, user), runAndReadResult(name, os))
+            << name << " result corrupted by OS activity";
+    }
+}
+
+TEST(Workloads, SeedChangesData)
+{
+    WorkloadOptions a, b;
+    b.seed = 777;
+    EXPECT_NE(runAndReadResult("copy", a), runAndReadResult("copy", b));
+}
+
+TEST(Workloads, CharacterizationSanity)
+{
+    WorkloadOptions options;
+    auto program = WorkloadRegistry::instance().build("matmul", options);
+    auto mix = characterize(program);
+    EXPECT_GT(mix.insts, 100'000u);
+    EXPECT_GT(mix.loadFrac(), 0.2);
+    EXPECT_GT(mix.storeFrac(), 0.05);
+    EXPECT_GT(mix.fpFrac(), 0.15);
+    EXPECT_GT(mix.branchFrac(), 0.01);
+    EXPECT_DOUBLE_EQ(mix.kernelFrac(), 0.0);
+    EXPECT_EQ(mix.avgLoadBytes(), 8.0);
+    // matmul touches 3 x 8 KiB matrices (plus stack/result slack).
+    EXPECT_GT(mix.workingSetKiB(), 20.0);
+    EXPECT_LT(mix.workingSetKiB(), 40.0);
+
+    auto crc_mix = characterize(
+        WorkloadRegistry::instance().build("crc", options));
+    EXPECT_LT(crc_mix.avgLoadBytes(), 8.0);  // byte loads dominate
+}
+
+TEST(Workloads, SpmvMatchesReference)
+{
+    const unsigned rows = 2048, cols = 4096;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::vector<std::uint64_t> row_ptr(rows + 1, 0);
+    std::vector<std::uint64_t> col_idx;
+    std::vector<double> values;
+    for (unsigned i = 0; i < rows; ++i) {
+        unsigned nnz = 4 + static_cast<unsigned>(rng.below(8));
+        for (unsigned k = 0; k < nnz; ++k) {
+            col_idx.push_back(rng.below(cols));
+            values.push_back(rng.uniform());
+        }
+        row_ptr[i + 1] = col_idx.size();
+    }
+    std::vector<double> x(cols);
+    for (auto &value : x)
+        value = rng.uniform();
+
+    double sum = 0.0;
+    for (unsigned i = 0; i < rows; ++i) {
+        double acc = 0.0;
+        for (std::uint64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+            acc += values[k] * x[col_idx[k]];
+        sum += acc;
+    }
+
+    std::uint64_t raw = runAndReadResult("spmv", options);
+    double measured;
+    std::memcpy(&measured, &raw, 8);
+    EXPECT_DOUBLE_EQ(measured, sum);
+}
+
+TEST(Workloads, FftMatchesReference)
+{
+    const unsigned n = 256, rounds = 6;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::vector<double> re(n), im(n);
+    for (unsigned i = 0; i < n; ++i) {
+        re[i] = 2.0 * rng.uniform() - 1.0;
+        im[i] = 2.0 * rng.uniform() - 1.0;
+    }
+    std::vector<double> wre(n / 2), wim(n / 2);
+    for (unsigned k = 0; k < n / 2; ++k) {
+        double angle = -2.0 * 3.14159265358979323846 * k / n;
+        wre[k] = std::cos(angle);
+        wim[k] = std::sin(angle);
+    }
+    unsigned log2n = 0;
+    while ((1u << log2n) < n)
+        ++log2n;
+    std::vector<unsigned> rev(n);
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned r = 0;
+        for (unsigned bit = 0; bit < log2n; ++bit)
+            r |= ((i >> bit) & 1) << (log2n - 1 - bit);
+        rev[i] = r;
+    }
+
+    for (unsigned round = 0; round < rounds; ++round) {
+        for (unsigned i = 0; i < n; ++i) {
+            if (i < rev[i]) {
+                std::swap(re[i], re[rev[i]]);
+                std::swap(im[i], im[rev[i]]);
+            }
+        }
+        for (unsigned len = 2; len <= n; len <<= 1) {
+            unsigned half = len / 2, stride = n / len;
+            for (unsigned start = 0; start < n; start += len) {
+                for (unsigned j = 0; j < half; ++j) {
+                    unsigned a = start + j, c = a + half;
+                    double vr = re[c] * wre[j * stride] -
+                                im[c] * wim[j * stride];
+                    double vi = re[c] * wim[j * stride] +
+                                im[c] * wre[j * stride];
+                    double ur = re[a], ui = im[a];
+                    re[a] = ur + vr;
+                    im[a] = ui + vi;
+                    re[c] = ur - vr;
+                    im[c] = ui - vi;
+                }
+            }
+        }
+    }
+    double sum = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        sum += re[i];
+        sum += im[i];
+    }
+
+    std::uint64_t raw = runAndReadResult("fft", options);
+    double measured;
+    std::memcpy(&measured, &raw, 8);
+    EXPECT_DOUBLE_EQ(measured, sum);
+}
+
+TEST(Workloads, BsearchSumOfFoundIndices)
+{
+    const unsigned n = 65536, lookups = 12288;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::vector<std::uint64_t> values(n);
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        value += 1 + rng.below(64);
+        values[i] = value;
+    }
+    std::uint64_t expected = 0;
+    for (unsigned i = 0; i < lookups; ++i) {
+        std::uint64_t key = rng.chance(0.5)
+            ? values[rng.below(n)]
+            : values[rng.below(n - 1)] + 1;
+        // Binary search matching the kernel (first hit by midpoint
+        // bisection; values are strictly increasing so unique).
+        std::uint64_t lo = 0, hi = n;
+        while (lo < hi) {
+            std::uint64_t mid = (lo + hi) / 2;
+            if (values[mid] == key) {
+                expected += mid + 1;
+                break;
+            }
+            if (values[mid] < key)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+    }
+    EXPECT_EQ(runAndReadResult("bsearch", options), expected);
+}
+
+TEST(Workloads, StropsLengthsAndCompares)
+{
+    const unsigned strings = 192, slot = 96;
+    WorkloadOptions options;
+    Rng rng(options.seed);
+    std::uint64_t total_length = 0;
+    for (unsigned i = 0; i < strings; ++i) {
+        unsigned length = 8 + static_cast<unsigned>(rng.below(slot - 9));
+        for (unsigned c = 0; c < length; ++c)
+            rng.below(26);  // burn the same RNG draws
+        total_length += length;
+    }
+    std::uint64_t compares = 0;
+    std::uint64_t measured = runAndReadResult("strops", options,
+                                              &compares);
+    EXPECT_EQ(measured, total_length);
+    EXPECT_EQ(compares, strings);  // every copy compares equal
+}
+
+TEST(Workloads, EveryKernelIsBinaryEncodable)
+{
+    // The whole suite must respect the ISA's immediate ranges: encode
+    // every instruction of every workload at every OS level and decode
+    // it back.
+    auto &registry = WorkloadRegistry::instance();
+    for (const auto &info : registry.list()) {
+        for (unsigned os : {0u, 1u, 2u}) {
+            WorkloadOptions options;
+            options.osLevel = os;
+            auto program = registry.build(info.name, options);
+            auto words = program.encodedText();  // panics if unencodable
+            ASSERT_EQ(words.size(), program.size()) << info.name;
+        }
+    }
+}
+
+TEST(WorkloadsDeathTest, UnknownWorkloadIsFatal)
+{
+    WorkloadOptions options;
+    EXPECT_DEATH(
+        WorkloadRegistry::instance().build("no-such-kernel", options),
+        "unknown workload");
+}
+
+} // namespace
+} // namespace cpe::workload
