@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_cachesize.dir/bench_f10_cachesize.cpp.o"
+  "CMakeFiles/bench_f10_cachesize.dir/bench_f10_cachesize.cpp.o.d"
+  "bench_f10_cachesize"
+  "bench_f10_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_bpred.dir/bench_f11_bpred.cpp.o"
+  "CMakeFiles/bench_f11_bpred.dir/bench_f11_bpred.cpp.o.d"
+  "bench_f11_bpred"
+  "bench_f11_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_mshr.dir/bench_f12_mshr.cpp.o"
+  "CMakeFiles/bench_f12_mshr.dir/bench_f12_mshr.cpp.o.d"
+  "bench_f12_mshr"
+  "bench_f12_mshr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_storebuf.dir/bench_f2_storebuf.cpp.o"
+  "CMakeFiles/bench_f2_storebuf.dir/bench_f2_storebuf.cpp.o.d"
+  "bench_f2_storebuf"
+  "bench_f2_storebuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_storebuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_loadall.dir/bench_f3_loadall.cpp.o"
+  "CMakeFiles/bench_f3_loadall.dir/bench_f3_loadall.cpp.o.d"
+  "bench_f3_loadall"
+  "bench_f3_loadall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_loadall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_wide.dir/bench_f4_wide.cpp.o"
+  "CMakeFiles/bench_f4_wide.dir/bench_f4_wide.cpp.o.d"
+  "bench_f4_wide"
+  "bench_f4_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

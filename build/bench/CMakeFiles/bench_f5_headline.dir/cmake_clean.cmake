@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_headline.dir/bench_f5_headline.cpp.o"
+  "CMakeFiles/bench_f5_headline.dir/bench_f5_headline.cpp.o.d"
+  "bench_f5_headline"
+  "bench_f5_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_os.dir/bench_f6_os.cpp.o"
+  "CMakeFiles/bench_f6_os.dir/bench_f6_os.cpp.o.d"
+  "bench_f6_os"
+  "bench_f6_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

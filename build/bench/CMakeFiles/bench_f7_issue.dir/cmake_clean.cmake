@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_issue.dir/bench_f7_issue.cpp.o"
+  "CMakeFiles/bench_f7_issue.dir/bench_f7_issue.cpp.o.d"
+  "bench_f7_issue"
+  "bench_f7_issue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_ablations.dir/bench_f8_ablations.cpp.o"
+  "CMakeFiles/bench_f8_ablations.dir/bench_f8_ablations.cpp.o.d"
+  "bench_f8_ablations"
+  "bench_f8_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

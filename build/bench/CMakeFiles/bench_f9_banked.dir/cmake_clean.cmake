@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_banked.dir/bench_f9_banked.cpp.o"
+  "CMakeFiles/bench_f9_banked.dir/bench_f9_banked.cpp.o.d"
+  "bench_f9_banked"
+  "bench_f9_banked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_banked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

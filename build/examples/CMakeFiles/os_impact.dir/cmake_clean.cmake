@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_impact.dir/os_impact.cpp.o"
+  "CMakeFiles/os_impact.dir/os_impact.cpp.o.d"
+  "os_impact"
+  "os_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_study.dir/port_study.cpp.o"
+  "CMakeFiles/port_study.dir/port_study.cpp.o.d"
+  "port_study"
+  "port_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/technique_explorer.dir/technique_explorer.cpp.o"
+  "CMakeFiles/technique_explorer.dir/technique_explorer.cpp.o.d"
+  "technique_explorer"
+  "technique_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/technique_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

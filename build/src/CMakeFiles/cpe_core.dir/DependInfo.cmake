@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dcache_unit.cc" "src/CMakeFiles/cpe_core.dir/core/dcache_unit.cc.o" "gcc" "src/CMakeFiles/cpe_core.dir/core/dcache_unit.cc.o.d"
+  "/root/repo/src/core/line_buffer.cc" "src/CMakeFiles/cpe_core.dir/core/line_buffer.cc.o" "gcc" "src/CMakeFiles/cpe_core.dir/core/line_buffer.cc.o.d"
+  "/root/repo/src/core/port_arbiter.cc" "src/CMakeFiles/cpe_core.dir/core/port_arbiter.cc.o" "gcc" "src/CMakeFiles/cpe_core.dir/core/port_arbiter.cc.o.d"
+  "/root/repo/src/core/port_config.cc" "src/CMakeFiles/cpe_core.dir/core/port_config.cc.o" "gcc" "src/CMakeFiles/cpe_core.dir/core/port_config.cc.o.d"
+  "/root/repo/src/core/store_buffer.cc" "src/CMakeFiles/cpe_core.dir/core/store_buffer.cc.o" "gcc" "src/CMakeFiles/cpe_core.dir/core/store_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpe_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

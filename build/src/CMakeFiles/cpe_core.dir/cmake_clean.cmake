@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_core.dir/core/dcache_unit.cc.o"
+  "CMakeFiles/cpe_core.dir/core/dcache_unit.cc.o.d"
+  "CMakeFiles/cpe_core.dir/core/line_buffer.cc.o"
+  "CMakeFiles/cpe_core.dir/core/line_buffer.cc.o.d"
+  "CMakeFiles/cpe_core.dir/core/port_arbiter.cc.o"
+  "CMakeFiles/cpe_core.dir/core/port_arbiter.cc.o.d"
+  "CMakeFiles/cpe_core.dir/core/port_config.cc.o"
+  "CMakeFiles/cpe_core.dir/core/port_config.cc.o.d"
+  "CMakeFiles/cpe_core.dir/core/store_buffer.cc.o"
+  "CMakeFiles/cpe_core.dir/core/store_buffer.cc.o.d"
+  "libcpe_core.a"
+  "libcpe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_predictor.cc" "src/CMakeFiles/cpe_cpu.dir/cpu/branch_predictor.cc.o" "gcc" "src/CMakeFiles/cpe_cpu.dir/cpu/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/fetch.cc" "src/CMakeFiles/cpe_cpu.dir/cpu/fetch.cc.o" "gcc" "src/CMakeFiles/cpe_cpu.dir/cpu/fetch.cc.o.d"
+  "/root/repo/src/cpu/func_units.cc" "src/CMakeFiles/cpe_cpu.dir/cpu/func_units.cc.o" "gcc" "src/CMakeFiles/cpe_cpu.dir/cpu/func_units.cc.o.d"
+  "/root/repo/src/cpu/issue_queue.cc" "src/CMakeFiles/cpe_cpu.dir/cpu/issue_queue.cc.o" "gcc" "src/CMakeFiles/cpe_cpu.dir/cpu/issue_queue.cc.o.d"
+  "/root/repo/src/cpu/lsq.cc" "src/CMakeFiles/cpe_cpu.dir/cpu/lsq.cc.o" "gcc" "src/CMakeFiles/cpe_cpu.dir/cpu/lsq.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/CMakeFiles/cpe_cpu.dir/cpu/ooo_core.cc.o" "gcc" "src/CMakeFiles/cpe_cpu.dir/cpu/ooo_core.cc.o.d"
+  "/root/repo/src/cpu/rename.cc" "src/CMakeFiles/cpe_cpu.dir/cpu/rename.cc.o" "gcc" "src/CMakeFiles/cpe_cpu.dir/cpu/rename.cc.o.d"
+  "/root/repo/src/cpu/rob.cc" "src/CMakeFiles/cpe_cpu.dir/cpu/rob.cc.o" "gcc" "src/CMakeFiles/cpe_cpu.dir/cpu/rob.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

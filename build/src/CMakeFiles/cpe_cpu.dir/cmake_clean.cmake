@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_cpu.dir/cpu/branch_predictor.cc.o"
+  "CMakeFiles/cpe_cpu.dir/cpu/branch_predictor.cc.o.d"
+  "CMakeFiles/cpe_cpu.dir/cpu/fetch.cc.o"
+  "CMakeFiles/cpe_cpu.dir/cpu/fetch.cc.o.d"
+  "CMakeFiles/cpe_cpu.dir/cpu/func_units.cc.o"
+  "CMakeFiles/cpe_cpu.dir/cpu/func_units.cc.o.d"
+  "CMakeFiles/cpe_cpu.dir/cpu/issue_queue.cc.o"
+  "CMakeFiles/cpe_cpu.dir/cpu/issue_queue.cc.o.d"
+  "CMakeFiles/cpe_cpu.dir/cpu/lsq.cc.o"
+  "CMakeFiles/cpe_cpu.dir/cpu/lsq.cc.o.d"
+  "CMakeFiles/cpe_cpu.dir/cpu/ooo_core.cc.o"
+  "CMakeFiles/cpe_cpu.dir/cpu/ooo_core.cc.o.d"
+  "CMakeFiles/cpe_cpu.dir/cpu/rename.cc.o"
+  "CMakeFiles/cpe_cpu.dir/cpu/rename.cc.o.d"
+  "CMakeFiles/cpe_cpu.dir/cpu/rob.cc.o"
+  "CMakeFiles/cpe_cpu.dir/cpu/rob.cc.o.d"
+  "libcpe_cpu.a"
+  "libcpe_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

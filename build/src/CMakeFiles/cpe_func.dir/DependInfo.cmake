@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/func/arch_state.cc" "src/CMakeFiles/cpe_func.dir/func/arch_state.cc.o" "gcc" "src/CMakeFiles/cpe_func.dir/func/arch_state.cc.o.d"
+  "/root/repo/src/func/executor.cc" "src/CMakeFiles/cpe_func.dir/func/executor.cc.o" "gcc" "src/CMakeFiles/cpe_func.dir/func/executor.cc.o.d"
+  "/root/repo/src/func/memory.cc" "src/CMakeFiles/cpe_func.dir/func/memory.cc.o" "gcc" "src/CMakeFiles/cpe_func.dir/func/memory.cc.o.d"
+  "/root/repo/src/func/trace.cc" "src/CMakeFiles/cpe_func.dir/func/trace.cc.o" "gcc" "src/CMakeFiles/cpe_func.dir/func/trace.cc.o.d"
+  "/root/repo/src/func/trace_file.cc" "src/CMakeFiles/cpe_func.dir/func/trace_file.cc.o" "gcc" "src/CMakeFiles/cpe_func.dir/func/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpe_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

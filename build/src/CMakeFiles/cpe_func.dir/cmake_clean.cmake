@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_func.dir/func/arch_state.cc.o"
+  "CMakeFiles/cpe_func.dir/func/arch_state.cc.o.d"
+  "CMakeFiles/cpe_func.dir/func/executor.cc.o"
+  "CMakeFiles/cpe_func.dir/func/executor.cc.o.d"
+  "CMakeFiles/cpe_func.dir/func/memory.cc.o"
+  "CMakeFiles/cpe_func.dir/func/memory.cc.o.d"
+  "CMakeFiles/cpe_func.dir/func/trace.cc.o"
+  "CMakeFiles/cpe_func.dir/func/trace.cc.o.d"
+  "CMakeFiles/cpe_func.dir/func/trace_file.cc.o"
+  "CMakeFiles/cpe_func.dir/func/trace_file.cc.o.d"
+  "libcpe_func.a"
+  "libcpe_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_isa.dir/isa/disasm.cc.o"
+  "CMakeFiles/cpe_isa.dir/isa/disasm.cc.o.d"
+  "CMakeFiles/cpe_isa.dir/isa/encoding.cc.o"
+  "CMakeFiles/cpe_isa.dir/isa/encoding.cc.o.d"
+  "CMakeFiles/cpe_isa.dir/isa/isa.cc.o"
+  "CMakeFiles/cpe_isa.dir/isa/isa.cc.o.d"
+  "libcpe_isa.a"
+  "libcpe_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

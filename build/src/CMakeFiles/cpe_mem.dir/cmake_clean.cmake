@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/cpe_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/cpe_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/cpe_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/cpe_mem.dir/mem/hierarchy.cc.o"
+  "CMakeFiles/cpe_mem.dir/mem/hierarchy.cc.o.d"
+  "CMakeFiles/cpe_mem.dir/mem/mshr.cc.o"
+  "CMakeFiles/cpe_mem.dir/mem/mshr.cc.o.d"
+  "libcpe_mem.a"
+  "libcpe_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prog/assembler.cc" "src/CMakeFiles/cpe_prog.dir/prog/assembler.cc.o" "gcc" "src/CMakeFiles/cpe_prog.dir/prog/assembler.cc.o.d"
+  "/root/repo/src/prog/builder.cc" "src/CMakeFiles/cpe_prog.dir/prog/builder.cc.o" "gcc" "src/CMakeFiles/cpe_prog.dir/prog/builder.cc.o.d"
+  "/root/repo/src/prog/program.cc" "src/CMakeFiles/cpe_prog.dir/prog/program.cc.o" "gcc" "src/CMakeFiles/cpe_prog.dir/prog/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpe_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

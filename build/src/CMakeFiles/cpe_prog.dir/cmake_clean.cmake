@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_prog.dir/prog/assembler.cc.o"
+  "CMakeFiles/cpe_prog.dir/prog/assembler.cc.o.d"
+  "CMakeFiles/cpe_prog.dir/prog/builder.cc.o"
+  "CMakeFiles/cpe_prog.dir/prog/builder.cc.o.d"
+  "CMakeFiles/cpe_prog.dir/prog/program.cc.o"
+  "CMakeFiles/cpe_prog.dir/prog/program.cc.o.d"
+  "libcpe_prog.a"
+  "libcpe_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

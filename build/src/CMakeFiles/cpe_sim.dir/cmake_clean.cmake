@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_sim.dir/sim/config.cc.o"
+  "CMakeFiles/cpe_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/cpe_sim.dir/sim/config_file.cc.o"
+  "CMakeFiles/cpe_sim.dir/sim/config_file.cc.o.d"
+  "CMakeFiles/cpe_sim.dir/sim/report.cc.o"
+  "CMakeFiles/cpe_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/cpe_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/cpe_sim.dir/sim/simulator.cc.o.d"
+  "libcpe_sim.a"
+  "libcpe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

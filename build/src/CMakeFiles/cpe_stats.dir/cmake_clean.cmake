@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_stats.dir/stats/stats.cc.o"
+  "CMakeFiles/cpe_stats.dir/stats/stats.cc.o.d"
+  "libcpe_stats.a"
+  "libcpe_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_util.dir/util/logging.cc.o"
+  "CMakeFiles/cpe_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/cpe_util.dir/util/random.cc.o"
+  "CMakeFiles/cpe_util.dir/util/random.cc.o.d"
+  "CMakeFiles/cpe_util.dir/util/table.cc.o"
+  "CMakeFiles/cpe_util.dir/util/table.cc.o.d"
+  "libcpe_util.a"
+  "libcpe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

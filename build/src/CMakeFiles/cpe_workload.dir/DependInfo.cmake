@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/characterize.cc" "src/CMakeFiles/cpe_workload.dir/workload/characterize.cc.o" "gcc" "src/CMakeFiles/cpe_workload.dir/workload/characterize.cc.o.d"
+  "/root/repo/src/workload/kernels_fp.cc" "src/CMakeFiles/cpe_workload.dir/workload/kernels_fp.cc.o" "gcc" "src/CMakeFiles/cpe_workload.dir/workload/kernels_fp.cc.o.d"
+  "/root/repo/src/workload/kernels_int.cc" "src/CMakeFiles/cpe_workload.dir/workload/kernels_int.cc.o" "gcc" "src/CMakeFiles/cpe_workload.dir/workload/kernels_int.cc.o.d"
+  "/root/repo/src/workload/kernels_mem.cc" "src/CMakeFiles/cpe_workload.dir/workload/kernels_mem.cc.o" "gcc" "src/CMakeFiles/cpe_workload.dir/workload/kernels_mem.cc.o.d"
+  "/root/repo/src/workload/kernels_misc.cc" "src/CMakeFiles/cpe_workload.dir/workload/kernels_misc.cc.o" "gcc" "src/CMakeFiles/cpe_workload.dir/workload/kernels_misc.cc.o.d"
+  "/root/repo/src/workload/os_activity.cc" "src/CMakeFiles/cpe_workload.dir/workload/os_activity.cc.o" "gcc" "src/CMakeFiles/cpe_workload.dir/workload/os_activity.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/CMakeFiles/cpe_workload.dir/workload/registry.cc.o" "gcc" "src/CMakeFiles/cpe_workload.dir/workload/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpe_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe_workload.dir/workload/characterize.cc.o"
+  "CMakeFiles/cpe_workload.dir/workload/characterize.cc.o.d"
+  "CMakeFiles/cpe_workload.dir/workload/kernels_fp.cc.o"
+  "CMakeFiles/cpe_workload.dir/workload/kernels_fp.cc.o.d"
+  "CMakeFiles/cpe_workload.dir/workload/kernels_int.cc.o"
+  "CMakeFiles/cpe_workload.dir/workload/kernels_int.cc.o.d"
+  "CMakeFiles/cpe_workload.dir/workload/kernels_mem.cc.o"
+  "CMakeFiles/cpe_workload.dir/workload/kernels_mem.cc.o.d"
+  "CMakeFiles/cpe_workload.dir/workload/kernels_misc.cc.o"
+  "CMakeFiles/cpe_workload.dir/workload/kernels_misc.cc.o.d"
+  "CMakeFiles/cpe_workload.dir/workload/os_activity.cc.o"
+  "CMakeFiles/cpe_workload.dir/workload/os_activity.cc.o.d"
+  "CMakeFiles/cpe_workload.dir/workload/registry.cc.o"
+  "CMakeFiles/cpe_workload.dir/workload/registry.cc.o.d"
+  "libcpe_workload.a"
+  "libcpe_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/cpe_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/cpe_tests.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_builder.cc" "tests/CMakeFiles/cpe_tests.dir/test_builder.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_builder.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/cpe_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_config_file.cc" "tests/CMakeFiles/cpe_tests.dir/test_config_file.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_config_file.cc.o.d"
+  "/root/repo/tests/test_config_sweep.cc" "tests/CMakeFiles/cpe_tests.dir/test_config_sweep.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_config_sweep.cc.o.d"
+  "/root/repo/tests/test_cpu_units.cc" "tests/CMakeFiles/cpe_tests.dir/test_cpu_units.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_cpu_units.cc.o.d"
+  "/root/repo/tests/test_dcache_stress.cc" "tests/CMakeFiles/cpe_tests.dir/test_dcache_stress.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_dcache_stress.cc.o.d"
+  "/root/repo/tests/test_dcache_unit.cc" "tests/CMakeFiles/cpe_tests.dir/test_dcache_unit.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_dcache_unit.cc.o.d"
+  "/root/repo/tests/test_executor.cc" "tests/CMakeFiles/cpe_tests.dir/test_executor.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_executor.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/cpe_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_line_buffer.cc" "tests/CMakeFiles/cpe_tests.dir/test_line_buffer.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_line_buffer.cc.o.d"
+  "/root/repo/tests/test_lsq.cc" "tests/CMakeFiles/cpe_tests.dir/test_lsq.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_lsq.cc.o.d"
+  "/root/repo/tests/test_mem_system.cc" "tests/CMakeFiles/cpe_tests.dir/test_mem_system.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_mem_system.cc.o.d"
+  "/root/repo/tests/test_ooo_core.cc" "tests/CMakeFiles/cpe_tests.dir/test_ooo_core.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_ooo_core.cc.o.d"
+  "/root/repo/tests/test_random_programs.cc" "tests/CMakeFiles/cpe_tests.dir/test_random_programs.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_random_programs.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/cpe_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/cpe_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_store_buffer.cc" "tests/CMakeFiles/cpe_tests.dir/test_store_buffer.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_store_buffer.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/cpe_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_trace_file.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/cpe_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/cpe_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/cpe_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
