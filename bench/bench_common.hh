@@ -9,6 +9,8 @@
 #ifndef CPE_BENCH_COMMON_HH
 #define CPE_BENCH_COMMON_HH
 
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -16,6 +18,8 @@
 
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep_runner.hh"
+#include "util/logging.hh"
 #include "workload/registry.hh"
 
 namespace cpe::bench {
@@ -38,16 +42,36 @@ banner(const std::string &id, const std::string &title)
 }
 
 /**
- * Run every workload of the evaluation suite under every variant and
- * return the populated grid.
+ * Shared harness argument parsing: every bench binary accepts
+ * `--jobs N` (and honours the CPESIM_JOBS environment variable via
+ * SweepRunner::defaultJobs()) to control sweep parallelism.
  */
-inline sim::ResultGrid
-runSuite(const std::vector<Variant> &variants,
-         const std::vector<std::string> &workloads =
-             workload::WorkloadRegistry::evaluationSuite())
+inline void
+initHarness(int argc, char **argv)
 {
-    setVerbose(false);
-    sim::ResultGrid grid("IPC");
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            sim::SweepRunner::setDefaultJobs(static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10)));
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+            std::exit(2);
+        }
+    }
+}
+
+/**
+ * Expand (workloads x variants) into the flat config list runSuite
+ * executes; exposed so tests and the speed bench can reuse the exact
+ * grid shape.
+ */
+inline std::vector<sim::SimConfig>
+suiteConfigs(const std::vector<Variant> &variants,
+             const std::vector<std::string> &workloads =
+                 workload::WorkloadRegistry::evaluationSuite())
+{
+    std::vector<sim::SimConfig> configs;
+    configs.reserve(workloads.size() * variants.size());
     for (const auto &name : workloads) {
         for (const auto &variant : variants) {
             sim::SimConfig config = sim::SimConfig::defaults();
@@ -57,10 +81,26 @@ runSuite(const std::vector<Variant> &variants,
             config.label = variant.label;
             if (variant.tweak)
                 variant.tweak(config);
-            grid.add(sim::simulate(config));
+            configs.push_back(std::move(config));
         }
     }
-    return grid;
+    return configs;
+}
+
+/**
+ * Run every workload of the evaluation suite under every variant —
+ * fanned out across SweepRunner::defaultJobs() workers — and return
+ * the populated grid.  Results land in the grid in the same
+ * (workload-major) order as the serial loop always produced, so the
+ * rendered tables are byte-identical regardless of job count.
+ */
+inline sim::ResultGrid
+runSuite(const std::vector<Variant> &variants,
+         const std::vector<std::string> &workloads =
+             workload::WorkloadRegistry::evaluationSuite())
+{
+    VerboseScope quiet(false);
+    return sim::SweepRunner().runGrid(suiteConfigs(variants, workloads));
 }
 
 /** Print absolute IPCs and the relative-to-baseline view. */

@@ -9,8 +9,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    cpe::bench::initHarness(argc, argv);
     using namespace cpe;
     bench::banner("F1", "performance vs number of cache ports");
 

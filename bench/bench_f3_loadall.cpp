@@ -8,8 +8,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    cpe::bench::initHarness(argc, argv);
     using namespace cpe;
     bench::banner("F3", "single-port IPC vs number of line buffers");
 

@@ -33,8 +33,9 @@ scaleMachine(cpe::sim::SimConfig &config, unsigned width)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    cpe::bench::initHarness(argc, argv);
     using namespace cpe;
     bench::banner("F7", "port configurations vs issue width");
 

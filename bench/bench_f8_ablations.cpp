@@ -13,8 +13,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    cpe::bench::initHarness(argc, argv);
     using namespace cpe;
     bench::banner("F8", "ablations of the design choices");
 

@@ -13,8 +13,9 @@
 #include "func/executor.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    cpe::bench::initHarness(argc, argv);
     using namespace cpe;
     bench::banner("F9",
                   "banked pseudo-dual-port vs buffered single port");

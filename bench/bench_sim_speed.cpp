@@ -12,6 +12,7 @@
 #include "core/dcache_unit.hh"
 #include "func/executor.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep_runner.hh"
 #include "util/random.hh"
 #include "workload/registry.hh"
 
@@ -63,6 +64,62 @@ BM_TimingAllTechniques(benchmark::State &state)
     timingRun(state, core::PortTechConfig::singlePortAllTechniques());
 }
 BENCHMARK(BM_TimingAllTechniques)->Unit(benchmark::kMillisecond);
+
+/**
+ * The evaluation-harness sweep shape: 4 workloads x 3 variants of
+ * fully independent runs, exactly what the table/figure bench binaries
+ * execute via runSuite().  BM_SuiteSweep/1 is the serial baseline;
+ * higher arguments fan the same grid out across a SweepRunner pool.
+ * The "kips" counter is simulated instructions per host wall-clock
+ * second (thousands), so the parallel speedup is read straight off
+ * the counter ratio.
+ */
+std::vector<sim::SimConfig>
+sweepGridConfigs()
+{
+    const std::vector<std::string> workloads = {"crc", "histogram",
+                                                "saxpy", "stencil"};
+    const std::vector<core::PortTechConfig> variants = {
+        core::PortTechConfig::singlePortBase(),
+        core::PortTechConfig::singlePortAllTechniques(),
+        core::PortTechConfig::dualPortBase()};
+    std::vector<sim::SimConfig> configs;
+    for (const auto &workload : workloads) {
+        for (const auto &tech : variants) {
+            sim::SimConfig config = sim::SimConfig::defaults();
+            config.workloadName = workload;
+            config.core.dcache.tech = tech;
+            configs.push_back(std::move(config));
+        }
+    }
+    return configs;
+}
+
+void
+BM_SuiteSweep(benchmark::State &state)
+{
+    setVerbose(false);
+    auto configs = sweepGridConfigs();
+    sim::SweepRunner runner(static_cast<unsigned>(state.range(0)));
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        auto results = runner.run(configs);
+        for (const auto &result : results)
+            insts += result.insts;
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.counters["kips"] = benchmark::Counter(
+        static_cast<double>(insts) / 1000.0, benchmark::Counter::kIsRate);
+    state.counters["jobs"] = static_cast<double>(runner.jobs());
+}
+BENCHMARK(BM_SuiteSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 void
 BM_CacheAccessPath(benchmark::State &state)

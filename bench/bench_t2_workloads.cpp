@@ -10,8 +10,9 @@
 #include "workload/characterize.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    cpe::bench::initHarness(argc, argv);
     using namespace cpe;
     bench::banner("T2", "workload characterization");
     setVerbose(false);

@@ -11,8 +11,9 @@
 #include "func/executor.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    cpe::bench::initHarness(argc, argv);
     using namespace cpe;
     bench::banner("T3", "port-traffic accounting (1p all-techniques)");
     setVerbose(false);

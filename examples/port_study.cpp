@@ -3,16 +3,20 @@
  * Port-design-space study: sweeps ports x widths x buffering for one
  * workload and prints the full grid (optionally as CSV), the kind of
  * exploration an architect would run before committing to a cache
- * design.
+ * design.  The 24-point sweep fans out across worker threads (all
+ * cores by default); rows are printed in sweep order regardless of
+ * which run finished first.
  *
- * Usage: port_study [workload] [--csv]
+ * Usage: port_study [workload] [--csv] [--jobs N]
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep_runner.hh"
 #include "util/logging.hh"
 #include "workload/registry.hh"
 
@@ -27,11 +31,34 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--csv") == 0)
             csv = true;
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            sim::SweepRunner::setDefaultJobs(static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10)));
         else
             workload = argv[i];
     }
     if (!workload::WorkloadRegistry::instance().has(workload))
         fatal(Msg() << "unknown workload '" << workload << "'");
+
+    // Expand the full design space up front so the sweep runner can
+    // execute the points concurrently while we consume them in order.
+    std::vector<sim::SimConfig> sweep;
+    for (unsigned ports : {1u, 2u}) {
+        for (unsigned width : {8u, 16u, 32u}) {
+            for (unsigned sb : {0u, 8u}) {
+                for (unsigned lb : {0u, 4u}) {
+                    sim::SimConfig config = sim::SimConfig::defaults();
+                    config.workloadName = workload;
+                    config.tech().ports = ports;
+                    config.tech().portWidthBytes = width;
+                    config.tech().storeBufferEntries = sb;
+                    config.tech().lineBuffers = lb;
+                    sweep.push_back(std::move(config));
+                }
+            }
+        }
+    }
+    auto results = sim::SweepRunner().run(sweep);
 
     TextTable table;
     table.setCaption("Design space for workload '" + workload + "'");
@@ -40,30 +67,21 @@ main(int argc, char **argv)
 
     double best_ipc = 0.0;
     std::string best;
-    for (unsigned ports : {1u, 2u}) {
-        for (unsigned width : {8u, 16u, 32u}) {
-            for (unsigned sb : {0u, 8u}) {
-                for (unsigned lb : {0u, 4u}) {
-                    core::PortTechConfig tech;
-                    tech.ports = ports;
-                    tech.portWidthBytes = width;
-                    tech.storeBufferEntries = sb;
-                    tech.lineBuffers = lb;
-                    auto result = sim::simulate(workload, tech);
-                    table.addRow(
-                        {std::to_string(ports),
-                         std::to_string(width) + "B",
-                         sb ? std::to_string(sb) : "-",
-                         lb ? std::to_string(lb) : "-",
-                         TextTable::num(result.ipc),
-                         TextTable::num(100 * result.portUtilization, 1),
-                         TextTable::num(result.cycles)});
-                    if (result.ipc > best_ipc) {
-                        best_ipc = result.ipc;
-                        best = tech.describe();
-                    }
-                }
-            }
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto &tech = sweep[i].tech();
+        const auto &result = results[i];
+        table.addRow(
+            {std::to_string(tech.ports),
+             std::to_string(tech.portWidthBytes) + "B",
+             tech.storeBufferEntries
+                 ? std::to_string(tech.storeBufferEntries) : "-",
+             tech.lineBuffers ? std::to_string(tech.lineBuffers) : "-",
+             TextTable::num(result.ipc),
+             TextTable::num(100 * result.portUtilization, 1),
+             TextTable::num(result.cycles)});
+        if (result.ipc > best_ipc) {
+            best_ipc = result.ipc;
+            best = tech.describe();
         }
     }
 

@@ -9,6 +9,7 @@
  *   technique_explorer [workload] [--ports N] [--width B]
  *                      [--sb N] [--no-combining] [--lb N]
  *                      [--os N] [--scale N] [--stats]
+ *                      [--all] [--jobs N]
  */
 
 #include <cstdlib>
@@ -16,7 +17,9 @@
 #include <iostream>
 
 #include "sim/config_file.hh"
+#include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "sim/sweep_runner.hh"
 #include "util/table.hh"
 #include "util/logging.hh"
 #include "workload/registry.hh"
@@ -38,6 +41,10 @@ usage()
            "  --stats          dump the full statistics tree\n"
            "  --config FILE    load a machine file first (INI; other\n"
            "                   flags then override it)\n"
+           "  --all            run the configuration across every\n"
+           "                   registered workload (parallel sweep)\n"
+           "  --jobs N         sweep worker threads (default: all\n"
+           "                   cores, or CPESIM_JOBS)\n"
            "workloads:\n";
     for (const auto &info :
          cpe::workload::WorkloadRegistry::instance().list())
@@ -65,6 +72,7 @@ main(int argc, char **argv)
     sim::SimConfig config = sim::SimConfig::defaults();
     config.workloadName = "compress";
     bool dump_stats = false;
+    bool all_workloads = false;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--config") == 0) {
@@ -90,6 +98,10 @@ main(int argc, char **argv)
             config.workload.scale = argValue(argc, argv, i);
         else if (std::strcmp(argv[i], "--stats") == 0)
             dump_stats = true;
+        else if (std::strcmp(argv[i], "--all") == 0)
+            all_workloads = true;
+        else if (std::strcmp(argv[i], "--jobs") == 0)
+            sim::SweepRunner::setDefaultJobs(argValue(argc, argv, i));
         else if (argv[i][0] == '-')
             usage();
         else
@@ -97,6 +109,23 @@ main(int argc, char **argv)
     }
     if (!workload::WorkloadRegistry::instance().has(config.workloadName))
         usage();
+
+    if (all_workloads) {
+        // One row per registered workload, same machine configuration,
+        // fanned out across the sweep runner's worker threads.
+        std::vector<sim::SimConfig> sweep;
+        for (const auto &info :
+             workload::WorkloadRegistry::instance().list()) {
+            sim::SimConfig one = config;
+            one.workloadName = info.name;
+            sweep.push_back(std::move(one));
+        }
+        std::cout << config.describe() << "\n";
+        auto grid = sim::SweepRunner().runGrid(sweep);
+        std::cout << "All workloads under " << config.tag() << ":\n"
+                  << grid.ipcTable().render() << "\n";
+        return 0;
+    }
 
     std::cout << config.describe() << "\n";
     auto result = sim::simulate(config);

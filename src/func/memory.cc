@@ -10,19 +10,30 @@ Memory::Page &
 Memory::pageFor(Addr addr)
 {
     Addr page_addr = addr / PageBytes;
+    if (page_addr == lastPageAddr_)
+        return *lastPage_;
     auto &slot = pages_[page_addr];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    lastPageAddr_ = page_addr;
+    lastPage_ = slot.get();
     return *slot;
 }
 
 const Memory::Page *
 Memory::pageIfPresent(Addr addr) const
 {
-    auto it = pages_.find(addr / PageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
+    Addr page_addr = addr / PageBytes;
+    if (page_addr == lastPageAddr_)
+        return lastPage_;
+    auto it = pages_.find(page_addr);
+    if (it == pages_.end())
+        return nullptr;
+    lastPageAddr_ = page_addr;
+    lastPage_ = it->second.get();
+    return it->second.get();
 }
 
 std::uint64_t

@@ -42,10 +42,19 @@ class Memory
     std::size_t pageCount() const { return pages_.size(); }
 
     /** Drop every page (fresh memory). */
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        lastPageAddr_ = NoPage;
+        lastPage_ = nullptr;
+    }
 
   private:
     using Page = std::array<std::uint8_t, PageBytes>;
+
+    /** Sentinel page number no real address maps to (top page). */
+    static constexpr Addr NoPage = ~Addr(0);
 
     /** @return the page holding @p addr, allocating it zeroed if new. */
     Page &pageFor(Addr addr);
@@ -53,6 +62,14 @@ class Memory
     const Page *pageIfPresent(Addr addr) const;
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    // One-entry page-translation cache: accesses are overwhelmingly
+    // sequential-within-page, so remembering the last page touched
+    // short-circuits the unordered_map lookup that every load/store
+    // would otherwise pay.  Page storage is heap-allocated and stable
+    // across rehashes, so the cached pointer stays valid until clear().
+    mutable Addr lastPageAddr_ = NoPage;
+    mutable Page *lastPage_ = nullptr;
 };
 
 } // namespace cpe::func

@@ -35,18 +35,6 @@ Cache::Cache(const CacheParams &params)
         "misses / (hits + misses)");
 }
 
-std::size_t
-Cache::setIndex(Addr addr) const
-{
-    return (addr >> setShift_) & setMask_;
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr >> setShift_;  // includes set bits; fine for matching
-}
-
 int
 Cache::findWay(std::size_t set, Addr tag) const
 {
@@ -61,23 +49,35 @@ Cache::findWay(std::size_t set, Addr tag) const
 bool
 Cache::probe(Addr addr) const
 {
-    return findWay(setIndex(addr), tagOf(addr)) >= 0;
+    Loc loc = locate(addr);
+    return findWay(loc.set, loc.tag) >= 0;
 }
 
 bool
 Cache::access(Addr addr, bool write)
 {
-    std::size_t set = setIndex(addr);
-    int way = findWay(set, tagOf(addr));
+    Loc loc = locate(addr);
+    if (loc.tag == lastHitTag_) {
+        Line &line = lines_[lastHitLine_];
+        line.lastUse = ++useClock_;
+        if (write)
+            line.dirty = true;
+        ++hits;
+        return true;
+    }
+    int way = findWay(loc.set, loc.tag);
     if (way < 0) {
         ++misses;
         return false;
     }
-    Line &line = lines_[set * params_.assoc + static_cast<unsigned>(way)];
+    std::size_t index = loc.set * params_.assoc + static_cast<unsigned>(way);
+    Line &line = lines_[index];
     line.lastUse = ++useClock_;
     if (write)
         line.dirty = true;
     ++hits;
+    lastHitTag_ = loc.tag;
+    lastHitLine_ = index;
     return true;
 }
 
@@ -102,8 +102,10 @@ Cache::victimWay(std::size_t set)
 Cache::FillResult
 Cache::fill(Addr addr, bool dirty)
 {
-    std::size_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
+    Loc loc = locate(addr);
+    std::size_t set = loc.set;
+    Addr tag = loc.tag;
+    forgetLastHit();
     CPE_ASSERT(findWay(set, tag) < 0,
                params_.name << ": fill of already-present line 0x"
                             << std::hex << lineAddr(addr));
@@ -130,35 +132,39 @@ Cache::fill(Addr addr, bool dirty)
 bool
 Cache::invalidate(Addr addr)
 {
-    std::size_t set = setIndex(addr);
-    int way = findWay(set, tagOf(addr));
+    Loc loc = locate(addr);
+    int way = findWay(loc.set, loc.tag);
     if (way < 0)
         return false;
-    lines_[set * params_.assoc + static_cast<unsigned>(way)] = Line{};
+    forgetLastHit();
+    lines_[loc.set * params_.assoc + static_cast<unsigned>(way)] = Line{};
     return true;
 }
 
 void
 Cache::setDirty(Addr addr)
 {
-    std::size_t set = setIndex(addr);
-    int way = findWay(set, tagOf(addr));
+    Loc loc = locate(addr);
+    int way = findWay(loc.set, loc.tag);
     CPE_ASSERT(way >= 0, params_.name << ": setDirty on absent line");
-    lines_[set * params_.assoc + static_cast<unsigned>(way)].dirty = true;
+    lines_[loc.set * params_.assoc + static_cast<unsigned>(way)].dirty =
+        true;
 }
 
 bool
 Cache::isDirty(Addr addr) const
 {
-    std::size_t set = setIndex(addr);
-    int way = findWay(set, tagOf(addr));
+    Loc loc = locate(addr);
+    int way = findWay(loc.set, loc.tag);
     return way >= 0 &&
-           lines_[set * params_.assoc + static_cast<unsigned>(way)].dirty;
+           lines_[loc.set * params_.assoc + static_cast<unsigned>(way)]
+               .dirty;
 }
 
 void
 Cache::flushAll()
 {
+    forgetLastHit();
     for (auto &line : lines_)
         line = Line{};
 }

@@ -121,14 +121,37 @@ class Cache
         std::uint64_t lastUse = 0;  ///< LRU timestamp
     };
 
-    /** @return set index for @p addr. */
-    std::size_t setIndex(Addr addr) const;
-    /** @return tag bits for @p addr. */
-    Addr tagOf(Addr addr) const;
+    /**
+     * Set index and tag of one address, derived with a single shift:
+     * the tag keeps the set bits, so the set index is just the tag's
+     * low bits — every lookup path computes this once and reuses it.
+     */
+    struct Loc
+    {
+        std::size_t set;
+        Addr tag;
+    };
+    Loc
+    locate(Addr addr) const
+    {
+        Addr tag = addr >> setShift_;
+        return {static_cast<std::size_t>(tag) & setMask_, tag};
+    }
+
     /** Find the way holding @p addr, or -1. */
     int findWay(std::size_t set, Addr tag) const;
     /** Pick a victim way in @p set (invalid first, then policy). */
     unsigned victimWay(std::size_t set);
+
+    /** Forget the memoized most-recent hit (any structural change). */
+    void
+    forgetLastHit()
+    {
+        lastHitTag_ = NoTag;
+    }
+
+    /** Tag value no in-range address produces (addresses < 2^63). */
+    static constexpr Addr NoTag = ~Addr(0);
 
     CacheParams params_;
     Addr lineMask_;
@@ -136,6 +159,11 @@ class Cache
     std::size_t setMask_;
     std::vector<Line> lines_;  ///< sets * assoc, row-major by set
     std::uint64_t useClock_ = 0;
+    // One-entry MRU filter for access(): the tag uniquely identifies a
+    // line (it retains the set bits), so a repeat access skips the way
+    // search entirely.  Invalidated on fill/invalidate/flushAll.
+    Addr lastHitTag_ = NoTag;
+    std::size_t lastHitLine_ = 0;  ///< index into lines_
     Rng rng_;
     stats::StatGroup statGroup_;
 };

@@ -1,0 +1,91 @@
+#include "sim/sweep_runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+
+#include "util/thread_pool.hh"
+#include "workload/registry.hh"
+
+namespace cpe::sim {
+
+namespace {
+std::atomic<unsigned> defaultJobsOverride{0};
+} // namespace
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    unsigned override = defaultJobsOverride.load(std::memory_order_relaxed);
+    if (override)
+        return override;
+    if (const char *env = std::getenv("CPESIM_JOBS")) {
+        unsigned long value = std::strtoul(env, nullptr, 10);
+        if (value >= 1)
+            return static_cast<unsigned>(value);
+    }
+    return util::ThreadPool::hardwareThreads();
+}
+
+void
+SweepRunner::setDefaultJobs(unsigned jobs)
+{
+    defaultJobsOverride.store(jobs, std::memory_order_relaxed);
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+}
+
+std::vector<SimResult>
+SweepRunner::run(const std::vector<SimConfig> &configs) const
+{
+    std::vector<SimResult> results(configs.size());
+    if (jobs_ <= 1 || configs.size() <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            results[i] = simulate(configs[i]);
+        return results;
+    }
+
+    // Force the workload registry (a lazily-built singleton) into
+    // existence before any worker touches it.
+    workload::WorkloadRegistry::instance();
+
+    unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, configs.size()));
+    util::ThreadPool pool(workers);
+    std::vector<std::future<SimResult>> futures;
+    futures.reserve(configs.size());
+    for (const auto &config : configs)
+        futures.push_back(pool.submit([&config]() {
+            return simulate(config);
+        }));
+
+    // Collect in submission order; the future of the lowest-indexed
+    // failing run rethrows first, after every worker has finished.
+    std::exception_ptr firstError;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+            results[i] = futures[i].get();
+        } catch (...) {
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+ResultGrid
+SweepRunner::runGrid(const std::vector<SimConfig> &configs,
+                     const std::string &value_name) const
+{
+    ResultGrid grid(value_name);
+    for (const auto &result : run(configs))
+        grid.add(result);
+    return grid;
+}
+
+} // namespace cpe::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Parallel sweep execution: fan a vector of independent SimConfigs out
+ * across a util::ThreadPool and hand the results back in submission
+ * order.
+ *
+ * Determinism contract (see DESIGN.md "Sweep runner"): every
+ * simulate() call owns its entire machine — workload program, golden
+ * executor, core, hierarchy, StatGroups, and RNGs (seeded from the
+ * config, never from global state) — so a run's numbers are a pure
+ * function of its SimConfig.  The runner only changes *when* runs
+ * execute, never *what* they compute, and it returns results indexed
+ * exactly like the input vector; a ResultGrid filled from them is
+ * byte-identical to a serial loop's.
+ */
+
+#ifndef CPE_SIM_SWEEP_RUNNER_HH
+#define CPE_SIM_SWEEP_RUNNER_HH
+
+#include <vector>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+namespace cpe::sim {
+
+/** Runs batches of independent simulations, possibly concurrently. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param jobs Worker count; 0 means "decide for me" (defaultJobs()).
+     *             1 runs everything inline on the calling thread.
+     */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** The resolved worker count this runner will use. */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run every config and return the results in input order.  If any
+     * run throws, the exception of the lowest-indexed failing config is
+     * rethrown after all runs finish (workers are never abandoned).
+     */
+    std::vector<SimResult> run(const std::vector<SimConfig> &configs) const;
+
+    /** Convenience: run() then fold the results into a ResultGrid. */
+    ResultGrid runGrid(const std::vector<SimConfig> &configs,
+                       const std::string &value_name = "IPC") const;
+
+    /**
+     * The job count used when a runner is built with jobs == 0:
+     * the last setDefaultJobs() value if set, else the CPESIM_JOBS
+     * environment variable, else one per hardware thread.
+     */
+    static unsigned defaultJobs();
+
+    /**
+     * Process-wide override of defaultJobs(), used by the harnesses'
+     * --jobs flag (0 clears the override).  Call before spawning
+     * sweeps, not during one.
+     */
+    static void setDefaultJobs(unsigned jobs);
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace cpe::sim
+
+#endif // CPE_SIM_SWEEP_RUNNER_HH

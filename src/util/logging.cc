@@ -1,24 +1,25 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
 namespace cpe {
 
 namespace {
-bool verboseFlag = true;
+std::atomic<bool> verboseFlag{true};
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return verboseFlag.load(std::memory_order_relaxed);
 }
 
 void
@@ -44,7 +45,7 @@ warn(const std::string &msg)
 void
 inform(const std::string &msg)
 {
-    if (verboseFlag)
+    if (verbose())
         std::cout << "info: " << msg << std::endl;
 }
 

@@ -20,11 +20,35 @@ namespace cpe {
 /**
  * Verbosity gate for inform(); warn()/panic()/fatal() always print.
  * Defaults to true; benches flip it off to keep table output clean.
+ * The flag is process-wide and atomic, so concurrent simulation runs
+ * (sim::SweepRunner) may read it freely; prefer VerboseScope over a
+ * bare setVerbose() so a caller's setting is restored afterwards.
  */
 void setVerbose(bool verbose);
 
 /** @return whether inform() currently prints. */
 bool verbose();
+
+/**
+ * RAII verbosity override: sets the flag for the scope's lifetime and
+ * restores the previous value on exit, so harness code can silence
+ * inform() without clobbering what the caller configured.
+ */
+class VerboseScope
+{
+  public:
+    explicit VerboseScope(bool verbose) : saved_(cpe::verbose())
+    {
+        setVerbose(verbose);
+    }
+    ~VerboseScope() { setVerbose(saved_); }
+
+    VerboseScope(const VerboseScope &) = delete;
+    VerboseScope &operator=(const VerboseScope &) = delete;
+
+  private:
+    bool saved_;
+};
 
 /**
  * Report an internal simulator bug and abort().  Never returns.

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * sim::SweepRunner tests: the determinism contract.  A parallel sweep
+ * must produce results bit-identical to the serial path — same IPC
+ * doubles, same cycle counts, same stats dump text — and hand them
+ * back in submission order, so every ResultGrid table renders
+ * byte-identically whatever the job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/simulator.hh"
+#include "sim/sweep_runner.hh"
+#include "util/logging.hh"
+
+namespace cpe::sim {
+namespace {
+
+/** The 4-workload x 3-variant grid the determinism tests sweep. */
+std::vector<SimConfig>
+testGrid()
+{
+    const std::vector<std::string> workloads = {"crc", "histogram",
+                                                "saxpy", "strops"};
+    const std::vector<core::PortTechConfig> variants = {
+        core::PortTechConfig::singlePortBase(),
+        core::PortTechConfig::singlePortAllTechniques(),
+        core::PortTechConfig::dualPortBase()};
+    std::vector<SimConfig> configs;
+    for (const auto &workload : workloads) {
+        for (const auto &tech : variants) {
+            SimConfig config = SimConfig::defaults();
+            config.workloadName = workload;
+            config.core.dcache.tech = tech;
+            configs.push_back(std::move(config));
+        }
+    }
+    return configs;
+}
+
+TEST(SweepRunner, ParallelGridIsBitIdenticalToSerial)
+{
+    VerboseScope quiet(false);
+    auto configs = testGrid();
+
+    SweepRunner serial(1);
+    SweepRunner parallel(4);
+    auto expected = serial.run(configs);
+    auto actual = parallel.run(configs);
+
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        SCOPED_TRACE(expected[i].workload + " / " +
+                     expected[i].configTag);
+        // Exact equality on doubles is deliberate: each run owns its
+        // machine and RNGs, so the arithmetic must be identical.
+        EXPECT_EQ(actual[i].workload, expected[i].workload);
+        EXPECT_EQ(actual[i].configTag, expected[i].configTag);
+        EXPECT_EQ(actual[i].cycles, expected[i].cycles);
+        EXPECT_EQ(actual[i].insts, expected[i].insts);
+        EXPECT_EQ(actual[i].ipc, expected[i].ipc);
+        EXPECT_EQ(actual[i].portUtilization,
+                  expected[i].portUtilization);
+        EXPECT_EQ(actual[i].l1dMissRate, expected[i].l1dMissRate);
+        EXPECT_EQ(actual[i].statsDump, expected[i].statsDump);
+    }
+}
+
+TEST(SweepRunner, ParallelTablesRenderByteIdenticalToSerial)
+{
+    VerboseScope quiet(false);
+    auto configs = testGrid();
+
+    auto serialGrid = SweepRunner(1).runGrid(configs);
+    auto parallelGrid = SweepRunner(4).runGrid(configs);
+
+    EXPECT_EQ(parallelGrid.workloads(), serialGrid.workloads());
+    EXPECT_EQ(parallelGrid.configs(), serialGrid.configs());
+    EXPECT_EQ(parallelGrid.ipcTable().render(),
+              serialGrid.ipcTable().render());
+    EXPECT_EQ(parallelGrid.relativeTable(serialGrid.configs().front())
+                  .render(),
+              serialGrid.relativeTable(serialGrid.configs().front())
+                  .render());
+}
+
+TEST(SweepRunner, ResultsArriveInSubmissionOrder)
+{
+    VerboseScope quiet(false);
+    auto configs = testGrid();
+    auto results = SweepRunner(8).run(configs);
+    ASSERT_EQ(results.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(results[i].workload, configs[i].workloadName);
+        EXPECT_EQ(results[i].configTag, configs[i].tag());
+    }
+}
+
+TEST(SweepRunner, EmptySweepIsFine)
+{
+    EXPECT_TRUE(SweepRunner(4).run({}).empty());
+}
+
+TEST(SweepRunner, SingleConfigRunsInline)
+{
+    VerboseScope quiet(false);
+    SimConfig config = SimConfig::defaults();
+    config.workloadName = "crc";
+    auto results = SweepRunner(8).run({config});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GT(results[0].insts, 0u);
+}
+
+TEST(SweepRunner, JobsResolveFromConstructorEnvAndOverride)
+{
+    SweepRunner explicitJobs(3);
+    EXPECT_EQ(explicitJobs.jobs(), 3u);
+
+    SweepRunner::setDefaultJobs(5);
+    EXPECT_EQ(SweepRunner::defaultJobs(), 5u);
+    EXPECT_EQ(SweepRunner(0).jobs(), 5u);
+    SweepRunner::setDefaultJobs(0);
+
+    ASSERT_EQ(setenv("CPESIM_JOBS", "7", 1), 0);
+    EXPECT_EQ(SweepRunner::defaultJobs(), 7u);
+    ASSERT_EQ(unsetenv("CPESIM_JOBS"), 0);
+    EXPECT_GE(SweepRunner::defaultJobs(), 1u);
+}
+
+} // namespace
+} // namespace cpe::sim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * util::ThreadPool unit tests: result delivery in submission order,
+ * exception propagation through futures, graceful shutdown under load,
+ * and rejection of work after shutdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace cpe::util {
+namespace {
+
+TEST(ThreadPool, RunsASingleTask)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([]() { return 41 + 1; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ResultsComeBackInSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    // Futures are collected in submission order whatever the worker
+    // interleaving was — the ordering contract SweepRunner builds on.
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto boom = pool.submit([]() -> int {
+        throw std::runtime_error("task failed");
+    });
+    auto fine = pool.submit([]() { return 3; });
+    EXPECT_THROW(boom.get(), std::runtime_error);
+    // The pool survives a throwing task; later work still runs.
+    EXPECT_EQ(fine.get(), 3);
+}
+
+TEST(ThreadPool, ExceptionMessageIsPreserved)
+{
+    ThreadPool pool(1);
+    auto future = pool.submit(
+        []() { throw std::runtime_error("specific message"); });
+    try {
+        future.get();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &error) {
+        EXPECT_STREQ(error.what(), "specific message");
+    }
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork)
+{
+    std::atomic<int> completed{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 500; ++i) {
+            pool.submit([&completed]() {
+                completed.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        // Destructor-driven shutdown: everything queued must still run.
+    }
+    EXPECT_EQ(completed.load(), 500);
+}
+
+TEST(ThreadPool, ShutdownUnderLoadWithSlowTasks)
+{
+    std::atomic<int> completed{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&completed]() {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            completed.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    pool.shutdown();
+    EXPECT_EQ(completed.load(), 64);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent)
+{
+    ThreadPool pool(2);
+    pool.submit([]() {}).get();
+    pool.shutdown();
+    pool.shutdown();
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows)
+{
+    ThreadPool pool(2);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([]() { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, ConcurrentSubmitters)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&pool, &completed]() {
+            for (int i = 0; i < 100; ++i) {
+                pool.submit([&completed]() {
+                    completed.fetch_add(1, std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+    for (auto &thread : submitters)
+        thread.join();
+    pool.shutdown();
+    EXPECT_EQ(completed.load(), 400);
+}
+
+} // namespace
+} // namespace cpe::util
