@@ -7,40 +7,52 @@
  * 8..64 KiB under the three key configurations.
  */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 
-int
-main(int argc, char **argv)
+namespace {
+
+using namespace cpe;
+
+std::vector<exp::Variant>
+variantsAt(unsigned kib)
 {
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("F10", "sensitivity to L1D capacity");
+    auto tweak = [kib](sim::SimConfig &config) {
+        config.core.dcache.cache.sizeBytes = kib * 1024;
+    };
+    return {
+        {"1p plain", core::PortTechConfig::singlePortBase(), 0, tweak},
+        {"1p all", core::PortTechConfig::singlePortAllTechniques(), 0,
+         tweak},
+        {"2 ports", core::PortTechConfig::dualPortBase(), 0, tweak},
+    };
+}
 
+/** Primary grid for the gate: the smallest capacity, where miss and
+ * port pressure interact the most. */
+std::vector<exp::Variant>
+variants()
+{
+    return variantsAt(8);
+}
+
+void
+run(exp::Context &ctx)
+{
     TextTable table;
     table.addHeader({"L1D size", "1p plain", "1p all", "2 ports",
                      "1p-all/2p", "miss% (1p all, geomean-ish)"});
     for (unsigned kib : {8u, 16u, 32u, 64u}) {
-        auto tweak = [kib](sim::SimConfig &config) {
-            config.core.dcache.cache.sizeBytes = kib * 1024;
-        };
-        std::vector<bench::Variant> variants = {
-            {"1p plain", core::PortTechConfig::singlePortBase(), 0,
-             tweak},
-            {"1p all", core::PortTechConfig::singlePortAllTechniques(),
-             0, tweak},
-            {"2 ports", core::PortTechConfig::dualPortBase(), 0, tweak},
-        };
-        auto grid = bench::runSuite(variants);
+        auto grid = ctx.runGrid("kib" + std::to_string(kib),
+                                variantsAt(kib));
 
         // Average miss rate across the suite for the technique config.
         double miss_sum = 0.0;
-        for (const auto &name :
-             workload::WorkloadRegistry::evaluationSuite()) {
+        for (const auto &name : ctx.suite()) {
             sim::SimConfig config = sim::SimConfig::defaults();
             config.workloadName = name;
             config.core.dcache.tech =
                 core::PortTechConfig::singlePortAllTechniques();
-            tweak(config);
+            config.core.dcache.cache.sizeBytes = kib * 1024;
             miss_sum += sim::simulate(config).l1dMissRate;
         }
         double plain = grid.geomeanIpc("1p plain");
@@ -52,10 +64,20 @@ main(int argc, char **argv)
                       TextTable::num(100.0 * all / dual, 1) + "%",
                       TextTable::num(100.0 * miss_sum / 6, 1) + "%"});
     }
-    std::cout << "Geomean IPC across the suite:\n"
+    ctx.out() << "Geomean IPC across the suite:\n"
               << table.render() << "\n";
-    std::cout << "Reading: the buffered single port tracks the dual "
+    ctx.out() << "Reading: the buffered single port tracks the dual "
                  "port at every capacity;\nabsolute IPC moves with miss "
                  "rate, the port conclusion does not.\n";
-    return 0;
 }
+
+exp::Registrar reg({
+    .id = "F10",
+    .title = "sensitivity to L1D capacity",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "2 ports",
+    .run = run,
+});
+
+} // namespace

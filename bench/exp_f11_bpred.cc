@@ -7,48 +7,54 @@
  * buffered single port.
  */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 
-int
-main(int argc, char **argv)
+namespace {
+
+using namespace cpe;
+
+struct Kind
 {
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("F11", "branch predictors x the buffered single port");
+    const char *name;
+    cpu::PredictorKind kind;
+};
 
-    struct Kind
-    {
-        const char *name;
-        cpu::PredictorKind kind;
-    };
-    const Kind kinds[] = {
-        {"not-taken", cpu::PredictorKind::AlwaysNotTaken},
-        {"bimodal", cpu::PredictorKind::Bimodal},
-        {"gshare", cpu::PredictorKind::GShare},
-        {"local", cpu::PredictorKind::Local},
-    };
+const Kind kKinds[] = {
+    {"not-taken", cpu::PredictorKind::AlwaysNotTaken},
+    {"bimodal", cpu::PredictorKind::Bimodal},
+    {"gshare", cpu::PredictorKind::GShare},
+    {"local", cpu::PredictorKind::Local},
+};
 
-    std::vector<bench::Variant> variants;
-    for (const auto &kind : kinds) {
-        variants.push_back(
+std::vector<exp::Variant>
+variants()
+{
+    std::vector<exp::Variant> out;
+    for (const auto &kind : kKinds) {
+        out.push_back(
             {kind.name, core::PortTechConfig::singlePortAllTechniques(),
              0, [k = kind.kind](sim::SimConfig &config) {
                  config.core.bpred.kind = k;
              }});
     }
-    auto grid = bench::runSuite(variants);
-    std::cout << "IPC:\n" << grid.ipcTable().render() << "\n";
+    return out;
+}
+
+void
+run(exp::Context &ctx)
+{
+    auto grid = ctx.runGrid("main", variants());
+    ctx.out() << "IPC:\n" << grid.ipcTable().render() << "\n";
 
     TextTable table;
     table.setCaption("Conditional-branch direction accuracy:");
     std::vector<std::string> header{"workload"};
-    for (const auto &kind : kinds)
+    for (const auto &kind : kKinds)
         header.push_back(kind.name);
     table.addHeader(header);
-    for (const auto &name :
-         workload::WorkloadRegistry::evaluationSuite()) {
+    for (const auto &name : ctx.suite()) {
         std::vector<std::string> row{name};
-        for (const auto &kind : kinds) {
+        for (const auto &kind : kKinds) {
             sim::SimConfig config = sim::SimConfig::defaults();
             config.workloadName = name;
             config.core.dcache.tech =
@@ -60,10 +66,20 @@ main(int argc, char **argv)
         }
         table.addRow(row);
     }
-    std::cout << table.render() << "\n";
-    std::cout << "Reading: history-based predictors (gshare/local) beat "
+    ctx.out() << table.render() << "\n";
+    ctx.out() << "Reading: history-based predictors (gshare/local) beat "
                  "bimodal on the\npattern-heavy kernels; IPC follows "
                  "accuracy, and the port techniques'\nvalue grows as the "
                  "front end stops stalling.\n";
-    return 0;
 }
+
+exp::Registrar reg({
+    .id = "F11",
+    .title = "branch predictors x the buffered single port",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "",
+    .run = run,
+});
+
+} // namespace

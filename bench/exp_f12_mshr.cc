@@ -7,35 +7,52 @@
  * complementary: neither substitutes for the other.
  */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 
-int
-main(int argc, char **argv)
+namespace {
+
+using namespace cpe;
+
+std::vector<exp::Variant>
+variants()
 {
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("F12", "IPC vs outstanding-miss capacity (MSHRs)");
-
-    std::vector<bench::Variant> variants;
+    std::vector<exp::Variant> out;
     for (unsigned mshrs : {1u, 2u, 4u, 8u, 16u}) {
-        variants.push_back(
+        out.push_back(
             {"mshr" + std::to_string(mshrs),
              core::PortTechConfig::singlePortAllTechniques(), 0,
              [mshrs](sim::SimConfig &config) {
                  config.core.dcache.mshrs = mshrs;
              }});
     }
+    return out;
+}
+
+void
+run(exp::Context &ctx)
+{
     std::vector<std::string> workloads = {"compress", "hashjoin",
                                           "spmv", "bsearch", "stencil",
                                           "copy"};
-    auto grid = bench::runSuite(variants, workloads);
-    bench::printGrid(grid, "mshr1");
+    auto grid = ctx.runGrid("main", variants(), workloads, "mshr1");
+    ctx.printGrid(grid, "mshr1");
 
-    std::cout << "Reading: overlap-friendly miss streams gain hugely "
+    ctx.out() << "Reading: overlap-friendly miss streams gain hugely "
                  "(spmv 3.3x, copy's cold\npasses 2.2x) and saturate by "
                  "~8 MSHRs; serial-dependence kernels (bsearch,\n"
                  "compress) gain ~20% no matter how many MSHRs — miss "
                  "parallelism and port\nbandwidth are separate "
                  "resources, and the techniques need both.\n";
-    return 0;
 }
+
+exp::Registrar reg({
+    .id = "F12",
+    .title = "IPC vs outstanding-miss capacity (MSHRs)",
+    .variants = variants,
+    .workloads = {"compress", "hashjoin", "spmv", "bsearch", "stencil",
+                  "copy"},
+    .baseline = "mshr1",
+    .run = run,
+});
+
+} // namespace

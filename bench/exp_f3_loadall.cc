@@ -5,27 +5,32 @@
  * captures one window; the wide-port amplification is F4's job).
  */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 
-int
-main(int argc, char **argv)
+namespace {
+
+using namespace cpe;
+
+std::vector<exp::Variant>
+variants()
 {
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("F3", "single-port IPC vs number of line buffers");
-
-    std::vector<bench::Variant> variants;
+    std::vector<exp::Variant> out;
     for (unsigned buffers : {0u, 1u, 2u, 4u, 8u}) {
         core::PortTechConfig tech = core::PortTechConfig::singlePortBase();
         tech.lineBuffers = buffers;
-        variants.push_back({buffers ? "lb" + std::to_string(buffers)
-                                    : "no lb",
-                            tech});
+        out.push_back({buffers ? "lb" + std::to_string(buffers)
+                               : "no lb",
+                       tech});
     }
-    variants.push_back({"2 ports", core::PortTechConfig::dualPortBase()});
+    out.push_back({"2 ports", core::PortTechConfig::dualPortBase()});
+    return out;
+}
 
-    auto grid = bench::runSuite(variants);
-    bench::printGrid(grid, "no lb");
+void
+run(exp::Context &ctx)
+{
+    auto grid = ctx.runGrid("main", variants(), {}, "no lb");
+    ctx.printGrid(grid, "no lb");
 
     // Line-buffer hit rates for the largest file.
     TextTable table;
@@ -33,13 +38,22 @@ main(int argc, char **argv)
     table.addHeader({"workload", "hit rate"});
     core::PortTechConfig tech = core::PortTechConfig::singlePortBase();
     tech.lineBuffers = 8;
-    for (const auto &name :
-         workload::WorkloadRegistry::evaluationSuite()) {
+    for (const auto &name : ctx.suite()) {
         auto result = sim::simulate(name, tech);
         table.addRow({name,
                       TextTable::num(100 * result.lineBufferHitRate, 1) +
                           "%"});
     }
-    std::cout << table.render() << "\n";
-    return 0;
+    ctx.out() << table.render() << "\n";
 }
+
+exp::Registrar reg({
+    .id = "F3",
+    .title = "single-port IPC vs number of line buffers",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "no lb",
+    .run = run,
+});
+
+} // namespace

@@ -7,26 +7,31 @@
  * bytes per access.
  */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 
-int
-main(int argc, char **argv)
+namespace {
+
+using namespace cpe;
+
+std::vector<exp::Variant>
+variants()
 {
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("F4", "single buffered port: IPC vs port width");
-
-    std::vector<bench::Variant> variants;
+    std::vector<exp::Variant> out;
     for (unsigned width : {8u, 16u, 32u}) {
         core::PortTechConfig tech =
             core::PortTechConfig::singlePortAllTechniques();
         tech.portWidthBytes = width;
-        variants.push_back({std::to_string(width) + "B", tech});
+        out.push_back({std::to_string(width) + "B", tech});
     }
-    variants.push_back({"2 ports", core::PortTechConfig::dualPortBase()});
+    out.push_back({"2 ports", core::PortTechConfig::dualPortBase()});
+    return out;
+}
 
-    auto grid = bench::runSuite(variants);
-    bench::printGrid(grid, "8B");
+void
+run(exp::Context &ctx)
+{
+    auto grid = ctx.runGrid("main", variants(), {}, "8B");
+    ctx.printGrid(grid, "8B");
 
     // How the width changes technique effectiveness.
     TextTable table;
@@ -46,6 +51,16 @@ main(int argc, char **argv)
                       TextTable::num(100 * result.loadPortFraction, 1) +
                           "%"});
     }
-    std::cout << table.render() << "\n";
-    return 0;
+    ctx.out() << table.render() << "\n";
 }
+
+exp::Registrar reg({
+    .id = "F4",
+    .title = "single buffered port: IPC vs port width",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "8B",
+    .run = run,
+});
+
+} // namespace

@@ -7,16 +7,15 @@
  * against '2 ports' is this reproduction's number.
  */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 
-int
-main(int argc, char **argv)
+namespace {
+
+using namespace cpe;
+
+std::vector<exp::Variant>
+variants()
 {
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("F5",
-                  "single port + techniques vs dual-ported cache");
-
     core::PortTechConfig base = core::PortTechConfig::singlePortBase();
 
     core::PortTechConfig sb_only = base;
@@ -34,7 +33,7 @@ main(int argc, char **argv)
     core::PortTechConfig dual_sb = core::PortTechConfig::dualPortBase();
     dual_sb.storeBufferEntries = 8;
 
-    std::vector<bench::Variant> variants = {
+    return {
         {"1p plain", base},
         {"1p+sb", sb_only},
         {"1p+lb", lb_only},
@@ -43,9 +42,13 @@ main(int argc, char **argv)
         {"2 ports", core::PortTechConfig::dualPortBase()},
         {"2p+sb", dual_sb},
     };
+}
 
-    auto grid = bench::runSuite(variants);
-    bench::printGrid(grid, "2 ports");
+void
+run(exp::Context &ctx)
+{
+    auto grid = ctx.runGrid("main", variants(), {}, "2 ports");
+    ctx.printGrid(grid, "2 ports");
 
     double headline =
         100.0 * grid.geomeanIpc("1p all") / grid.geomeanIpc("2 ports");
@@ -53,7 +56,10 @@ main(int argc, char **argv)
         100.0 * grid.geomeanIpc("1p all") / grid.geomeanIpc("2p+sb");
     double untreated =
         100.0 * grid.geomeanIpc("1p plain") / grid.geomeanIpc("2 ports");
-    std::cout << "HEADLINE: buffered single-ported cache reaches "
+    ctx.headline("pct_of_dual_plain", headline);
+    ctx.headline("pct_of_dual_buffered", vs_strong);
+    ctx.headline("pct_untreated", untreated);
+    ctx.out() << "HEADLINE: buffered single-ported cache reaches "
               << TextTable::num(headline, 1)
               << "% of the plain dual-ported cache\n"
               << "and " << TextTable::num(vs_strong, 1)
@@ -61,5 +67,15 @@ main(int argc, char **argv)
                  "(untreated single port: "
               << TextTable::num(untreated, 1) << "%).\n"
               << "The paper reports 91% for its suite.\n";
-    return 0;
 }
+
+exp::Registrar reg({
+    .id = "F5",
+    .title = "single port + techniques vs dual-ported cache",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "2 ports",
+    .run = run,
+});
+
+} // namespace

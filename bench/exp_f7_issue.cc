@@ -6,15 +6,18 @@
  * three key port configurations.
  */
 
-#include "bench_common.hh"
+#include <algorithm>
+
+#include "exp/registry.hh"
 
 namespace {
 
+using namespace cpe;
+
 /** Scale the whole machine to @p width-wide issue. */
 void
-scaleMachine(cpe::sim::SimConfig &config, unsigned width)
+scaleMachine(sim::SimConfig &config, unsigned width)
 {
-    using namespace cpe;
     config.core.renameWidth = width;
     config.core.issueWidth = width;
     config.core.commitWidth = width;
@@ -30,42 +33,60 @@ scaleMachine(cpe::sim::SimConfig &config, unsigned width)
     config.core.fu.fpMul.count = std::max(1u, width / 4);
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+std::vector<exp::Variant>
+variantsAt(unsigned width)
 {
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("F7", "port configurations vs issue width");
+    auto tweak = [width](sim::SimConfig &config) {
+        scaleMachine(config, width);
+    };
+    return {
+        {"1p plain", core::PortTechConfig::singlePortBase(), 0, tweak},
+        {"1p all", core::PortTechConfig::singlePortAllTechniques(), 0,
+         tweak},
+        {"2 ports", core::PortTechConfig::dualPortBase(), 0, tweak},
+    };
+}
 
+/** Primary grid for the gate: the evaluation machine's own width. */
+std::vector<exp::Variant>
+variants()
+{
+    return variantsAt(4);
+}
+
+void
+run(exp::Context &ctx)
+{
     TextTable table;
     table.addHeader({"issue width", "1p plain", "1p all", "2 ports",
                      "1p-all/2p"});
     for (unsigned width : {2u, 4u, 8u}) {
-        auto tweak = [width](sim::SimConfig &config) {
-            scaleMachine(config, width);
-        };
-        std::vector<bench::Variant> variants = {
-            {"1p plain", core::PortTechConfig::singlePortBase(), 0,
-             tweak},
-            {"1p all", core::PortTechConfig::singlePortAllTechniques(),
-             0, tweak},
-            {"2 ports", core::PortTechConfig::dualPortBase(), 0, tweak},
-        };
-        auto grid = bench::runSuite(variants);
+        auto grid = ctx.runGrid("width" + std::to_string(width),
+                                variantsAt(width));
         double plain = grid.geomeanIpc("1p plain");
         double all = grid.geomeanIpc("1p all");
         double dual = grid.geomeanIpc("2 ports");
+        ctx.headline("pct_of_dual_" + std::to_string(width) + "wide",
+                     100.0 * all / dual);
         table.addRow({std::to_string(width) + "-wide",
                       TextTable::num(plain), TextTable::num(all),
                       TextTable::num(dual),
                       TextTable::num(100.0 * all / dual, 1) + "%"});
     }
-    std::cout << "Geomean IPC across the suite:\n"
+    ctx.out() << "Geomean IPC across the suite:\n"
               << table.render() << "\n";
-    std::cout << "Reading: the plain single port falls further behind "
+    ctx.out() << "Reading: the plain single port falls further behind "
                  "as width grows (more\nbandwidth demand), while the "
                  "buffered port tracks the dual-ported cache.\n";
-    return 0;
 }
+
+exp::Registrar reg({
+    .id = "F7",
+    .title = "port configurations vs issue width",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "2 ports",
+    .run = run,
+});
+
+} // namespace

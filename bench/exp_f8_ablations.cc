@@ -1,0 +1,162 @@
+/**
+ * @file
+ * F8 — Design-choice ablations (the decisions DESIGN.md calls out):
+ *   1. line-buffer write policy: patch vs invalidate, and whether
+ *      kernel/user transitions flush the file (run under OS activity,
+ *      where it matters);
+ *   2. store-buffer drain policy: idle-cycle stealing vs store-priority
+ *      (eager) vs threshold-held combining;
+ *   3. fill policy: fills stealing the data port vs a dedicated fill
+ *      port.
+ */
+
+#include "exp/registry.hh"
+
+namespace {
+
+using namespace cpe;
+
+using TC = core::PortTechConfig;
+
+/** Primary grid for the gate: the drain-policy ablation (the one
+ * whose ordering the paper's design argument leans on). */
+std::vector<exp::Variant>
+variants()
+{
+    TC idle = TC::singlePortAllTechniques();
+    TC eager = idle;
+    eager.drainPolicy = core::DrainPolicy::Eager;
+    TC threshold = idle;
+    threshold.drainPolicy = core::DrainPolicy::Threshold;
+    threshold.drainThreshold = 6;
+    return {{"idle-steal", idle},
+            {"store-priority", eager},
+            {"threshold-6", threshold}};
+}
+
+void
+run(exp::Context &ctx)
+{
+    {
+        ctx.out() << "--- line-buffer write policy (OS level 2) ---\n";
+        TC update = TC::singlePortAllTechniques();
+        TC inval = update;
+        inval.lineBufferWrite = core::LineBufferWritePolicy::Invalidate;
+        TC no_flush = update;
+        no_flush.flushLineBuffersOnModeSwitch = false;
+        // Use the read-modify-write-heavy kernels where write policy
+        // can matter at all; pure streaming kernels never re-read
+        // stored lines.
+        std::vector<std::string> rmw_suite = {"histogram", "crc",
+                                              "copy", "stencil",
+                                              "saxpy", "sort"};
+        auto grid = ctx.runGrid("lb_write_policy",
+                                {{"patch", update, 2},
+                                 {"invalidate", inval, 2},
+                                 {"patch, no mode flush", no_flush, 2}},
+                                rmw_suite, "patch");
+        ctx.out() << grid.relativeTable("patch").render() << "\n";
+    }
+
+    {
+        ctx.out() << "--- store-buffer drain policy ---\n";
+        auto grid =
+            ctx.runGrid("drain_policy", variants(), {}, "idle-steal");
+        ctx.out() << grid.relativeTable("idle-steal").render() << "\n";
+    }
+
+    {
+        ctx.out() << "--- fill policy ---\n";
+        TC steal = TC::singlePortAllTechniques();
+        TC dedicated = steal;
+        dedicated.fillPolicy = core::FillPolicy::DedicatedFillPort;
+        TC slow_fill = steal;
+        slow_fill.fillOccupancyCycles = 4;
+        auto grid = ctx.runGrid("fill_policy",
+                                {{"steal (2 cyc)", steal},
+                                 {"dedicated port", dedicated},
+                                 {"steal (4 cyc)", slow_fill}},
+                                {}, "steal (2 cyc)");
+        ctx.out() << grid.relativeTable("steal (2 cyc)").render() << "\n";
+    }
+
+    {
+        ctx.out() << "--- victim cache (extension; direct-mapped L1, "
+                     "Jouppi's setting) ---\n";
+        auto with_victims = [&](unsigned entries,
+                                const std::string &label) {
+            return exp::Variant{
+                label, TC::singlePortAllTechniques(), 0,
+                [entries](sim::SimConfig &config) {
+                    config.core.dcache.cache.assoc = 1;
+                    config.core.dcache.victimEntries = entries;
+                }};
+        };
+        auto grid = ctx.runGrid("victim_cache",
+                                {with_victims(0, "no victims"),
+                                 with_victims(4, "4 victims"),
+                                 with_victims(8, "8 victims")},
+                                {}, "no victims");
+        ctx.out() << grid.relativeTable("no victims").render() << "\n";
+    }
+
+    {
+        ctx.out() << "--- next-line prefetch (extension) ---\n";
+        auto run_with = [&](bool prefetch, unsigned ports,
+                            const std::string &label) {
+            return exp::Variant{
+                label,
+                ports == 1 ? TC::singlePortAllTechniques()
+                           : TC::dualPortBase(),
+                0,
+                [prefetch](sim::SimConfig &config) {
+                    config.core.dcache.nextLinePrefetch = prefetch;
+                }};
+        };
+        auto grid = ctx.runGrid("prefetch",
+                                {run_with(false, 1, "1p all"),
+                                 run_with(true, 1, "1p all+pf"),
+                                 run_with(false, 2, "2p"),
+                                 run_with(true, 2, "2p+pf")},
+                                {}, "1p all");
+        ctx.out() << grid.relativeTable("1p all").render() << "\n";
+    }
+
+    {
+        ctx.out() << "--- wrong-path I-fetch modelling (fidelity "
+                     "check) ---\n";
+        auto wp = [&](bool on, const std::string &label) {
+            return exp::Variant{
+                label, TC::singlePortAllTechniques(), 0,
+                [on](sim::SimConfig &config) {
+                    config.core.fetch.modelWrongPathIFetch = on;
+                }};
+        };
+        // Include the mispredict-heavy kernels where it could matter.
+        std::vector<std::string> branchy = {"compress", "sort",
+                                            "hashjoin", "bsearch",
+                                            "strops", "stencil"};
+        auto grid = ctx.runGrid("wrong_path",
+                                {wp(false, "no wrong path"),
+                                 wp(true, "wrong-path ifetch")},
+                                branchy, "no wrong path");
+        ctx.out() << grid.relativeTable("no wrong path").render()
+                  << "\n";
+    }
+
+    ctx.out() << "Reading: patching beats invalidating (keeps hot lines "
+                 "servable); idle-cycle\nstealing beats store priority "
+                 "(loads are latency-critical); a dedicated fill\nport "
+                 "buys little once fills are short.\n";
+}
+
+exp::Registrar reg({
+    .id = "F8",
+    .title = "ablations of the design choices",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "idle-steal",
+    .run = run,
+});
+
+} // namespace

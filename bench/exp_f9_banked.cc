@@ -8,33 +8,35 @@
  * single port beat a banked pseudo-dual-ported cache?
  */
 
-#include "bench_common.hh"
 #include "cpu/ooo_core.hh"
+#include "exp/registry.hh"
 #include "func/executor.hh"
 
-int
-main(int argc, char **argv)
-{
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("F9",
-                  "banked pseudo-dual-port vs buffered single port");
+namespace {
 
-    std::vector<bench::Variant> variants;
-    variants.push_back({"1p plain",
-                        core::PortTechConfig::singlePortBase()});
+using namespace cpe;
+
+std::vector<exp::Variant>
+variants()
+{
+    std::vector<exp::Variant> out;
+    out.push_back({"1p plain", core::PortTechConfig::singlePortBase()});
     for (unsigned banks : {2u, 4u, 8u}) {
         core::PortTechConfig tech = core::PortTechConfig::dualPortBase();
         tech.banks = banks;
-        variants.push_back({"2bus " + std::to_string(banks) + "bank",
-                            tech});
+        out.push_back({"2bus " + std::to_string(banks) + "bank", tech});
     }
-    variants.push_back({"1p all",
-                        core::PortTechConfig::singlePortAllTechniques()});
-    variants.push_back({"2 ports", core::PortTechConfig::dualPortBase()});
+    out.push_back({"1p all",
+                   core::PortTechConfig::singlePortAllTechniques()});
+    out.push_back({"2 ports", core::PortTechConfig::dualPortBase()});
+    return out;
+}
 
-    auto grid = bench::runSuite(variants);
-    bench::printGrid(grid, "2 ports");
+void
+run(exp::Context &ctx)
+{
+    auto grid = ctx.runGrid("main", variants(), {}, "2 ports");
+    ctx.printGrid(grid, "2 ports");
 
     // Bank-conflict rates for the banked points, on the most
     // port-hungry workload.
@@ -56,9 +58,19 @@ main(int argc, char **argv)
                       TextTable::num(core.dcache().bankConflicts.value()),
                       TextTable::num(core.ipc())});
     }
-    std::cout << table.render() << "\n";
-    std::cout << "Reading: enough banks approximate a true dual port; "
+    ctx.out() << table.render() << "\n";
+    ctx.out() << "Reading: enough banks approximate a true dual port; "
                  "the buffered single\nport is competitive with banked "
                  "designs while needing only one access bus.\n";
-    return 0;
 }
+
+exp::Registrar reg({
+    .id = "F9",
+    .title = "banked pseudo-dual-port vs buffered single port",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "2 ports",
+    .run = run,
+});
+
+} // namespace

@@ -5,17 +5,27 @@
  * every other experiment sweeps.
  */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 
-int
-main(int argc, char **argv)
+namespace {
+
+using namespace cpe;
+
+std::vector<exp::Variant>
+variants()
 {
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("T1", "machine configuration");
+    return {
+        {"1p plain", core::PortTechConfig::singlePortBase()},
+        {"2 ports", core::PortTechConfig::dualPortBase()},
+        {"1p all", core::PortTechConfig::singlePortAllTechniques()},
+    };
+}
 
+void
+run(exp::Context &ctx)
+{
     sim::SimConfig config = sim::SimConfig::defaults();
-    std::cout << config.describe() << "\n";
+    ctx.out() << config.describe() << "\n";
 
     TextTable table;
     table.setCaption("Named port-subsystem variants:");
@@ -34,6 +44,16 @@ main(int argc, char **argv)
     row(core::PortTechConfig::singlePortBase());
     row(core::PortTechConfig::dualPortBase());
     row(core::PortTechConfig::singlePortAllTechniques());
-    std::cout << table.render() << "\n";
-    return 0;
+    ctx.out() << table.render() << "\n";
 }
+
+exp::Registrar reg({
+    .id = "T1",
+    .title = "machine configuration",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "",
+    .run = run,
+});
+
+} // namespace

@@ -6,15 +6,22 @@
  * distinguishing methodological point).
  */
 
-#include "bench_common.hh"
+#include "exp/registry.hh"
 #include "workload/characterize.hh"
 
-int
-main(int argc, char **argv)
+namespace {
+
+using namespace cpe;
+
+std::vector<exp::Variant>
+variants()
 {
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("T2", "workload characterization");
+    return {{"default", sim::SimConfig::defaults().core.dcache.tech}};
+}
+
+void
+run(exp::Context &ctx)
+{
     setVerbose(false);
 
     auto &registry = workload::WorkloadRegistry::instance();
@@ -38,14 +45,24 @@ main(int argc, char **argv)
                       TextTable::num(mix.workingSetKiB(), 0),
                       TextTable::num(100 * os_mix.kernelFrac(), 1)});
     }
-    std::cout << table.render() << "\n";
+    ctx.out() << table.render() << "\n";
 
-    std::cout << "Evaluation suite: ";
+    ctx.out() << "Evaluation suite: ";
     for (const auto &name : workload::WorkloadRegistry::evaluationSuite())
-        std::cout << name << " ";
-    std::cout << "\n\nWorkload descriptions:\n";
+        ctx.out() << name << " ";
+    ctx.out() << "\n\nWorkload descriptions:\n";
     for (const auto &info : registry.list())
-        std::cout << "  " << info.name << ": " << info.description
+        ctx.out() << "  " << info.name << ": " << info.description
                   << "\n";
-    return 0;
 }
+
+exp::Registrar reg({
+    .id = "T2",
+    .title = "workload characterization",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "",
+    .run = run,
+});
+
+} // namespace

@@ -6,35 +6,41 @@
  * mechanism-level evidence behind F5's performance recovery.
  */
 
-#include "bench_common.hh"
 #include "cpu/ooo_core.hh"
+#include "exp/registry.hh"
 #include "func/executor.hh"
 
-int
-main(int argc, char **argv)
+namespace {
+
+using namespace cpe;
+
+std::vector<exp::Variant>
+variants()
 {
-    cpe::bench::initHarness(argc, argv);
-    using namespace cpe;
-    bench::banner("T3", "port-traffic accounting (1p all-techniques)");
+    return {{"1p all", core::PortTechConfig::singlePortAllTechniques()}};
+}
+
+void
+run(exp::Context &ctx)
+{
     setVerbose(false);
 
     core::PortTechConfig tech =
         core::PortTechConfig::singlePortAllTechniques();
+    auto grid = ctx.runGrid("main", variants());
 
     TextTable table;
     table.addHeader({"workload", "ld sb-fwd%", "ld linebuf%",
                      "ld port%", "stores/drain", "port util%",
                      "l1d miss%"});
-    for (const auto &name :
-         workload::WorkloadRegistry::evaluationSuite()) {
-        sim::SimConfig config = sim::SimConfig::defaults();
-        config.workloadName = name;
-        config.core.dcache.tech = tech;
-        sim::Simulator simulator(config);
-        auto result = simulator.run();
+    for (const auto &name : ctx.suite()) {
+        const sim::SimResult &result = grid.result(name, "1p all");
 
         // Pull the load-source breakdown out of the stats dump via a
         // second run's live objects (cheap at these sizes).
+        sim::SimConfig config = sim::SimConfig::defaults();
+        config.workloadName = name;
+        config.core.dcache.tech = tech;
         func::Executor executor(workload::WorkloadRegistry::instance()
                                     .build(name, config.workload));
         mem::MemHierarchy hierarchy(config.l2, config.dram);
@@ -58,9 +64,19 @@ main(int argc, char **argv)
              TextTable::num(100 * result.portUtilization, 1),
              TextTable::num(100 * result.l1dMissRate, 1)});
     }
-    std::cout << table.render() << "\n";
-    std::cout << "Reading: loads served by line buffers and forwarding "
+    ctx.out() << table.render() << "\n";
+    ctx.out() << "Reading: loads served by line buffers and forwarding "
                  "never touch the port;\nstores/drain > 1 means "
                  "combining turned several stores into one access.\n";
-    return 0;
 }
+
+exp::Registrar reg({
+    .id = "T3",
+    .title = "port-traffic accounting (1p all-techniques)",
+    .variants = variants,
+    .workloads = {},
+    .baseline = "",
+    .run = run,
+});
+
+} // namespace

@@ -8,7 +8,7 @@
  * Usage:
  *   technique_explorer [workload] [--ports N] [--width B]
  *                      [--sb N] [--no-combining] [--lb N]
- *                      [--os N] [--scale N] [--stats]
+ *                      [--os N] [--scale N] [--stats] [--json]
  *                      [--all] [--jobs N]
  */
 
@@ -39,6 +39,7 @@ usage()
            "  --os N           OS-activity level 0..2 (default 0)\n"
            "  --scale N        problem-size multiplier (default 1)\n"
            "  --stats          dump the full statistics tree\n"
+           "  --json           dump the statistics tree as JSON\n"
            "  --config FILE    load a machine file first (INI; other\n"
            "                   flags then override it)\n"
            "  --all            run the configuration across every\n"
@@ -72,6 +73,7 @@ main(int argc, char **argv)
     sim::SimConfig config = sim::SimConfig::defaults();
     config.workloadName = "compress";
     bool dump_stats = false;
+    bool dump_json = false;
     bool all_workloads = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -98,6 +100,8 @@ main(int argc, char **argv)
             config.workload.scale = argValue(argc, argv, i);
         else if (std::strcmp(argv[i], "--stats") == 0)
             dump_stats = true;
+        else if (std::strcmp(argv[i], "--json") == 0)
+            dump_json = true;
         else if (std::strcmp(argv[i], "--all") == 0)
             all_workloads = true;
         else if (std::strcmp(argv[i], "--jobs") == 0)
@@ -150,5 +154,7 @@ main(int argc, char **argv)
 
     if (dump_stats)
         std::cout << "\n" << result.statsDump;
+    if (dump_json)
+        std::cout << "\n" << result.statsJson << "\n";
     return 0;
 }

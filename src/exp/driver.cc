@@ -1,0 +1,478 @@
+#include "exp/driver.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "exp/registry.hh"
+#include "sim/sweep_runner.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/registry.hh"
+
+namespace cpe::exp {
+
+namespace {
+
+/** A sink for table output when the stdout format is csv/json. */
+class NullBuffer : public std::streambuf
+{
+  protected:
+    int overflow(int c) override { return c; }
+};
+
+constexpr const char *kUsage =
+    "usage: cpe_eval <mode> [options]\n"
+    "modes (exactly one):\n"
+    "  --list                   list registered experiments\n"
+    "  --run <ids|all>          run experiments (comma-separated ids,\n"
+    "                           e.g. F1,F5,T3)\n"
+    "  --check                  regression gate: re-run each\n"
+    "                           experiment's primary grid and compare\n"
+    "                           geomean IPCs against --baseline\n"
+    "  --write-baseline DIR     record baselines (reduced workload\n"
+    "                           suite) into DIR\n"
+    "options:\n"
+    "  --workloads a,b,c        override the evaluation workload suite\n"
+    "  --jobs N                 sweep worker threads (default: all\n"
+    "                           cores, or CPESIM_JOBS)\n"
+    "  --format table|csv|json  stdout rendering for --run\n"
+    "                           (default: table)\n"
+    "  --out DIR                also write one JSON results document\n"
+    "                           per experiment into DIR\n"
+    "  --baseline DIR           baseline directory for --check\n"
+    "  --tolerance PCT          allowed geomean-IPC drift for --check\n"
+    "                           (default: 1)\n";
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::cerr << "cpe_eval: " << message << "\n" << kUsage;
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(text);
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+enum class Mode { None, List, Run, Check, WriteBaseline };
+enum class Format { Table, Csv, Json };
+
+struct Options
+{
+    Mode mode = Mode::None;
+    Format format = Format::Table;
+    std::vector<std::string> ids;       ///< empty = all registered
+    std::vector<std::string> workloads; ///< empty = evaluation suite
+    std::string outDir;
+    std::string baselineDir;
+    double tolerancePct = 1.0;
+};
+
+std::string
+argValue(int argc, char **argv, int &i, const std::string &flag)
+{
+    if (i + 1 >= argc)
+        usageError("flag '" + flag + "' needs a value");
+    return argv[++i];
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options options;
+    auto setMode = [&](Mode mode) {
+        if (options.mode != Mode::None)
+            usageError("pick exactly one of --list, --run, --check, "
+                       "--write-baseline");
+        options.mode = mode;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--list") {
+            setMode(Mode::List);
+        } else if (flag == "--run") {
+            std::string ids = argValue(argc, argv, i, flag);
+            // --check/--write-baseline --run ids narrows those modes;
+            // otherwise --run is its own mode.
+            if (options.mode == Mode::None)
+                setMode(Mode::Run);
+            if (ids != "all")
+                options.ids = splitList(ids);
+        } else if (flag == "--check") {
+            if (options.mode == Mode::Run)
+                options.mode = Mode::Check;
+            else
+                setMode(Mode::Check);
+        } else if (flag == "--write-baseline") {
+            if (options.mode == Mode::Run)
+                options.mode = Mode::WriteBaseline;
+            else
+                setMode(Mode::WriteBaseline);
+            options.baselineDir = argValue(argc, argv, i, flag);
+        } else if (flag == "--workloads") {
+            options.workloads =
+                splitList(argValue(argc, argv, i, flag));
+        } else if (flag == "--jobs") {
+            sim::SweepRunner::setDefaultJobs(static_cast<unsigned>(
+                std::strtoul(argValue(argc, argv, i, flag).c_str(),
+                             nullptr, 10)));
+        } else if (flag == "--format") {
+            std::string format = argValue(argc, argv, i, flag);
+            if (format == "table")
+                options.format = Format::Table;
+            else if (format == "csv")
+                options.format = Format::Csv;
+            else if (format == "json")
+                options.format = Format::Json;
+            else
+                usageError("unknown format '" + format +
+                           "' (expected table, csv, or json)");
+        } else if (flag == "--out") {
+            options.outDir = argValue(argc, argv, i, flag);
+        } else if (flag == "--baseline") {
+            options.baselineDir = argValue(argc, argv, i, flag);
+        } else if (flag == "--tolerance") {
+            options.tolerancePct =
+                std::strtod(argValue(argc, argv, i, flag).c_str(),
+                            nullptr);
+        } else {
+            usageError("unknown flag '" + flag + "'");
+        }
+    }
+    if (options.mode == Mode::None)
+        usageError("no mode given");
+    return options;
+}
+
+/** Resolve requested ids (empty = all) to experiments, canonical
+ * order. */
+std::vector<const Experiment *>
+selectExperiments(const std::vector<std::string> &ids)
+{
+    auto &registry = ExperimentRegistry::instance();
+    if (ids.empty())
+        return registry.all();
+    std::vector<const Experiment *> out;
+    for (const auto &raw : ids) {
+        std::string id = raw;
+        for (auto &c : id)
+            c = static_cast<char>(std::toupper(
+                static_cast<unsigned char>(c)));
+        out.push_back(&registry.get(id));
+    }
+    return out;
+}
+
+void
+validateWorkloads(const std::vector<std::string> &workloads)
+{
+    auto &registry = workload::WorkloadRegistry::instance();
+    for (const auto &name : workloads)
+        if (!registry.has(name))
+            fatal(Msg() << "unknown workload '" << name
+                        << "' in --workloads");
+}
+
+int
+listExperiments()
+{
+    TextTable table;
+    table.addHeader({"id", "title", "variants", "workloads",
+                     "baseline"});
+    for (const auto *experiment :
+         ExperimentRegistry::instance().all()) {
+        auto variants = experiment->variants();
+        table.addRow({experiment->id, experiment->title,
+                      std::to_string(variants.size()),
+                      experiment->workloads.empty()
+                          ? "suite"
+                          : std::to_string(experiment->workloads.size())
+                                + " custom",
+                      experiment->baseline.empty()
+                          ? "-"
+                          : experiment->baseline});
+    }
+    std::cout << table.render();
+    std::cout << "\n(run with --run <ids|all>; sim_speed microbenchmarks "
+                 "live in bench_sim_speed)\n";
+    return 0;
+}
+
+void
+writeFile(const std::filesystem::path &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal(Msg() << "cannot write " << path.string());
+    out << text;
+    if (!out.flush())
+        fatal(Msg() << "failed writing " << path.string());
+}
+
+void
+emitCsv(const Json &doc, bool &header_done)
+{
+    if (!header_done) {
+        std::cout << "experiment,grid,workload,config,ipc\n";
+        header_done = true;
+    }
+    const std::string &id = doc.at("experiment").asString();
+    for (const auto &[grid_key, grid] : doc.at("grids").members()) {
+        for (const auto &[workload, row] :
+             grid.at("ipc", id).members()) {
+            for (const auto &[config, ipc] : row.members()) {
+                TextTable csv_row;
+                csv_row.addRow({id, grid_key, workload, config,
+                                Json(ipc.asNumber()).dump()});
+                std::cout << csv_row.renderCsv();
+            }
+        }
+    }
+}
+
+int
+runExperiments(const Options &options)
+{
+    auto experiments = selectExperiments(options.ids);
+    validateWorkloads(options.workloads);
+    if (!options.outDir.empty())
+        std::filesystem::create_directories(options.outDir);
+
+    NullBuffer null_buffer;
+    std::ostream null_stream(&null_buffer);
+    bool csv_header_done = false;
+
+    for (const auto *experiment : experiments) {
+        // Each experiment starts from the old per-binary defaults so
+        // a multi-experiment run renders identically to the former
+        // standalone binaries.
+        setVerbose(true);
+        std::ostream &out = options.format == Format::Table
+                                ? static_cast<std::ostream &>(std::cout)
+                                : null_stream;
+        out << "==== " << experiment->id << ": " << experiment->title
+            << " ====\n\n";
+        Context context(*experiment, out, options.workloads);
+        experiment->run(context);
+
+        if (options.format == Format::Json)
+            std::cout << context.doc().dump(2) << "\n";
+        else if (options.format == Format::Csv)
+            emitCsv(context.doc(), csv_header_done);
+        if (!options.outDir.empty())
+            writeFile(std::filesystem::path(options.outDir) /
+                          (experiment->id + ".json"),
+                      context.doc().dump(2) + "\n");
+    }
+    setVerbose(true);
+    return 0;
+}
+
+/** The grid the regression gate replays: an experiment's primary
+ * variants over an explicit workload list. */
+sim::ResultGrid
+runPrimaryGrid(const Experiment &experiment,
+               const std::vector<std::string> &workloads)
+{
+    VerboseScope quiet(false);
+    return sim::SweepRunner().runGrid(
+        suiteConfigs(experiment.variants(), workloads));
+}
+
+std::vector<std::string>
+baselineWorkloads(const Experiment &experiment,
+                  const std::vector<std::string> &override_list)
+{
+    if (!override_list.empty())
+        return override_list;
+    if (!experiment.workloads.empty())
+        return experiment.workloads;
+    return reducedSuite();
+}
+
+int
+writeBaselines(const Options &options)
+{
+    auto experiments = selectExperiments(options.ids);
+    validateWorkloads(options.workloads);
+    std::filesystem::create_directories(options.baselineDir);
+    for (const auto *experiment : experiments) {
+        auto workloads =
+            baselineWorkloads(*experiment, options.workloads);
+        sim::ResultGrid grid = runPrimaryGrid(*experiment, workloads);
+        Json grid_json = grid.toJson();
+        Json doc = Json::object();
+        doc["experiment"] = experiment->id;
+        doc["schema"] = 1;
+        doc["title"] = experiment->title;
+        doc["workloads"] = grid_json.at("workloads");
+        doc["configs"] = grid_json.at("configs");
+        doc["geomean_ipc"] = grid_json.at("geomean_ipc");
+        doc["ipc"] = grid_json.at("ipc");
+        auto path = std::filesystem::path(options.baselineDir) /
+                    (experiment->id + ".json");
+        writeFile(path, doc.dump(2) + "\n");
+        std::cout << "wrote " << path.string() << "\n";
+    }
+    return 0;
+}
+
+int
+checkBaselines(const Options &options)
+{
+    if (options.baselineDir.empty())
+        usageError("--check needs --baseline DIR");
+    auto experiments = selectExperiments(options.ids);
+
+    std::vector<std::vector<std::string>> report;
+    unsigned failures = 0;
+    unsigned configs_checked = 0;
+    for (const auto *experiment : experiments) {
+        Json baseline =
+            loadBaseline(options.baselineDir, experiment->id);
+        failures += checkExperiment(experiment->id, baseline,
+                                    options.tolerancePct, report);
+        configs_checked += static_cast<unsigned>(
+            baseline.at("geomean_ipc").members().size());
+    }
+
+    TextTable table;
+    table.addHeader({"experiment", "config", "baseline", "current",
+                     "drift", "status"});
+    for (const auto &row : report)
+        table.addRow(row);
+    std::cout << table.render();
+    if (failures) {
+        std::cout << "\nregression gate: FAIL — " << failures
+                  << " config(s) drifted beyond "
+                  << TextTable::num(options.tolerancePct, 2)
+                  << "% (refresh intentional changes with "
+                     "--write-baseline)\n";
+        return 1;
+    }
+    std::cout << "\nregression gate: PASS — " << experiments.size()
+              << " experiment(s), " << configs_checked
+              << " config geomeans within "
+              << TextTable::num(options.tolerancePct, 2) << "%\n";
+    return 0;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+reducedSuite()
+{
+    static const std::vector<std::string> suite = {"compress", "matmul",
+                                                   "copy"};
+    return suite;
+}
+
+Json
+loadBaseline(const std::string &dir, const std::string &id)
+{
+    auto path = std::filesystem::path(dir) / (id + ".json");
+    std::ifstream in(path);
+    if (!in)
+        fatal(Msg() << "no baseline for experiment " << id << " at "
+                    << path.string()
+                    << " (record one with cpe_eval --write-baseline)");
+    std::ostringstream text;
+    text << in.rdbuf();
+    Json doc = Json::parse(text.str(), "baseline " + path.string());
+    const std::string &doc_id =
+        doc.at("experiment", path.string()).asString();
+    if (doc_id != id)
+        fatal(Msg() << "baseline " << path.string() << " is for '"
+                    << doc_id << "', not '" << id << "'");
+    return doc;
+}
+
+unsigned
+checkExperiment(const std::string &id, const Json &baseline,
+                double tolerance_pct,
+                std::vector<std::vector<std::string>> &report)
+{
+    const Experiment &experiment =
+        ExperimentRegistry::instance().get(id);
+    std::vector<std::string> workloads;
+    for (const auto &workload :
+         baseline.at("workloads", "baseline " + id).items())
+        workloads.push_back(workload.asString());
+    if (workloads.empty())
+        fatal(Msg() << "baseline " << id << " lists no workloads");
+
+    sim::ResultGrid grid = runPrimaryGrid(experiment, workloads);
+
+    unsigned failures = 0;
+    const auto &base_geomeans =
+        baseline.at("geomean_ipc", "baseline " + id);
+    for (const auto &[config, base_value] : base_geomeans.members()) {
+        const auto &configs = grid.configs();
+        bool present = std::find(configs.begin(), configs.end(),
+                                 config) != configs.end();
+        if (!present) {
+            report.push_back({id, config,
+                              TextTable::num(base_value.asNumber()),
+                              "-", "-", "MISSING"});
+            ++failures;
+            continue;
+        }
+        double base = base_value.asNumber();
+        double current = grid.geomeanIpc(config);
+        double drift_pct =
+            base != 0.0 ? 100.0 * (current - base) / base : 0.0;
+        bool ok = std::abs(drift_pct) <= tolerance_pct;
+        report.push_back(
+            {id, config, TextTable::num(base), TextTable::num(current),
+             TextTable::num(drift_pct, 2) + "%", ok ? "ok" : "FAIL"});
+        if (!ok)
+            ++failures;
+    }
+    // New columns the baseline has never seen are also drift: the
+    // gate's contract is "this grid, exactly".
+    for (const auto &config : grid.configs()) {
+        if (!base_geomeans.find(config)) {
+            report.push_back({id, config, "-",
+                              TextTable::num(grid.geomeanIpc(config)),
+                              "-", "NEW"});
+            ++failures;
+        }
+    }
+    return failures;
+}
+
+int
+evalMain(int argc, char **argv)
+{
+    Options options = parseArgs(argc, argv);
+    switch (options.mode) {
+      case Mode::List:
+        return listExperiments();
+      case Mode::Run:
+        return runExperiments(options);
+      case Mode::Check:
+        return checkBaselines(options);
+      case Mode::WriteBaseline:
+        return writeBaselines(options);
+      case Mode::None:
+        break;
+    }
+    usageError("no mode given");
+}
+
+} // namespace cpe::exp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The cpe_eval driver: one binary for the whole reconstructed
+ * evaluation.  Lists, runs, and regression-checks registered
+ * experiments; the main() of the cpe_eval binary forwards straight
+ * here so the argument parser and every mode stay unit-testable.
+ */
+
+#ifndef CPE_EXP_DRIVER_HH
+#define CPE_EXP_DRIVER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace cpe::exp {
+
+/**
+ * The workload subset the committed regression baselines are recorded
+ * at (one integer, one FP, one memory-bound kernel): small enough for
+ * a ctest smoke gate, varied enough that a silent change to any
+ * technique's effect moves at least one geomean.
+ */
+const std::vector<std::string> &reducedSuite();
+
+/**
+ * Load and parse the committed baseline for @p id from @p dir;
+ * fatal() with a pointer at --write-baseline when absent/invalid.
+ */
+Json loadBaseline(const std::string &dir, const std::string &id);
+
+/**
+ * Re-run @p id's primary variant grid at the baseline's recorded
+ * workloads and append one row per config (experiment, config,
+ * baseline geomean, current geomean, drift%, status) to @p report.
+ * @return number of failing configs (drift beyond @p tolerance_pct,
+ * or config sets that do not match the baseline's).
+ */
+unsigned checkExperiment(const std::string &id, const Json &baseline,
+                         double tolerance_pct,
+                         std::vector<std::vector<std::string>> &report);
+
+/** Full command-line entry point of the cpe_eval binary. */
+int evalMain(int argc, char **argv);
+
+} // namespace cpe::exp
+
+#endif // CPE_EXP_DRIVER_HH

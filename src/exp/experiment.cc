@@ -1,0 +1,76 @@
+#include "exp/experiment.hh"
+
+#include <ostream>
+
+#include "sim/sweep_runner.hh"
+#include "util/logging.hh"
+#include "workload/registry.hh"
+
+namespace cpe::exp {
+
+std::vector<sim::SimConfig>
+suiteConfigs(const std::vector<Variant> &variants,
+             const std::vector<std::string> &workloads)
+{
+    std::vector<sim::SimConfig> configs;
+    configs.reserve(workloads.size() * variants.size());
+    for (const auto &name : workloads) {
+        for (const auto &variant : variants) {
+            sim::SimConfig config = sim::SimConfig::defaults();
+            config.workloadName = name;
+            config.workload.osLevel = variant.osLevel;
+            config.core.dcache.tech = variant.tech;
+            config.label = variant.label;
+            if (variant.tweak)
+                variant.tweak(config);
+            configs.push_back(std::move(config));
+        }
+    }
+    return configs;
+}
+
+Context::Context(const Experiment &experiment, std::ostream &out,
+                 std::vector<std::string> workloads)
+    : experiment_(experiment),
+      out_(out),
+      suite_(workloads.empty()
+                 ? workload::WorkloadRegistry::evaluationSuite()
+                 : std::move(workloads)),
+      doc_(Json::object())
+{
+    doc_["experiment"] = experiment.id;
+    doc_["title"] = experiment.title;
+    doc_["grids"] = Json::object();
+    doc_["headlines"] = Json::object();
+}
+
+sim::ResultGrid
+Context::runGrid(const std::string &key,
+                 const std::vector<Variant> &variants,
+                 const std::vector<std::string> &workloads,
+                 const std::string &baseline)
+{
+    VerboseScope quiet(false);
+    sim::ResultGrid grid = sim::SweepRunner().runGrid(
+        suiteConfigs(variants, workloads.empty() ? suite_ : workloads));
+    doc_["grids"][key] = grid.toJson(baseline);
+    return grid;
+}
+
+void
+Context::printGrid(const sim::ResultGrid &grid,
+                   const std::string &baseline)
+{
+    out_ << "Instructions per cycle:\n"
+         << grid.ipcTable().render() << "\n";
+    out_ << "Performance relative to '" << baseline << "':\n"
+         << grid.relativeTable(baseline).render() << "\n";
+}
+
+void
+Context::headline(const std::string &key, double value)
+{
+    doc_["headlines"][key] = value;
+}
+
+} // namespace cpe::exp

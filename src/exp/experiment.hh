@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The experiment subsystem: descriptors for the reconstructed
+ * evaluation's tables and figures (T1–T3, F1–F12), replacing the old
+ * one-binary-per-experiment harness.
+ *
+ * An Experiment names its primary variant grid (what the regression
+ * gate re-runs and the tests validate) and a run() body that renders
+ * the experiment exactly as the former bench binaries did, while
+ * recording every grid and headline ratio it computes into a
+ * stable-keyed JSON document through the Context.
+ */
+
+#ifndef CPE_EXP_EXPERIMENT_HH
+#define CPE_EXP_EXPERIMENT_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/port_config.hh"
+#include "sim/config.hh"
+#include "sim/report.hh"
+#include "util/json.hh"
+
+namespace cpe::exp {
+
+/** A labelled machine variant to sweep (one grid column). */
+struct Variant
+{
+    std::string label;
+    core::PortTechConfig tech;
+    unsigned osLevel = 0;
+    /** Optional extra tweaks applied to the full config. */
+    std::function<void(sim::SimConfig &)> tweak = {};
+};
+
+/**
+ * Expand (workloads x variants) into the flat config list a grid run
+ * executes; exposed so tests, the regression gate, and the speed
+ * bench can reuse the exact grid shape.
+ */
+std::vector<sim::SimConfig>
+suiteConfigs(const std::vector<Variant> &variants,
+             const std::vector<std::string> &workloads);
+
+class Context;
+
+/** One registered experiment of the reconstructed evaluation. */
+struct Experiment
+{
+    /** Unique id, e.g. "F5" (uppercase letter + number). */
+    std::string id;
+    /** Banner title, e.g. "single port + techniques vs dual-ported
+     * cache". */
+    std::string title;
+    /**
+     * Builds the primary variant grid: the columns the regression
+     * gate re-runs against the committed baselines, and what
+     * --list/tests introspect.  Must return a non-empty vector with
+     * unique labels.
+     */
+    std::function<std::vector<Variant>()> variants;
+    /**
+     * Workloads of the primary grid; empty means the evaluation
+     * suite (or the driver's --workloads override).
+     */
+    std::vector<std::string> workloads;
+    /** Baseline column of the primary grid ("" = no relative view). */
+    std::string baseline;
+    /**
+     * The full experiment body: runs its grids through the Context
+     * (so they land in the JSON document) and writes the same tables
+     * and notes the standalone binary printed.
+     */
+    std::function<void(Context &)> run;
+};
+
+/**
+ * Execution context handed to an experiment body: the output stream
+ * for tables, the (possibly overridden) workload suite, grid
+ * execution, and the JSON results document being assembled.
+ */
+class Context
+{
+  public:
+    /**
+     * @param out where tables render (a null sink in --format json).
+     * @param workloads non-empty to override the evaluation suite.
+     */
+    Context(const Experiment &experiment, std::ostream &out,
+            std::vector<std::string> workloads = {});
+
+    std::ostream &out() { return out_; }
+    const Experiment &experiment() const { return experiment_; }
+
+    /** The default workload suite (the --workloads override if set). */
+    const std::vector<std::string> &suite() const { return suite_; }
+
+    /**
+     * Run a labelled variant grid — fanned out across the sweep
+     * runner's workers, results in workload-major order — and record
+     * it in the JSON document under grids.@p key.  @p workloads empty
+     * means suite(); @p baseline, when given, adds the relative
+     * geomeans to the recorded grid.
+     */
+    sim::ResultGrid runGrid(const std::string &key,
+                            const std::vector<Variant> &variants,
+                            const std::vector<std::string> &workloads = {},
+                            const std::string &baseline = "");
+
+    /** Print absolute IPCs and the relative-to-baseline view. */
+    void printGrid(const sim::ResultGrid &grid,
+                   const std::string &baseline);
+
+    /** Record a named headline ratio in the JSON document. */
+    void headline(const std::string &key, double value);
+
+    /** The document assembled so far (experiment, title, grids,
+     * headlines). */
+    const Json &doc() const { return doc_; }
+
+  private:
+    const Experiment &experiment_;
+    std::ostream &out_;
+    std::vector<std::string> suite_;
+    Json doc_;
+};
+
+} // namespace cpe::exp
+
+#endif // CPE_EXP_EXPERIMENT_HH

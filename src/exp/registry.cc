@@ -1,0 +1,112 @@
+#include "exp/registry.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace cpe::exp {
+
+namespace {
+
+/**
+ * Canonical ordering key: tables (T*) before figures (F*), numeric
+ * within a kind, anything unconventional after, alphabetically.
+ */
+std::pair<int, long>
+orderKey(const std::string &id)
+{
+    if (id.size() >= 2 && (id[0] == 'T' || id[0] == 'F')) {
+        char *end = nullptr;
+        long number = std::strtol(id.c_str() + 1, &end, 10);
+        if (end && *end == '\0')
+            return {id[0] == 'T' ? 0 : 1, number};
+    }
+    return {2, 0};
+}
+
+bool
+orderBefore(const Experiment &a, const Experiment &b)
+{
+    auto ka = orderKey(a.id), kb = orderKey(b.id);
+    if (ka != kb)
+        return ka < kb;
+    return a.id < b.id;
+}
+
+} // namespace
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void
+ExperimentRegistry::add(Experiment experiment)
+{
+    if (experiment.id.empty() || !experiment.variants || !experiment.run)
+        panic(Msg() << "ExperimentRegistry: experiment '" << experiment.id
+                    << "' must have an id, a variant builder, and a run "
+                       "body");
+    if (has(experiment.id))
+        panic(Msg() << "ExperimentRegistry: duplicate experiment id '"
+                    << experiment.id << "'");
+    experiments_.push_back(std::move(experiment));
+}
+
+bool
+ExperimentRegistry::has(const std::string &id) const
+{
+    return find(id) != nullptr;
+}
+
+const Experiment *
+ExperimentRegistry::find(const std::string &id) const
+{
+    for (const auto &experiment : experiments_)
+        if (experiment.id == id)
+            return &experiment;
+    return nullptr;
+}
+
+const Experiment &
+ExperimentRegistry::get(const std::string &id) const
+{
+    if (const Experiment *experiment = find(id))
+        return *experiment;
+    std::string known;
+    for (const auto &known_id : ids()) {
+        if (!known.empty())
+            known += ", ";
+        known += known_id;
+    }
+    fatal(Msg() << "unknown experiment '" << id
+                << "'; registered experiments: " << known);
+}
+
+std::vector<std::string>
+ExperimentRegistry::ids() const
+{
+    std::vector<std::string> out;
+    for (const auto *experiment : all())
+        out.push_back(experiment->id);
+    return out;
+}
+
+std::vector<const Experiment *>
+ExperimentRegistry::all() const
+{
+    std::vector<const Experiment *> out;
+    out.reserve(experiments_.size());
+    for (const auto &experiment : experiments_)
+        out.push_back(&experiment);
+    std::sort(out.begin(), out.end(),
+              [](const Experiment *a, const Experiment *b) {
+                  return orderBefore(*a, *b);
+              });
+    return out;
+}
+
+} // namespace cpe::exp

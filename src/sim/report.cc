@@ -38,20 +38,54 @@ double
 ResultGrid::ipc(const std::string &workload,
                 const std::string &config) const
 {
+    return result(workload, config).ipc;
+}
+
+const SimResult &
+ResultGrid::result(const std::string &workload,
+                   const std::string &config) const
+{
     const SimResult *result = find(workload, config);
     if (!result)
         panic(Msg() << "no result for (" << workload << ", " << config
                     << ")");
-    return result->ipc;
+    return *result;
 }
+
+namespace {
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += "'" + name + "'";
+    }
+    return out;
+}
+
+} // namespace
 
 double
 ResultGrid::geomeanIpc(const std::string &config) const
 {
+    if (std::find(configs_.begin(), configs_.end(), config) ==
+        configs_.end())
+        fatal(Msg() << "ResultGrid::geomeanIpc: no config column '"
+                    << config << "'; grid columns are "
+                    << joinNames(configs_));
     double log_sum = 0.0;
     unsigned count = 0;
     for (const auto &workload : workloads_) {
         if (const SimResult *result = find(workload, config)) {
+            if (result->ipc <= 0.0)
+                fatal(Msg()
+                      << "ResultGrid::geomeanIpc: non-positive IPC "
+                      << result->ipc << " for (" << workload << ", "
+                      << config
+                      << "); a geometric mean over it is undefined");
             log_sum += std::log(result->ipc);
             ++count;
         }
@@ -86,6 +120,11 @@ ResultGrid::ipcTable() const
 cpe::TextTable
 ResultGrid::relativeTable(const std::string &baseline) const
 {
+    if (std::find(configs_.begin(), configs_.end(), baseline) ==
+        configs_.end())
+        fatal(Msg() << "ResultGrid::relativeTable: no baseline column '"
+                    << baseline << "'; grid columns are "
+                    << joinNames(configs_));
     cpe::TextTable table;
     std::vector<std::string> header{"workload"};
     for (const auto &config : configs_)
@@ -94,8 +133,14 @@ ResultGrid::relativeTable(const std::string &baseline) const
     for (const auto &workload : workloads_) {
         const SimResult *base = find(workload, baseline);
         if (!base)
-            panic(Msg() << "relativeTable: no baseline column '"
-                        << baseline << "' for " << workload);
+            fatal(Msg() << "ResultGrid::relativeTable: baseline column '"
+                        << baseline << "' has no result for workload '"
+                        << workload << "'");
+        if (base->ipc <= 0.0)
+            fatal(Msg() << "ResultGrid::relativeTable: baseline column '"
+                        << baseline << "' has non-positive IPC "
+                        << base->ipc << " for workload '" << workload
+                        << "'; relative ratios would be NaN/inf");
         std::vector<std::string> row{workload};
         for (const auto &config : configs_) {
             const SimResult *result = find(workload, config);
@@ -111,6 +156,65 @@ ResultGrid::relativeTable(const std::string &baseline) const
         mean.push_back(ratioStr(geomeanIpc(config) / base_mean));
     table.addRow(mean);
     return table;
+}
+
+cpe::Json
+ResultGrid::toJson(const std::string &baseline) const
+{
+    Json out = Json::object();
+    out["value"] = valueName_;
+    Json workloads = Json::array();
+    for (const auto &workload : workloads_)
+        workloads.push(workload);
+    out["workloads"] = std::move(workloads);
+    Json configs = Json::array();
+    for (const auto &config : configs_)
+        configs.push(config);
+    out["configs"] = std::move(configs);
+
+    Json ipc = Json::object();
+    for (const auto &workload : workloads_) {
+        Json row = Json::object();
+        for (const auto &config : configs_)
+            if (const SimResult *result = find(workload, config))
+                row[config] = result->ipc;
+        ipc[workload] = std::move(row);
+    }
+    out["ipc"] = std::move(ipc);
+
+    Json geomean = Json::object();
+    for (const auto &config : configs_)
+        geomean[config] = geomeanIpc(config);
+    out["geomean_ipc"] = std::move(geomean);
+
+    if (!baseline.empty()) {
+        out["baseline"] = baseline;
+        double base_mean = geomeanIpc(baseline);
+        Json relative = Json::object();
+        for (const auto &config : configs_)
+            relative[config] = geomeanIpc(config) / base_mean;
+        out["relative_geomean"] = std::move(relative);
+    }
+
+    Json runs = Json::array();
+    for (const auto &cell : cells_) {
+        const SimResult &result = cell.result;
+        Json run = Json::object();
+        run["workload"] = cell.workload;
+        run["config"] = cell.config;
+        run["cycles"] = static_cast<std::uint64_t>(result.cycles);
+        run["insts"] = result.insts;
+        run["ipc"] = result.ipc;
+        run["port_utilization"] = result.portUtilization;
+        run["l1d_miss_rate"] = result.l1dMissRate;
+        run["line_buffer_hit_rate"] = result.lineBufferHitRate;
+        run["sb_stores_per_drain"] = result.sbStoresPerDrain;
+        run["load_port_fraction"] = result.loadPortFraction;
+        run["cond_accuracy"] = result.condAccuracy;
+        runs.push(std::move(run));
+    }
+    out["runs"] = std::move(runs);
+    return out;
 }
 
 std::string

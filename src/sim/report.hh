@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/simulator.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 
 namespace cpe::sim {
@@ -39,7 +40,15 @@ class ResultGrid
     double ipc(const std::string &workload,
                const std::string &config) const;
 
-    /** Geometric-mean IPC of a config column across workloads. */
+    /** Full result of (workload, config); panics if absent. */
+    const SimResult &result(const std::string &workload,
+                            const std::string &config) const;
+
+    /**
+     * Geometric-mean IPC of a config column across workloads.
+     * fatal() on an absent column or a non-positive IPC in it (a
+     * zero-IPC run would otherwise poison the mean with -inf).
+     */
     double geomeanIpc(const std::string &config) const;
 
     /** Render an absolute-IPC table. */
@@ -48,9 +57,20 @@ class ResultGrid
     /**
      * Render IPCs normalized to @p baseline's column (the paper's
      * "performance relative to X" presentation), with a geometric-mean
-     * summary row.
+     * summary row.  fatal() when the baseline column is absent, has no
+     * result for a listed workload, or contains a zero IPC (which
+     * would emit NaN/inf ratios into the table).
      */
     cpe::TextTable relativeTable(const std::string &baseline) const;
+
+    /**
+     * Structured view of the grid for the JSON results pipeline:
+     * workloads, configs, the full IPC matrix, per-config geomeans,
+     * selected per-run statistics, and — when @p baseline is given —
+     * the relative geomeans the paper's headline ratios come from.
+     * Key order is stable (insertion order throughout).
+     */
+    cpe::Json toJson(const std::string &baseline = "") const;
 
   private:
     struct Cell

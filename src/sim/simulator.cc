@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include "func/executor.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace cpe::sim {
@@ -47,6 +48,10 @@ Simulator::run()
     result.modeSwitches = core.modeSwitches.value();
     result.statsDump =
         core.statGroup().dump() + hierarchy.statGroup().dump();
+    Json stats = Json::object();
+    stats[core.statGroup().name()] = core.statGroup().toJson();
+    stats[hierarchy.statGroup().name()] = hierarchy.statGroup().toJson();
+    result.statsJson = stats.dump(2);
     return result;
 }
 

@@ -37,6 +37,13 @@ struct SimResult
 
     /** Full gem5-style stats listing. */
     std::string statsDump;
+
+    /**
+     * The same statistics tree as one stable-keyed JSON document
+     * ({"core": {...}, "mem": {...}}, groups nested, registration
+     * order preserved).
+     */
+    std::string statsJson;
 };
 
 /** One-shot simulator: construct with a config, call run(). */

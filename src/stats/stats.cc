@@ -166,6 +166,46 @@ StatGroup::dumpCsv(const std::string &prefix) const
     return out.str();
 }
 
+Json
+StatGroup::toJson() const
+{
+    Json out = Json::object();
+    for (const auto &entry : scalars_)
+        out[entry.name] = entry.stat->value();
+    for (const auto &entry : averages_)
+        out[entry.name] = entry.stat->mean();
+    for (const auto &entry : formulas_)
+        out[entry.name] = entry.fn();
+    for (const auto &entry : dists_) {
+        Json dist = Json::object();
+        dist["samples"] = entry.stat->totalSamples();
+        dist["mean"] = entry.stat->mean();
+        Json buckets = Json::object();
+        const auto &counts = entry.stat->buckets();
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            if (counts[i])
+                buckets[std::to_string(entry.stat->bucketMin(i))] =
+                    counts[i];
+        dist["buckets"] = std::move(buckets);
+        if (entry.stat->underflow())
+            dist["underflow"] = entry.stat->underflow();
+        if (entry.stat->overflow())
+            dist["overflow"] = entry.stat->overflow();
+        out[entry.name] = std::move(dist);
+    }
+    for (const auto *child : children_)
+        out[child->name()] = child->toJson();
+    return out;
+}
+
+std::string
+StatGroup::dumpJson() const
+{
+    Json out = Json::object();
+    out[name_] = toJson();
+    return out.dump(2);
+}
+
 std::uint64_t
 StatGroup::scalarValue(const std::string &name) const
 {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace cpe::stats {
@@ -147,6 +148,19 @@ class StatGroup
      * distributions export their sample count and mean), recursively.
      */
     std::string dumpCsv(const std::string &prefix = "") const;
+
+    /**
+     * JSON mirror of dump(): one object per group with stats in
+     * registration order (scalars, averages, formulas, distributions)
+     * and child groups nested under their names — so key order is
+     * stable across runs.  Distributions export samples, mean,
+     * non-empty buckets (keyed by bucket minimum), and
+     * underflow/overflow when present.
+     */
+    Json toJson() const;
+
+    /** Serialize toJson() under the group's name, pretty-printed. */
+    std::string dumpJson() const;
 
     /** Look up a scalar's current value by dotted leaf name; panics if
      * absent (test helper). */

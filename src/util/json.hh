@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Minimal JSON document model for the evaluation pipeline: build,
+ * serialize, and parse JSON values with *stable key order* (objects
+ * preserve insertion order, so a document built the same way renders
+ * byte-identically — the property the committed result baselines and
+ * their diffs rely on).
+ *
+ * This is deliberately not a general-purpose JSON library: numbers are
+ * doubles, duplicate object keys are last-writer-wins, and parse
+ * errors are reported, not recovered from.
+ */
+
+#ifndef CPE_UTIL_JSON_HH
+#define CPE_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpe {
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Json() = default;
+    Json(bool value) : type_(Type::Bool), bool_(value) {}
+    Json(double value) : type_(Type::Number), number_(value) {}
+    Json(int value) : Json(static_cast<double>(value)) {}
+    Json(unsigned value) : Json(static_cast<double>(value)) {}
+    Json(std::uint64_t value) : Json(static_cast<double>(value)) {}
+    Json(const char *value) : type_(Type::String), string_(value) {}
+    Json(std::string value)
+        : type_(Type::String), string_(std::move(value))
+    {
+    }
+
+    static Json array();
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; panic on type mismatch (caller checks first). */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array elements (panics unless array). */
+    const std::vector<Json> &items() const;
+    /** Object members in insertion order (panics unless object). */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** Append to an array (panics unless array/null; null promotes). */
+    void push(Json value);
+
+    /**
+     * Object member access: returns the member, inserting a null one
+     * if absent (promotes a null value to an object).
+     */
+    Json &operator[](const std::string &key);
+
+    /** @return the member named @p key, or nullptr (panics unless
+     * object). */
+    const Json *find(const std::string &key) const;
+
+    /**
+     * The member named @p key; fatal() with @p context in the message
+     * when absent or not an object — for reading user-supplied files.
+     */
+    const Json &at(const std::string &key,
+                   const std::string &context = "") const;
+
+    /**
+     * Serialize.  @p indent 0 renders compact one-line JSON; > 0
+     * pretty-prints with that many spaces per level.  Key order is
+     * insertion order.  Non-finite numbers render as null.
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse @p text; on syntax errors returns false and fills
+     * @p error with a line/column message, leaving @p out unspecified.
+     */
+    static bool tryParse(const std::string &text, Json &out,
+                         std::string &error);
+
+    /** Parse @p text; fatal() (with @p context) on syntax errors. */
+    static Json parse(const std::string &text,
+                      const std::string &context = "");
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+} // namespace cpe
+
+#endif // CPE_UTIL_JSON_HH

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * JSON pipeline tests: the Json document model (stable key order,
+ * escaping, round-tripping, parse errors), ResultGrid::toJson, the
+ * StatGroup JSON dump, and the fatal() contracts of geomeanIpc /
+ * relativeTable on bad baselines.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+#include "stats/stats.hh"
+#include "util/json.hh"
+
+namespace cpe {
+namespace {
+
+TEST(Json, TypesAndAccessors)
+{
+    EXPECT_TRUE(Json().isNull());
+    EXPECT_TRUE(Json(true).asBool());
+    EXPECT_DOUBLE_EQ(Json(2.5).asNumber(), 2.5);
+    EXPECT_EQ(Json("hi").asString(), "hi");
+
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push("two");
+    EXPECT_EQ(arr.items().size(), 2u);
+
+    Json obj = Json::object();
+    obj["a"] = 1;
+    EXPECT_TRUE(obj.find("a"));
+    EXPECT_FALSE(obj.find("b"));
+}
+
+TEST(Json, DumpStableKeyOrder)
+{
+    // Keys render in insertion order, not sorted — the property the
+    // committed baselines' diffs rely on.
+    Json obj = Json::object();
+    obj["zebra"] = 1;
+    obj["alpha"] = 2;
+    obj["mid"] = Json::object();
+    obj["mid"]["z"] = 1;
+    obj["mid"]["a"] = 2;
+    EXPECT_EQ(obj.dump(),
+              "{\"zebra\":1,\"alpha\":2,\"mid\":{\"z\":1,\"a\":2}}");
+}
+
+TEST(Json, DumpNumbers)
+{
+    EXPECT_EQ(Json(3).dump(), "3");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json(std::uint64_t{1} << 40).dump(), "1099511627776");
+    EXPECT_EQ(Json(0.5).dump(), "0.5");
+    // Non-finite values have no JSON spelling; they degrade to null.
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, DumpEscaping)
+{
+    Json obj = Json::object();
+    obj["k\"ey"] = "line\nbreak\ttab \\ \x01";
+    EXPECT_EQ(obj.dump(),
+              "{\"k\\\"ey\":\"line\\nbreak\\ttab \\\\ \\u0001\"}");
+}
+
+TEST(Json, PrettyPrint)
+{
+    Json obj = Json::object();
+    obj["a"] = Json::array();
+    obj["a"].push(1);
+    EXPECT_EQ(obj.dump(2), "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(Json, RoundTrip)
+{
+    Json doc = Json::object();
+    doc["name"] = "F5 \u00e9";
+    doc["ok"] = true;
+    doc["nothing"] = Json();
+    doc["ipc"] = 1.2345678901234567;
+    doc["list"] = Json::array();
+    doc["list"].push(-1);
+    doc["list"].push(Json::object());
+
+    Json parsed = Json::parse(doc.dump(2), "round-trip");
+    EXPECT_EQ(parsed.dump(2), doc.dump(2));
+    // Shortest-round-trip doubles: the value survives exactly.
+    EXPECT_DOUBLE_EQ(parsed.at("ipc").asNumber(), 1.2345678901234567);
+}
+
+TEST(Json, ParseErrorsCarryPosition)
+{
+    Json out;
+    std::string error;
+    EXPECT_FALSE(Json::tryParse("{\"a\": }", out, error));
+    EXPECT_NE(error.find("column"), std::string::npos);
+    EXPECT_FALSE(Json::tryParse("{\"a\": 1,\n  bad}", out, error));
+    EXPECT_NE(error.find("line 2"), std::string::npos);
+    EXPECT_FALSE(Json::tryParse("[1, 2", out, error));
+    EXPECT_FALSE(Json::tryParse("", out, error));
+    EXPECT_FALSE(Json::tryParse("1 trailing", out, error));
+}
+
+TEST(JsonDeathTest, UserFacingLookupsAreFatal)
+{
+    Json obj = Json::object();
+    obj["present"] = 1;
+    EXPECT_DEATH(obj.at("absent", "test doc"), "absent");
+    EXPECT_DEATH(Json::parse("{oops", "test doc"), "test doc");
+}
+
+sim::ResultGrid
+smallGrid()
+{
+    sim::ResultGrid grid("IPC");
+    sim::SimResult a;
+    a.workload = "w1";
+    a.configTag = "base";
+    a.ipc = 1.0;
+    a.cycles = 100;
+    a.insts = 100;
+    sim::SimResult b = a;
+    b.configTag = "fast";
+    b.ipc = 2.0;
+    sim::SimResult c = a;
+    c.workload = "w2";
+    c.ipc = 4.0;
+    sim::SimResult d = c;
+    d.configTag = "fast";
+    d.ipc = 2.0;
+    grid.add(a);
+    grid.add(b);
+    grid.add(c);
+    grid.add(d);
+    return grid;
+}
+
+TEST(ResultGridJson, StructureAndValues)
+{
+    Json doc = smallGrid().toJson("base");
+
+    EXPECT_EQ(doc.at("value").asString(), "IPC");
+    EXPECT_EQ(doc.at("workloads").items().size(), 2u);
+    EXPECT_EQ(doc.at("configs").items().size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        doc.at("ipc").at("w1").at("fast").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(doc.at("geomean_ipc").at("base").asNumber(),
+                     2.0); // sqrt(1 * 4)
+    EXPECT_EQ(doc.at("baseline").asString(), "base");
+    EXPECT_DOUBLE_EQ(
+        doc.at("relative_geomean").at("fast").asNumber(), 1.0);
+    EXPECT_EQ(doc.at("runs").items().size(), 4u);
+    const Json &run = doc.at("runs").items()[0];
+    EXPECT_EQ(run.at("workload").asString(), "w1");
+    EXPECT_EQ(run.at("config").asString(), "base");
+    EXPECT_DOUBLE_EQ(run.at("cycles").asNumber(), 100.0);
+
+    // Without a baseline the relative block is absent.
+    Json bare = smallGrid().toJson();
+    EXPECT_FALSE(bare.find("baseline"));
+    EXPECT_FALSE(bare.find("relative_geomean"));
+
+    // Serialization is deterministic.
+    EXPECT_EQ(doc.dump(2), smallGrid().toJson("base").dump(2));
+}
+
+TEST(ResultGridJsonDeathTest, BadBaselinesAreFatal)
+{
+    auto grid = smallGrid();
+    EXPECT_DEATH(grid.geomeanIpc("nope"), "no config column");
+    EXPECT_DEATH(grid.relativeTable("nope"), "baseline");
+    EXPECT_DEATH(grid.toJson("nope"), "no config column");
+
+    sim::ResultGrid zero("IPC");
+    sim::SimResult r;
+    r.workload = "w";
+    r.configTag = "dead";
+    r.ipc = 0.0;
+    zero.add(r);
+    EXPECT_DEATH(zero.geomeanIpc("dead"), "non-positive");
+    EXPECT_DEATH(zero.relativeTable("dead"), "non-positive");
+}
+
+TEST(StatGroupJson, DumpJsonRoundTrips)
+{
+    stats::StatGroup group("core");
+    stats::Scalar hits;
+    stats::Average lat;
+    stats::Distribution occupancy;
+    occupancy.init(0, 8, 2);
+    group.addScalar("hits", &hits, "cache hits");
+    group.addAverage("lat", &lat, "load latency");
+    group.addDistribution("occ", &occupancy, "buffer occupancy");
+
+    stats::StatGroup child("sub");
+    stats::Scalar misses;
+    child.addScalar("misses", &misses, "cache misses");
+    group.addChild(&child);
+
+    hits += 41;
+    ++hits;
+    lat.sample(2.0);
+    lat.sample(4.0);
+    occupancy.sample(1);
+    occupancy.sample(9);
+    misses += 7;
+
+    Json doc = Json::parse(group.dumpJson(), "stat dump");
+    const Json &core = doc.at("core");
+    EXPECT_DOUBLE_EQ(core.at("hits").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(core.at("lat").asNumber(), 3.0);
+    EXPECT_EQ(core.at("occ").at("samples").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(core.at("sub").at("misses").asNumber(), 7.0);
+
+    // toJson's key order follows registration order, so the dump is
+    // stable across calls.
+    EXPECT_EQ(group.dumpJson(), group.dumpJson());
+}
+
+} // namespace
+} // namespace cpe
