@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "isa/disasm.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace cpe::cpu {
@@ -119,6 +120,7 @@ OooCore::commit(Cycle now)
         }
         ++committed_;
         ++totalCommitted_;
+        lastCommitCycle_ = now;
         rob_.popHead();
         if (params_.warmupInsts &&
             totalCommitted_ == params_.warmupInsts) {
@@ -238,9 +240,78 @@ OooCore::dispatch(Cycle now)
     }
 }
 
+Json
+OooCore::pipelineSnapshot(Cycle now)
+{
+    Json snapshot = Json::object();
+    snapshot["cycle"] = now;
+    snapshot["committed_insts"] = totalCommitted_;
+    snapshot["last_commit_cycle"] = lastCommitCycle_;
+
+    Json fetch = Json::object();
+    fetch["queue_depth"] = fetch_.queue().size();
+    fetch["pc"] = fetch_.queue().empty()
+                      ? Json()
+                      : Json(fetch_.queue().front().di.pc);
+    fetch["stalled_on_branch"] = fetch_.stalledOnBranch();
+    fetch["trace_exhausted"] = fetch_.traceExhausted();
+    snapshot["fetch"] = std::move(fetch);
+
+    Json rob = Json::object();
+    rob["occupancy"] = rob_.size();
+    rob["capacity"] = rob_.capacity();
+    if (const TimingInst *head = rob_.head()) {
+        Json head_json = Json::object();
+        head_json["seq"] = head->di.seq;
+        head_json["pc"] = head->di.pc;
+        head_json["disasm"] = isa::disassemble(head->di.inst,
+                                               head->di.pc);
+        head_json["dispatched"] = head->dispatched;
+        head_json["issued"] = head->issued;
+        head_json["done"] = head->done;
+        rob["head"] = std::move(head_json);
+    }
+    snapshot["rob"] = std::move(rob);
+
+    Json iq = Json::object();
+    iq["occupancy"] = iq_.size();
+    iq["capacity"] = iq_.capacity();
+    snapshot["issue_queue"] = std::move(iq);
+
+    Json lsq = Json::object();
+    lsq["loads"] = lsq_.loads();
+    lsq["stores"] = lsq_.stores();
+    snapshot["lsq"] = std::move(lsq);
+
+    Json sb = Json::object();
+    sb["occupancy"] = dcache_.storeBuffer().occupancy();
+    sb["enabled"] = dcache_.storeBuffer().enabled();
+    snapshot["store_buffer"] = std::move(sb);
+
+    Json mshrs = Json::object();
+    mshrs["occupancy"] = dcache_.mshrs().occupancy();
+    mshrs["capacity"] = dcache_.mshrs().capacity();
+    snapshot["mshrs"] = std::move(mshrs);
+
+    return snapshot;
+}
+
+void
+OooCore::tripWatchdog(const std::string &reason, Cycle now)
+{
+    Json snapshot = pipelineSnapshot(now);
+    // Build the message before the throw expression: its two argument
+    // initializations are indeterminately sequenced, so dumping the
+    // snapshot inside one while the other moves it away would race.
+    std::string message = Msg() << reason << "; pipeline snapshot: "
+                                << snapshot.dump();
+    throw ProgressError(message, std::move(snapshot));
+}
+
 Cycle
 OooCore::run()
 {
+    lastCommitCycle_ = now_;
     while (!halted_) {
         robOccupancy.sample(static_cast<std::int64_t>(rob_.size()));
         dcache_.beginCycle(now_);
@@ -252,8 +323,18 @@ OooCore::run()
         ++now_;
 
         if (now_ >= params_.maxCycles) {
-            fatal(Msg() << "core exceeded cycle fuse of "
-                        << params_.maxCycles);
+            tripWatchdog(Msg() << "core exceeded its absolute cycle "
+                                  "budget of " << params_.maxCycles,
+                         now_);
+        }
+        if (params_.noCommitCycleLimit &&
+            now_ - lastCommitCycle_ >= params_.noCommitCycleLimit) {
+            tripWatchdog(
+                Msg() << "no instruction committed for "
+                      << (now_ - lastCommitCycle_)
+                      << " cycles (watchdog limit "
+                      << params_.noCommitCycleLimit << ")",
+                now_);
         }
         if (!halted_ && fetch_.traceExhausted() && rob_.empty() &&
             fetch_.queue().empty()) {

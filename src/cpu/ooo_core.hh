@@ -21,6 +21,7 @@
 #include "cpu/lsq.hh"
 #include "cpu/rename.hh"
 #include "cpu/rob.hh"
+#include "util/json.hh"
 
 namespace cpe::cpu {
 
@@ -51,8 +52,22 @@ struct CoreParams
      */
     std::uint64_t warmupInsts = 0;
 
-    /** Safety fuse on simulated cycles. */
+    /**
+     * Absolute forward-progress budget: run() throws ProgressError —
+     * carrying a pipeline snapshot — once this many cycles have been
+     * simulated.  Guards CI jobs against pathological-but-live
+     * configurations.
+     */
     Cycle maxCycles = 2'000'000'000;
+
+    /**
+     * No-commit watchdog: run() throws ProgressError when this many
+     * consecutive cycles pass without a single instruction committing
+     * (0 disables).  A wedged machine — e.g. a load that can never
+     * acquire a port — trips this long before maxCycles, and the
+     * attached snapshot names the stalled structure.
+     */
+    Cycle noCommitCycleLimit = 250'000;
 };
 
 /** The timing core. */
@@ -116,6 +131,16 @@ class OooCore
     /** Root of the whole core's statistics tree. */
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /**
+     * Structured snapshot of the machine for progress diagnostics:
+     * cycle and commit progress, fetch state (PC at the window head,
+     * queue depth, trace/stall status), ROB/issue-queue/LSQ occupancy,
+     * and store-buffer/MSHR state.  This is what a tripped watchdog
+     * attaches to its ProgressError, turning a hang into a bug report
+     * that names the stalled structure.
+     */
+    Json pipelineSnapshot(Cycle now);
+
     stats::Scalar committed_;
     stats::Scalar committedLoads;
     stats::Scalar committedStores;
@@ -145,7 +170,11 @@ class OooCore
     Lsq lsq_;
     core::DCacheUnit dcache_;
 
+    /** Watchdog helper: ProgressError with message + snapshot. */
+    [[noreturn]] void tripWatchdog(const std::string &reason, Cycle now);
+
     Cycle now_ = 0;
+    Cycle lastCommitCycle_ = 0;  ///< no-commit watchdog bookkeeping
     bool halted_ = false;
     std::ostream *pipeTrace_ = nullptr;
     std::uint64_t totalCommitted_ = 0;

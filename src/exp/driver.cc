@@ -12,6 +12,7 @@
 
 #include "exp/registry.hh"
 #include "sim/sweep_runner.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "workload/registry.hh"
@@ -38,6 +39,9 @@ constexpr const char *kUsage =
     "                           geomean IPCs against --baseline\n"
     "  --write-baseline DIR     record baselines (reduced workload\n"
     "                           suite) into DIR\n"
+    "  --validate               check every config the selected\n"
+    "                           experiments would run, without running\n"
+    "                           them; list all diagnostics\n"
     "options:\n"
     "  --workloads a,b,c        override the evaluation workload suite\n"
     "  --jobs N                 sweep worker threads (default: all\n"
@@ -48,7 +52,14 @@ constexpr const char *kUsage =
     "                           per experiment into DIR\n"
     "  --baseline DIR           baseline directory for --check\n"
     "  --tolerance PCT          allowed geomean-IPC drift for --check\n"
-    "                           (default: 1)\n";
+    "                           (default: 1)\n"
+    "  --keep-going             isolate per-run failures: finish the\n"
+    "                           sweep, record structured \"errors\"\n"
+    "                           entries in the JSON documents, exit\n"
+    "                           non-zero with a failure summary\n"
+    "  --fault-inject W:KIND    testing hook: sabotage workload W's\n"
+    "                           configs (KIND: config | hang);\n"
+    "                           repeatable\n";
 
 [[noreturn]] void
 usageError(const std::string &message)
@@ -69,7 +80,7 @@ splitList(const std::string &text)
     return out;
 }
 
-enum class Mode { None, List, Run, Check, WriteBaseline };
+enum class Mode { None, List, Run, Check, WriteBaseline, Validate };
 enum class Format { Table, Csv, Json };
 
 struct Options
@@ -81,6 +92,9 @@ struct Options
     std::string outDir;
     std::string baselineDir;
     double tolerancePct = 1.0;
+    bool keepGoing = false;
+    /** --fault-inject plan: (workload, kind) pairs. */
+    std::vector<std::pair<std::string, std::string>> faultPlan;
 };
 
 std::string
@@ -98,7 +112,7 @@ parseArgs(int argc, char **argv)
     auto setMode = [&](Mode mode) {
         if (options.mode != Mode::None)
             usageError("pick exactly one of --list, --run, --check, "
-                       "--write-baseline");
+                       "--write-baseline, --validate");
         options.mode = mode;
     };
     for (int i = 1; i < argc; ++i) {
@@ -124,6 +138,26 @@ parseArgs(int argc, char **argv)
             else
                 setMode(Mode::WriteBaseline);
             options.baselineDir = argValue(argc, argv, i, flag);
+        } else if (flag == "--validate") {
+            if (options.mode == Mode::Run)
+                options.mode = Mode::Validate;
+            else
+                setMode(Mode::Validate);
+        } else if (flag == "--keep-going") {
+            options.keepGoing = true;
+        } else if (flag == "--fault-inject") {
+            std::string spec = argValue(argc, argv, i, flag);
+            auto colon = spec.find(':');
+            if (colon == std::string::npos)
+                usageError("--fault-inject wants workload:kind, got '" +
+                           spec + "'");
+            std::string workload = spec.substr(0, colon);
+            std::string kind = spec.substr(colon + 1);
+            if (kind != "config" && kind != "hang")
+                usageError("--fault-inject kind must be 'config' or "
+                           "'hang', got '" + kind + "'");
+            options.faultPlan.emplace_back(std::move(workload),
+                                           std::move(kind));
         } else if (flag == "--workloads") {
             options.workloads =
                 splitList(argValue(argc, argv, i, flag));
@@ -184,8 +218,8 @@ validateWorkloads(const std::vector<std::string> &workloads)
     auto &registry = workload::WorkloadRegistry::instance();
     for (const auto &name : workloads)
         if (!registry.has(name))
-            fatal(Msg() << "unknown workload '" << name
-                        << "' in --workloads");
+            throw ConfigError(Msg() << "unknown workload '" << name
+                                    << "' in --workloads");
 }
 
 int
@@ -218,10 +252,10 @@ writeFile(const std::filesystem::path &path, const std::string &text)
 {
     std::ofstream out(path);
     if (!out)
-        fatal(Msg() << "cannot write " << path.string());
+        throw IoError(Msg() << "cannot write " << path.string());
     out << text;
     if (!out.flush())
-        fatal(Msg() << "failed writing " << path.string());
+        throw IoError(Msg() << "failed writing " << path.string());
 }
 
 void
@@ -256,6 +290,8 @@ runExperiments(const Options &options)
     NullBuffer null_buffer;
     std::ostream null_stream(&null_buffer);
     bool csv_header_done = false;
+    unsigned failed_runs = 0;
+    std::vector<std::string> failure_summaries;
 
     for (const auto *experiment : experiments) {
         // Each experiment starts from the old per-binary defaults so
@@ -267,8 +303,25 @@ runExperiments(const Options &options)
                                 : null_stream;
         out << "==== " << experiment->id << ": " << experiment->title
             << " ====\n\n";
-        Context context(*experiment, out, options.workloads);
-        experiment->run(context);
+        Context context(*experiment, out, options.workloads,
+                        options.keepGoing);
+        if (options.keepGoing) {
+            // A failed run leaves holes in the grids; an experiment
+            // body that trips over one (a missing cell, an absent
+            // baseline column) becomes part of the failure report
+            // rather than ending the whole evaluation.
+            try {
+                experiment->run(context);
+            } catch (const SimError &error) {
+                context.noteBodyError(error);
+            }
+        } else {
+            experiment->run(context);
+        }
+        failed_runs += context.failedRuns();
+        failure_summaries.insert(failure_summaries.end(),
+                                 context.failureSummaries().begin(),
+                                 context.failureSummaries().end());
 
         if (options.format == Format::Json)
             std::cout << context.doc().dump(2) << "\n";
@@ -280,6 +333,63 @@ runExperiments(const Options &options)
                       context.doc().dump(2) + "\n");
     }
     setVerbose(true);
+    if (failed_runs) {
+        // To stderr: --format json/csv callers parse stdout.
+        std::cerr << "\nkeep-going: " << failed_runs
+                  << " failure(s):\n";
+        for (const auto &line : failure_summaries)
+            std::cerr << "  " << line << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+/** The workload list an experiment's primary grid would use. */
+std::vector<std::string>
+primaryWorkloads(const Experiment &experiment, const Options &options)
+{
+    if (!options.workloads.empty())
+        return options.workloads;
+    if (!experiment.workloads.empty())
+        return experiment.workloads;
+    return workload::WorkloadRegistry::evaluationSuite();
+}
+
+int
+validateExperiments(const Options &options)
+{
+    auto experiments = selectExperiments(options.ids);
+    validateWorkloads(options.workloads);
+
+    TextTable table;
+    table.addHeader({"experiment", "workload", "config", "field",
+                     "problem"});
+    unsigned diagnostics = 0;
+    unsigned configs_checked = 0;
+    for (const auto *experiment : experiments) {
+        auto configs = suiteConfigs(experiment->variants(),
+                                    primaryWorkloads(*experiment,
+                                                     options));
+        for (const auto &config : configs) {
+            ++configs_checked;
+            for (const auto &diagnostic : config.validate()) {
+                table.addRow({experiment->id, config.workloadName,
+                              config.tag(), diagnostic.field,
+                              diagnostic.message});
+                ++diagnostics;
+            }
+        }
+    }
+    if (diagnostics) {
+        std::cout << table.render();
+        std::cout << "\nvalidate: FAIL — " << diagnostics
+                  << " problem(s) across " << configs_checked
+                  << " config(s)\n";
+        return 1;
+    }
+    std::cout << "validate: OK — " << configs_checked
+              << " config(s) across " << experiments.size()
+              << " experiment(s)\n";
     return 0;
 }
 
@@ -388,17 +498,19 @@ loadBaseline(const std::string &dir, const std::string &id)
     auto path = std::filesystem::path(dir) / (id + ".json");
     std::ifstream in(path);
     if (!in)
-        fatal(Msg() << "no baseline for experiment " << id << " at "
-                    << path.string()
-                    << " (record one with cpe_eval --write-baseline)");
+        throw IoError(Msg()
+                      << "no baseline for experiment " << id << " at "
+                      << path.string()
+                      << " (record one with cpe_eval --write-baseline)");
     std::ostringstream text;
     text << in.rdbuf();
     Json doc = Json::parse(text.str(), "baseline " + path.string());
     const std::string &doc_id =
         doc.at("experiment", path.string()).asString();
     if (doc_id != id)
-        fatal(Msg() << "baseline " << path.string() << " is for '"
-                    << doc_id << "', not '" << id << "'");
+        throw ConfigError(Msg() << "baseline " << path.string()
+                                << " is for '" << doc_id << "', not '"
+                                << id << "'");
     return doc;
 }
 
@@ -414,7 +526,8 @@ checkExperiment(const std::string &id, const Json &baseline,
          baseline.at("workloads", "baseline " + id).items())
         workloads.push_back(workload.asString());
     if (workloads.empty())
-        fatal(Msg() << "baseline " << id << " lists no workloads");
+        throw ConfigError(Msg() << "baseline " << id
+                                << " lists no workloads");
 
     sim::ResultGrid grid = runPrimaryGrid(experiment, workloads);
 
@@ -460,17 +573,28 @@ int
 evalMain(int argc, char **argv)
 {
     Options options = parseArgs(argc, argv);
-    switch (options.mode) {
-      case Mode::List:
-        return listExperiments();
-      case Mode::Run:
-        return runExperiments(options);
-      case Mode::Check:
-        return checkBaselines(options);
-      case Mode::WriteBaseline:
-        return writeBaselines(options);
-      case Mode::None:
-        break;
+    setFaultInjection(options.faultPlan);
+    // The CLI boundary: everything below throws SimError for
+    // recoverable failures; only here do they become an exit code.
+    try {
+        switch (options.mode) {
+          case Mode::List:
+            return listExperiments();
+          case Mode::Run:
+            return runExperiments(options);
+          case Mode::Check:
+            return checkBaselines(options);
+          case Mode::WriteBaseline:
+            return writeBaselines(options);
+          case Mode::Validate:
+            return validateExperiments(options);
+          case Mode::None:
+            break;
+        }
+    } catch (const SimError &error) {
+        std::cerr << "cpe_eval: " << error.kind() << " error: "
+                  << error.what() << "\n";
+        return 1;
     }
     usageError("no mode given");
 }

@@ -26,8 +26,9 @@ namespace cpe::exp {
 const std::vector<std::string> &reducedSuite();
 
 /**
- * Load and parse the committed baseline for @p id from @p dir;
- * fatal() with a pointer at --write-baseline when absent/invalid.
+ * Load and parse the committed baseline for @p id from @p dir; throws
+ * IoError (absent/unreadable) or ConfigError (wrong experiment) with
+ * a pointer at --write-baseline.
  */
 Json loadBaseline(const std::string &dir, const std::string &id);
 

@@ -8,6 +8,40 @@
 
 namespace cpe::exp {
 
+namespace {
+
+/** The installed fault plan: (workload, kind) pairs.  Set before a
+ *  sweep starts, never during one (same discipline as
+ *  SweepRunner::setDefaultJobs). */
+std::vector<std::pair<std::string, std::string>> faultPlan;
+
+void
+applyFaults(sim::SimConfig &config)
+{
+    for (const auto &[workload, kind] : faultPlan) {
+        if (config.workloadName != workload)
+            continue;
+        if (kind == "config") {
+            // Zero associativity: caught by SimConfig::validate()
+            // before the machine is built.
+            config.core.dcache.cache.assoc = 0;
+        } else if (kind == "hang") {
+            // A watchdog this tight trips during pipeline fill: the
+            // run dies with a ProgressError carrying a snapshot, the
+            // way a genuinely wedged machine would.
+            config.core.noCommitCycleLimit = 2;
+        }
+    }
+}
+
+} // namespace
+
+void
+setFaultInjection(std::vector<std::pair<std::string, std::string>> plan)
+{
+    faultPlan = std::move(plan);
+}
+
 std::vector<sim::SimConfig>
 suiteConfigs(const std::vector<Variant> &variants,
              const std::vector<std::string> &workloads)
@@ -23,6 +57,8 @@ suiteConfigs(const std::vector<Variant> &variants,
             config.label = variant.label;
             if (variant.tweak)
                 variant.tweak(config);
+            if (!faultPlan.empty())
+                applyFaults(config);
             configs.push_back(std::move(config));
         }
     }
@@ -30,12 +66,13 @@ suiteConfigs(const std::vector<Variant> &variants,
 }
 
 Context::Context(const Experiment &experiment, std::ostream &out,
-                 std::vector<std::string> workloads)
+                 std::vector<std::string> workloads, bool keep_going)
     : experiment_(experiment),
       out_(out),
       suite_(workloads.empty()
                  ? workload::WorkloadRegistry::evaluationSuite()
                  : std::move(workloads)),
+      keepGoing_(keep_going),
       doc_(Json::object())
 {
     doc_["experiment"] = experiment.id;
@@ -51,9 +88,43 @@ Context::runGrid(const std::string &key,
                  const std::string &baseline)
 {
     VerboseScope quiet(false);
-    sim::ResultGrid grid = sim::SweepRunner().runGrid(
-        suiteConfigs(variants, workloads.empty() ? suite_ : workloads));
-    doc_["grids"][key] = grid.toJson(baseline);
+    auto configs =
+        suiteConfigs(variants, workloads.empty() ? suite_ : workloads);
+    if (!keepGoing_) {
+        sim::ResultGrid grid = sim::SweepRunner().runGrid(configs);
+        doc_["grids"][key] = grid.toJson(baseline);
+        return grid;
+    }
+
+    // Fault-isolating path: every run completes; failures become
+    // structured "errors" records beside the (partial) grid.
+    auto outcomes = sim::SweepRunner().runOutcomes(configs);
+    sim::ResultGrid grid("IPC");
+    Json errors = Json::array();
+    for (const auto &outcome : outcomes) {
+        if (outcome.ok()) {
+            grid.add(outcome.result);
+            continue;
+        }
+        errors.push(outcome.errorJson());
+        ++failedRuns_;
+        failureSummaries_.push_back(
+            experiment_.id + "/" + key + ": " + outcome.workload +
+            " / " + outcome.configTag + ": " + outcome.errorKind +
+            ": " + outcome.errorMessage);
+        warn(Msg() << "keep-going: " << failureSummaries_.back());
+    }
+
+    Json grid_json;
+    try {
+        grid_json = grid.toJson(baseline);
+    } catch (const SimError &) {
+        // The baseline column lost runs; record the absolute view.
+        grid_json = grid.toJson();
+    }
+    if (errors.items().size())
+        grid_json["errors"] = std::move(errors);
+    doc_["grids"][key] = std::move(grid_json);
     return grid;
 }
 
@@ -63,14 +134,34 @@ Context::printGrid(const sim::ResultGrid &grid,
 {
     out_ << "Instructions per cycle:\n"
          << grid.ipcTable().render() << "\n";
-    out_ << "Performance relative to '" << baseline << "':\n"
-         << grid.relativeTable(baseline).render() << "\n";
+    try {
+        out_ << "Performance relative to '" << baseline << "':\n"
+             << grid.relativeTable(baseline).render() << "\n";
+    } catch (const SimError &error) {
+        if (!keepGoing_)
+            throw;
+        out_ << "Performance relative to '" << baseline
+             << "': unavailable (" << error.what() << ")\n\n";
+    }
 }
 
 void
 Context::headline(const std::string &key, double value)
 {
     doc_["headlines"][key] = value;
+}
+
+void
+Context::noteBodyError(const SimError &error)
+{
+    Json record = Json::object();
+    record["kind"] = error.kind();
+    record["message"] = std::string(error.what());
+    doc_["error"] = std::move(record);
+    ++failedRuns_;
+    failureSummaries_.push_back(experiment_.id + ": experiment body: " +
+                                error.kind() + ": " + error.what());
+    warn(Msg() << "keep-going: " << failureSummaries_.back());
 }
 
 } // namespace cpe::exp

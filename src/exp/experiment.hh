@@ -17,11 +17,13 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/port_config.hh"
 #include "sim/config.hh"
 #include "sim/report.hh"
+#include "util/error.hh"
 #include "util/json.hh"
 
 namespace cpe::exp {
@@ -39,11 +41,25 @@ struct Variant
 /**
  * Expand (workloads x variants) into the flat config list a grid run
  * executes; exposed so tests, the regression gate, and the speed
- * bench can reuse the exact grid shape.
+ * bench can reuse the exact grid shape.  Any installed fault-injection
+ * plan (setFaultInjection) is applied to matching configs.
  */
 std::vector<sim::SimConfig>
 suiteConfigs(const std::vector<Variant> &variants,
              const std::vector<std::string> &workloads);
+
+/**
+ * Fault-injection hook for exercising the fault-isolation machinery
+ * end to end (cpe_eval --fault-inject, the keep-going smoke test).
+ * Each plan entry is (workload, kind): configs for that workload are
+ * sabotaged in suiteConfigs() — kind "config" zeroes the L1D
+ * associativity (a validate()-caught geometry error), kind "hang"
+ * drops the no-commit watchdog to a handful of cycles (a guaranteed
+ * ProgressError with a pipeline snapshot).  Pass an empty vector to
+ * clear.  A testing hook, not an evaluation feature.
+ */
+void setFaultInjection(
+    std::vector<std::pair<std::string, std::string>> plan);
 
 class Context;
 
@@ -88,9 +104,13 @@ class Context
     /**
      * @param out where tables render (a null sink in --format json).
      * @param workloads non-empty to override the evaluation suite.
+     * @param keep_going fault-isolating mode: a failing run becomes a
+     *        structured "errors" record in the JSON document instead
+     *        of an exception ending the experiment.
      */
     Context(const Experiment &experiment, std::ostream &out,
-            std::vector<std::string> workloads = {});
+            std::vector<std::string> workloads = {},
+            bool keep_going = false);
 
     std::ostream &out() { return out_; }
     const Experiment &experiment() const { return experiment_; }
@@ -117,6 +137,25 @@ class Context
     /** Record a named headline ratio in the JSON document. */
     void headline(const std::string &key, double value);
 
+    /** Whether runGrid isolates per-run failures (--keep-going). */
+    bool keepGoing() const { return keepGoing_; }
+
+    /** Runs that failed across every grid so far (keep-going mode). */
+    unsigned failedRuns() const { return failedRuns_; }
+
+    /** One line per failure, for the driver's end-of-run summary. */
+    const std::vector<std::string> &failureSummaries() const
+    {
+        return failureSummaries_;
+    }
+
+    /**
+     * Record a failure of the experiment body itself (e.g. a lookup
+     * on a cell a failed run never produced) under the document's
+     * "error" key.  Driver use; bodies just throw.
+     */
+    void noteBodyError(const SimError &error);
+
     /** The document assembled so far (experiment, title, grids,
      * headlines). */
     const Json &doc() const { return doc_; }
@@ -125,6 +164,9 @@ class Context
     const Experiment &experiment_;
     std::ostream &out_;
     std::vector<std::string> suite_;
+    bool keepGoing_ = false;
+    unsigned failedRuns_ = 0;
+    std::vector<std::string> failureSummaries_;
     Json doc_;
 };
 

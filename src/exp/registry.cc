@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace cpe::exp {
@@ -82,8 +83,8 @@ ExperimentRegistry::get(const std::string &id) const
             known += ", ";
         known += known_id;
     }
-    fatal(Msg() << "unknown experiment '" << id
-                << "'; registered experiments: " << known);
+    throw ConfigError(Msg() << "unknown experiment '" << id
+                             << "'; registered experiments: " << known);
 }
 
 std::vector<std::string>

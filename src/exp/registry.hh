@@ -35,7 +35,8 @@ class ExperimentRegistry
     const Experiment *find(const std::string &id) const;
 
     /**
-     * The experiment named @p id; fatal() listing every registered id
+     * The experiment named @p id; throws ConfigError listing every
+     * registered id
      * when unknown (for user-supplied --run lists).
      */
     const Experiment &get(const std::string &id) const;

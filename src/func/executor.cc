@@ -5,6 +5,7 @@
 #include "isa/disasm.hh"
 #include "prog/builder.hh"
 #include "util/bits.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace cpe::func {
@@ -27,8 +28,16 @@ Executor::next(DynInst &out)
     if (state_.halted())
         return false;
     if (instCount_ >= maxInsts_) {
-        fatal(Msg() << "program " << program_.name()
-                    << " exceeded instruction fuse of " << maxInsts_);
+        Json snapshot = Json::object();
+        snapshot["kind"] = "instruction_fuse";
+        snapshot["program"] = program_.name();
+        snapshot["insts"] = instCount_;
+        snapshot["pc"] = state_.pc();
+        throw ProgressError(Msg() << "program " << program_.name()
+                                  << " exceeded instruction fuse of "
+                                  << maxInsts_ << " (pc=0x" << std::hex
+                                  << state_.pc() << ")",
+                            std::move(snapshot));
     }
     Addr pc = state_.pc();
     const Inst &inst = program_.fetch(pc);

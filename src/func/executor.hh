@@ -33,9 +33,9 @@ class Executor : public TraceSource
      * @param program Program to run.  Stored by value: temporaries are
      *        safe to pass and the executor has no lifetime coupling to
      *        the caller.
-     * @param max_insts Safety fuse: fatal() after this many dynamic
-     *        instructions without HALT (guards against runaway loops
-     *        in workload kernels).
+     * @param max_insts Safety fuse: throws ProgressError after this
+     *        many dynamic instructions without HALT (guards against
+     *        runaway loops in workload kernels).
      */
     explicit Executor(prog::Program program,
                       std::uint64_t max_insts = 500'000'000);

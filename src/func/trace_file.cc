@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "isa/encoding.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace cpe::func {
@@ -89,15 +90,19 @@ FileTraceSource::FileTraceSource(const std::string &path)
 {
     file_ = std::fopen(path.c_str(), "rb");
     if (!file_)
-        fatal(Msg() << "cannot open trace file " << path);
+        throw IoError(Msg() << "cannot open trace file " << path);
     Header header{};
     if (std::fread(&header, sizeof(header), 1, file_) != 1 ||
         std::memcmp(header.magic, Magic, 4) != 0) {
-        fatal(Msg() << path << " is not a CPET trace");
+        std::fclose(file_);
+        file_ = nullptr;
+        throw IoError(Msg() << path << " is not a CPET trace");
     }
     if (header.version != Version) {
-        fatal(Msg() << path << ": unsupported trace version "
-                    << header.version);
+        std::fclose(file_);
+        file_ = nullptr;
+        throw IoError(Msg() << path << ": unsupported trace version "
+                            << header.version);
     }
     count_ = header.count;
 }
@@ -118,8 +123,8 @@ FileTraceSource::next(DynInst &out)
         return false;
     auto inst = isa::decode(record.instWord);
     if (!inst) {
-        fatal(Msg() << "corrupt trace record " << read_
-                    << ": undecodable instruction word");
+        throw IoError(Msg() << "corrupt trace record " << read_
+                            << ": undecodable instruction word");
     }
     out = DynInst{};
     out.seq = record.seq;

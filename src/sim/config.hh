@@ -11,12 +11,23 @@
 #define CPE_SIM_CONFIG_HH
 
 #include <string>
+#include <vector>
 
 #include "cpu/ooo_core.hh"
 #include "mem/hierarchy.hh"
 #include "workload/registry.hh"
 
 namespace cpe::sim {
+
+/**
+ * One validation finding: the offending parameter (dotted path, e.g.
+ * "l1d.line" or "tech.ports") and a human-readable explanation.
+ */
+struct ConfigDiagnostic
+{
+    std::string field;
+    std::string message;
+};
 
 /** Everything one simulation run needs. */
 struct SimConfig
@@ -50,6 +61,24 @@ struct SimConfig
 
     /** Multi-line "parameter = value" table (experiment T1). */
     std::string describe() const;
+
+    /**
+     * Check the configuration against the simulator's structural
+     * contracts — power-of-two cache geometry, port/bank/MSHR/
+     * store-buffer bounds, known workload name, warm-up vs. run
+     * length, watchdog budgets — and return every violation found
+     * (empty = valid).  This catches, as recoverable diagnostics,
+     * everything that would otherwise panic() inside a component
+     * constructor or wedge the timing loop.
+     */
+    std::vector<ConfigDiagnostic> validate() const;
+
+    /**
+     * validate(), folded into an exception: throws ConfigError listing
+     * every diagnostic when the configuration is invalid.  simulate()
+     * calls this before constructing the machine.
+     */
+    void validateOrThrow() const;
 };
 
 } // namespace cpe::sim

@@ -150,6 +150,11 @@ keyTable()
                  {"wrong_path_ifetch",
                   boolean(FIELD(bool,
                                 c.core.fetch.modelWrongPathIFetch))},
+                 {"max_cycles",
+                  num<Cycle>(FIELD(Cycle, c.core.maxCycles))},
+                 {"no_commit_limit",
+                  num<Cycle>(FIELD(Cycle,
+                                   c.core.noCommitCycleLimit))},
              }},
             {"bpred",
              {
@@ -410,6 +415,8 @@ toMachineFile(const SimConfig &config)
     out << "redirect_penalty = " << core.fetch.redirectPenalty << "\n";
     out << "wrong_path_ifetch = "
         << (core.fetch.modelWrongPathIFetch ? "true" : "false") << "\n";
+    out << "max_cycles = " << core.maxCycles << "\n";
+    out << "no_commit_limit = " << core.noCommitCycleLimit << "\n";
 
     out << "\n[bpred]\n";
     const char *kind = "gshare";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace cpe::sim {
@@ -47,8 +48,8 @@ ResultGrid::result(const std::string &workload,
 {
     const SimResult *result = find(workload, config);
     if (!result)
-        panic(Msg() << "no result for (" << workload << ", " << config
-                    << ")");
+        throw SimError(Msg() << "no result for (" << workload << ", "
+                             << config << ")");
     return *result;
 }
 
@@ -73,19 +74,20 @@ ResultGrid::geomeanIpc(const std::string &config) const
 {
     if (std::find(configs_.begin(), configs_.end(), config) ==
         configs_.end())
-        fatal(Msg() << "ResultGrid::geomeanIpc: no config column '"
-                    << config << "'; grid columns are "
-                    << joinNames(configs_));
+        throw SimError(Msg()
+                       << "ResultGrid::geomeanIpc: no config column '"
+                       << config << "'; grid columns are "
+                       << joinNames(configs_));
     double log_sum = 0.0;
     unsigned count = 0;
     for (const auto &workload : workloads_) {
         if (const SimResult *result = find(workload, config)) {
             if (result->ipc <= 0.0)
-                fatal(Msg()
-                      << "ResultGrid::geomeanIpc: non-positive IPC "
-                      << result->ipc << " for (" << workload << ", "
-                      << config
-                      << "); a geometric mean over it is undefined");
+                throw SimError(Msg()
+                    << "ResultGrid::geomeanIpc: non-positive IPC "
+                    << result->ipc << " for (" << workload << ", "
+                    << config
+                    << "); a geometric mean over it is undefined");
             log_sum += std::log(result->ipc);
             ++count;
         }
@@ -122,9 +124,10 @@ ResultGrid::relativeTable(const std::string &baseline) const
 {
     if (std::find(configs_.begin(), configs_.end(), baseline) ==
         configs_.end())
-        fatal(Msg() << "ResultGrid::relativeTable: no baseline column '"
-                    << baseline << "'; grid columns are "
-                    << joinNames(configs_));
+        throw SimError(Msg()
+                       << "ResultGrid::relativeTable: no baseline column '"
+                       << baseline << "'; grid columns are "
+                       << joinNames(configs_));
     cpe::TextTable table;
     std::vector<std::string> header{"workload"};
     for (const auto &config : configs_)
@@ -133,14 +136,16 @@ ResultGrid::relativeTable(const std::string &baseline) const
     for (const auto &workload : workloads_) {
         const SimResult *base = find(workload, baseline);
         if (!base)
-            fatal(Msg() << "ResultGrid::relativeTable: baseline column '"
-                        << baseline << "' has no result for workload '"
-                        << workload << "'");
+            throw SimError(Msg()
+                << "ResultGrid::relativeTable: baseline column '"
+                << baseline << "' has no result for workload '"
+                << workload << "'");
         if (base->ipc <= 0.0)
-            fatal(Msg() << "ResultGrid::relativeTable: baseline column '"
-                        << baseline << "' has non-positive IPC "
-                        << base->ipc << " for workload '" << workload
-                        << "'; relative ratios would be NaN/inf");
+            throw SimError(Msg()
+                << "ResultGrid::relativeTable: baseline column '"
+                << baseline << "' has non-positive IPC " << base->ipc
+                << " for workload '" << workload
+                << "'; relative ratios would be NaN/inf");
         std::vector<std::string> row{workload};
         for (const auto &config : configs_) {
             const SimResult *result = find(workload, config);

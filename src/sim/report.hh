@@ -36,18 +36,18 @@ class ResultGrid
         return workloads_;
     }
 
-    /** Raw IPC of (workload, config); panics if absent. */
+    /** Raw IPC of (workload, config); throws SimError if absent. */
     double ipc(const std::string &workload,
                const std::string &config) const;
 
-    /** Full result of (workload, config); panics if absent. */
+    /** Full result of (workload, config); throws SimError if absent. */
     const SimResult &result(const std::string &workload,
                             const std::string &config) const;
 
     /**
      * Geometric-mean IPC of a config column across workloads.
-     * fatal() on an absent column or a non-positive IPC in it (a
-     * zero-IPC run would otherwise poison the mean with -inf).
+     * Throws SimError on an absent column or a non-positive IPC in it
+     * (a zero-IPC run would otherwise poison the mean with -inf).
      */
     double geomeanIpc(const std::string &config) const;
 
@@ -57,9 +57,9 @@ class ResultGrid
     /**
      * Render IPCs normalized to @p baseline's column (the paper's
      * "performance relative to X" presentation), with a geometric-mean
-     * summary row.  fatal() when the baseline column is absent, has no
-     * result for a listed workload, or contains a zero IPC (which
-     * would emit NaN/inf ratios into the table).
+     * summary row.  Throws SimError when the baseline column is
+     * absent, has no result for a listed workload, or contains a zero
+     * IPC (which would emit NaN/inf ratios into the table).
      */
     cpe::TextTable relativeTable(const std::string &baseline) const;
 

@@ -11,6 +11,11 @@ Simulator::Simulator(SimConfig config) : config_(std::move(config)) {}
 SimResult
 Simulator::run()
 {
+    // Refuse structurally invalid machines up front: every violation
+    // reported at once as a recoverable ConfigError, instead of the
+    // first one panicking inside a component constructor.
+    config_.validateOrThrow();
+
     const auto &registry = workload::WorkloadRegistry::instance();
     prog::Program program =
         registry.build(config_.workloadName, config_.workload);

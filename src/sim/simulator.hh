@@ -52,7 +52,13 @@ class Simulator
   public:
     explicit Simulator(SimConfig config);
 
-    /** Execute to completion and collect results. */
+    /**
+     * Execute to completion and collect results.  Throws ConfigError
+     * when the configuration fails SimConfig::validate(),
+     * WorkloadError for unknown kernels, and ProgressError (with a
+     * pipeline snapshot) when a forward-progress watchdog trips; see
+     * util/error.hh for the recovery contract.
+     */
     SimResult run();
 
   private:

@@ -1,9 +1,12 @@
 #include "sim/sweep_runner.hh"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <future>
 
+#include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workload/registry.hh"
 
@@ -11,7 +14,81 @@ namespace cpe::sim {
 
 namespace {
 std::atomic<unsigned> defaultJobsOverride{0};
+
+/**
+ * Execute one config with fault capture and the transient-retry
+ * policy.  Never throws: every failure lands in the outcome.
+ */
+RunOutcome
+runOne(const SimConfig &config)
+{
+    RunOutcome outcome;
+    outcome.workload = config.workloadName;
+    outcome.configTag = config.tag();
+
+    constexpr unsigned MaxAttempts = 2;
+    while (true) {
+        ++outcome.attempts;
+        auto start = std::chrono::steady_clock::now();
+        try {
+            outcome.result = simulate(config);
+            outcome.hasResult = true;
+            outcome.errorKind.clear();
+            outcome.errorMessage.clear();
+            outcome.errorDetails = Json();
+            outcome.exception = nullptr;
+        } catch (const ProgressError &error) {
+            outcome.errorKind = error.kind();
+            outcome.errorMessage = error.what();
+            outcome.errorDetails = error.snapshot();
+            outcome.exception = std::current_exception();
+        } catch (const SimError &error) {
+            outcome.errorKind = error.kind();
+            outcome.errorMessage = error.what();
+            outcome.exception = std::current_exception();
+        } catch (const std::exception &error) {
+            outcome.errorKind = "exception";
+            outcome.errorMessage = error.what();
+            outcome.exception = std::current_exception();
+        } catch (...) {
+            outcome.errorKind = "exception";
+            outcome.errorMessage = "non-standard exception";
+            outcome.exception = std::current_exception();
+        }
+        outcome.wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        if (outcome.ok() || outcome.attempts >= MaxAttempts)
+            return outcome;
+        // Only io failures are plausibly transient; a simulation is a
+        // pure function of its config, so config/workload/progress
+        // failures would reproduce exactly.
+        if (outcome.errorKind != "io" && outcome.errorKind != "exception")
+            return outcome;
+        warn(Msg() << "sweep: retrying " << outcome.workload << " / "
+                   << outcome.configTag << " after " << outcome.errorKind
+                   << " failure: " << outcome.errorMessage);
+    }
+}
+
 } // namespace
+
+Json
+RunOutcome::errorJson() const
+{
+    Json record = Json::object();
+    record["workload"] = workload;
+    record["config"] = configTag;
+    record["kind"] = errorKind;
+    record["message"] = errorMessage;
+    record["attempts"] = attempts;
+    record["wall_ms"] = wallMs;
+    if (!errorDetails.isNull())
+        record["snapshot"] = errorDetails;
+    return record;
+}
 
 unsigned
 SweepRunner::defaultJobs()
@@ -20,9 +97,14 @@ SweepRunner::defaultJobs()
     if (override)
         return override;
     if (const char *env = std::getenv("CPESIM_JOBS")) {
-        unsigned long value = std::strtoul(env, nullptr, 10);
-        if (value >= 1)
+        char *end = nullptr;
+        unsigned long value = std::strtoul(env, &end, 10);
+        bool numeric = end != env && *end == '\0';
+        if (numeric && value >= 1)
             return static_cast<unsigned>(value);
+        warn(Msg() << "CPESIM_JOBS='" << env
+                   << "' is not a positive integer; using one job per "
+                      "hardware thread");
     }
     return util::ThreadPool::hardwareThreads();
 }
@@ -38,14 +120,14 @@ SweepRunner::SweepRunner(unsigned jobs)
 {
 }
 
-std::vector<SimResult>
-SweepRunner::run(const std::vector<SimConfig> &configs) const
+std::vector<RunOutcome>
+SweepRunner::runOutcomes(const std::vector<SimConfig> &configs) const
 {
-    std::vector<SimResult> results(configs.size());
+    std::vector<RunOutcome> outcomes(configs.size());
     if (jobs_ <= 1 || configs.size() <= 1) {
         for (std::size_t i = 0; i < configs.size(); ++i)
-            results[i] = simulate(configs[i]);
-        return results;
+            outcomes[i] = runOne(configs[i]);
+        return outcomes;
     }
 
     // Force the workload registry (a lazily-built singleton) into
@@ -55,23 +137,31 @@ SweepRunner::run(const std::vector<SimConfig> &configs) const
     unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(jobs_, configs.size()));
     util::ThreadPool pool(workers);
-    std::vector<std::future<SimResult>> futures;
+    std::vector<std::future<RunOutcome>> futures;
     futures.reserve(configs.size());
     for (const auto &config : configs)
         futures.push_back(pool.submit([&config]() {
-            return simulate(config);
+            return runOne(config);
         }));
 
-    // Collect in submission order; the future of the lowest-indexed
-    // failing run rethrows first, after every worker has finished.
+    // Collect in submission order; runOne never throws, so every
+    // worker finishes and every slot is filled.
+    for (std::size_t i = 0; i < futures.size(); ++i)
+        outcomes[i] = futures[i].get();
+    return outcomes;
+}
+
+std::vector<SimResult>
+SweepRunner::run(const std::vector<SimConfig> &configs) const
+{
+    std::vector<RunOutcome> outcomes = runOutcomes(configs);
+    std::vector<SimResult> results(outcomes.size());
     std::exception_ptr firstError;
-    for (std::size_t i = 0; i < futures.size(); ++i) {
-        try {
-            results[i] = futures[i].get();
-        } catch (...) {
-            if (!firstError)
-                firstError = std::current_exception();
-        }
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].ok())
+            results[i] = std::move(outcomes[i].result);
+        else if (!firstError)
+            firstError = outcomes[i].exception;
     }
     if (firstError)
         std::rethrow_exception(firstError);

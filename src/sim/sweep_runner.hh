@@ -12,17 +12,64 @@
  * execute, never *what* they compute, and it returns results indexed
  * exactly like the input vector; a ResultGrid filled from them is
  * byte-identical to a serial loop's.
+ *
+ * Fault-isolation contract: one bad point must never cost the whole
+ * grid.  runOutcomes() captures each run's failure — a thrown SimError
+ * or any other exception — into its RunOutcome instead of letting it
+ * escape, retries transient (IoError) failures once, and always
+ * completes every run.  run() keeps the original throwing contract for
+ * callers that want all-or-nothing, built on the same machinery.
  */
 
 #ifndef CPE_SIM_SWEEP_RUNNER_HH
 #define CPE_SIM_SWEEP_RUNNER_HH
 
+#include <exception>
 #include <vector>
 
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "util/error.hh"
+#include "util/json.hh"
 
 namespace cpe::sim {
+
+/**
+ * What happened to one run of a sweep: either a SimResult or a
+ * structured description of the failure, plus execution metadata
+ * (attempt count, wall-clock time).
+ */
+struct RunOutcome
+{
+    /** Identity of the run, valid in both outcomes. */
+    std::string workload;
+    std::string configTag;
+
+    /** The measurement; meaningful only when ok(). */
+    SimResult result;
+    bool hasResult = false;
+
+    /** Failure description, empty/null when ok(). */
+    std::string errorKind;     ///< SimError::kind(), or "exception"
+    std::string errorMessage;
+    Json errorDetails;         ///< ProgressError snapshot, else null
+
+    /** For rethrowing the original exception (run()'s contract). */
+    std::exception_ptr exception;
+
+    /** Execution metadata. */
+    unsigned attempts = 0;     ///< 1 normally, 2 after a retry
+    double wallMs = 0.0;       ///< wall-clock time of the final attempt
+
+    bool ok() const { return hasResult; }
+
+    /**
+     * The JSON "error" record the results documents embed for a
+     * failed run: workload, config, kind, message, attempts, wall_ms,
+     * and — for progress failures — the pipeline snapshot.
+     */
+    Json errorJson() const;
+};
 
 /** Runs batches of independent simulations, possibly concurrently. */
 class SweepRunner
@@ -39,10 +86,21 @@ class SweepRunner
 
     /**
      * Run every config and return the results in input order.  If any
-     * run throws, the exception of the lowest-indexed failing config is
+     * run fails, the exception of the lowest-indexed failing config is
      * rethrown after all runs finish (workers are never abandoned).
      */
     std::vector<SimResult> run(const std::vector<SimConfig> &configs) const;
+
+    /**
+     * Fault-isolating variant: run every config and return one
+     * RunOutcome per config in input order, never throwing for a
+     * per-run failure.  Runs that fail with IoError (transient by
+     * contract) are retried once; deterministic failures (ConfigError,
+     * WorkloadError, ProgressError) are not, since a pure function of
+     * the config will fail identically again.
+     */
+    std::vector<RunOutcome>
+    runOutcomes(const std::vector<SimConfig> &configs) const;
 
     /** Convenience: run() then fold the results into a ResultGrid. */
     ResultGrid runGrid(const std::vector<SimConfig> &configs,

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Structured, recoverable error reporting for the simulation libraries.
+ *
+ * The error-handling contract (see DESIGN.md "Error-handling
+ * contract"):
+ *
+ *  - panic()  — internal simulator bug; abort() with a message.  Never
+ *               thrown, never caught: a panicking run has produced
+ *               numbers nobody should trust.
+ *  - SimError — recoverable per-run failure (bad configuration, unknown
+ *               workload, unreadable input, tripped watchdog).  Library
+ *               code throws it; the sweep runner isolates it to the one
+ *               failing run; the cpe_eval driver renders it.
+ *  - fatal()  — process exit.  Reserved for the CLI boundary (argument
+ *               parsing, the top-level handler); library code below the
+ *               driver must throw SimError instead.
+ *
+ * Every subclass carries a stable machine-readable kind() string that
+ * the JSON error records and the retry policy key off.
+ */
+
+#ifndef CPE_UTIL_ERROR_HH
+#define CPE_UTIL_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hh"
+
+namespace cpe {
+
+/** Base of every recoverable simulation failure. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &message,
+                      std::string kind = "error")
+        : std::runtime_error(message), kind_(std::move(kind))
+    {
+    }
+
+    /** Stable category tag: "config", "workload", "progress", "io",
+     *  or "error" for the base class. */
+    const std::string &kind() const { return kind_; }
+
+  private:
+    std::string kind_;
+};
+
+/** Invalid configuration: bad geometry, out-of-range knob, malformed
+ *  machine file or baseline document. */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &message)
+        : SimError(message, "config")
+    {
+    }
+};
+
+/** Workload problems: unknown kernel names, unbuildable programs. */
+class WorkloadError : public SimError
+{
+  public:
+    explicit WorkloadError(const std::string &message)
+        : SimError(message, "workload")
+    {
+    }
+};
+
+/** Filesystem/serialization failures: unreadable traces, unwritable
+ *  result documents.  Classified transient: the sweep runner retries
+ *  a run that failed with IoError once. */
+class IoError : public SimError
+{
+  public:
+    explicit IoError(const std::string &message) : SimError(message, "io")
+    {
+    }
+};
+
+/**
+ * A forward-progress watchdog tripped: the simulated core stopped
+ * committing, or a cycle/instruction budget ran out.  Carries a
+ * structured snapshot of the machine state at the moment of the trip
+ * (ROB/LSQ/issue-queue occupancy, fetch PC, store-buffer and MSHR
+ * state) so a hang is an actionable bug report, not a wedged job.
+ */
+class ProgressError : public SimError
+{
+  public:
+    ProgressError(const std::string &message, Json snapshot = Json())
+        : SimError(message, "progress"), snapshot_(std::move(snapshot))
+    {
+    }
+
+    /** Pipeline state at the trip (Json null when unavailable). */
+    const Json &snapshot() const { return snapshot_; }
+
+  private:
+    Json snapshot_;
+};
+
+} // namespace cpe
+
+#endif // CPE_UTIL_ERROR_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace cpe {
@@ -106,11 +107,13 @@ Json::at(const std::string &key, const std::string &context) const
 {
     std::string where = context.empty() ? "JSON document" : context;
     if (type_ != Type::Object)
-        fatal(Msg() << where << ": expected an object while looking up '"
-                    << key << "'");
+        throw IoError(Msg() << where
+                            << ": expected an object while looking up '"
+                            << key << "'");
     const Json *member = find(key);
     if (!member)
-        fatal(Msg() << where << ": missing required key '" << key << "'");
+        throw IoError(Msg() << where << ": missing required key '" << key
+                            << "'");
     return *member;
 }
 
@@ -495,8 +498,9 @@ Json::parse(const std::string &text, const std::string &context)
     Json out;
     std::string error;
     if (!tryParse(text, out, error))
-        fatal(Msg() << (context.empty() ? "JSON parse error" : context)
-                    << ": " << error);
+        throw IoError(Msg()
+                      << (context.empty() ? "JSON parse error" : context)
+                      << ": " << error);
     return out;
 }
 

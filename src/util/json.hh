@@ -74,8 +74,9 @@ class Json
     const Json *find(const std::string &key) const;
 
     /**
-     * The member named @p key; fatal() with @p context in the message
-     * when absent or not an object — for reading user-supplied files.
+     * The member named @p key; throws IoError with @p context in the
+     * message when absent or not an object — for reading
+     * user-supplied files.
      */
     const Json &at(const std::string &key,
                    const std::string &context = "") const;
@@ -94,7 +95,8 @@ class Json
     static bool tryParse(const std::string &text, Json &out,
                          std::string &error);
 
-    /** Parse @p text; fatal() (with @p context) on syntax errors. */
+    /** Parse @p text; throws IoError (with @p context) on syntax
+     *  errors. */
     static Json parse(const std::string &text,
                       const std::string &context = "");
 

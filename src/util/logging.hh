@@ -1,7 +1,11 @@
 /**
  * @file
  * gem5-flavoured status/error reporting: panic() for simulator bugs,
- * fatal() for user/configuration errors, warn()/inform() for advisories.
+ * fatal() for user errors at the CLI boundary, warn()/inform() for
+ * advisories.  Library code below the drivers never calls fatal():
+ * recoverable per-run failures throw the SimError hierarchy in
+ * util/error.hh instead, so one bad run cannot take down a sweep (see
+ * DESIGN.md "Error-handling contract").
  *
  * All of these format with std::format-style printf semantics kept
  * deliberately simple: they accept a pre-formatted string built by the

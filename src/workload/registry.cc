@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace cpe::workload {
@@ -45,8 +46,8 @@ WorkloadRegistry::build(const std::string &name,
     for (const auto &entry : entries_)
         if (entry.info.name == name)
             return entry.factory(options);
-    fatal(Msg() << "unknown workload '" << name
-                << "' (see WorkloadRegistry::list)");
+    throw WorkloadError(Msg() << "unknown workload '" << name
+                               << "' (see WorkloadRegistry::list)");
 }
 
 std::vector<WorkloadInfo>

@@ -61,7 +61,8 @@ class WorkloadRegistry
 
     bool has(const std::string &name) const;
 
-    /** Build @p name with @p options; fatal() on unknown names. */
+    /** Build @p name with @p options; throws WorkloadError on unknown
+     *  names. */
     prog::Program build(const std::string &name,
                         const WorkloadOptions &options) const;
 

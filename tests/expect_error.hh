@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Test helper for the SimError contracts (util/error.hh): assert that
+ * a statement throws a specific error type whose message contains a
+ * substring — the structured replacement for the EXPECT_DEATH checks
+ * that covered the old fatal() call sites.
+ */
+
+#ifndef CPE_TESTS_EXPECT_ERROR_HH
+#define CPE_TESTS_EXPECT_ERROR_HH
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+/**
+ * Expect @p stmt to throw @p ExceptionType with @p substr somewhere in
+ * its what().  A different exception type propagates and fails the
+ * test with gtest's usual unhandled-exception report.
+ */
+#define CPE_EXPECT_THROW_MSG(stmt, ExceptionType, substr)               \
+    do {                                                                \
+        bool cpe_threw_ = false;                                        \
+        try {                                                           \
+            stmt;                                                       \
+        } catch (const ExceptionType &cpe_error_) {                     \
+            cpe_threw_ = true;                                          \
+            EXPECT_NE(std::string(cpe_error_.what()).find(substr),      \
+                      std::string::npos)                                \
+                << "message was: " << cpe_error_.what();                \
+        }                                                               \
+        EXPECT_TRUE(cpe_threw_)                                         \
+            << #stmt " did not throw " #ExceptionType;                  \
+    } while (0)
+
+#endif // CPE_TESTS_EXPECT_ERROR_HH

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * The fault-isolation layer end to end: SimConfig::validate()
+ * diagnostics for every class of bad machine, the forward-progress
+ * watchdog and its pipeline snapshot, SweepRunner::runOutcomes'
+ * one-bad-point-never-kills-the-grid contract, and the cpe_eval
+ * --validate / --keep-going surfaces.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/driver.hh"
+#include "exp/experiment.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep_runner.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+#include "expect_error.hh"
+
+namespace cpe {
+namespace {
+
+/** True when validate() reports a diagnostic anchored at @p field. */
+bool
+flags(const sim::SimConfig &config, const std::string &field)
+{
+    auto diagnostics = config.validate();
+    return std::any_of(diagnostics.begin(), diagnostics.end(),
+                       [&](const sim::ConfigDiagnostic &d) {
+                           return d.field == field;
+                       });
+}
+
+sim::SimConfig
+goodConfig()
+{
+    sim::SimConfig config = sim::SimConfig::defaults();
+    config.workloadName = "crc";
+    return config;
+}
+
+TEST(ConfigValidate, DefaultsAreClean)
+{
+    EXPECT_TRUE(goodConfig().validate().empty());
+}
+
+TEST(ConfigValidate, UnknownWorkload)
+{
+    auto config = goodConfig();
+    config.workloadName = "no-such-kernel";
+    EXPECT_TRUE(flags(config, "workload"));
+}
+
+TEST(ConfigValidate, CacheGeometry)
+{
+    auto config = goodConfig();
+    config.core.dcache.cache.assoc = 0;
+    EXPECT_TRUE(flags(config, "l1d.assoc"));
+
+    config = goodConfig();
+    config.core.dcache.cache.sizeBytes = 12 * 1024;  // not a power of 2
+    EXPECT_TRUE(flags(config, "l1d.size"));
+
+    config = goodConfig();
+    config.core.fetch.icache.lineBytes = 48;
+    EXPECT_TRUE(flags(config, "l1i.line"));
+
+    config = goodConfig();
+    config.l2.cache.assoc = 3;  // 512K/32B/3 -> non-pow2 sets
+    EXPECT_TRUE(flags(config, "l2.assoc"));
+}
+
+TEST(ConfigValidate, CoreAndPredictor)
+{
+    auto config = goodConfig();
+    config.core.robSize = 0;
+    EXPECT_TRUE(flags(config, "core.rob"));
+
+    config = goodConfig();
+    config.core.bpred.tableEntries = 1000;
+    EXPECT_TRUE(flags(config, "bpred.table_entries"));
+
+    config = goodConfig();
+    config.core.fetch.fetchWidth = config.core.fetch.queueCapacity + 1;
+    EXPECT_TRUE(flags(config, "core.fetch_width"));
+}
+
+TEST(ConfigValidate, PortSubsystem)
+{
+    auto config = goodConfig();
+    config.core.dcache.tech.ports = 0;
+    EXPECT_TRUE(flags(config, "tech.ports"));
+
+    config = goodConfig();
+    config.core.dcache.tech.banks = 3;
+    EXPECT_TRUE(flags(config, "tech.banks"));
+
+    config = goodConfig();
+    config.core.dcache.tech.portWidthBytes = 4;
+    EXPECT_TRUE(flags(config, "tech.width"));
+
+    config = goodConfig();
+    config.core.dcache.tech.storeBufferEntries = 300;
+    EXPECT_TRUE(flags(config, "tech.store_buffer"));
+
+    config = goodConfig();
+    config.core.dcache.mshrs = 0;
+    EXPECT_TRUE(flags(config, "l1d.mshrs"));
+}
+
+TEST(ConfigValidate, RunLengthAndWatchdog)
+{
+    auto config = goodConfig();
+    config.warmupInsts = 600'000'000;
+    EXPECT_TRUE(flags(config, "warmup_insts"));
+
+    config = goodConfig();
+    config.core.maxCycles = 0;
+    EXPECT_TRUE(flags(config, "core.max_cycles"));
+
+    config = goodConfig();
+    config.core.noCommitCycleLimit = config.core.maxCycles + 1;
+    EXPECT_TRUE(flags(config, "core.no_commit_limit"));
+}
+
+TEST(ConfigValidate, OrThrowReportsEveryDiagnosticAtOnce)
+{
+    auto config = goodConfig();
+    config.core.dcache.cache.assoc = 0;
+    config.core.dcache.tech.banks = 3;
+    try {
+        config.validateOrThrow();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &error) {
+        EXPECT_EQ(error.kind(), "config");
+        std::string what = error.what();
+        EXPECT_NE(what.find("l1d.assoc"), std::string::npos) << what;
+        EXPECT_NE(what.find("tech.banks"), std::string::npos) << what;
+    }
+}
+
+TEST(ConfigValidate, SimulateRejectsBadConfigBeforeBuilding)
+{
+    auto config = goodConfig();
+    config.core.dcache.cache.assoc = 0;
+    CPE_EXPECT_THROW_MSG(sim::simulate(config), ConfigError,
+                         "l1d.assoc");
+}
+
+TEST(ConfigValidate, WatchdogAppearsInDescribe)
+{
+    EXPECT_NE(goodConfig().describe().find("watchdog"),
+              std::string::npos);
+}
+
+TEST(Watchdog, NoCommitLimitTripsWithSnapshot)
+{
+    auto config = goodConfig();
+    config.core.noCommitCycleLimit = 2;  // trips during pipeline fill
+    try {
+        sim::simulate(config);
+        FAIL() << "expected ProgressError";
+    } catch (const ProgressError &error) {
+        EXPECT_EQ(error.kind(), "progress");
+        const Json &snapshot = error.snapshot();
+        ASSERT_FALSE(snapshot.isNull());
+        // The snapshot must name every structure a wedge could be
+        // stuck behind.
+        for (const char *key : {"rob", "issue_queue", "lsq",
+                                "store_buffer", "mshrs", "fetch"})
+            EXPECT_NE(snapshot.find(key), nullptr) << key;
+        EXPECT_EQ(snapshot.at("committed_insts", "snap").asNumber(), 0);
+        EXPECT_NE(std::string(error.what()).find("pipeline snapshot"),
+                  std::string::npos);
+    }
+}
+
+TEST(Watchdog, AbsoluteCycleBudgetTrips)
+{
+    auto config = goodConfig();
+    config.core.maxCycles = 100;
+    config.core.noCommitCycleLimit = 0;  // isolate the budget check
+    CPE_EXPECT_THROW_MSG(sim::simulate(config), ProgressError,
+                         "cycle budget");
+}
+
+TEST(SweepOutcomes, OneBadPointNeverKillsTheGrid)
+{
+    VerboseScope quiet(false);
+    std::vector<sim::SimConfig> configs;
+    for (const char *workload : {"crc", "saxpy", "strops"}) {
+        auto config = goodConfig();
+        config.workloadName = workload;
+        configs.push_back(config);
+    }
+    configs[1].core.dcache.cache.assoc = 0;  // deterministic failure
+
+    auto outcomes = sim::SweepRunner(2).runOutcomes(configs);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_TRUE(outcomes[0].ok());
+    EXPECT_TRUE(outcomes[2].ok());
+    EXPECT_GT(outcomes[0].result.insts, 0u);
+
+    const auto &failed = outcomes[1];
+    EXPECT_FALSE(failed.ok());
+    EXPECT_EQ(failed.workload, "saxpy");
+    EXPECT_EQ(failed.errorKind, "config");
+    // Config failures are deterministic: no retry.
+    EXPECT_EQ(failed.attempts, 1u);
+    EXPECT_GE(failed.wallMs, 0.0);
+    ASSERT_TRUE(failed.exception != nullptr);
+
+    Json record = failed.errorJson();
+    for (const char *key : {"workload", "config", "kind", "message",
+                            "attempts", "wall_ms"})
+        EXPECT_NE(record.find(key), nullptr) << key;
+    EXPECT_EQ(record.find("snapshot"), nullptr)
+        << "config errors carry no pipeline snapshot";
+}
+
+TEST(SweepOutcomes, ProgressFailureCarriesSnapshot)
+{
+    VerboseScope quiet(false);
+    auto config = goodConfig();
+    config.core.noCommitCycleLimit = 2;
+    auto outcomes = sim::SweepRunner(1).runOutcomes({config});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].errorKind, "progress");
+    EXPECT_NE(outcomes[0].errorJson().find("snapshot"), nullptr);
+}
+
+/** Run evalMain over an argv literal list. */
+int
+evalWith(std::vector<std::string> args)
+{
+    args.insert(args.begin(), "cpe_eval");
+    std::vector<char *> argv;
+    for (auto &arg : args)
+        argv.push_back(arg.data());
+    int rc = exp::evalMain(static_cast<int>(argv.size()), argv.data());
+    exp::setFaultInjection({});  // never leak a plan into other tests
+    return rc;
+}
+
+TEST(EvalValidate, CleanExperimentPasses)
+{
+    EXPECT_EQ(evalWith({"--validate", "--run", "T3", "--workloads",
+                        "crc"}),
+              0);
+}
+
+TEST(EvalValidate, InjectedConfigFaultFailsWithoutRunning)
+{
+    EXPECT_EQ(evalWith({"--validate", "--run", "T3", "--workloads",
+                        "crc", "--fault-inject", "crc:config"}),
+              1);
+}
+
+TEST(EvalKeepGoing, InvalidRunBecomesStructuredFailure)
+{
+    // The injected config fault fails validate() inside the sweep;
+    // keep-going turns it into an "errors" record and exit 1 instead
+    // of an uncaught ConfigError.
+    EXPECT_EQ(evalWith({"--run", "T3", "--workloads", "crc",
+                        "--keep-going", "--format", "json",
+                        "--fault-inject", "crc:config"}),
+              1);
+}
+
+} // namespace
+} // namespace cpe

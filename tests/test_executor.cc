@@ -11,6 +11,9 @@
 
 #include "func/executor.hh"
 #include "prog/builder.hh"
+#include "util/error.hh"
+
+#include "expect_error.hh"
 
 namespace cpe::func {
 namespace {
@@ -320,7 +323,8 @@ TEST(Exec, InstructionFuse)
     b.halt();
     Program p = b.build();
     Executor exec(p, 1000);
-    EXPECT_DEATH(exec.run(), "exceeded instruction fuse");
+    CPE_EXPECT_THROW_MSG(exec.run(), ProgressError,
+                         "exceeded instruction fuse");
 }
 
 TEST(ExecDeathTest, UnalignedAccessPanics)

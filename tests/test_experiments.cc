@@ -13,6 +13,9 @@
 #include "exp/driver.hh"
 #include "exp/registry.hh"
 #include "workload/registry.hh"
+#include "util/error.hh"
+
+#include "expect_error.hh"
 
 namespace cpe::exp {
 namespace {
@@ -35,11 +38,12 @@ TEST(ExperimentRegistry, LookupIsCaseExact)
     EXPECT_EQ(found, nullptr);
 }
 
-TEST(ExperimentRegistryDeathTest, UnknownIdIsFatal)
+TEST(ExperimentRegistryErrors, UnknownIdThrowsConfigError)
 {
     // get() is the user-facing path (--run ids); its message lists
     // what is registered.
-    EXPECT_DEATH(ExperimentRegistry::instance().get("F99"), "F5");
+    CPE_EXPECT_THROW_MSG(ExperimentRegistry::instance().get("F99"),
+                         ConfigError, "F5");
 }
 
 TEST(ExperimentRegistry, EveryExperimentHasAWellFormedPrimaryGrid)

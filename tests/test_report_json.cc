@@ -2,7 +2,7 @@
  * @file
  * JSON pipeline tests: the Json document model (stable key order,
  * escaping, round-tripping, parse errors), ResultGrid::toJson, the
- * StatGroup JSON dump, and the fatal() contracts of geomeanIpc /
+ * StatGroup JSON dump, and the SimError contracts of geomeanIpc /
  * relativeTable on bad baselines.
  */
 
@@ -14,6 +14,9 @@
 #include "sim/report.hh"
 #include "stats/stats.hh"
 #include "util/json.hh"
+#include "util/error.hh"
+
+#include "expect_error.hh"
 
 namespace cpe {
 namespace {
@@ -108,12 +111,14 @@ TEST(Json, ParseErrorsCarryPosition)
     EXPECT_FALSE(Json::tryParse("1 trailing", out, error));
 }
 
-TEST(JsonDeathTest, UserFacingLookupsAreFatal)
+TEST(JsonErrors, UserFacingLookupsThrowIoError)
 {
     Json obj = Json::object();
     obj["present"] = 1;
-    EXPECT_DEATH(obj.at("absent", "test doc"), "absent");
-    EXPECT_DEATH(Json::parse("{oops", "test doc"), "test doc");
+    CPE_EXPECT_THROW_MSG(obj.at("absent", "test doc"), IoError,
+                         "absent");
+    CPE_EXPECT_THROW_MSG(Json::parse("{oops", "test doc"), IoError,
+                         "test doc");
 }
 
 sim::ResultGrid
@@ -171,12 +176,15 @@ TEST(ResultGridJson, StructureAndValues)
     EXPECT_EQ(doc.dump(2), smallGrid().toJson("base").dump(2));
 }
 
-TEST(ResultGridJsonDeathTest, BadBaselinesAreFatal)
+TEST(ResultGridJsonErrors, BadBaselinesThrowSimError)
 {
     auto grid = smallGrid();
-    EXPECT_DEATH(grid.geomeanIpc("nope"), "no config column");
-    EXPECT_DEATH(grid.relativeTable("nope"), "baseline");
-    EXPECT_DEATH(grid.toJson("nope"), "no config column");
+    CPE_EXPECT_THROW_MSG(grid.geomeanIpc("nope"), SimError,
+                         "no config column");
+    CPE_EXPECT_THROW_MSG(grid.relativeTable("nope"), SimError,
+                         "baseline");
+    CPE_EXPECT_THROW_MSG(grid.toJson("nope"), SimError,
+                         "no config column");
 
     sim::ResultGrid zero("IPC");
     sim::SimResult r;
@@ -184,8 +192,10 @@ TEST(ResultGridJsonDeathTest, BadBaselinesAreFatal)
     r.configTag = "dead";
     r.ipc = 0.0;
     zero.add(r);
-    EXPECT_DEATH(zero.geomeanIpc("dead"), "non-positive");
-    EXPECT_DEATH(zero.relativeTable("dead"), "non-positive");
+    CPE_EXPECT_THROW_MSG(zero.geomeanIpc("dead"), SimError,
+                         "non-positive");
+    CPE_EXPECT_THROW_MSG(zero.relativeTable("dead"), SimError,
+                         "non-positive");
 }
 
 TEST(StatGroupJson, DumpJsonRoundTrips)

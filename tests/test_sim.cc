@@ -9,6 +9,9 @@
 
 #include "sim/report.hh"
 #include "sim/simulator.hh"
+#include "util/error.hh"
+
+#include "expect_error.hh"
 
 namespace cpe::sim {
 namespace {
@@ -144,8 +147,10 @@ TEST(ResultGridDeathTest, MissingCellsPanic)
     a.configTag = "c";
     a.ipc = 1.0;
     grid.add(a);
-    EXPECT_DEATH(grid.ipc("w", "nope"), "no result");
-    EXPECT_DEATH(grid.relativeTable("nope"), "baseline");
+    CPE_EXPECT_THROW_MSG(grid.ipc("w", "nope"), SimError,
+                         "no result");
+    CPE_EXPECT_THROW_MSG(grid.relativeTable("nope"), SimError,
+                         "baseline");
 }
 
 TEST(RatioStr, Format)

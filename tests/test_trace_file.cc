@@ -13,6 +13,9 @@
 #include "func/executor.hh"
 #include "func/trace_file.hh"
 #include "workload/registry.hh"
+#include "util/error.hh"
+
+#include "expect_error.hh"
 
 namespace cpe::func {
 namespace {
@@ -105,10 +108,10 @@ TEST(TraceFile, ReplayedTimingRunIsCycleExact)
     EXPECT_EQ(from_live.second, from_file.second);
 }
 
-TEST(TraceFile, MissingFileIsFatal)
+TEST(TraceFile, MissingFileThrowsIoError)
 {
-    EXPECT_DEATH(FileTraceSource("/nonexistent/trace.bin"),
-                 "cannot open");
+    CPE_EXPECT_THROW_MSG(FileTraceSource("/nonexistent/trace.bin"),
+                         IoError, "cannot open");
 }
 
 TEST(TraceFile, RejectsGarbage)
@@ -118,7 +121,8 @@ TEST(TraceFile, RejectsGarbage)
     ASSERT_NE(f, nullptr);
     std::fputs("this is not a trace", f);
     std::fclose(f);
-    EXPECT_DEATH(FileTraceSource{file.path}, "not a CPET trace");
+    CPE_EXPECT_THROW_MSG(FileTraceSource{file.path}, IoError,
+                         "not a CPET trace");
 }
 
 } // namespace

@@ -18,6 +18,9 @@
 #include "util/random.hh"
 #include "workload/characterize.hh"
 #include "workload/registry.hh"
+#include "util/error.hh"
+
+#include "expect_error.hh"
 
 namespace cpe::workload {
 namespace {
@@ -543,12 +546,12 @@ TEST(Workloads, EveryKernelIsBinaryEncodable)
     }
 }
 
-TEST(WorkloadsDeathTest, UnknownWorkloadIsFatal)
+TEST(WorkloadsErrors, UnknownWorkloadThrowsWorkloadError)
 {
     WorkloadOptions options;
-    EXPECT_DEATH(
+    CPE_EXPECT_THROW_MSG(
         WorkloadRegistry::instance().build("no-such-kernel", options),
-        "unknown workload");
+        WorkloadError, "unknown workload");
 }
 
 } // namespace
