@@ -11,6 +11,7 @@
 
 #include "core/dcache_unit.hh"
 #include "func/executor.hh"
+#include "obs/tracer.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep_runner.hh"
 #include "util/random.hh"
@@ -64,6 +65,40 @@ BM_TimingAllTechniques(benchmark::State &state)
     timingRun(state, core::PortTechConfig::singlePortAllTechniques());
 }
 BENCHMARK(BM_TimingAllTechniques)->Unit(benchmark::kMillisecond);
+
+/**
+ * The same timing run with event tracing and interval sampling live:
+ * the delta against BM_TimingAllTechniques is the cost of *enabled*
+ * observability (the ISSUE's acceptance number is about tracing
+ * compiled in but disabled, which is BM_TimingAllTechniques itself —
+ * every hook is there, branching on a null tracer).  The counting sink
+ * discards bytes so the measurement excludes disk speed;
+ * trace_mb_per_run is the trace volume one run generates.
+ */
+void
+BM_TimingTraced(benchmark::State &state)
+{
+    setVerbose(false);
+    obs::CountingTraceSink sink;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::SimConfig config = sim::SimConfig::defaults();
+        config.workloadName = "crc";
+        config.core.dcache.tech =
+            core::PortTechConfig::singlePortAllTechniques();
+        config.obs.traceSink = &sink;
+        config.obs.sampleCycles = 1000;
+        auto result = sim::simulate(config);
+        insts += result.insts;
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.counters["inst_rate"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+    state.counters["trace_mb_per_run"] =
+        static_cast<double>(sink.bytes()) / 1e6 /
+        static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TimingTraced)->Unit(benchmark::kMillisecond);
 
 /**
  * The evaluation-harness sweep shape: 4 workloads x 3 variants of

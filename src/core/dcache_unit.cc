@@ -104,6 +104,17 @@ DCacheUnit::DCacheUnit(const DCacheParams &params,
         "fraction of loads needing a data port");
 }
 
+void
+DCacheUnit::setTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer;
+    ports_.setTracer(tracer);
+    storeBuffer_.setTracer(tracer);
+    lineBuffers_.setTracer(tracer);
+    mshrs_.setTracer(tracer);
+    l1d_.setTracer(tracer);
+}
+
 unsigned
 DCacheUnit::fillCycles() const
 {
@@ -376,6 +387,9 @@ DCacheUnit::processFill(const mem::Mshr &fill, Cycle now)
     }
     auto result = l1d_.fill(fill.lineAddr, fill.writeIntent);
     ++fills;
+    if (tracer_)
+        tracer_->record(now, obs::EventKind::Fill, fill.lineAddr,
+                        fill.writeIntent);
     onEviction(result, now);
     // The arriving line streams past the processor: with line buffers
     // enabled it is captured whole (fill register behaviour), except
@@ -476,6 +490,8 @@ DCacheUnit::drainAll(Cycle now)
     // Threshold-policy buffers would otherwise hold entries forever.
     storeBuffer_.requestDrainAll();
     while (busy()) {
+        if (tracer_)
+            tracer_->advanceTo(cycle);
         beginCycle(cycle);
         endCycle(cycle);
         ++cycle;

@@ -140,6 +140,12 @@ class DCacheUnit
     PortArbiter &ports() { return ports_; }
     mem::MshrFile &mshrs() { return mshrs_; }
 
+    /**
+     * Attach the event tracer to the whole port subsystem (ports,
+     * store buffer, line buffers, MSHRs, L1D tags).  Null detaches.
+     */
+    void setTracer(obs::Tracer *tracer);
+
     stats::StatGroup &statGroup() { return statGroup_; }
 
     // Load outcome counters.
@@ -221,6 +227,7 @@ class DCacheUnit
     std::vector<Cycle> bankBusyUntil_;
     /** Victim-cache FIFO: line address + dirty bit. */
     std::deque<std::pair<Addr, bool>> victims_;
+    obs::Tracer *tracer_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

@@ -72,6 +72,8 @@ LineBufferFile::lookup(Addr addr, unsigned size)
         return false;
     buffer->lastUse = ++useClock_;
     ++hits;
+    if (tracer_)
+        tracer_->recordNow(obs::EventKind::LbHit, line_addr);
     return true;
 }
 
@@ -99,8 +101,13 @@ LineBufferFile::capture(Addr addr, unsigned width,
             if (!victim || candidate.lastUse < victim->lastUse)
                 victim = &candidate;
         }
-        if (victim->valid)
+        if (victim->valid) {
             ++replacements;
+            if (tracer_)
+                tracer_->recordNow(obs::EventKind::LbEvict,
+                                   victim->lineAddr,
+                                   obs::LbEvictReplaced);
+        }
         victim->valid = true;
         victim->lineAddr = line_addr;
         victim->byteMask = 0;
@@ -109,6 +116,9 @@ LineBufferFile::capture(Addr addr, unsigned width,
     buffer->byteMask |= new_bytes;
     buffer->lastUse = ++useClock_;
     ++captures;
+    if (tracer_)
+        tracer_->recordNow(obs::EventKind::LbFill, line_addr,
+                           popCount(new_bytes));
 }
 
 void
@@ -124,6 +134,9 @@ LineBufferFile::onStore(Addr addr, unsigned size)
         buffer->valid = false;
         buffer->byteMask = 0;
         ++storeInvals;
+        if (tracer_)
+            tracer_->recordNow(obs::EventKind::LbEvict, line_addr,
+                               obs::LbEvictStore);
         return;
     }
     unsigned offset = static_cast<unsigned>(addr - line_addr);
@@ -138,6 +151,9 @@ LineBufferFile::invalidateLine(Addr line_addr)
         buffer->valid = false;
         buffer->byteMask = 0;
         ++lineInvals;
+        if (tracer_)
+            tracer_->recordNow(obs::EventKind::LbEvict, line_addr,
+                               obs::LbEvictLineInval);
     }
 }
 
@@ -147,6 +163,9 @@ LineBufferFile::flushAll()
     if (!enabled())
         return;
     for (auto &buffer : buffers_) {
+        if (buffer.valid && tracer_)
+            tracer_->recordNow(obs::EventKind::LbEvict, buffer.lineAddr,
+                               obs::LbEvictFlush);
         buffer.valid = false;
         buffer.byteMask = 0;
     }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/port_config.hh"
+#include "obs/tracer.hh"
 #include "stats/stats.hh"
 #include "util/types.hh"
 
@@ -80,6 +81,10 @@ class LineBufferFile
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /** Attach the event tracer (null = tracing off, the default).
+     *  Events are stamped with the tracer's tracked current cycle. */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     stats::Scalar hits;          ///< loads serviced from a buffer
     stats::Scalar lookups;       ///< all load lookups
     stats::Scalar captures;      ///< windows deposited
@@ -106,6 +111,7 @@ class LineBufferFile
     LineBufferWritePolicy writePolicy_;
     std::vector<Buffer> buffers_;
     std::uint64_t useClock_ = 0;
+    obs::Tracer *tracer_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

@@ -33,10 +33,15 @@ PortArbiter::tryAcquire(Cycle now, unsigned cycles)
         if (until <= now) {
             until = now + cycles;
             ++grants;
+            if (tracer_)
+                tracer_->record(now, obs::EventKind::PortGrant, 0,
+                                cycles);
             return true;
         }
     }
     ++rejections;
+    if (tracer_)
+        tracer_->record(now, obs::EventKind::PortConflict);
     return false;
 }
 

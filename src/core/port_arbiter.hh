@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/tracer.hh"
 #include "stats/stats.hh"
 #include "util/types.hh"
 
@@ -47,6 +48,9 @@ class PortArbiter
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /** Attach the event tracer (null = tracing off, the default). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     stats::Scalar grants;       ///< successful acquisitions
     stats::Scalar rejections;   ///< acquisitions refused (all busy)
     stats::Scalar busyPortCycles; ///< port-cycles spent busy
@@ -55,6 +59,7 @@ class PortArbiter
   private:
     /** First cycle at or after which port @p port is free. */
     std::vector<Cycle> busyUntil_;
+    obs::Tracer *tracer_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

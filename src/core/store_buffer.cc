@@ -79,6 +79,9 @@ StoreBuffer::insert(Addr addr, unsigned size, Cycle now)
             entry->byteMask |= rangeMask(offset, size);
             ++combines;
             ++inserts;
+            if (tracer_)
+                tracer_->record(now, obs::EventKind::SbMerge, line_addr,
+                                size);
             return true;
         }
     }
@@ -92,6 +95,8 @@ StoreBuffer::insert(Addr addr, unsigned size, Cycle now)
     entry.allocCycle = now;
     fifo_.push_back(entry);
     ++inserts;
+    if (tracer_)
+        tracer_->record(now, obs::EventKind::SbInsert, line_addr, size);
     return true;
 }
 
@@ -204,6 +209,9 @@ StoreBuffer::drainOne(unsigned port_width, Cycle now)
         fifo_.erase(fifo_.begin() +
                     static_cast<std::deque<Entry>::difference_type>(pick));
     }
+    if (tracer_)
+        tracer_->record(now, obs::EventKind::SbDrain, op.lineAddr,
+                        popCount(op.validMask), op.entryFinished);
     return op;
 }
 
@@ -230,8 +238,14 @@ StoreBuffer::restore(const DrainOp &op, Cycle now)
     // re-create one at the FIFO front to preserve age order.
     if (Entry *entry = find(op.lineAddr)) {
         entry->byteMask |= op.validMask;
+        if (tracer_)
+            tracer_->record(now, obs::EventKind::SbRestore, op.lineAddr,
+                            popCount(op.validMask), 0);
         return;
     }
+    if (tracer_)
+        tracer_->record(now, obs::EventKind::SbRestore, op.lineAddr,
+                        popCount(op.validMask), 1);
     Entry entry;
     entry.lineAddr = op.lineAddr;
     entry.byteMask = op.validMask;

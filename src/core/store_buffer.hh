@@ -17,6 +17,7 @@
 #include <deque>
 #include <string>
 
+#include "obs/tracer.hh"
 #include "stats/stats.hh"
 #include "util/types.hh"
 
@@ -134,6 +135,9 @@ class StoreBuffer
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /** Attach the event tracer (null = tracing off, the default). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     stats::Scalar inserts;        ///< stores accepted
     stats::Scalar combines;       ///< stores merged into a live entry
     stats::Scalar fullRejects;    ///< stores refused: buffer full
@@ -153,6 +157,7 @@ class StoreBuffer
     unsigned lineBytes_;
     bool combining_;
     std::deque<Entry> fifo_;
+    obs::Tracer *tracer_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

@@ -63,20 +63,32 @@ OooCore::commit(Cycle now)
     for (unsigned n = 0; n < params_.commitWidth; ++n) {
         TimingInst *head = rob_.head();
         if (!head) {
-            if (n == 0)
+            if (n == 0) {
                 ++robEmptyCycles;
+                if (tracer_)
+                    tracer_->record(now, obs::EventKind::CommitStall, 0,
+                                    obs::StallRobEmpty);
+            }
             return;
         }
         if (!head->done || head->doneCycle > now) {
-            if (n == 0)
+            if (n == 0) {
                 ++commitBlockedCycles;
+                if (tracer_)
+                    tracer_->record(now, obs::EventKind::CommitStall, 0,
+                                    obs::StallHeadIncomplete);
+            }
             return;
         }
         // A store additionally needs its data computed to commit.
         if (head->isStore() &&
             !rob_.producerDone(head->srcProducer[1], now)) {
-            if (n == 0)
+            if (n == 0) {
                 ++commitBlockedCycles;
+                if (tracer_)
+                    tracer_->record(now, obs::EventKind::CommitStall, 0,
+                                    obs::StallHeadIncomplete);
+            }
             return;
         }
 
@@ -84,6 +96,10 @@ OooCore::commit(Cycle now)
             if (!dcache_.tryStore(head->di.memAddr, head->di.memSize,
                                   now)) {
                 ++storeCommitStalls;
+                if (tracer_)
+                    tracer_->record(now, obs::EventKind::CommitStall,
+                                    head->di.memAddr,
+                                    obs::StallStoreReject);
                 return;
             }
             lsq_.commitStore(head);
@@ -313,14 +329,24 @@ OooCore::run()
 {
     lastCommitCycle_ = now_;
     while (!halted_) {
+        if (tracer_)
+            tracer_->advanceTo(now_);
         robOccupancy.sample(static_cast<std::int64_t>(rob_.size()));
         dcache_.beginCycle(now_);
+        std::uint64_t committed_before = committed_.value();
         commit(now_);
+        // Warm-up reset can shrink the counter mid-commit; the strict >
+        // guard keeps the event honest across that discontinuity.
+        if (tracer_ && committed_.value() > committed_before)
+            tracer_->record(now_, obs::EventKind::Commit, 0,
+                            committed_.value() - committed_before);
         issue(now_);
         dispatch(now_);
         fetch_.tick(now_);
         dcache_.endCycle(now_);
         ++now_;
+        if (sampler_)
+            sampler_->tick(now_);
 
         if (now_ >= params_.maxCycles) {
             tripWatchdog(Msg() << "core exceeded its absolute cycle "
@@ -343,6 +369,10 @@ OooCore::run()
         }
     }
     now_ = dcache_.drainAll(now_);
+    if (tracer_)
+        tracer_->advanceTo(now_);
+    if (sampler_)
+        sampler_->finalize(now_);
     return now_;
 }
 

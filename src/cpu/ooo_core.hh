@@ -21,6 +21,7 @@
 #include "cpu/lsq.hh"
 #include "cpu/rename.hh"
 #include "cpu/rob.hh"
+#include "stats/sampler.hh"
 #include "util/json.hh"
 
 namespace cpe::cpu {
@@ -121,6 +122,29 @@ class OooCore
      */
     void setPipeTrace(std::ostream *out) { pipeTrace_ = out; }
 
+    /**
+     * Attach the structured event tracer (null = off, the default).
+     * Propagates to the D-cache port subsystem; the core itself emits
+     * commit / commit_stall events and keeps the tracer's tracked
+     * cycle current.  Tracing must never perturb timing: hooks only
+     * read simulation state.
+     */
+    void setTracer(obs::Tracer *tracer)
+    {
+        tracer_ = tracer;
+        dcache_.setTracer(tracer);
+    }
+
+    /**
+     * Attach the interval stats sampler (null = off).  run() ticks it
+     * once per simulated cycle and finalizes it after the post-HALT
+     * drain, so the trailing partial interval is never lost.
+     */
+    void setSampler(stats::IntervalSampler *sampler)
+    {
+        sampler_ = sampler;
+    }
+
     core::DCacheUnit &dcache() { return dcache_; }
     FetchUnit &fetch() { return fetch_; }
     Lsq &lsq() { return lsq_; }
@@ -177,6 +201,8 @@ class OooCore
     Cycle lastCommitCycle_ = 0;  ///< no-commit watchdog bookkeeping
     bool halted_ = false;
     std::ostream *pipeTrace_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
+    stats::IntervalSampler *sampler_ = nullptr;
     std::uint64_t totalCommitted_ = 0;
     Cycle warmupEndCycle_ = 0;
     std::function<void()> onWarmupDone_;

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "exp/registry.hh"
@@ -59,7 +60,14 @@ constexpr const char *kUsage =
     "                           non-zero with a failure summary\n"
     "  --fault-inject W:KIND    testing hook: sabotage workload W's\n"
     "                           configs (KIND: config | hang);\n"
-    "                           repeatable\n";
+    "                           repeatable\n"
+    "  --trace FILE             write a structured JSONL event trace\n"
+    "                           of every run to FILE (schema:\n"
+    "                           docs/observability.md)\n"
+    "  --sample-cycles N        sample interval stats every N cycles;\n"
+    "                           intervals land in the JSON results\n"
+    "                           documents and the trace (0 = off)\n"
+    "(every --flag VALUE is also accepted as --flag=VALUE)\n";
 
 [[noreturn]] void
 usageError(const std::string &message)
@@ -95,6 +103,8 @@ struct Options
     bool keepGoing = false;
     /** --fault-inject plan: (workload, kind) pairs. */
     std::vector<std::pair<std::string, std::string>> faultPlan;
+    std::string tracePath;      ///< --trace: "" = off
+    Cycle sampleCycles = 0;     ///< --sample-cycles: 0 = off
 };
 
 std::string
@@ -116,11 +126,27 @@ parseArgs(int argc, char **argv)
         options.mode = mode;
     };
     for (int i = 1; i < argc; ++i) {
-        const std::string flag = argv[i];
+        std::string flag = argv[i];
+        // Both spellings work: "--flag value" and "--flag=value".
+        std::string inline_value;
+        bool has_inline = false;
+        if (flag.rfind("--", 0) == 0) {
+            std::size_t eq = flag.find('=');
+            if (eq != std::string::npos) {
+                inline_value = flag.substr(eq + 1);
+                flag = flag.substr(0, eq);
+                has_inline = true;
+            }
+        }
+        auto value = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
+            return argValue(argc, argv, i, flag);
+        };
         if (flag == "--list") {
             setMode(Mode::List);
         } else if (flag == "--run") {
-            std::string ids = argValue(argc, argv, i, flag);
+            std::string ids = value();
             // --check/--write-baseline --run ids narrows those modes;
             // otherwise --run is its own mode.
             if (options.mode == Mode::None)
@@ -137,7 +163,7 @@ parseArgs(int argc, char **argv)
                 options.mode = Mode::WriteBaseline;
             else
                 setMode(Mode::WriteBaseline);
-            options.baselineDir = argValue(argc, argv, i, flag);
+            options.baselineDir = value();
         } else if (flag == "--validate") {
             if (options.mode == Mode::Run)
                 options.mode = Mode::Validate;
@@ -146,7 +172,7 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--keep-going") {
             options.keepGoing = true;
         } else if (flag == "--fault-inject") {
-            std::string spec = argValue(argc, argv, i, flag);
+            std::string spec = value();
             auto colon = spec.find(':');
             if (colon == std::string::npos)
                 usageError("--fault-inject wants workload:kind, got '" +
@@ -158,15 +184,20 @@ parseArgs(int argc, char **argv)
                            "'hang', got '" + kind + "'");
             options.faultPlan.emplace_back(std::move(workload),
                                            std::move(kind));
+        } else if (flag == "--trace") {
+            options.tracePath = value();
+        } else if (flag == "--sample-cycles") {
+            options.sampleCycles = static_cast<Cycle>(
+                std::strtoull(value().c_str(), nullptr, 10));
         } else if (flag == "--workloads") {
             options.workloads =
-                splitList(argValue(argc, argv, i, flag));
+                splitList(value());
         } else if (flag == "--jobs") {
             sim::SweepRunner::setDefaultJobs(static_cast<unsigned>(
-                std::strtoul(argValue(argc, argv, i, flag).c_str(),
+                std::strtoul(value().c_str(),
                              nullptr, 10)));
         } else if (flag == "--format") {
-            std::string format = argValue(argc, argv, i, flag);
+            std::string format = value();
             if (format == "table")
                 options.format = Format::Table;
             else if (format == "csv")
@@ -177,12 +208,12 @@ parseArgs(int argc, char **argv)
                 usageError("unknown format '" + format +
                            "' (expected table, csv, or json)");
         } else if (flag == "--out") {
-            options.outDir = argValue(argc, argv, i, flag);
+            options.outDir = value();
         } else if (flag == "--baseline") {
-            options.baselineDir = argValue(argc, argv, i, flag);
+            options.baselineDir = value();
         } else if (flag == "--tolerance") {
             options.tolerancePct =
-                std::strtod(argValue(argc, argv, i, flag).c_str(),
+                std::strtod(value().c_str(),
                             nullptr);
         } else {
             usageError("unknown flag '" + flag + "'");
@@ -577,6 +608,14 @@ evalMain(int argc, char **argv)
     // The CLI boundary: everything below throws SimError for
     // recoverable failures; only here do they become an exit code.
     try {
+        // One shared sink for the whole invocation: concurrent sweep
+        // runs interleave whole event batches, each line tagged with
+        // its run id.
+        std::unique_ptr<obs::FileTraceSink> trace_sink;
+        if (!options.tracePath.empty())
+            trace_sink =
+                std::make_unique<obs::FileTraceSink>(options.tracePath);
+        setObservability(trace_sink.get(), options.sampleCycles);
         switch (options.mode) {
           case Mode::List:
             return listExperiments();

@@ -15,6 +15,10 @@ namespace {
  *  SweepRunner::setDefaultJobs). */
 std::vector<std::pair<std::string, std::string>> faultPlan;
 
+/** The installed observability settings (see setObservability). */
+obs::TraceSink *obsSink = nullptr;
+Cycle obsSampleCycles = 0;
+
 void
 applyFaults(sim::SimConfig &config)
 {
@@ -42,6 +46,13 @@ setFaultInjection(std::vector<std::pair<std::string, std::string>> plan)
     faultPlan = std::move(plan);
 }
 
+void
+setObservability(obs::TraceSink *sink, Cycle sample_cycles)
+{
+    obsSink = sink;
+    obsSampleCycles = sample_cycles;
+}
+
 std::vector<sim::SimConfig>
 suiteConfigs(const std::vector<Variant> &variants,
              const std::vector<std::string> &workloads)
@@ -57,6 +68,10 @@ suiteConfigs(const std::vector<Variant> &variants,
             config.label = variant.label;
             if (variant.tweak)
                 variant.tweak(config);
+            if (obsSink)
+                config.obs.traceSink = obsSink;
+            if (obsSampleCycles)
+                config.obs.sampleCycles = obsSampleCycles;
             if (!faultPlan.empty())
                 applyFaults(config);
             configs.push_back(std::move(config));

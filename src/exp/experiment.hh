@@ -61,6 +61,15 @@ suiteConfigs(const std::vector<Variant> &variants,
 void setFaultInjection(
     std::vector<std::pair<std::string, std::string>> plan);
 
+/**
+ * Observability hook (cpe_eval --trace / --sample-cycles): every
+ * config built by suiteConfigs() gets this trace sink (shareable
+ * across the sweep workers — each run claims its own run id) and
+ * sampling interval.  Pass (nullptr, 0) to clear.  Like the fault
+ * plan, set before a sweep starts, never during one.
+ */
+void setObservability(obs::TraceSink *sink, Cycle sample_cycles);
+
 class Context;
 
 /** One registered experiment of the reconstructed evaluation. */

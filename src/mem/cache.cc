@@ -121,6 +121,9 @@ Cache::fill(Addr addr, bool dirty)
         ++evictions;
         if (line.dirty)
             ++writebacks;
+        if (tracer_)
+            tracer_->recordNow(obs::EventKind::CacheEvict,
+                               result.evictedAddr, result.evictedDirty);
     }
     line.valid = true;
     line.dirty = dirty;

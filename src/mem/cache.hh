@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/tracer.hh"
 #include "stats/stats.hh"
 #include "util/random.hh"
 #include "util/types.hh"
@@ -106,6 +107,10 @@ class Cache
     /** Statistics group (hits/misses/evictions). */
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /** Attach the event tracer (null = tracing off, the default);
+     *  evictions are stamped with the tracer's tracked cycle. */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     /** Raw counters, exposed for formulas in owning units. */
     stats::Scalar hits;
     stats::Scalar misses;
@@ -165,6 +170,7 @@ class Cache
     Addr lastHitTag_ = NoTag;
     std::size_t lastHitLine_ = 0;  ///< index into lines_
     Rng rng_;
+    obs::Tracer *tracer_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

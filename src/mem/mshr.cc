@@ -47,6 +47,9 @@ MshrFile::allocate(Addr line_addr, Cycle ready, bool write_intent,
     live_.push_back(
         Mshr{line_addr, ready, prefetch ? 0u : 1u, write_intent,
              prefetch});
+    if (tracer_)
+        tracer_->recordNow(obs::EventKind::MshrAlloc, line_addr,
+                           write_intent, prefetch);
     return live_.back();
 }
 
@@ -68,6 +71,9 @@ MshrFile::takeReady(Cycle now)
     auto it = live_.begin();
     while (it != live_.end()) {
         if (it->readyCycle <= now) {
+            if (tracer_)
+                tracer_->record(now, obs::EventKind::MshrRetire,
+                                it->lineAddr);
             ready.push_back(*it);
             it = live_.erase(it);
         } else {

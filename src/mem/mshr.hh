@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/tracer.hh"
 #include "stats/stats.hh"
 #include "util/types.hh"
 
@@ -74,6 +75,9 @@ class MshrFile
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    /** Attach the event tracer (null = tracing off, the default). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     stats::Scalar allocations;
     stats::Scalar merges;       ///< secondary misses merged
     stats::Scalar fullRejects;  ///< requests rejected because full
@@ -82,6 +86,7 @@ class MshrFile
     unsigned entries_;
     unsigned maxTargets_;
     std::vector<Mshr> live_;
+    obs::Tracer *tracer_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

@@ -15,9 +15,33 @@
 
 #include "cpu/ooo_core.hh"
 #include "mem/hierarchy.hh"
+#include "obs/tracer.hh"
 #include "workload/registry.hh"
 
 namespace cpe::sim {
+
+/**
+ * Observability knobs: cycle-level event tracing and interval stats
+ * sampling.  Both default off and, when off, cost nothing — the hooks
+ * compile to a null-pointer test and results are byte-identical.
+ */
+struct ObsParams
+{
+    /**
+     * Interval length for stats sampling, cycles (machine-file key
+     * [obs] sample_cycles; 0 = off).  Each elapsed interval snapshots
+     * every scalar's delta, so the per-interval values sum to the
+     * run's final totals.
+     */
+    Cycle sampleCycles = 0;
+
+    /**
+     * Event-trace sink (not owned; null = tracing off).  One sink may
+     * be shared by concurrent runs — each run claims a distinct run id
+     * and every JSONL line carries it.
+     */
+    obs::TraceSink *traceSink = nullptr;
+};
 
 /**
  * One validation finding: the offending parameter (dotted path, e.g.
@@ -48,6 +72,9 @@ struct SimConfig
 
     /** A short tag for tables (defaults to the tech description). */
     std::string label;
+
+    /** Event tracing + interval sampling (off by default). */
+    ObsParams obs;
 
     /** The machine model used throughout the evaluation. */
     static SimConfig defaults();

@@ -322,6 +322,11 @@ keyTable()
                  {"cycles_per_line",
                   num<unsigned>(FIELD(unsigned, c.dram.cyclesPerLine))},
              }},
+            {"obs",
+             {
+                 {"sample_cycles",
+                  num<Cycle>(FIELD(Cycle, c.obs.sampleCycles))},
+             }},
         };
     return table;
 }
@@ -486,6 +491,9 @@ toMachineFile(const SimConfig &config)
     out << "\n[dram]\n";
     out << "latency = " << config.dram.latency << "\n";
     out << "cycles_per_line = " << config.dram.cyclesPerLine << "\n";
+
+    out << "\n[obs]\n";
+    out << "sample_cycles = " << config.obs.sampleCycles << "\n";
     return out.str();
 }
 

@@ -216,6 +216,9 @@ ResultGrid::toJson(const std::string &baseline) const
         run["sb_stores_per_drain"] = result.sbStoresPerDrain;
         run["load_port_fraction"] = result.loadPortFraction;
         run["cond_accuracy"] = result.condAccuracy;
+        if (!result.timeseriesJson.empty())
+            run["timeseries"] =
+                Json::parse(result.timeseriesJson, "timeseries");
         runs.push(std::move(run));
     }
     out["runs"] = std::move(runs);

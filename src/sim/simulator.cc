@@ -28,6 +28,25 @@ Simulator::run()
     core.setOnWarmupDone(
         [&hierarchy]() { hierarchy.statGroup().resetAll(); });
 
+    // Observability (both off by default).  The tracer and sampler are
+    // stack-local: they only observe, so their lifetime ends with the
+    // run and the machine never owns them.
+    obs::Tracer tracer;
+    stats::IntervalSampler sampler(config_.obs.sampleCycles);
+    if (config_.obs.traceSink) {
+        tracer.beginRun(config_.obs.traceSink, config_.workloadName,
+                        config_.tag(), config_.obs.sampleCycles);
+        core.setTracer(&tracer);
+    }
+    if (sampler.enabled()) {
+        sampler.attach(core.statGroup());
+        sampler.attach(hierarchy.statGroup());
+        if (tracer.active())
+            sampler.setTracer(&tracer);
+        sampler.start(0);
+        core.setSampler(&sampler);
+    }
+
     core.run();
 
     SimResult result;
@@ -57,6 +76,23 @@ Simulator::run()
     stats[core.statGroup().name()] = core.statGroup().toJson();
     stats[hierarchy.statGroup().name()] = hierarchy.statGroup().toJson();
     result.statsJson = stats.dump(2);
+
+    if (sampler.enabled())
+        result.timeseriesJson = sampler.toJson().dump(2);
+    if (tracer.active()) {
+        // run_end carries the final scalar totals so a trace consumer
+        // can check its aggregated intervals without the results JSON.
+        Json final_stats = Json::object();
+        auto add_nonzero = [&final_stats](const std::string &name,
+                                          const stats::Scalar &stat) {
+            if (stat.value())
+                final_stats[name] = stat.value();
+        };
+        core.statGroup().forEachScalar(add_nonzero);
+        hierarchy.statGroup().forEachScalar(add_nonzero);
+        tracer.endRun(result.cycles, result.insts, result.ipc,
+                      final_stats);
+    }
     return result;
 }
 

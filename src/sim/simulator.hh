@@ -44,6 +44,13 @@ struct SimResult
      * order preserved).
      */
     std::string statsJson;
+
+    /**
+     * Interval timeseries ({"interval_cycles": N, "intervals": [...]})
+     * when SimConfig::obs.sampleCycles is nonzero; empty otherwise.
+     * Per-interval scalar deltas sum to the final stats above.
+     */
+    std::string timeseriesJson;
 };
 
 /** One-shot simulator: construct with a config, call run(). */

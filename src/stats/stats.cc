@@ -206,6 +206,31 @@ StatGroup::dumpJson() const
     return out.dump(2);
 }
 
+void
+StatGroup::forEachScalar(
+    const std::function<void(const std::string &, const Scalar &)> &fn,
+    const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &entry : scalars_)
+        fn(base + "." + entry.name, *entry.stat);
+    for (const auto *child : children_)
+        child->forEachScalar(fn, base);
+}
+
+void
+StatGroup::forEachDistribution(
+    const std::function<void(const std::string &, const Distribution &)>
+        &fn,
+    const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &entry : dists_)
+        fn(base + "." + entry.name, *entry.stat);
+    for (const auto *child : children_)
+        child->forEachDistribution(fn, base);
+}
+
 std::uint64_t
 StatGroup::scalarValue(const std::string &name) const
 {

@@ -76,6 +76,8 @@ class Distribution
 
     std::uint64_t totalSamples() const { return samples_; }
     double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+    /** Exact running sum of sampled values (interval-delta support). */
+    double sum() const { return sum_; }
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
@@ -161,6 +163,23 @@ class StatGroup
 
     /** Serialize toJson() under the group's name, pretty-printed. */
     std::string dumpJson() const;
+
+    /**
+     * Visit every registered scalar, depth-first through child groups,
+     * with its full dotted name — the same "<group>...<stat>" naming
+     * dump() renders.  @p prefix is prepended like dump()'s.  The
+     * interval sampler uses this to snapshot a whole stats tree.
+     */
+    void forEachScalar(
+        const std::function<void(const std::string &, const Scalar &)>
+            &fn,
+        const std::string &prefix = "") const;
+
+    /** Same traversal for distributions. */
+    void forEachDistribution(
+        const std::function<void(const std::string &,
+                                 const Distribution &)> &fn,
+        const std::string &prefix = "") const;
 
     /** Look up a scalar's current value by dotted leaf name; panics if
      * absent (test helper). */

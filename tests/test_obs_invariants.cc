@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Property tests over the event stream: structural invariants that any
+ * correct trace of any run must satisfy — cycle monotonicity, matched
+ * store-buffer insert/drain lifetimes, line-buffer hits only between a
+ * fill and an evict, balanced MSHR allocate/retire, contiguous interval
+ * records whose per-stat deltas sum exactly to the run_end totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "obs/tracer.hh"
+#include "sim/simulator.hh"
+#include "util/json.hh"
+
+namespace cpe::sim {
+namespace {
+
+struct ParsedTrace
+{
+    Json runBegin;
+    Json runEnd;
+    std::vector<Json> events;     ///< "ev" lines, in file order
+    std::vector<Json> intervals;  ///< "interval" lines, in file order
+};
+
+ParsedTrace
+traceWorkload(const std::string &workload, Cycle sample_cycles)
+{
+    obs::StringTraceSink sink;
+    SimConfig config = SimConfig::defaults();
+    config.workloadName = workload;
+    config.core.dcache.tech =
+        core::PortTechConfig::singlePortAllTechniques();
+    config.obs.traceSink = &sink;
+    config.obs.sampleCycles = sample_cycles;
+    simulate(config);
+
+    ParsedTrace trace;
+    std::istringstream lines(sink.text());
+    std::string line;
+    bool first = true;
+    while (std::getline(lines, line)) {
+        Json parsed = Json::parse(line, "trace line");
+        const std::string &type = parsed.at("t").asString();
+        if (first) {
+            EXPECT_EQ(type, "run_begin");
+            first = false;
+        }
+        if (type == "run_begin")
+            trace.runBegin = parsed;
+        else if (type == "run_end")
+            trace.runEnd = parsed;
+        else if (type == "ev")
+            trace.events.push_back(std::move(parsed));
+        else if (type == "interval")
+            trace.intervals.push_back(std::move(parsed));
+        else
+            ADD_FAILURE() << "unknown line type: " << line;
+    }
+    EXPECT_FALSE(trace.runEnd.isNull()) << "no run_end line";
+    return trace;
+}
+
+std::uint64_t
+field(const Json &event, const std::string &name)
+{
+    const Json *value = event.find(name);
+    return value ? static_cast<std::uint64_t>(value->asNumber()) : 0;
+}
+
+TEST(ObsInvariants, CyclesAreMonotoneAndKindsKnown)
+{
+    ParsedTrace trace = traceWorkload("copy", 0);
+    ASSERT_FALSE(trace.events.empty());
+
+    const std::set<std::string> known = {
+        "port_grant", "port_conflict", "sb_insert", "sb_merge",
+        "sb_drain", "sb_restore", "lb_fill", "lb_hit", "lb_evict",
+        "mshr_alloc", "mshr_retire", "cache_evict", "fill", "commit",
+        "commit_stall"};
+
+    Cycle last = 0;
+    for (const Json &event : trace.events) {
+        const std::string &kind = event.at("k").asString();
+        EXPECT_TRUE(known.count(kind)) << kind;
+        Cycle cycle = field(event, "c");
+        EXPECT_GE(cycle, last) << kind;
+        last = cycle;
+    }
+    EXPECT_EQ(field(trace.runEnd, "events"), trace.events.size());
+}
+
+TEST(ObsInvariants, StoreBufferLifetimesBalance)
+{
+    ParsedTrace trace = traceWorkload("copy", 0);
+    std::uint64_t inserts = 0;
+    std::uint64_t recreates = 0;       // sb_restore with b=1
+    std::uint64_t finishing_drains = 0;  // sb_drain with b=1
+    for (const Json &event : trace.events) {
+        const std::string &kind = event.at("k").asString();
+        if (kind == "sb_insert")
+            ++inserts;
+        else if (kind == "sb_restore" && field(event, "b"))
+            ++recreates;
+        else if (kind == "sb_drain" && field(event, "b"))
+            ++finishing_drains;
+    }
+    EXPECT_GT(inserts, 0u);
+    // drainAll empties the buffer before run_end, so every entry ever
+    // created (inserted, or re-created by a refused drain) was freed
+    // by exactly one entry-finishing drain.
+    EXPECT_EQ(inserts + recreates, finishing_drains);
+}
+
+TEST(ObsInvariants, LineBufferHitsOnlyBetweenFillAndEvict)
+{
+    ParsedTrace trace = traceWorkload("copy", 0);
+    std::set<std::uint64_t> active;
+    std::uint64_t hits = 0;
+    for (const Json &event : trace.events) {
+        const std::string &kind = event.at("k").asString();
+        std::uint64_t addr = field(event, "addr");
+        if (kind == "lb_fill") {
+            active.insert(addr);
+        } else if (kind == "lb_hit") {
+            EXPECT_TRUE(active.count(addr))
+                << "hit on inactive line " << addr;
+            ++hits;
+        } else if (kind == "lb_evict") {
+            EXPECT_TRUE(active.count(addr))
+                << "evict of inactive line " << addr;
+            active.erase(addr);
+        }
+    }
+    EXPECT_GT(hits, 0u);
+}
+
+TEST(ObsInvariants, MshrAllocRetireBalance)
+{
+    ParsedTrace trace = traceWorkload("copy", 0);
+    std::multiset<std::uint64_t> outstanding;
+    std::uint64_t allocs = 0;
+    for (const Json &event : trace.events) {
+        const std::string &kind = event.at("k").asString();
+        std::uint64_t addr = field(event, "addr");
+        if (kind == "mshr_alloc") {
+            // One MSHR per line: a second allocation for a line still
+            // in flight would be a simulator bug.
+            EXPECT_FALSE(outstanding.count(addr)) << addr;
+            outstanding.insert(addr);
+            ++allocs;
+        } else if (kind == "mshr_retire") {
+            ASSERT_TRUE(outstanding.count(addr)) << addr;
+            outstanding.erase(outstanding.find(addr));
+        }
+    }
+    EXPECT_GT(allocs, 0u);
+    // drainAll waits for every outstanding fill.
+    EXPECT_TRUE(outstanding.empty());
+}
+
+TEST(ObsInvariants, CommitEventsSumToCommittedInsts)
+{
+    ParsedTrace trace = traceWorkload("copy", 0);
+    std::uint64_t committed = 0;
+    for (const Json &event : trace.events)
+        if (event.at("k").asString() == "commit")
+            committed += field(event, "a");
+    EXPECT_EQ(committed, field(trace.runEnd, "insts"));
+}
+
+// The tentpole acceptance property: with warm-up off, the per-interval
+// scalar deltas sum exactly — no tolerance — to the run's final
+// StatGroup values as recorded in run_end.
+TEST(ObsInvariants, IntervalStatsSumToFinalTotals)
+{
+    ParsedTrace trace = traceWorkload("crc", 1000);
+    ASSERT_GT(trace.intervals.size(), 1u);
+
+    std::map<std::string, double> sums;
+    for (const Json &interval : trace.intervals)
+        for (const auto &[name, delta] :
+             interval.at("stats").members())
+            sums[name] += delta.asNumber();
+
+    const Json &finals = trace.runEnd.at("stats");
+    for (const auto &[name, value] : finals.members())
+        EXPECT_EQ(sums[name], value.asNumber()) << name;
+    for (const auto &[name, sum] : sums)
+        EXPECT_TRUE(finals.find(name)) << name << " summed to " << sum
+                                       << " but is absent from run_end";
+}
+
+TEST(ObsInvariants, IntervalRecordsAreContiguous)
+{
+    ParsedTrace trace = traceWorkload("crc", 1000);
+    ASSERT_FALSE(trace.intervals.empty());
+
+    std::uint64_t expected_seq = 0;
+    std::uint64_t expected_start = 0;
+    for (const Json &interval : trace.intervals) {
+        EXPECT_EQ(field(interval, "seq"), expected_seq);
+        EXPECT_EQ(field(interval, "start"), expected_start);
+        std::uint64_t end = field(interval, "end");
+        EXPECT_EQ(field(interval, "cycles"),
+                  end - field(interval, "start"));
+        expected_start = end;
+        ++expected_seq;
+    }
+    // finalize() closes the last interval at the true end of the run
+    // (after the post-HALT drain), so the timeline covers every cycle.
+    EXPECT_EQ(expected_start, field(trace.runEnd, "cycles"));
+
+    // Derived metrics exist and are sane on every record.
+    for (const Json &interval : trace.intervals) {
+        double ipc = interval.at("ipc").asNumber();
+        EXPECT_GE(ipc, 0.0);
+        double util = interval.at("port_util").asNumber();
+        EXPECT_GE(util, 0.0);
+        EXPECT_LE(util, 1.0);
+        double lb = interval.at("lb_hit_rate").asNumber();
+        EXPECT_GE(lb, 0.0);
+        EXPECT_LE(lb, 1.0);
+        EXPECT_GE(interval.at("sb_occ_mean").asNumber(), 0.0);
+    }
+}
+
+} // namespace
+} // namespace cpe::sim

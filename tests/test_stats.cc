@@ -1,11 +1,13 @@
 /**
  * @file
  * Statistics-package tests: counters, averages, distributions,
- * formulas, group nesting, reset, and dump formatting.
+ * formulas, group nesting, reset, dump formatting, and the interval
+ * sampler's edge cases.
  */
 
 #include <gtest/gtest.h>
 
+#include "stats/sampler.hh"
 #include "stats/stats.hh"
 
 namespace cpe::stats {
@@ -136,6 +138,150 @@ TEST(GroupDeathTest, MissingStatPanics)
     StatGroup group("g");
     EXPECT_DEATH(group.scalarValue("nope"), "no scalar stat");
     EXPECT_DEATH(group.formulaValue("nope"), "no formula stat");
+}
+
+/** One group with one counter, ready for sampling tests. */
+struct SamplerFixture
+{
+    StatGroup group{"core"};
+    Scalar committed;
+
+    SamplerFixture()
+    {
+        group.addScalar("committed", &committed, "insts");
+    }
+};
+
+TEST(Sampler, DisabledSamplerIsInert)
+{
+    SamplerFixture fx;
+    IntervalSampler sampler(0);
+    EXPECT_FALSE(sampler.enabled());
+    sampler.attach(fx.group);
+    sampler.start(0);
+    fx.committed += 10;
+    sampler.tick(100);
+    sampler.finalize(100);
+    EXPECT_EQ(sampler.intervalCount(), 0u);
+    Json out = sampler.toJson();
+    EXPECT_EQ(out.at("interval_cycles").asNumber(), 0.0);
+    EXPECT_TRUE(out.at("intervals").items().empty());
+}
+
+TEST(Sampler, IntervalLongerThanRunYieldsOnePartialRecord)
+{
+    SamplerFixture fx;
+    IntervalSampler sampler(1000);
+    sampler.attach(fx.group);
+    sampler.start(0);
+    fx.committed += 42;
+    for (Cycle now = 1; now <= 100; ++now)
+        sampler.tick(now);
+    sampler.finalize(100);
+
+    ASSERT_EQ(sampler.intervalCount(), 1u);
+    const Json &record = sampler.records().front();
+    EXPECT_EQ(record.at("start").asNumber(), 0.0);
+    EXPECT_EQ(record.at("end").asNumber(), 100.0);
+    EXPECT_EQ(record.at("cycles").asNumber(), 100.0);
+    EXPECT_EQ(record.at("stats").at("core.committed").asNumber(), 42.0);
+}
+
+TEST(Sampler, ExactBoundaryEndLeavesNoZeroLengthTail)
+{
+    SamplerFixture fx;
+    IntervalSampler sampler(50);
+    sampler.attach(fx.group);
+    sampler.start(0);
+    fx.committed += 7;
+    for (Cycle now = 1; now <= 100; ++now)
+        sampler.tick(now);
+    // The run ended exactly on the second boundary: finalize must not
+    // append an empty third record, and a second finalize is a no-op.
+    sampler.finalize(100);
+    sampler.finalize(100);
+    EXPECT_EQ(sampler.intervalCount(), 2u);
+}
+
+TEST(Sampler, DeltasSumToFinalTotalAcrossIntervals)
+{
+    SamplerFixture fx;
+    IntervalSampler sampler(10);
+    sampler.attach(fx.group);
+    sampler.start(0);
+    for (Cycle now = 1; now <= 35; ++now) {
+        fx.committed += 2;
+        sampler.tick(now);
+    }
+    sampler.finalize(35);
+
+    ASSERT_EQ(sampler.intervalCount(), 4u);  // 3 full + 1 partial tail
+    double sum = 0.0;
+    for (const Json &record : sampler.records()) {
+        if (const Json *delta =
+                record.at("stats").find("core.committed"))
+            sum += delta->asNumber();
+    }
+    EXPECT_EQ(sum, static_cast<double>(fx.committed.value()));
+}
+
+TEST(Sampler, ResetBetweenIntervalsClampsTheDelta)
+{
+    SamplerFixture fx;
+    IntervalSampler sampler(10);
+    sampler.attach(fx.group);
+    sampler.start(0);
+    fx.committed += 100;
+    sampler.tick(10);  // first record: delta 100
+
+    // The warm-up boundary: every counter goes backwards.
+    fx.group.resetAll();
+    fx.committed += 3;
+    sampler.tick(20);  // second record: post-reset value, not underflow
+
+    ASSERT_EQ(sampler.intervalCount(), 2u);
+    EXPECT_EQ(sampler.records()[0]
+                  .at("stats").at("core.committed").asNumber(),
+              100.0);
+    EXPECT_EQ(sampler.records()[1]
+                  .at("stats").at("core.committed").asNumber(),
+              3.0);
+}
+
+TEST(Sampler, ZeroDeltaScalarsAreOmitted)
+{
+    SamplerFixture fx;
+    Scalar idle;
+    fx.group.addScalar("idle", &idle, "never bumped");
+    IntervalSampler sampler(10);
+    sampler.attach(fx.group);
+    sampler.start(0);
+    fx.committed += 1;
+    sampler.tick(10);
+
+    ASSERT_EQ(sampler.intervalCount(), 1u);
+    const Json &stats = sampler.records().front().at("stats");
+    EXPECT_TRUE(stats.find("core.committed"));
+    EXPECT_FALSE(stats.find("core.idle"));
+}
+
+TEST(Group, ForEachScalarWalksTheTreeWithDottedNames)
+{
+    StatGroup parent("core");
+    StatGroup child("cache");
+    Scalar a, b;
+    parent.addScalar("a", &a, "x");
+    child.addScalar("b", &b, "y");
+    parent.addChild(&child);
+
+    std::vector<std::string> names;
+    parent.forEachScalar(
+        [&names](const std::string &name, const Scalar &) {
+            names.push_back(name);
+        });
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "core.a");
+    EXPECT_EQ(names[1], "core.cache.b");
 }
 
 } // namespace
