@@ -101,6 +101,32 @@ BM_TimingTraced(benchmark::State &state)
 BENCHMARK(BM_TimingTraced)->Unit(benchmark::kMillisecond);
 
 /**
+ * The same timing run with the stall-attribution profiler live (no
+ * tracing): the delta against BM_TimingAllTechniques is the cost of
+ * per-PC and per-set counting — a hash-map bucket bump per memory
+ * event, expected to be far cheaper than full event tracing.
+ */
+void
+BM_TimingProfiled(benchmark::State &state)
+{
+    setVerbose(false);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        sim::SimConfig config = sim::SimConfig::defaults();
+        config.workloadName = "crc";
+        config.core.dcache.tech =
+            core::PortTechConfig::singlePortAllTechniques();
+        config.obs.profileTop = 10;
+        auto result = sim::simulate(config);
+        insts += result.insts;
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.counters["inst_rate"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimingProfiled)->Unit(benchmark::kMillisecond);
+
+/**
  * The evaluation-harness sweep shape: 4 workloads x 3 variants of
  * fully independent runs, exactly what the table/figure bench binaries
  * execute via runSuite().  BM_SuiteSweep/1 is the serial baseline;

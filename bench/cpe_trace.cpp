@@ -1,0 +1,19 @@
+/**
+ * @file
+ * cpe_trace — offline analyzer for the JSONL event traces cpe_eval
+ * writes with --trace (schema: docs/observability.md).
+ *
+ *   cpe_trace validate trace.jsonl         lint the event stream
+ *   cpe_trace summary trace.jsonl          stall-cause breakdown
+ *   cpe_trace hot trace.jsonl --top 20     hottest PCs by stalls
+ *   cpe_trace hot trace.jsonl --by line    hottest cache lines
+ *   cpe_trace heatmap trace.jsonl          per-set conflict CSV
+ */
+
+#include "obs/analysis.hh"
+
+int
+main(int argc, char **argv)
+{
+    return cpe::obs::traceMain(argc, argv);
+}

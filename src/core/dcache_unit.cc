@@ -5,6 +5,46 @@
 
 namespace cpe::core {
 
+namespace {
+
+/**
+ * Scoped attribution context: tags every trace event and profiler
+ * counter touched while alive with the instruction's PC, and restores
+ * the machine context (PC 0) on the way out.  Requests entering the
+ * unit from the LSQ or commit wrap themselves in one of these; drains,
+ * fills and prefetch traffic run outside and stay attributed to PC 0.
+ */
+class AttrScope
+{
+  public:
+    AttrScope(obs::Tracer *tracer, obs::Profiler *profiler, Addr pc)
+        : tracer_(pc ? tracer : nullptr),
+          profiler_(pc ? profiler : nullptr)
+    {
+        if (tracer_)
+            tracer_->setPc(pc);
+        if (profiler_)
+            profiler_->setContext(pc);
+    }
+
+    ~AttrScope()
+    {
+        if (tracer_)
+            tracer_->setPc(0);
+        if (profiler_)
+            profiler_->setContext(0);
+    }
+
+    AttrScope(const AttrScope &) = delete;
+    AttrScope &operator=(const AttrScope &) = delete;
+
+  private:
+    obs::Tracer *tracer_;
+    obs::Profiler *profiler_;
+};
+
+} // namespace
+
 const char *
 loadSourceName(LoadSource source)
 {
@@ -115,6 +155,19 @@ DCacheUnit::setTracer(obs::Tracer *tracer)
     l1d_.setTracer(tracer);
 }
 
+void
+DCacheUnit::setProfiler(obs::Profiler *profiler)
+{
+    profiler_ = profiler;
+    ports_.setProfiler(profiler);
+    storeBuffer_.setProfiler(profiler);
+    lineBuffers_.setProfiler(profiler);
+    mshrs_.setProfiler(profiler);
+    l1d_.setProfiler(profiler);
+    if (profiler)
+        profiler->initSets(l1d_.params().sets());
+}
+
 unsigned
 DCacheUnit::fillCycles() const
 {
@@ -147,8 +200,9 @@ DCacheUnit::tryAcquireAccess(Addr addr, Cycle now)
 }
 
 DCacheUnit::LoadResult
-DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
+DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now, Addr pc)
 {
+    AttrScope attribution(tracer_, profiler_, pc);
     LoadResult result;
     Addr line_addr = l1d_.lineAddr(addr);
 
@@ -158,6 +212,8 @@ DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
           case Coverage::Full:
             ++loadsForwarded;
             ++storeBuffer_.forwards;
+            if (profiler_)
+                profiler_->onLoadForwarded();
             result.accepted = true;
             result.ready = now + 1;
             result.source = LoadSource::StoreBufferFwd;
@@ -167,6 +223,8 @@ DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
             // flag the entry and retry once it drains.
             ++loadRejectPartial;
             ++storeBuffer_.partialBlocks;
+            if (profiler_)
+                profiler_->onPartialStall();
             storeBuffer_.requestDrain(addr);
             return result;
           case Coverage::None:
@@ -177,6 +235,8 @@ DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
     // 2. Line buffers: bytes captured by earlier loads (load-all).
     if (lineBuffers_.lookup(addr, size)) {
         ++loadsLineBuffer;
+        if (profiler_)
+            profiler_->onLoadLineBuffer();
         result.accepted = true;
         result.ready = now + 1;
         result.source = LoadSource::LineBuffer;
@@ -188,6 +248,8 @@ DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
     if (mem::Mshr *inflight = mshrs_.find(line_addr)) {
         if (!mshrs_.addTarget(*inflight, false)) {
             ++loadRejectMshr;
+            if (profiler_)
+                profiler_->onMshrWait();
             return result;
         }
         if (inflight->prefetch) {
@@ -195,6 +257,8 @@ DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
             inflight->prefetch = false;
         }
         ++loadsMissMerged;
+        if (profiler_)
+            profiler_->onLoadMissMerged();
         result.accepted = true;
         result.ready = inflight->readyCycle + params_.hitLatency;
         result.source = LoadSource::Miss;
@@ -207,6 +271,8 @@ DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
     if (mshrs_.full() && !l1d_.probe(addr)) {
         ++loadRejectMshr;
         ++mshrs_.fullRejects;
+        if (profiler_)
+            profiler_->onMshrWait();
         return result;
     }
     if (!tryAcquireAccess(addr, now)) {
@@ -216,6 +282,8 @@ DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
 
     if (l1d_.access(addr, false)) {
         ++loadsCacheHit;
+        if (profiler_)
+            profiler_->onLoadCacheHit();
         result.accepted = true;
         result.ready = now + params_.hitLatency;
         result.source = LoadSource::CacheHit;
@@ -234,6 +302,8 @@ DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
             auto swap = l1d_.fill(line_addr, victim_dirty);
             onEviction(swap, now);
             ++loadsCacheHit;
+            if (profiler_)
+                profiler_->onLoadCacheHit();
             result.accepted = true;
             result.ready = now + params_.hitLatency + 1;
             result.source = LoadSource::CacheHit;
@@ -247,11 +317,15 @@ DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
     //    discovering the miss, as in real tag arrays).
     if (mshrs_.full()) {
         ++loadRejectMshr;
+        if (profiler_)
+            profiler_->onMshrWait();
         return result;
     }
     Cycle data_at_l1 = nextLevel_->fetchLine(line_addr, now + 1);
     mshrs_.allocate(line_addr, data_at_l1, false);
     ++loadsMiss;
+    if (profiler_)
+        profiler_->onLoadMiss();
     result.accepted = true;
     result.ready = data_at_l1 + params_.hitLatency;
     result.source = LoadSource::Miss;
@@ -270,8 +344,9 @@ DCacheUnit::tryLoad(Addr addr, unsigned size, Cycle now)
 }
 
 bool
-DCacheUnit::tryStore(Addr addr, unsigned size, Cycle now)
+DCacheUnit::tryStore(Addr addr, unsigned size, Cycle now, Addr pc)
 {
+    AttrScope attribution(tracer_, profiler_, pc);
     Addr line_addr = l1d_.lineAddr(addr);
 
     if (storeBuffer_.enabled()) {
@@ -280,6 +355,8 @@ DCacheUnit::tryStore(Addr addr, unsigned size, Cycle now)
             return false;
         }
         ++storesToBuffer;
+        if (profiler_)
+            profiler_->onStore();
         // Keep line buffers coherent: patch or invalidate now so they
         // can never return stale bytes once the entry drains.
         lineBuffers_.onStore(addr, size);
@@ -303,6 +380,8 @@ DCacheUnit::tryStore(Addr addr, unsigned size, Cycle now)
         return false;
     }
     ++storesDirect;
+    if (profiler_)
+        profiler_->onStore();
     lineBuffers_.onStore(addr, size);
     return true;
 }

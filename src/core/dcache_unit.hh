@@ -102,16 +102,18 @@ class DCacheUnit
      * A load that has computed its address asks for data.
      * Rejections (accepted == false) are structural: no port, MSHRs
      * full, or a partial store-buffer overlap; the LSQ retries next
-     * cycle.
+     * cycle.  @p pc is the load's static PC, used only for
+     * observability attribution (0 = unknown/machine).
      */
-    LoadResult tryLoad(Addr addr, unsigned size, Cycle now);
+    LoadResult tryLoad(Addr addr, unsigned size, Cycle now, Addr pc = 0);
 
     /**
      * Commit retires a store.  @return false when the store cannot be
      * accepted this cycle (store buffer full, or — with the buffer
      * disabled — no port / no MSHR); commit stalls and retries.
+     * @p pc attributes the access like tryLoad's.
      */
-    bool tryStore(Addr addr, unsigned size, Cycle now);
+    bool tryStore(Addr addr, unsigned size, Cycle now, Addr pc = 0);
 
     /** Phase 1: install arrived fills (and eager drains). */
     void beginCycle(Cycle now);
@@ -145,6 +147,12 @@ class DCacheUnit
      * store buffer, line buffers, MSHRs, L1D tags).  Null detaches.
      */
     void setTracer(obs::Tracer *tracer);
+
+    /**
+     * Attach the attribution profiler to the whole port subsystem and
+     * size its per-set counters to this L1D.  Null detaches.
+     */
+    void setProfiler(obs::Profiler *profiler);
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
@@ -228,6 +236,7 @@ class DCacheUnit
     /** Victim-cache FIFO: line address + dirty bit. */
     std::deque<std::pair<Addr, bool>> victims_;
     obs::Tracer *tracer_ = nullptr;
+    obs::Profiler *profiler_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

@@ -63,17 +63,25 @@ LineBufferFile::lookup(Addr addr, unsigned size)
     ++lookups;
     Addr line_addr = alignDown(addr, lineBytes_);
     Buffer *buffer = find(line_addr);
-    if (!buffer)
+    if (!buffer) {
+        if (profiler_)
+            profiler_->onLbLookup(false);
         return false;
+    }
     unsigned offset = static_cast<unsigned>(addr - line_addr);
     CPE_ASSERT(offset + size <= lineBytes_, "load crosses a line");
     std::uint64_t want = mask(size) << offset;
-    if ((buffer->byteMask & want) != want)
+    if ((buffer->byteMask & want) != want) {
+        if (profiler_)
+            profiler_->onLbLookup(false);
         return false;
+    }
     buffer->lastUse = ++useClock_;
     ++hits;
     if (tracer_)
         tracer_->recordNow(obs::EventKind::LbHit, line_addr);
+    if (profiler_)
+        profiler_->onLbLookup(true);
     return true;
 }
 

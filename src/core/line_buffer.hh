@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/port_config.hh"
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "stats/stats.hh"
 #include "util/types.hh"
@@ -85,6 +86,9 @@ class LineBufferFile
      *  Events are stamped with the tracer's tracked current cycle. */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
+    /** Attach the attribution profiler (null = off, the default). */
+    void setProfiler(obs::Profiler *profiler) { profiler_ = profiler; }
+
     stats::Scalar hits;          ///< loads serviced from a buffer
     stats::Scalar lookups;       ///< all load lookups
     stats::Scalar captures;      ///< windows deposited
@@ -112,6 +116,7 @@ class LineBufferFile
     std::vector<Buffer> buffers_;
     std::uint64_t useClock_ = 0;
     obs::Tracer *tracer_ = nullptr;
+    obs::Profiler *profiler_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

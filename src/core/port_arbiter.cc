@@ -36,12 +36,16 @@ PortArbiter::tryAcquire(Cycle now, unsigned cycles)
             if (tracer_)
                 tracer_->record(now, obs::EventKind::PortGrant, 0,
                                 cycles);
+            if (profiler_)
+                profiler_->onPortGrant();
             return true;
         }
     }
     ++rejections;
     if (tracer_)
         tracer_->record(now, obs::EventKind::PortConflict);
+    if (profiler_)
+        profiler_->onPortConflict();
     return false;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "stats/stats.hh"
 #include "util/types.hh"
@@ -51,6 +52,9 @@ class PortArbiter
     /** Attach the event tracer (null = tracing off, the default). */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
+    /** Attach the attribution profiler (null = off, the default). */
+    void setProfiler(obs::Profiler *profiler) { profiler_ = profiler; }
+
     stats::Scalar grants;       ///< successful acquisitions
     stats::Scalar rejections;   ///< acquisitions refused (all busy)
     stats::Scalar busyPortCycles; ///< port-cycles spent busy
@@ -60,6 +64,7 @@ class PortArbiter
     /** First cycle at or after which port @p port is free. */
     std::vector<Cycle> busyUntil_;
     obs::Tracer *tracer_ = nullptr;
+    obs::Profiler *profiler_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

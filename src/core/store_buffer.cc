@@ -87,6 +87,8 @@ StoreBuffer::insert(Addr addr, unsigned size, Cycle now)
     }
     if (full()) {
         ++fullRejects;
+        if (profiler_)
+            profiler_->onSbFullStall();
         return false;
     }
     Entry entry;

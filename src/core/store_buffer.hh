@@ -17,6 +17,7 @@
 #include <deque>
 #include <string>
 
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "stats/stats.hh"
 #include "util/types.hh"
@@ -138,6 +139,9 @@ class StoreBuffer
     /** Attach the event tracer (null = tracing off, the default). */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
+    /** Attach the attribution profiler (null = off, the default). */
+    void setProfiler(obs::Profiler *profiler) { profiler_ = profiler; }
+
     stats::Scalar inserts;        ///< stores accepted
     stats::Scalar combines;       ///< stores merged into a live entry
     stats::Scalar fullRejects;    ///< stores refused: buffer full
@@ -158,6 +162,7 @@ class StoreBuffer
     bool combining_;
     std::deque<Entry> fifo_;
     obs::Tracer *tracer_ = nullptr;
+    obs::Profiler *profiler_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

@@ -96,7 +96,7 @@ Lsq::tryIssueLoad(TimingInst *inst, core::DCacheUnit &dcache,
         return false;
     }
 
-    auto result = dcache.tryLoad(addr, size, now);
+    auto result = dcache.tryLoad(addr, size, now, inst->di.pc);
     if (!result.accepted)
         return false;
     inst->doneCycle = result.ready;

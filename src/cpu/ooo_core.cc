@@ -68,15 +68,25 @@ OooCore::commit(Cycle now)
                 if (tracer_)
                     tracer_->record(now, obs::EventKind::CommitStall, 0,
                                     obs::StallRobEmpty);
+                if (profiler_)
+                    profiler_->onRobEmpty();
             }
             return;
         }
         if (!head->done || head->doneCycle > now) {
             if (n == 0) {
                 ++commitBlockedCycles;
-                if (tracer_)
+                if (tracer_) {
+                    tracer_->setPc(head->di.pc);
                     tracer_->record(now, obs::EventKind::CommitStall, 0,
                                     obs::StallHeadIncomplete);
+                    tracer_->setPc(0);
+                }
+                if (profiler_) {
+                    profiler_->setContext(head->di.pc);
+                    profiler_->onCommitStallHead();
+                    profiler_->setContext(0);
+                }
             }
             return;
         }
@@ -85,21 +95,37 @@ OooCore::commit(Cycle now)
             !rob_.producerDone(head->srcProducer[1], now)) {
             if (n == 0) {
                 ++commitBlockedCycles;
-                if (tracer_)
+                if (tracer_) {
+                    tracer_->setPc(head->di.pc);
                     tracer_->record(now, obs::EventKind::CommitStall, 0,
                                     obs::StallHeadIncomplete);
+                    tracer_->setPc(0);
+                }
+                if (profiler_) {
+                    profiler_->setContext(head->di.pc);
+                    profiler_->onCommitStallHead();
+                    profiler_->setContext(0);
+                }
             }
             return;
         }
 
         if (head->isStore()) {
             if (!dcache_.tryStore(head->di.memAddr, head->di.memSize,
-                                  now)) {
+                                  now, head->di.pc)) {
                 ++storeCommitStalls;
-                if (tracer_)
+                if (tracer_) {
+                    tracer_->setPc(head->di.pc);
                     tracer_->record(now, obs::EventKind::CommitStall,
                                     head->di.memAddr,
                                     obs::StallStoreReject);
+                    tracer_->setPc(0);
+                }
+                if (profiler_) {
+                    profiler_->setContext(head->di.pc);
+                    profiler_->onCommitStallStore();
+                    profiler_->setContext(0);
+                }
                 return;
             }
             lsq_.commitStore(head);
@@ -143,6 +169,8 @@ OooCore::commit(Cycle now)
             // Warm-up complete: statistics describe the measurement
             // region from here on.
             statGroup_.resetAll();
+            if (profiler_)
+                profiler_->reset();
             warmupEndCycle_ = now;
             if (onWarmupDone_)
                 onWarmupDone_();

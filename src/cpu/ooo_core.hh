@@ -136,6 +136,18 @@ class OooCore
     }
 
     /**
+     * Attach the stall-attribution profiler (null = off, the default).
+     * Propagates to the D-cache port subsystem; the core itself
+     * attributes commit stalls to the ROB-head PC.  Same non-perturbing
+     * contract as the tracer.
+     */
+    void setProfiler(obs::Profiler *profiler)
+    {
+        profiler_ = profiler;
+        dcache_.setProfiler(profiler);
+    }
+
+    /**
      * Attach the interval stats sampler (null = off).  run() ticks it
      * once per simulated cycle and finalizes it after the post-HALT
      * drain, so the trailing partial interval is never lost.
@@ -202,6 +214,7 @@ class OooCore
     bool halted_ = false;
     std::ostream *pipeTrace_ = nullptr;
     obs::Tracer *tracer_ = nullptr;
+    obs::Profiler *profiler_ = nullptr;
     stats::IntervalSampler *sampler_ = nullptr;
     std::uint64_t totalCommitted_ = 0;
     Cycle warmupEndCycle_ = 0;

@@ -67,6 +67,10 @@ constexpr const char *kUsage =
     "  --sample-cycles N        sample interval stats every N cycles;\n"
     "                           intervals land in the JSON results\n"
     "                           documents and the trace (0 = off)\n"
+    "  --profile[=N]            attribute stalls to static PCs: print\n"
+    "                           a top-N table per run (default N: 10)\n"
+    "                           and add a \"profile\" member to the\n"
+    "                           JSON results documents\n"
     "(every --flag VALUE is also accepted as --flag=VALUE)\n";
 
 [[noreturn]] void
@@ -105,6 +109,7 @@ struct Options
     std::vector<std::pair<std::string, std::string>> faultPlan;
     std::string tracePath;      ///< --trace: "" = off
     Cycle sampleCycles = 0;     ///< --sample-cycles: 0 = off
+    unsigned profileTop = 0;    ///< --profile[=N]: 0 = off
 };
 
 std::string
@@ -189,6 +194,15 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--sample-cycles") {
             options.sampleCycles = static_cast<Cycle>(
                 std::strtoull(value().c_str(), nullptr, 10));
+        } else if (flag == "--profile") {
+            // Bare --profile must not eat the next argument: only the
+            // inline =N spelling carries a value.
+            options.profileTop =
+                has_inline ? static_cast<unsigned>(std::strtoul(
+                                 inline_value.c_str(), nullptr, 10))
+                           : 10;
+            if (!options.profileTop)
+                usageError("--profile wants a positive top-N count");
         } else if (flag == "--workloads") {
             options.workloads =
                 splitList(value());
@@ -615,7 +629,8 @@ evalMain(int argc, char **argv)
         if (!options.tracePath.empty())
             trace_sink =
                 std::make_unique<obs::FileTraceSink>(options.tracePath);
-        setObservability(trace_sink.get(), options.sampleCycles);
+        setObservability(trace_sink.get(), options.sampleCycles,
+                         options.profileTop);
         switch (options.mode) {
           case Mode::List:
             return listExperiments();

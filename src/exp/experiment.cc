@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/profiler.hh"
 #include "sim/sweep_runner.hh"
 #include "util/logging.hh"
 #include "workload/registry.hh"
@@ -18,6 +19,7 @@ std::vector<std::pair<std::string, std::string>> faultPlan;
 /** The installed observability settings (see setObservability). */
 obs::TraceSink *obsSink = nullptr;
 Cycle obsSampleCycles = 0;
+unsigned obsProfileTop = 0;
 
 void
 applyFaults(sim::SimConfig &config)
@@ -47,10 +49,12 @@ setFaultInjection(std::vector<std::pair<std::string, std::string>> plan)
 }
 
 void
-setObservability(obs::TraceSink *sink, Cycle sample_cycles)
+setObservability(obs::TraceSink *sink, Cycle sample_cycles,
+                 unsigned profile_top)
 {
     obsSink = sink;
     obsSampleCycles = sample_cycles;
+    obsProfileTop = profile_top;
 }
 
 std::vector<sim::SimConfig>
@@ -72,6 +76,8 @@ suiteConfigs(const std::vector<Variant> &variants,
                 config.obs.traceSink = obsSink;
             if (obsSampleCycles)
                 config.obs.sampleCycles = obsSampleCycles;
+            if (obsProfileTop)
+                config.obs.profileTop = obsProfileTop;
             if (!faultPlan.empty())
                 applyFaults(config);
             configs.push_back(std::move(config));
@@ -108,6 +114,7 @@ Context::runGrid(const std::string &key,
     if (!keepGoing_) {
         sim::ResultGrid grid = sim::SweepRunner().runGrid(configs);
         doc_["grids"][key] = grid.toJson(baseline);
+        printProfiles(grid);
         return grid;
     }
 
@@ -140,7 +147,29 @@ Context::runGrid(const std::string &key,
     if (errors.items().size())
         grid_json["errors"] = std::move(errors);
     doc_["grids"][key] = std::move(grid_json);
+    printProfiles(grid);
     return grid;
+}
+
+void
+Context::printProfiles(const sim::ResultGrid &grid)
+{
+    for (const auto &workload : grid.workloads()) {
+        for (const auto &config : grid.configs()) {
+            const sim::SimResult *result;
+            try {
+                result = &grid.result(workload, config);
+            } catch (const SimError &) {
+                continue;  // keep-going left a hole in the grid
+            }
+            if (result->profileJson.empty())
+                continue;
+            out_ << workload << " / " << config << ":\n"
+                 << obs::profileTable(Json::parse(result->profileJson,
+                                                  "profile"))
+                 << "\n";
+        }
+    }
 }
 
 void

@@ -65,10 +65,13 @@ void setFaultInjection(
  * Observability hook (cpe_eval --trace / --sample-cycles): every
  * config built by suiteConfigs() gets this trace sink (shareable
  * across the sweep workers — each run claims its own run id) and
- * sampling interval.  Pass (nullptr, 0) to clear.  Like the fault
- * plan, set before a sweep starts, never during one.
+ * sampling interval, and — with @p profile_top nonzero (cpe_eval
+ * --profile[=N]) — stall-attribution profiling with top-N reporting.
+ * Pass (nullptr, 0, 0) to clear.  Like the fault plan, set before a
+ * sweep starts, never during one.
  */
-void setObservability(obs::TraceSink *sink, Cycle sample_cycles);
+void setObservability(obs::TraceSink *sink, Cycle sample_cycles,
+                      unsigned profile_top = 0);
 
 class Context;
 
@@ -142,6 +145,13 @@ class Context
     /** Print absolute IPCs and the relative-to-baseline view. */
     void printGrid(const sim::ResultGrid &grid,
                    const std::string &baseline);
+
+    /**
+     * Print each run's stall-attribution table (cpe_eval --profile);
+     * no-op for cells without a profile.  runGrid() calls this after
+     * recording the grid.
+     */
+    void printProfiles(const sim::ResultGrid &grid);
 
     /** Record a named headline ratio in the JSON document. */
     void headline(const std::string &key, double value);

@@ -63,11 +63,15 @@ Cache::access(Addr addr, bool write)
         if (write)
             line.dirty = true;
         ++hits;
+        if (profiler_)
+            profiler_->onSetAccess(loc.set, true);
         return true;
     }
     int way = findWay(loc.set, loc.tag);
     if (way < 0) {
         ++misses;
+        if (profiler_)
+            profiler_->onSetAccess(loc.set, false);
         return false;
     }
     std::size_t index = loc.set * params_.assoc + static_cast<unsigned>(way);
@@ -76,6 +80,8 @@ Cache::access(Addr addr, bool write)
     if (write)
         line.dirty = true;
     ++hits;
+    if (profiler_)
+        profiler_->onSetAccess(loc.set, true);
     lastHitTag_ = loc.tag;
     lastHitLine_ = index;
     return true;
@@ -124,6 +130,8 @@ Cache::fill(Addr addr, bool dirty)
         if (tracer_)
             tracer_->recordNow(obs::EventKind::CacheEvict,
                                result.evictedAddr, result.evictedDirty);
+        if (profiler_)
+            profiler_->onSetEviction(set);
     }
     line.valid = true;
     line.dirty = dirty;

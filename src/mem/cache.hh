@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "stats/stats.hh"
 #include "util/random.hh"
@@ -111,6 +112,9 @@ class Cache
      *  evictions are stamped with the tracer's tracked cycle. */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
+    /** Attach the attribution profiler (null = off, the default). */
+    void setProfiler(obs::Profiler *profiler) { profiler_ = profiler; }
+
     /** Raw counters, exposed for formulas in owning units. */
     stats::Scalar hits;
     stats::Scalar misses;
@@ -171,6 +175,7 @@ class Cache
     std::size_t lastHitLine_ = 0;  ///< index into lines_
     Rng rng_;
     obs::Tracer *tracer_ = nullptr;
+    obs::Profiler *profiler_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

@@ -50,6 +50,8 @@ MshrFile::allocate(Addr line_addr, Cycle ready, bool write_intent,
     if (tracer_)
         tracer_->recordNow(obs::EventKind::MshrAlloc, line_addr,
                            write_intent, prefetch);
+    if (profiler_)
+        profiler_->onMshrAlloc();
     return live_.back();
 }
 

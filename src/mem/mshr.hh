@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/profiler.hh"
 #include "obs/tracer.hh"
 #include "stats/stats.hh"
 #include "util/types.hh"
@@ -78,6 +79,9 @@ class MshrFile
     /** Attach the event tracer (null = tracing off, the default). */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
 
+    /** Attach the attribution profiler (null = off, the default). */
+    void setProfiler(obs::Profiler *profiler) { profiler_ = profiler; }
+
     stats::Scalar allocations;
     stats::Scalar merges;       ///< secondary misses merged
     stats::Scalar fullRejects;  ///< requests rejected because full
@@ -87,6 +91,7 @@ class MshrFile
     unsigned maxTargets_;
     std::vector<Mshr> live_;
     obs::Tracer *tracer_ = nullptr;
+    obs::Profiler *profiler_ = nullptr;
     stats::StatGroup statGroup_;
 };
 

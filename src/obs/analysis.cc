@@ -1,0 +1,737 @@
+#include "obs/analysis.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/error.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace cpe::obs {
+
+namespace {
+
+std::uint64_t
+field(const Json &object, const std::string &name)
+{
+    const Json *value = object.find(name);
+    return value ? static_cast<std::uint64_t>(value->asNumber()) : 0;
+}
+
+std::string
+stringField(const Json &object, const std::string &name)
+{
+    const Json *value = object.find(name);
+    return value && value->isString() ? value->asString() : "";
+}
+
+/** kind-name -> EventKind, built from the canonical name table. */
+bool
+lookupKind(const std::string &name, EventKind &out)
+{
+    static const std::unordered_map<std::string, EventKind> kinds = [] {
+        std::unordered_map<std::string, EventKind> map;
+        for (unsigned k = 0;
+             k <= static_cast<unsigned>(EventKind::CommitStall); ++k) {
+            auto kind = static_cast<EventKind>(k);
+            map.emplace(eventKindName(kind), kind);
+        }
+        return map;
+    }();
+    auto it = kinds.find(name);
+    if (it == kinds.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+std::string
+hex(Addr value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%" PRIx64, value);
+    return buf;
+}
+
+TraceRun &
+runFor(TraceFile &file, std::uint64_t id)
+{
+    for (auto &run : file.runs)
+        if (run.id == id)
+            return run;
+    file.runs.emplace_back();
+    file.runs.back().id = id;
+    return file.runs.back();
+}
+
+const char *
+stallCauseName(std::uint64_t cause)
+{
+    switch (cause) {
+      case StallRobEmpty: return "rob_empty";
+      case StallHeadIncomplete: return "head_incomplete";
+      case StallStoreReject: return "store_reject";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+unsigned
+TraceRun::l1dSets() const
+{
+    return begin.isObject() ? static_cast<unsigned>(field(begin,
+                                                          "l1d_sets"))
+                            : 0;
+}
+
+unsigned
+TraceRun::lineBytes() const
+{
+    return begin.isObject() ? static_cast<unsigned>(field(begin,
+                                                          "line_bytes"))
+                            : 0;
+}
+
+std::string
+TraceRun::workload() const
+{
+    return begin.isObject() ? stringField(begin, "workload") : "";
+}
+
+std::string
+TraceRun::configTag() const
+{
+    return begin.isObject() ? stringField(begin, "config") : "";
+}
+
+const TraceRun *
+TraceFile::findRun(std::uint64_t id) const
+{
+    for (const auto &run : runs)
+        if (run.id == id)
+            return &run;
+    return nullptr;
+}
+
+TraceFile
+parseTrace(std::istream &in, const std::string &context)
+{
+    TraceFile file;
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        Json parsed;
+        std::string error;
+        if (!Json::tryParse(line, parsed, error))
+            throw IoError(Msg() << context << ":" << line_no << ": "
+                                << error);
+        const Json *type = parsed.find("t");
+        const Json *run_id = parsed.find("r");
+        if (!type || !type->isString() || !run_id ||
+            !run_id->isNumber())
+            throw IoError(Msg() << context << ":" << line_no
+                                << ": trace line without \"t\"/\"r\"");
+        TraceRun &run = runFor(
+            file, static_cast<std::uint64_t>(run_id->asNumber()));
+        const std::string &kind = type->asString();
+        if (kind == "run_begin") {
+            run.begin = std::move(parsed);
+        } else if (kind == "run_end") {
+            run.end = std::move(parsed);
+        } else if (kind == "interval") {
+            run.intervals.push_back(std::move(parsed));
+        } else if (kind == "ev") {
+            TraceEvent event;
+            event.seq = field(parsed, "s");
+            event.cycle = field(parsed, "c");
+            event.pc = field(parsed, "pc");
+            event.addr = field(parsed, "addr");
+            event.a = field(parsed, "a");
+            event.b = field(parsed, "b");
+            const std::string &name =
+                parsed.at("k", context).asString();
+            event.knownKind = lookupKind(name, event.kind);
+            if (!event.knownKind &&
+                std::find(run.unknownKinds.begin(),
+                          run.unknownKinds.end(),
+                          name) == run.unknownKinds.end())
+                run.unknownKinds.push_back(name);
+            run.events.push_back(event);
+        } else {
+            throw IoError(Msg() << context << ":" << line_no
+                                << ": unknown line type '" << kind
+                                << "'");
+        }
+    }
+    std::sort(file.runs.begin(), file.runs.end(),
+              [](const TraceRun &a, const TraceRun &b) {
+                  return a.id < b.id;
+              });
+    return file;
+}
+
+TraceFile
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw IoError(Msg() << "cannot read trace file '" << path
+                            << "'");
+    return parseTrace(in, path);
+}
+
+std::vector<std::string>
+validateRun(const TraceRun &run)
+{
+    std::vector<std::string> problems;
+    auto complain = [&problems, &run](const std::string &what) {
+        problems.push_back("run " + std::to_string(run.id) + ": " +
+                           what);
+    };
+
+    if (!run.begin.isObject())
+        complain("no run_begin line");
+    if (!run.end.isObject()) {
+        complain("no run_end line (truncated trace)");
+        return problems;  // everything below needs the footer
+    }
+    for (const auto &name : run.unknownKinds)
+        complain("unknown event kind \"" + name + "\"");
+
+    // Stream shape: contiguous sequence numbers, monotone cycles, and
+    // the footer's events/dropped accounting.
+    std::uint64_t expected_seq = 0;
+    Cycle last_cycle = 0;
+    for (const TraceEvent &event : run.events) {
+        if (event.seq != expected_seq) {
+            complain("event seq " + std::to_string(event.seq) +
+                     " where " + std::to_string(expected_seq) +
+                     " was expected (lost or reordered events)");
+            expected_seq = event.seq;  // resynchronize: report once
+        }
+        ++expected_seq;
+        if (event.cycle < last_cycle)
+            complain("cycle went backwards at seq " +
+                     std::to_string(event.seq));
+        last_cycle = event.cycle;
+    }
+    std::uint64_t dropped = field(run.end, "dropped");
+    if (dropped)
+        complain(std::to_string(dropped) +
+                 " event(s) dropped on sink-write failure "
+                 "(incomplete trace; event invariants may not hold)");
+    std::uint64_t recorded = field(run.end, "events");
+    if (!dropped && recorded != run.events.size())
+        complain("run_end claims " + std::to_string(recorded) +
+                 " events but the stream has " +
+                 std::to_string(run.events.size()));
+
+    // A trace that lost events cannot satisfy the pairing invariants;
+    // the drop itself was already reported.
+    if (dropped)
+        return problems;
+
+    // Store-buffer lifetimes: every entry ever created (inserted or
+    // re-created by a refused drain) is freed by exactly one
+    // entry-finishing drain before run_end (drainAll empties it).
+    std::uint64_t sb_creates = 0;
+    std::uint64_t sb_finishes = 0;
+    // Line-buffer hits only while the line is active (fill..evict).
+    std::set<Addr> lb_active;
+    // MSHRs: one per line, allocate/retire balanced, empty at the end.
+    std::set<Addr> mshr_outstanding;
+    // Commit events sum to the footer's instruction count.
+    std::uint64_t committed = 0;
+    for (const TraceEvent &event : run.events) {
+        if (!event.knownKind)
+            continue;
+        switch (event.kind) {
+          case EventKind::SbInsert:
+            ++sb_creates;
+            break;
+          case EventKind::SbRestore:
+            sb_creates += event.b ? 1 : 0;
+            break;
+          case EventKind::SbDrain:
+            sb_finishes += event.b ? 1 : 0;
+            break;
+          case EventKind::LbFill:
+            lb_active.insert(event.addr);
+            break;
+          case EventKind::LbHit:
+            if (!lb_active.count(event.addr))
+                complain("lb_hit on inactive line " + hex(event.addr) +
+                         " at seq " + std::to_string(event.seq));
+            break;
+          case EventKind::LbEvict:
+            if (!lb_active.erase(event.addr))
+                complain("lb_evict of inactive line " +
+                         hex(event.addr) + " at seq " +
+                         std::to_string(event.seq));
+            break;
+          case EventKind::MshrAlloc:
+            if (!mshr_outstanding.insert(event.addr).second)
+                complain("second mshr_alloc for in-flight line " +
+                         hex(event.addr) + " at seq " +
+                         std::to_string(event.seq));
+            break;
+          case EventKind::MshrRetire:
+            if (!mshr_outstanding.erase(event.addr))
+                complain("mshr_retire without allocation for line " +
+                         hex(event.addr) + " at seq " +
+                         std::to_string(event.seq));
+            break;
+          case EventKind::Commit:
+            committed += event.a;
+            break;
+          default:
+            break;
+        }
+    }
+    if (sb_creates != sb_finishes)
+        complain("store-buffer lifetimes unbalanced: " +
+                 std::to_string(sb_creates) + " created vs " +
+                 std::to_string(sb_finishes) + " finishing drains");
+    if (!mshr_outstanding.empty())
+        complain(std::to_string(mshr_outstanding.size()) +
+                 " MSHR(s) still outstanding at run_end");
+    std::uint64_t insts = field(run.end, "insts");
+    if (committed != insts)
+        complain("commit events sum to " + std::to_string(committed) +
+                 " but run_end reports " + std::to_string(insts) +
+                 " insts");
+
+    // Interval records: contiguous seq/start/end chain covering every
+    // cycle, and per-stat deltas summing exactly to the final totals.
+    if (!run.intervals.empty()) {
+        std::uint64_t interval_seq = 0;
+        std::uint64_t expected_start = 0;
+        std::map<std::string, double> sums;
+        for (const Json &interval : run.intervals) {
+            if (field(interval, "seq") != interval_seq)
+                complain("interval seq " +
+                         std::to_string(field(interval, "seq")) +
+                         " where " + std::to_string(interval_seq) +
+                         " was expected");
+            if (field(interval, "start") != expected_start)
+                complain("interval " + std::to_string(interval_seq) +
+                         " starts at " +
+                         std::to_string(field(interval, "start")) +
+                         ", not " + std::to_string(expected_start));
+            std::uint64_t end = field(interval, "end");
+            if (field(interval, "cycles") !=
+                end - field(interval, "start"))
+                complain("interval " + std::to_string(interval_seq) +
+                         " cycles != end - start");
+            expected_start = end;
+            ++interval_seq;
+            if (const Json *stats = interval.find("stats"))
+                for (const auto &[name, delta] : stats->members())
+                    sums[name] += delta.asNumber();
+        }
+        if (expected_start != field(run.end, "cycles"))
+            complain("interval timeline ends at " +
+                     std::to_string(expected_start) + ", not at the "
+                     "run's " +
+                     std::to_string(field(run.end, "cycles")) +
+                     " cycles");
+        if (const Json *finals = run.end.find("stats")) {
+            for (const auto &[name, value] : finals->members())
+                if (sums[name] != value.asNumber())
+                    complain("interval deltas for " + name +
+                             " sum to " + Json(sums[name]).dump() +
+                             ", final total is " + value.dump());
+            for (const auto &[name, sum] : sums)
+                if (!finals->find(name))
+                    complain("interval stat " + name +
+                             " is absent from run_end");
+        }
+    }
+    return problems;
+}
+
+Json
+summarizeRun(const TraceRun &run)
+{
+    Json out = Json::object();
+    out["run"] = run.id;
+    out["workload"] = run.workload();
+    out["config"] = run.configTag();
+    out["cycles"] = run.end.isObject() ? field(run.end, "cycles") : 0;
+    out["insts"] = run.end.isObject() ? field(run.end, "insts") : 0;
+    const Json *ipc =
+        run.end.isObject() ? run.end.find("ipc") : nullptr;
+    out["ipc"] = ipc ? ipc->asNumber() : 0.0;
+    out["events"] = static_cast<std::uint64_t>(run.events.size());
+    out["dropped"] =
+        run.end.isObject() ? field(run.end, "dropped") : 0;
+
+    // Stall-cause breakdown, from the events that mark lost cycles.
+    std::uint64_t port_conflicts = 0;
+    std::uint64_t sb_partial = 0;
+    std::map<std::uint64_t, std::uint64_t> commit_stalls;
+    for (const TraceEvent &event : run.events) {
+        if (!event.knownKind)
+            continue;
+        if (event.kind == EventKind::PortConflict)
+            ++port_conflicts;
+        else if (event.kind == EventKind::CommitStall)
+            ++commit_stalls[event.a];
+        else if (event.kind == EventKind::SbRestore)
+            ++sb_partial;
+    }
+    Json stalls = Json::object();
+    stalls["port_conflict"] = port_conflicts;
+    for (const auto &[cause, count] : commit_stalls)
+        stalls[std::string("commit_") + stallCauseName(cause)] = count;
+    stalls["sb_restore"] = sb_partial;
+    out["stalls"] = std::move(stalls);
+    return out;
+}
+
+std::string
+summaryTable(const Json &summary)
+{
+    TextTable table;
+    table.setCaption(
+        "run " + Json(summary.at("run")).dump() + "  " +
+        stringField(summary, "workload") + " / " +
+        stringField(summary, "config"));
+    table.addHeader({"metric", "value"});
+    table.addRow({"cycles", TextTable::num(field(summary, "cycles"))});
+    table.addRow({"insts", TextTable::num(field(summary, "insts"))});
+    table.addRow(
+        {"ipc", TextTable::num(summary.at("ipc").asNumber(), 3)});
+    table.addRow({"events", TextTable::num(field(summary, "events"))});
+    table.addRow(
+        {"dropped", TextTable::num(field(summary, "dropped"))});
+    for (const auto &[cause, count] :
+         summary.at("stalls", "summary").members())
+        table.addRow({"stall:" + cause,
+                      TextTable::num(static_cast<std::uint64_t>(
+                          count.asNumber()))});
+    return table.render();
+}
+
+std::string
+hotReport(const TraceRun &run, unsigned top_n, HotBy by)
+{
+    struct Bucket
+    {
+        std::uint64_t portConflicts = 0;
+        std::uint64_t commitStalls = 0;
+        std::uint64_t lbHits = 0;
+        std::uint64_t mshrAllocs = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t events = 0;
+
+        std::uint64_t
+        stalls(HotBy by) const
+        {
+            // Per line, miss traffic and displacement are the cost
+            // signal; per PC the stall events carry it directly.
+            return by == HotBy::Pc
+                       ? portConflicts + commitStalls
+                       : mshrAllocs + evictions + commitStalls;
+        }
+    };
+    std::unordered_map<Addr, Bucket> buckets;
+    unsigned line_bytes = run.lineBytes();
+    for (const TraceEvent &event : run.events) {
+        if (!event.knownKind)
+            continue;
+        Addr key;
+        if (by == HotBy::Pc) {
+            key = event.pc;
+            if (!key)
+                continue;  // machine-initiated work has no PC
+        } else {
+            if (!event.addr)
+                continue;
+            key = line_bytes ? event.addr - event.addr % line_bytes
+                             : event.addr;
+        }
+        Bucket &bucket = buckets[key];
+        ++bucket.events;
+        switch (event.kind) {
+          case EventKind::PortConflict:
+            ++bucket.portConflicts;
+            break;
+          case EventKind::CommitStall:
+            ++bucket.commitStalls;
+            break;
+          case EventKind::LbHit:
+            ++bucket.lbHits;
+            break;
+          case EventKind::MshrAlloc:
+            ++bucket.mshrAllocs;
+            break;
+          case EventKind::CacheEvict:
+            ++bucket.evictions;
+            break;
+          default:
+            break;
+        }
+    }
+
+    std::vector<std::pair<Addr, const Bucket *>> ranked;
+    ranked.reserve(buckets.size());
+    for (const auto &[key, bucket] : buckets)
+        ranked.emplace_back(key, &bucket);
+    std::sort(ranked.begin(), ranked.end(),
+              [by](const auto &a, const auto &b) {
+                  std::uint64_t sa = a.second->stalls(by);
+                  std::uint64_t sb = b.second->stalls(by);
+                  if (sa != sb)
+                      return sa > sb;
+                  if (a.second->events != b.second->events)
+                      return a.second->events > b.second->events;
+                  return a.first < b.first;
+              });
+
+    TextTable table;
+    table.setCaption(
+        std::string("hot ") + (by == HotBy::Pc ? "PCs" : "lines") +
+        " by attributed stall events, run " + std::to_string(run.id));
+    table.addHeader({by == HotBy::Pc ? "pc" : "line", "events",
+                     "port_conf", "commit", "lb_hit", "mshr_alloc",
+                     "evict", "stalls"});
+    std::size_t count = std::min<std::size_t>(top_n, ranked.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        const Bucket &bucket = *ranked[i].second;
+        table.addRow({hex(ranked[i].first),
+                      TextTable::num(bucket.events),
+                      TextTable::num(bucket.portConflicts),
+                      TextTable::num(bucket.commitStalls),
+                      TextTable::num(bucket.lbHits),
+                      TextTable::num(bucket.mshrAllocs),
+                      TextTable::num(bucket.evictions),
+                      TextTable::num(bucket.stalls(by))});
+    }
+    return table.render();
+}
+
+std::string
+heatmapCsv(const TraceRun &run)
+{
+    unsigned sets = run.l1dSets();
+    unsigned line_bytes = run.lineBytes();
+    if (!sets || !line_bytes)
+        throw ConfigError(
+            Msg() << "run " << run.id << " carries no l1d_sets/"
+                  << "line_bytes geometry (trace predates the "
+                  << "profiler schema); re-trace with a current "
+                  << "cpe_eval");
+
+    struct SetRow
+    {
+        std::uint64_t mshrAllocs = 0;  ///< demand/prefetch misses
+        std::uint64_t fills = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t lbHits = 0;
+    };
+    std::vector<SetRow> rows(sets);
+    auto setOf = [sets, line_bytes](Addr addr) {
+        return static_cast<std::size_t>((addr / line_bytes) % sets);
+    };
+    for (const TraceEvent &event : run.events) {
+        if (!event.knownKind)
+            continue;
+        switch (event.kind) {
+          case EventKind::MshrAlloc:
+            ++rows[setOf(event.addr)].mshrAllocs;
+            break;
+          case EventKind::Fill:
+            ++rows[setOf(event.addr)].fills;
+            break;
+          case EventKind::CacheEvict:
+            ++rows[setOf(event.addr)].evictions;
+            break;
+          case EventKind::LbHit:
+            ++rows[setOf(event.addr)].lbHits;
+            break;
+          default:
+            break;
+        }
+    }
+
+    std::string csv = "set,mshr_allocs,fills,evictions,lb_hits\n";
+    char buf[128];
+    for (unsigned set = 0; set < sets; ++set) {
+        std::snprintf(buf, sizeof(buf),
+                      "%u,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                      ",%" PRIu64 "\n",
+                      set, rows[set].mshrAllocs, rows[set].fills,
+                      rows[set].evictions, rows[set].lbHits);
+        csv += buf;
+    }
+    return csv;
+}
+
+namespace {
+
+constexpr const char *kTraceUsage =
+    "usage: cpe_trace <command> FILE [options]\n"
+    "commands:\n"
+    "  validate   lint the trace against the event-stream invariants\n"
+    "             (exit 1 when any run violates one)\n"
+    "  summary    headline numbers + stall-cause breakdown per run\n"
+    "  hot        top-N PCs (or lines) by attributed stall events\n"
+    "  heatmap    per-L1D-set conflict traffic as CSV\n"
+    "options:\n"
+    "  --run R         restrict to run id R (default: every run)\n"
+    "  --top N         rows for 'hot' (default: 10)\n"
+    "  --by pc|line    aggregation key for 'hot' (default: pc)\n"
+    "(every --flag VALUE is also accepted as --flag=VALUE)\n";
+
+[[noreturn]] void
+traceUsageError(const std::string &message)
+{
+    std::cerr << "cpe_trace: " << message << "\n" << kTraceUsage;
+    std::exit(2);
+}
+
+struct TraceOptions
+{
+    std::string command;
+    std::string path;
+    bool haveRun = false;
+    std::uint64_t runId = 0;
+    unsigned top = 10;
+    HotBy by = HotBy::Pc;
+};
+
+TraceOptions
+parseTraceArgs(int argc, char **argv)
+{
+    TraceOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        std::string inline_value;
+        bool has_inline = false;
+        if (flag.rfind("--", 0) == 0) {
+            std::size_t eq = flag.find('=');
+            if (eq != std::string::npos) {
+                inline_value = flag.substr(eq + 1);
+                flag = flag.substr(0, eq);
+                has_inline = true;
+            }
+        }
+        auto value = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
+            if (i + 1 >= argc)
+                traceUsageError("flag '" + flag + "' needs a value");
+            return argv[++i];
+        };
+        if (flag == "--run") {
+            options.haveRun = true;
+            options.runId = std::strtoull(value().c_str(), nullptr, 10);
+        } else if (flag == "--top") {
+            options.top = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (flag == "--by") {
+            std::string by = value();
+            if (by == "pc")
+                options.by = HotBy::Pc;
+            else if (by == "line")
+                options.by = HotBy::Line;
+            else
+                traceUsageError("--by wants pc or line, got '" + by +
+                                "'");
+        } else if (flag.rfind("--", 0) == 0) {
+            traceUsageError("unknown flag '" + flag + "'");
+        } else if (options.command.empty()) {
+            options.command = flag;
+        } else if (options.path.empty()) {
+            options.path = flag;
+        } else {
+            traceUsageError("unexpected argument '" + flag + "'");
+        }
+    }
+    if (options.command.empty())
+        traceUsageError("no command given");
+    if (options.command != "validate" && options.command != "summary" &&
+        options.command != "hot" && options.command != "heatmap")
+        traceUsageError("unknown command '" + options.command + "'");
+    if (options.path.empty())
+        traceUsageError("no trace file given");
+    return options;
+}
+
+/** The runs a command operates on (--run narrows to one). */
+std::vector<const TraceRun *>
+selectRuns(const TraceFile &file, const TraceOptions &options)
+{
+    std::vector<const TraceRun *> out;
+    if (options.haveRun) {
+        const TraceRun *run = file.findRun(options.runId);
+        if (!run)
+            throw ConfigError(Msg() << "trace has no run "
+                                    << options.runId);
+        out.push_back(run);
+        return out;
+    }
+    for (const auto &run : file.runs)
+        out.push_back(&run);
+    if (out.empty())
+        throw IoError(Msg() << "trace file contains no runs");
+    return out;
+}
+
+} // namespace
+
+int
+traceMain(int argc, char **argv)
+{
+    TraceOptions options = parseTraceArgs(argc, argv);
+    try {
+        TraceFile file = loadTraceFile(options.path);
+        auto runs = selectRuns(file, options);
+        if (options.command == "validate") {
+            std::uint64_t problems = 0;
+            for (const TraceRun *run : runs)
+                for (const auto &problem : validateRun(*run)) {
+                    std::cout << problem << "\n";
+                    ++problems;
+                }
+            if (problems) {
+                std::cout << "validate: FAIL — " << problems
+                          << " problem(s) across " << runs.size()
+                          << " run(s)\n";
+                return 1;
+            }
+            std::cout << "validate: OK — " << runs.size()
+                      << " run(s) clean\n";
+        } else if (options.command == "summary") {
+            for (const TraceRun *run : runs)
+                std::cout << summaryTable(summarizeRun(*run)) << "\n";
+        } else if (options.command == "hot") {
+            for (const TraceRun *run : runs)
+                std::cout << hotReport(*run, options.top, options.by)
+                          << "\n";
+        } else if (options.command == "heatmap") {
+            for (const TraceRun *run : runs)
+                std::cout << heatmapCsv(*run);
+        }
+        return 0;
+    } catch (const SimError &error) {
+        std::cerr << "cpe_trace: " << error.kind() << " error: "
+                  << error.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace cpe::obs

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * In-simulator stall-attribution profiler: per-static-PC counters for
+ * everything the paper's techniques buy or cost (port grants and
+ * conflicts, store-buffer-full stalls, line-buffer hits, MSHR waits,
+ * commit stalls by cause) plus per-cache-set access/miss/eviction
+ * counters.
+ *
+ * Same contract as obs::Tracer: components carry an `obs::Profiler *`
+ * that is null unless profiling was requested, every hook is one
+ * branch on that pointer, and hooks only *read* model state — a
+ * profiled run produces byte-identical results (locked down by
+ * tests/test_obs_profile.cc, which also asserts that the per-PC sums
+ * equal the aggregate StatGroup totals exactly).
+ *
+ * Attribution works through a *context PC*: the D-cache unit (and the
+ * commit stage) set the PC of the instruction being handled before
+ * touching the memory subsystem and clear it afterwards, so hooks deep
+ * inside the port arbiter or line buffers never need to know which
+ * instruction drove them.  Context PC 0 is the machine itself —
+ * store-buffer drains, fills, prefetches — and gets its own bucket.
+ */
+
+#ifndef CPE_OBS_PROFILER_HH
+#define CPE_OBS_PROFILER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/types.hh"
+
+namespace cpe::obs {
+
+/** Everything attributed to one static PC (bucket 0 = no PC). */
+struct PcCounters
+{
+    // Load outcomes (mirrors the dcache_unit loads_* scalars).
+    std::uint64_t loads = 0;
+    std::uint64_t sbFwd = 0;        ///< forwarded from the store buffer
+    std::uint64_t lbServed = 0;     ///< served by a line buffer
+    std::uint64_t cacheHits = 0;    ///< port access, L1 hit
+    std::uint64_t misses = 0;       ///< primary miss -> new MSHR
+    std::uint64_t missMerged = 0;   ///< merged into an in-flight fill
+    std::uint64_t stores = 0;       ///< stores accepted (buffer or port)
+    // Line-buffer lookups made on behalf of this PC.
+    std::uint64_t lbLookups = 0;
+    std::uint64_t lbHits = 0;
+    // Port traffic driven by this PC (drains/fills land in bucket 0).
+    std::uint64_t portGrants = 0;
+    std::uint64_t portConflicts = 0;///< retries: every port busy
+    // Stall causes.
+    std::uint64_t sbFullStalls = 0; ///< store refused: buffer full
+    std::uint64_t mshrWaits = 0;    ///< load retries: MSHRs exhausted
+    std::uint64_t partialStalls = 0;///< load blocked: partial SB overlap
+    std::uint64_t commitStallHead = 0;  ///< commit blocked: head not done
+    std::uint64_t commitStallStore = 0; ///< commit blocked: store refused
+    // Miss traffic started for this PC.
+    std::uint64_t mshrAllocs = 0;
+
+    /** Total stall cycles attributed to this PC (the ranking key). */
+    std::uint64_t
+    stallCycles() const
+    {
+        return portConflicts + sbFullStalls + mshrWaits + partialStalls +
+               commitStallHead + commitStallStore;
+    }
+
+    /** Any activity at all (empty buckets are not reported). */
+    bool
+    any() const
+    {
+        return loads || stores || lbLookups || portGrants ||
+               mshrAllocs || stallCycles();
+    }
+};
+
+/** Per-L1D-set counters (conflict heatmap). */
+struct SetCounters
+{
+    std::uint64_t accesses = 0;   ///< demand accesses (hits + misses)
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  ///< valid lines displaced
+};
+
+/**
+ * Per-run attribution profiler.  One Profiler belongs to one
+ * simulation run, like the Tracer; it is plain data, never shared
+ * across threads.
+ */
+class Profiler
+{
+  public:
+    Profiler() = default;
+    Profiler(const Profiler &) = delete;
+    Profiler &operator=(const Profiler &) = delete;
+
+    /** Size the per-set counters (the owning D-cache unit's L1D). */
+    void
+    initSets(unsigned sets)
+    {
+        sets_.assign(sets, SetCounters{});
+    }
+
+    /**
+     * Switch the attribution context to @p pc (0 = machine-initiated
+     * work).  Cheap when the PC repeats: the resolved bucket is
+     * memoized.
+     */
+    void
+    setContext(Addr pc)
+    {
+        if (pc == contextPc_)
+            return;
+        contextPc_ = pc;
+        cur_ = pc ? &pcs_[pc] : &none_;
+    }
+
+    Addr contextPc() const { return contextPc_; }
+
+    // --- hooks (call through a null-checked Profiler pointer) ---
+
+    void onLoadForwarded() { ++cur_->loads; ++cur_->sbFwd; }
+    void onLoadLineBuffer() { ++cur_->loads; ++cur_->lbServed; }
+    void onLoadCacheHit() { ++cur_->loads; ++cur_->cacheHits; }
+    void onLoadMiss() { ++cur_->loads; ++cur_->misses; }
+    void onLoadMissMerged() { ++cur_->loads; ++cur_->missMerged; }
+    void onStore() { ++cur_->stores; }
+
+    void
+    onLbLookup(bool hit)
+    {
+        ++cur_->lbLookups;
+        if (hit)
+            ++cur_->lbHits;
+    }
+
+    void onPortGrant() { ++cur_->portGrants; }
+    void onPortConflict() { ++cur_->portConflicts; }
+    void onSbFullStall() { ++cur_->sbFullStalls; }
+    void onMshrWait() { ++cur_->mshrWaits; }
+    void onPartialStall() { ++cur_->partialStalls; }
+    void onMshrAlloc() { ++cur_->mshrAllocs; }
+    void onCommitStallHead() { ++cur_->commitStallHead; }
+    void onCommitStallStore() { ++cur_->commitStallStore; }
+    void onRobEmpty() { ++robEmptyCycles_; }
+
+    void
+    onSetAccess(std::size_t set, bool hit)
+    {
+        SetCounters &counters = sets_[set];
+        ++counters.accesses;
+        if (!hit)
+            ++counters.misses;
+    }
+
+    void onSetEviction(std::size_t set) { ++sets_[set].evictions; }
+
+    /**
+     * Zero every counter (the warm-up boundary, mirroring
+     * StatGroup::resetAll() so the per-PC sums keep matching the
+     * post-warm-up aggregates).  Set geometry survives.
+     */
+    void reset();
+
+    // --- reporting ---
+
+    /** Aggregate of every bucket (equals the StatGroup totals). */
+    PcCounters totals() const;
+
+    std::uint64_t robEmptyCycles() const { return robEmptyCycles_; }
+
+    /** The bucket for @p pc, or nullptr (tests; pc 0 = the machine). */
+    const PcCounters *counters(Addr pc) const;
+
+    const std::vector<SetCounters> &setCounters() const { return sets_; }
+
+    /**
+     * The profile document embedded in JSON results: {"top": N,
+     * "totals": {...}, "pcs": [top-N buckets by stall cycles],
+     * "sets": {...}}.  Zero-valued per-PC members are omitted (like
+     * the trace schema); totals always carry every key.
+     */
+    Json toJson(unsigned top_n) const;
+
+  private:
+    Addr contextPc_ = 0;
+    PcCounters none_;           ///< bucket for PC 0 (machine-initiated)
+    PcCounters *cur_ = &none_;  ///< memoized current bucket
+    std::unordered_map<Addr, PcCounters> pcs_;
+    std::vector<SetCounters> sets_;
+    std::uint64_t robEmptyCycles_ = 0;
+};
+
+/**
+ * Render a profile document (Profiler::toJson output) as the top-N
+ * per-PC stall-attribution table `cpe_eval --profile` prints.
+ */
+std::string profileTable(const Json &profile);
+
+} // namespace cpe::obs
+
+#endif // CPE_OBS_PROFILER_HH

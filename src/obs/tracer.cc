@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <exception>
 
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -77,7 +78,8 @@ StringTraceSink::text() const
 
 void
 Tracer::beginRun(TraceSink *sink, const std::string &workload,
-                 const std::string &config_tag, Cycle sample_cycles)
+                 const std::string &config_tag, Cycle sample_cycles,
+                 unsigned l1d_sets, unsigned line_bytes)
 {
     CPE_ASSERT(sink, "Tracer::beginRun with no sink");
     CPE_ASSERT(!sink_, "Tracer::beginRun called twice");
@@ -91,6 +93,10 @@ Tracer::beginRun(TraceSink *sink, const std::string &workload,
     header["workload"] = workload;
     header["config"] = config_tag;
     header["sample_cycles"] = sample_cycles;
+    if (l1d_sets)
+        header["l1d_sets"] = l1d_sets;
+    if (line_bytes)
+        header["line_bytes"] = line_bytes;
     writeAll(header.dump() + "\n");
 }
 
@@ -107,9 +113,16 @@ Tracer::flush()
     for (const Event &ev : ring_) {
         int len = std::snprintf(buf, sizeof(buf),
                                 "{\"t\":\"ev\",\"r\":%" PRIu64
-                                ",\"c\":%" PRIu64 ",\"k\":\"%s\"",
-                                runId_, ev.cycle, eventKindName(ev.kind));
+                                ",\"s\":%" PRIu64 ",\"c\":%" PRIu64
+                                ",\"k\":\"%s\"",
+                                runId_, ev.seq, ev.cycle,
+                                eventKindName(ev.kind));
         scratch_.append(buf, static_cast<std::size_t>(len));
+        if (ev.pc) {
+            len = std::snprintf(buf, sizeof(buf), ",\"pc\":%" PRIu64,
+                                ev.pc);
+            scratch_.append(buf, static_cast<std::size_t>(len));
+        }
         if (ev.addr) {
             len = std::snprintf(buf, sizeof(buf), ",\"addr\":%" PRIu64,
                                 ev.addr);
@@ -127,8 +140,17 @@ Tracer::flush()
         }
         scratch_.append("}\n");
     }
+    // A failing sink must not kill the run: the simulation's numbers
+    // do not depend on the trace, so discard the batch, remember how
+    // many events were lost, and keep going.  The loss is reported in
+    // the run_end footer's "dropped" field.
+    const std::uint64_t batch = ring_.size();
     ring_.clear();
-    sink_->write(scratch_.data(), scratch_.size());
+    try {
+        sink_->write(scratch_.data(), scratch_.size());
+    } catch (const std::exception &) {
+        eventsDropped_ += batch;
+    }
 }
 
 void
@@ -159,8 +181,14 @@ Tracer::endRun(Cycle cycles, std::uint64_t insts, double ipc,
     footer["insts"] = insts;
     footer["ipc"] = ipc;
     footer["events"] = eventsRecorded_;
+    footer["dropped"] = eventsDropped_;
     footer["stats"] = final_stats;
-    writeAll(footer.dump() + "\n");
+    // Best effort, like flush(): a dead sink loses the footer but must
+    // not turn a finished run into a failure.
+    try {
+        writeAll(footer.dump() + "\n");
+    } catch (const std::exception &) {
+    }
     sink_ = nullptr;
 }
 

@@ -12,9 +12,10 @@
  * Trace-file schema (see docs/observability.md for the full story):
  *
  *   {"t":"run_begin","r":0,"workload":...,"config":...,...}
- *   {"t":"ev","r":0,"c":<cycle>,"k":"<kind>"[,"addr":A][,"a":N][,"b":M]}
+ *   {"t":"ev","r":0,"s":<seq>,"c":<cycle>,"k":"<kind>"
+ *       [,"pc":P][,"addr":A][,"a":N][,"b":M]}
  *   {"t":"interval","r":0,...}          (emitted via IntervalSampler)
- *   {"t":"run_end","r":0,...,"stats":{...}}
+ *   {"t":"run_end","r":0,...,"dropped":D,"stats":{...}}
  *
  * "r" is a per-sink run id: parallel sweeps share one FileTraceSink,
  * whose writes are mutex-serialized whole batches — events of one run
@@ -77,8 +78,10 @@ const char *eventKindName(EventKind kind);
 /** One recorded event; payload meaning depends on the kind. */
 struct Event
 {
+    std::uint64_t seq = 0;  ///< 0-based position in this run's stream
     Cycle cycle = 0;
     EventKind kind = EventKind::Commit;
+    Addr pc = 0;  ///< static PC of the instruction in flight, 0 if none
     Addr addr = 0;
     std::uint64_t a = 0;
     std::uint64_t b = 0;
@@ -172,10 +175,13 @@ class Tracer
 
     /**
      * Bind to @p sink and emit the run_begin line.  @p sample_cycles
-     * is recorded in the header (0 = no interval sampling).
+     * is recorded in the header (0 = no interval sampling);
+     * @p l1d_sets / @p line_bytes describe the traced cache's geometry
+     * so offline tools can map addresses to sets (0 = unknown).
      */
     void beginRun(TraceSink *sink, const std::string &workload,
-                  const std::string &config_tag, Cycle sample_cycles);
+                  const std::string &config_tag, Cycle sample_cycles,
+                  unsigned l1d_sets = 0, unsigned line_bytes = 0);
 
     /** @return true when bound to a sink (hooks should record). */
     bool active() const { return sink_ != nullptr; }
@@ -186,6 +192,17 @@ class Tracer
     /** The owning core ticks this once per cycle while active. */
     void advanceTo(Cycle now) { now_ = now; }
 
+    /**
+     * Set the static PC attributed to subsequently recorded events.
+     * The D-cache unit scopes this around each load/store it handles;
+     * 0 (the idle default) marks machine-initiated work such as drains
+     * and fills.
+     */
+    void setPc(Addr pc) { pc_ = pc; }
+
+    /** The PC currently attributed (0 = none). */
+    Addr contextPc() const { return pc_; }
+
     /** Record one event (no-op unless active). */
     void
     record(Cycle cycle, EventKind kind, Addr addr = 0,
@@ -193,7 +210,8 @@ class Tracer
     {
         if (!sink_)
             return;
-        ring_.push_back(Event{cycle, kind, addr, a, b});
+        ring_.push_back(Event{eventsRecorded_, cycle, kind, pc_, addr,
+                              a, b});
         ++eventsRecorded_;
         if (ring_.size() >= RingEvents)
             flush();
@@ -225,6 +243,14 @@ class Tracer
     /** Events recorded so far this run. */
     std::uint64_t eventsRecorded() const { return eventsRecorded_; }
 
+    /**
+     * Events recorded but never written: a sink write failure discards
+     * the in-flight batch (the run keeps going, the trace degrades).
+     * Reported as the run_end footer's "dropped" field; `cpe_trace
+     * validate` flags any nonzero value.
+     */
+    std::uint64_t eventsDropped() const { return eventsDropped_; }
+
     /** Write out any buffered events. */
     void flush();
 
@@ -234,7 +260,9 @@ class Tracer
     TraceSink *sink_ = nullptr;
     std::uint64_t runId_ = 0;
     Cycle now_ = 0;
+    Addr pc_ = 0;
     std::uint64_t eventsRecorded_ = 0;
+    std::uint64_t eventsDropped_ = 0;
     std::vector<Event> ring_;
     std::string scratch_;  ///< reused batch-formatting buffer
 };

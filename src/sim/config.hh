@@ -41,6 +41,15 @@ struct ObsParams
      * and every JSONL line carries it.
      */
     obs::TraceSink *traceSink = nullptr;
+
+    /**
+     * Stall-attribution profiling (machine-file key [obs] profile;
+     * 0 = off).  When nonzero the run carries an obs::Profiler, the
+     * results JSON gains a "profile" member, and reports print the
+     * top-N per-PC stall table.  Like tracing, profiling never
+     * perturbs the simulated numbers.
+     */
+    unsigned profileTop = 0;
 };
 
 /**

@@ -326,6 +326,8 @@ keyTable()
              {
                  {"sample_cycles",
                   num<Cycle>(FIELD(Cycle, c.obs.sampleCycles))},
+                 {"profile",
+                  num<unsigned>(FIELD(unsigned, c.obs.profileTop))},
              }},
         };
     return table;
@@ -494,6 +496,7 @@ toMachineFile(const SimConfig &config)
 
     out << "\n[obs]\n";
     out << "sample_cycles = " << config.obs.sampleCycles << "\n";
+    out << "profile = " << config.obs.profileTop << "\n";
     return out.str();
 }
 

@@ -219,6 +219,9 @@ ResultGrid::toJson(const std::string &baseline) const
         if (!result.timeseriesJson.empty())
             run["timeseries"] =
                 Json::parse(result.timeseriesJson, "timeseries");
+        if (!result.profileJson.empty())
+            run["profile"] =
+                Json::parse(result.profileJson, "profile");
         runs.push(std::move(run));
     }
     out["runs"] = std::move(runs);

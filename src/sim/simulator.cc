@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include "func/executor.hh"
+#include "obs/profiler.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -28,16 +29,21 @@ Simulator::run()
     core.setOnWarmupDone(
         [&hierarchy]() { hierarchy.statGroup().resetAll(); });
 
-    // Observability (both off by default).  The tracer and sampler are
-    // stack-local: they only observe, so their lifetime ends with the
-    // run and the machine never owns them.
+    // Observability (all off by default).  The tracer, sampler, and
+    // profiler are stack-local: they only observe, so their lifetime
+    // ends with the run and the machine never owns them.
     obs::Tracer tracer;
+    obs::Profiler profiler;
     stats::IntervalSampler sampler(config_.obs.sampleCycles);
     if (config_.obs.traceSink) {
         tracer.beginRun(config_.obs.traceSink, config_.workloadName,
-                        config_.tag(), config_.obs.sampleCycles);
+                        config_.tag(), config_.obs.sampleCycles,
+                        config_.core.dcache.cache.sets(),
+                        config_.core.dcache.cache.lineBytes);
         core.setTracer(&tracer);
     }
+    if (config_.obs.profileTop)
+        core.setProfiler(&profiler);
     if (sampler.enabled()) {
         sampler.attach(core.statGroup());
         sampler.attach(hierarchy.statGroup());
@@ -79,6 +85,9 @@ Simulator::run()
 
     if (sampler.enabled())
         result.timeseriesJson = sampler.toJson().dump(2);
+    if (config_.obs.profileTop)
+        result.profileJson =
+            profiler.toJson(config_.obs.profileTop).dump(2);
     if (tracer.active()) {
         // run_end carries the final scalar totals so a trace consumer
         // can check its aggregated intervals without the results JSON.

@@ -51,6 +51,14 @@ struct SimResult
      * Per-interval scalar deltas sum to the final stats above.
      */
     std::string timeseriesJson;
+
+    /**
+     * Stall-attribution profile ({"top": N, "totals": {...}, "pcs":
+     * [...], "sets": {...}}) when SimConfig::obs.profileTop is
+     * nonzero; empty otherwise.  The per-PC counters sum exactly to
+     * the aggregate stats above (tests/test_obs_profile.cc).
+     */
+    std::string profileJson;
 };
 
 /** One-shot simulator: construct with a config, call run(). */

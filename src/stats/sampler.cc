@@ -1,9 +1,30 @@
 #include "stats/sampler.hh"
 
+#include <cmath>
+
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 
 namespace cpe::stats {
+
+namespace {
+
+/**
+ * num/den as a rate, hardened against degenerate intervals: a
+ * zero-cycle tail interval or a quiet stat must yield 0.0, never the
+ * NaN/inf a bare division would put in the JSON (which Json::dump
+ * renders as null, breaking downstream consumers).
+ */
+double
+finiteRatio(double num, double den)
+{
+    if (den <= 0.0)
+        return 0.0;
+    double ratio = num / den;
+    return std::isfinite(ratio) ? ratio : 0.0;
+}
+
+} // namespace
 
 void
 IntervalSampler::attach(const StatGroup &root)
@@ -88,17 +109,14 @@ IntervalSampler::sample(Cycle now)
     // Derived per-interval metrics, by well-known stat names; a name
     // that is not attached (or had no activity) contributes 0.
     double committed = deltaOf(stats, "core.committed");
-    record["ipc"] =
-        cycles ? committed / static_cast<double>(cycles) : 0.0;
+    record["ipc"] = finiteRatio(committed, static_cast<double>(cycles));
     double busy = deltaOf(stats, "core.dcache_unit.dports.busy_cycles");
     double idle = deltaOf(stats, "core.dcache_unit.dports.idle_cycles");
-    record["port_util"] =
-        (busy + idle) > 0.0 ? busy / (busy + idle) : 0.0;
+    record["port_util"] = finiteRatio(busy, busy + idle);
     double lb_hits = deltaOf(stats, "core.dcache_unit.line_buffers.hits");
     double lb_lookups =
         deltaOf(stats, "core.dcache_unit.line_buffers.lookups");
-    record["lb_hit_rate"] =
-        lb_lookups > 0.0 ? lb_hits / lb_lookups : 0.0;
+    record["lb_hit_rate"] = finiteRatio(lb_hits, lb_lookups);
     double sb_mean = 0.0;
     if (const Json *sb = dists.find("core.dcache_unit.sb_occupancy"))
         sb_mean = sb->at("mean").asNumber();

@@ -67,7 +67,9 @@ runGoldenTrace()
 
     obs::StringTraceSink sink;
     obs::Tracer tracer;
-    tracer.beginRun(&sink, "obs_golden", "single-port+techniques", 0);
+    tracer.beginRun(&sink, "obs_golden", "single-port+techniques", 0,
+                    params.dcache.cache.sets(),
+                    params.dcache.cache.lineBytes);
     core.setTracer(&tracer);
     Cycle cycles = core.run();
     tracer.endRun(cycles, core.committedInsts(), core.ipc(),

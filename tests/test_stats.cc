@@ -248,6 +248,27 @@ TEST(Sampler, ResetBetweenIntervalsClampsTheDelta)
               3.0);
 }
 
+TEST(Sampler, QuietIntervalYieldsFiniteRates)
+{
+    // An interval with no port or line-buffer activity divides 0 by 0
+    // for the derived rates: the record must carry 0.0, never the
+    // NaN/inf a bare division would emit (Json renders those as null,
+    // breaking trace consumers).
+    SamplerFixture fx;
+    IntervalSampler sampler(10);
+    sampler.attach(fx.group);
+    sampler.start(0);
+    fx.committed += 10;
+    sampler.tick(10);
+
+    ASSERT_EQ(sampler.intervalCount(), 1u);
+    const Json &record = sampler.records().front();
+    EXPECT_EQ(record.at("ipc").asNumber(), 1.0);
+    EXPECT_EQ(record.at("port_util").asNumber(), 0.0);
+    EXPECT_EQ(record.at("lb_hit_rate").asNumber(), 0.0);
+    EXPECT_EQ(record.dump().find("null"), std::string::npos);
+}
+
 TEST(Sampler, ZeroDeltaScalarsAreOmitted)
 {
     SamplerFixture fx;
