@@ -14,6 +14,7 @@
 #include "obs/tracer.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep_runner.hh"
+#include "sim/trace_cache.hh"
 #include "util/random.hh"
 #include "workload/registry.hh"
 
@@ -127,7 +128,7 @@ BM_TimingProfiled(benchmark::State &state)
 BENCHMARK(BM_TimingProfiled)->Unit(benchmark::kMillisecond);
 
 /**
- * The evaluation-harness sweep shape: 4 workloads x 3 variants of
+ * The evaluation-harness sweep shape: 4 workloads x 4 variants of
  * fully independent runs, exactly what the table/figure bench binaries
  * execute via runSuite().  BM_SuiteSweep/1 is the serial baseline;
  * higher arguments fan the same grid out across a SweepRunner pool.
@@ -140,10 +141,12 @@ sweepGridConfigs()
 {
     const std::vector<std::string> workloads = {"crc", "histogram",
                                                 "saxpy", "stencil"};
+    core::PortTechConfig banked = core::PortTechConfig::dualPortBase();
+    banked.banks = 4;  // 2 buses over 4 single-ported banks
     const std::vector<core::PortTechConfig> variants = {
         core::PortTechConfig::singlePortBase(),
         core::PortTechConfig::singlePortAllTechniques(),
-        core::PortTechConfig::dualPortBase()};
+        core::PortTechConfig::dualPortBase(), banked};
     std::vector<sim::SimConfig> configs;
     for (const auto &workload : workloads) {
         for (const auto &tech : variants) {
@@ -174,6 +177,50 @@ BM_SuiteSweep(benchmark::State &state)
     state.counters["jobs"] = static_cast<double>(runner.jobs());
 }
 BENCHMARK(BM_SuiteSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+/**
+ * The same grid through the execute-once/replay-many trace cache
+ * (cpe_eval's default): each workload's functional model runs once per
+ * iteration and all four timing variants replay the capture.  The
+ * kips delta against BM_SuiteSweep at the same job count is the
+ * functional work the cache removes from a sweep; "captures" confirms
+ * one execution per workload per iteration.
+ */
+void
+BM_SuiteSweepReplayed(benchmark::State &state)
+{
+    setVerbose(false);
+    auto configs = sweepGridConfigs();
+    sim::SweepRunner runner(static_cast<unsigned>(state.range(0)));
+    std::uint64_t insts = 0;
+    std::uint64_t captures = 0;
+    for (auto _ : state) {
+        // A fresh cache per iteration: steady-state sweeps would hit
+        // the resident capture every time and measure nothing.
+        sim::TraceCache cache;
+        for (auto &config : configs)
+            config.traceCache = &cache;
+        auto results = runner.run(configs);
+        for (const auto &result : results)
+            insts += result.insts;
+        captures += cache.stats().captures;
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.counters["kips"] = benchmark::Counter(
+        static_cast<double>(insts) / 1000.0, benchmark::Counter::kIsRate);
+    state.counters["jobs"] = static_cast<double>(runner.jobs());
+    state.counters["captures"] =
+        static_cast<double>(captures) /
+        static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SuiteSweepReplayed)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

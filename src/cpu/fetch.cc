@@ -35,17 +35,17 @@ FetchUnit::FetchUnit(const FetchParams &params, func::TraceSource *trace,
 bool
 FetchUnit::peek()
 {
-    if (peeked_)
+    if (bufPos_ < bufLen_)
         return true;
     if (exhausted_)
         return false;
-    func::DynInst record;
-    if (!trace_->next(record)) {
+    bufLen_ = trace_->fill(buffer_.data(), FillBatch);
+    bufPos_ = 0;
+    // A short fill means end of stream (the TraceSource contract),
+    // which saves the final empty refill call.
+    if (bufLen_ < FillBatch)
         exhausted_ = true;
-        return false;
-    }
-    peeked_ = record;
-    return true;
+    return bufPos_ < bufLen_;
 }
 
 void
@@ -98,7 +98,7 @@ FetchUnit::tick(Cycle now)
         }
         if (!peek())
             break;
-        const func::DynInst &record = *peeked_;
+        const func::DynInst &record = buffer_[bufPos_];
 
         // One I-cache line per fetch cycle.
         Addr line = icache_.lineAddr(record.pc);
@@ -121,7 +121,7 @@ FetchUnit::tick(Cycle now)
         TimingInst inst;
         inst.di = record;
         inst.fetchCycle = now;
-        peeked_.reset();
+        ++bufPos_;  // record stays valid: refills happen only in peek()
         ++fetched;
         ++fetchedInsts;
 

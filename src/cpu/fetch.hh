@@ -12,8 +12,8 @@
 #ifndef CPE_CPU_FETCH_HH
 #define CPE_CPU_FETCH_HH
 
+#include <array>
 #include <deque>
-#include <optional>
 
 #include "cpu/branch_predictor.hh"
 #include "cpu/pipeline_types.hh"
@@ -63,7 +63,10 @@ class FetchUnit
     void resolveBranch(SeqNum seq, Cycle resume_cycle);
 
     /** @return true when the trace has no more instructions. */
-    bool traceExhausted() const { return exhausted_ && !peeked_; }
+    bool traceExhausted() const
+    {
+        return exhausted_ && bufPos_ >= bufLen_;
+    }
 
     /** @return true while fetch is frozen on a mispredicted branch. */
     bool stalledOnBranch() const { return stalledOnSeq_ != 0; }
@@ -84,7 +87,7 @@ class FetchUnit
     stats::Scalar wrongPathMisses;  ///< ...that missed the I-cache
 
   private:
-    /** Ensure peeked_ holds the next trace record; false at end. */
+    /** Ensure the buffer holds the next trace record; false at end. */
     bool peek();
 
     FetchParams params_;
@@ -94,7 +97,17 @@ class FetchUnit
     mem::MemHierarchy *nextLevel_;
 
     std::deque<TimingInst> queue_;
-    std::optional<func::DynInst> peeked_;
+
+    /**
+     * Block-consumption buffer: the front end pulls committed-path
+     * records through TraceSource::fill() in batches, so sources with
+     * contiguous storage (trace replay) cost one bulk copy per batch
+     * instead of one virtual call per instruction.
+     */
+    static constexpr std::size_t FillBatch = 64;
+    std::array<func::DynInst, FillBatch> buffer_;
+    std::size_t bufPos_ = 0;
+    std::size_t bufLen_ = 0;
     bool exhausted_ = false;
 
     static constexpr Addr NoLine = ~Addr{0};

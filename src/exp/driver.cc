@@ -13,6 +13,7 @@
 
 #include "exp/registry.hh"
 #include "sim/sweep_runner.hh"
+#include "sim/trace_cache.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -71,6 +72,14 @@ constexpr const char *kUsage =
     "                           a top-N table per run (default N: 10)\n"
     "                           and add a \"profile\" member to the\n"
     "                           JSON results documents\n"
+    "  --trace-cache DIR        spill captured functional traces to DIR\n"
+    "                           (CPET files) and reuse them across\n"
+    "                           invocations; replay within one\n"
+    "                           invocation is on regardless\n"
+    "  --no-replay              execute the functional model live for\n"
+    "                           every run instead of capturing once per\n"
+    "                           workload and replaying (results are\n"
+    "                           byte-identical either way)\n"
     "(every --flag VALUE is also accepted as --flag=VALUE)\n";
 
 [[noreturn]] void
@@ -110,6 +119,8 @@ struct Options
     std::string tracePath;      ///< --trace: "" = off
     Cycle sampleCycles = 0;     ///< --sample-cycles: 0 = off
     unsigned profileTop = 0;    ///< --profile[=N]: 0 = off
+    std::string traceCacheDir;  ///< --trace-cache: "" = no spill
+    bool noReplay = false;      ///< --no-replay: live functional runs
 };
 
 std::string
@@ -203,6 +214,10 @@ parseArgs(int argc, char **argv)
                            : 10;
             if (!options.profileTop)
                 usageError("--profile wants a positive top-N count");
+        } else if (flag == "--trace-cache") {
+            options.traceCacheDir = value();
+        } else if (flag == "--no-replay") {
+            options.noReplay = true;
         } else if (flag == "--workloads") {
             options.workloads =
                 splitList(value());
@@ -618,6 +633,8 @@ int
 evalMain(int argc, char **argv)
 {
     Options options = parseArgs(argc, argv);
+    if (options.noReplay && !options.traceCacheDir.empty())
+        usageError("--no-replay and --trace-cache are contradictory");
     setFaultInjection(options.faultPlan);
     // The CLI boundary: everything below throws SimError for
     // recoverable failures; only here do they become an exit code.
@@ -631,6 +648,15 @@ evalMain(int argc, char **argv)
                 std::make_unique<obs::FileTraceSink>(options.tracePath);
         setObservability(trace_sink.get(), options.sampleCycles,
                          options.profileTop);
+        // Execute-once/replay-many, on by default: one shared cache
+        // for the invocation means each grid runs its functional model
+        // once per workload and every timing variant replays the
+        // capture (byte-identical results, see DESIGN.md).
+        std::unique_ptr<sim::TraceCache> trace_cache;
+        if (!options.noReplay)
+            trace_cache = std::make_unique<sim::TraceCache>(
+                options.traceCacheDir);
+        setTraceCache(trace_cache.get());
         switch (options.mode) {
           case Mode::List:
             return listExperiments();

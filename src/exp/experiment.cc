@@ -4,6 +4,7 @@
 
 #include "obs/profiler.hh"
 #include "sim/sweep_runner.hh"
+#include "sim/trace_cache.hh"
 #include "util/logging.hh"
 #include "workload/registry.hh"
 
@@ -20,6 +21,9 @@ std::vector<std::pair<std::string, std::string>> faultPlan;
 obs::TraceSink *obsSink = nullptr;
 Cycle obsSampleCycles = 0;
 unsigned obsProfileTop = 0;
+
+/** The installed functional-trace cache (see setTraceCache). */
+sim::TraceCache *traceCache = nullptr;
 
 void
 applyFaults(sim::SimConfig &config)
@@ -42,6 +46,56 @@ applyFaults(sim::SimConfig &config)
 
 } // namespace
 
+namespace {
+
+/**
+ * The functional work one grid saved via the trace cache, as the
+ * delta of the cache counters across the grid's sweep.
+ */
+struct ReplaySavings
+{
+    std::uint64_t captures = 0;
+    std::uint64_t replays = 0;   ///< in-memory + disk-loaded
+    std::uint64_t diskLoads = 0;
+    std::uint64_t instsSkipped = 0;
+
+    Json toJson() const
+    {
+        Json out = Json::object();
+        out["captures"] = captures;
+        out["replays"] = replays;
+        out["disk_loads"] = diskLoads;
+        out["insts_skipped"] = instsSkipped;
+        return out;
+    }
+};
+
+void
+printReplaySummary(std::ostream &out, const std::string &experiment_id,
+                   const std::string &key, const ReplaySavings &saved)
+{
+    out << "[replay] " << experiment_id << "/" << key << ": "
+        << saved.captures << " capture(s), " << saved.replays
+        << " replay(s)";
+    if (saved.diskLoads)
+        out << " (" << saved.diskLoads << " from disk)";
+    out << ", " << saved.instsSkipped << " functional insts skipped\n\n";
+}
+
+ReplaySavings
+savingsSince(const sim::TraceCache::Stats &before)
+{
+    sim::TraceCache::Stats now = traceCache->stats();
+    ReplaySavings delta;
+    delta.captures = now.captures - before.captures;
+    delta.diskLoads = now.diskLoads - before.diskLoads;
+    delta.replays = (now.replays - before.replays) + delta.diskLoads;
+    delta.instsSkipped = now.instsSkipped - before.instsSkipped;
+    return delta;
+}
+
+} // namespace
+
 void
 setFaultInjection(std::vector<std::pair<std::string, std::string>> plan)
 {
@@ -55,6 +109,12 @@ setObservability(obs::TraceSink *sink, Cycle sample_cycles,
     obsSink = sink;
     obsSampleCycles = sample_cycles;
     obsProfileTop = profile_top;
+}
+
+void
+setTraceCache(sim::TraceCache *cache)
+{
+    traceCache = cache;
 }
 
 std::vector<sim::SimConfig>
@@ -78,6 +138,7 @@ suiteConfigs(const std::vector<Variant> &variants,
                 config.obs.sampleCycles = obsSampleCycles;
             if (obsProfileTop)
                 config.obs.profileTop = obsProfileTop;
+            config.traceCache = traceCache;
             if (!faultPlan.empty())
                 applyFaults(config);
             configs.push_back(std::move(config));
@@ -111,9 +172,20 @@ Context::runGrid(const std::string &key,
     VerboseScope quiet(false);
     auto configs =
         suiteConfigs(variants, workloads.empty() ? suite_ : workloads);
+    // Replay accounting: the delta of the shared cache's counters
+    // across this grid is exactly the functional work this grid saved.
+    sim::TraceCache::Stats cache_before;
+    if (traceCache)
+        cache_before = traceCache->stats();
     if (!keepGoing_) {
         sim::ResultGrid grid = sim::SweepRunner().runGrid(configs);
-        doc_["grids"][key] = grid.toJson(baseline);
+        Json grid_json = grid.toJson(baseline);
+        if (traceCache) {
+            ReplaySavings saved = savingsSince(cache_before);
+            grid_json["replay"] = saved.toJson();
+            printReplaySummary(out_, experiment_.id, key, saved);
+        }
+        doc_["grids"][key] = std::move(grid_json);
         printProfiles(grid);
         return grid;
     }
@@ -146,6 +218,11 @@ Context::runGrid(const std::string &key,
     }
     if (errors.items().size())
         grid_json["errors"] = std::move(errors);
+    if (traceCache) {
+        ReplaySavings saved = savingsSince(cache_before);
+        grid_json["replay"] = saved.toJson();
+        printReplaySummary(out_, experiment_.id, key, saved);
+    }
     doc_["grids"][key] = std::move(grid_json);
     printProfiles(grid);
     return grid;

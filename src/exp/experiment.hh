@@ -73,6 +73,18 @@ void setFaultInjection(
 void setObservability(obs::TraceSink *sink, Cycle sample_cycles,
                       unsigned profile_top = 0);
 
+/**
+ * Execute-once/replay-many hook (installed by cpe_eval unless
+ * --no-replay): every config built by suiteConfigs() consults
+ * @p cache, so each grid executes the functional model once per
+ * (workload, functional-knobs) group and replays the shared capture
+ * through every timing variant.  Context::runGrid reports the
+ * functional work saved per grid — one summary line plus a "replay"
+ * member in the grid's JSON record.  Pass nullptr to clear; set
+ * before a sweep starts, never during one.
+ */
+void setTraceCache(sim::TraceCache *cache);
+
 class Context;
 
 /** One registered experiment of the reconstructed evaluation. */

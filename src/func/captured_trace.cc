@@ -1,0 +1,66 @@
+#include "func/captured_trace.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cpe::func {
+
+CapturedTrace::CapturedTrace(std::vector<DynInst> insts)
+    : insts_(std::move(insts))
+{
+    insts_.shrink_to_fit();
+}
+
+CapturedTrace
+CapturedTrace::capture(TraceSource &source, std::uint64_t max_insts)
+{
+    std::vector<DynInst> insts;
+    // One virtual call per block, not per instruction; the block size
+    // matches the fetch unit's consumption batch.
+    constexpr std::size_t Block = 4096;
+    DynInst buffer[Block];
+    std::uint64_t total = 0;
+    while (total < max_insts) {
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(Block, max_insts - total));
+        std::size_t got = source.fill(buffer, want);
+        insts.insert(insts.end(), buffer, buffer + got);
+        total += got;
+        if (got < want)
+            break;  // short fill = end of stream
+    }
+    return CapturedTrace(std::move(insts));
+}
+
+ReplayTraceSource::ReplayTraceSource(
+    std::shared_ptr<const CapturedTrace> trace)
+    : owned_(std::move(trace)), trace_(owned_.get())
+{
+    CPE_ASSERT(trace_, "replay source needs a capture");
+}
+
+ReplayTraceSource::ReplayTraceSource(const CapturedTrace &trace)
+    : trace_(&trace)
+{
+}
+
+bool
+ReplayTraceSource::next(DynInst &out)
+{
+    if (pos_ >= trace_->size())
+        return false;
+    out = (*trace_)[pos_++];
+    return true;
+}
+
+std::size_t
+ReplayTraceSource::fill(DynInst *out, std::size_t max)
+{
+    std::size_t n = std::min(max, trace_->size() - pos_);
+    std::copy_n(trace_->data() + pos_, n, out);
+    pos_ += n;
+    return n;
+}
+
+} // namespace cpe::func

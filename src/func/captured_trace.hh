@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The capture-once, replay-many seam at the functional/timing boundary.
+ *
+ * A CapturedTrace is the complete committed-path instruction stream of
+ * one live Executor run, frozen into a contiguous DynInst vector.  A
+ * ReplayTraceSource is a cheap cursor over it: many timing runs — on
+ * the same thread or concurrently across sweep workers — replay one
+ * immutable capture without re-executing the functional model.  This
+ * is the trace-driven idiom (capture once, replay per timing variant)
+ * the paper-era studies used to share workloads; here it removes the
+ * N-fold functional cost from N-point sweep grids.
+ *
+ * Determinism contract (DESIGN.md "Functional/timing boundary"): the
+ * functional stream is a pure function of (workload name, workload
+ * options), so a replayed timing run is byte-identical to a
+ * live-executed one — tests/test_replay_differential.cc proves it for
+ * stats, tables, JSON documents, traces, and profiles.
+ */
+
+#ifndef CPE_FUNC_CAPTURED_TRACE_HH
+#define CPE_FUNC_CAPTURED_TRACE_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "func/trace.hh"
+
+namespace cpe::func {
+
+/** One immutable, contiguous committed-path instruction stream. */
+class CapturedTrace
+{
+  public:
+    explicit CapturedTrace(std::vector<DynInst> insts);
+
+    /**
+     * Drain @p source to the end of its stream (at most @p max_insts
+     * records) into a new capture.  Draining a live Executor runs the
+     * program to HALT; a runaway program surfaces as the executor's
+     * ProgressError fuse, exactly as it would mid-simulation.
+     */
+    static CapturedTrace capture(TraceSource &source,
+                                 std::uint64_t max_insts = ~0ull);
+
+    std::size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+    const DynInst *data() const { return insts_.data(); }
+    const DynInst &operator[](std::size_t i) const { return insts_[i]; }
+
+    /** Resident footprint, for cache eviction accounting. */
+    std::size_t memoryBytes() const
+    {
+        return insts_.capacity() * sizeof(DynInst);
+    }
+
+  private:
+    std::vector<DynInst> insts_;
+};
+
+/**
+ * Replays a CapturedTrace as a TraceSource.  The view is read-only —
+ * any number of ReplayTraceSources may walk one capture concurrently —
+ * and fill() is a bulk copy from the contiguous backing store, so the
+ * timing core consumes instructions in blocks instead of one virtual
+ * next() per instruction.
+ */
+class ReplayTraceSource : public TraceSource
+{
+  public:
+    /** Shares ownership: the capture outlives any cache eviction. */
+    explicit ReplayTraceSource(
+        std::shared_ptr<const CapturedTrace> trace);
+
+    /** Non-owning view for callers that guarantee the lifetime. */
+    explicit ReplayTraceSource(const CapturedTrace &trace);
+
+    bool next(DynInst &out) override;
+    std::size_t fill(DynInst *out, std::size_t max) override;
+
+    /** Rewind to the start of the capture. */
+    void rewind() { pos_ = 0; }
+
+    /** Records not yet replayed. */
+    std::size_t remaining() const { return trace_->size() - pos_; }
+
+  private:
+    std::shared_ptr<const CapturedTrace> owned_;
+    const CapturedTrace *trace_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace cpe::func
+
+#endif // CPE_FUNC_CAPTURED_TRACE_HH

@@ -1,8 +1,19 @@
 #include "func/trace.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace cpe::func {
+
+std::size_t
+TraceSource::fill(DynInst *out, std::size_t max)
+{
+    std::size_t n = 0;
+    while (n < max && next(out[n]))
+        ++n;
+    return n;
+}
 
 std::vector<DynInst>
 recordTrace(TraceSource &source, std::size_t max_insts)
@@ -26,6 +37,15 @@ VectorTraceSource::next(DynInst &out)
         return false;
     out = trace_[pos_++];
     return true;
+}
+
+std::size_t
+VectorTraceSource::fill(DynInst *out, std::size_t max)
+{
+    std::size_t n = std::min(max, trace_.size() - pos_);
+    std::copy_n(trace_.data() + pos_, n, out);
+    pos_ += n;
+    return n;
 }
 
 } // namespace cpe::func

@@ -58,6 +58,21 @@ class TraceSource
      * @return false when the program has halted (out untouched).
      */
     virtual bool next(DynInst &out) = 0;
+
+    /**
+     * Produce up to @p max committed instructions into @p out.
+     *
+     * Contract: a short return (fewer than @p max records) means the
+     * stream has ended — a consumer may stop polling after one.  The
+     * base implementation loops next(); sources with contiguous
+     * backing storage (ReplayTraceSource, VectorTraceSource) override
+     * it with a bulk copy, which is what makes block-wise consumption
+     * in the timing core's front end cheaper than one virtual call
+     * per instruction.
+     *
+     * @return the number of records produced (0 at end of stream).
+     */
+    virtual std::size_t fill(DynInst *out, std::size_t max);
 };
 
 /**
@@ -70,6 +85,7 @@ class VectorTraceSource : public TraceSource
     explicit VectorTraceSource(std::vector<DynInst> trace);
 
     bool next(DynInst &out) override;
+    std::size_t fill(DynInst *out, std::size_t max) override;
 
     /** Rewind to the start of the trace. */
     void rewind() { pos_ = 0; }

@@ -37,15 +37,19 @@ static_assert(sizeof(Header) == 16, "trace header layout drifted");
 
 } // namespace
 
+std::uint32_t
+traceFileVersion()
+{
+    return Version;
+}
+
 std::uint64_t
 writeTrace(TraceSource &source, const std::string &path,
            std::uint64_t max_insts)
 {
     std::FILE *file = std::fopen(path.c_str(), "wb");
-    if (!file) {
-        warn(Msg() << "writeTrace: cannot open " << path);
-        return 0;
-    }
+    if (!file)
+        throw IoError(Msg() << "writeTrace: cannot create " << path);
 
     Header header{};
     std::memcpy(header.magic, Magic, 4);
@@ -53,7 +57,8 @@ writeTrace(TraceSource &source, const std::string &path,
     header.count = 0;  // patched at the end
     if (std::fwrite(&header, sizeof(header), 1, file) != 1) {
         std::fclose(file);
-        return 0;
+        throw IoError(Msg() << "writeTrace: failed writing header to "
+                            << path);
     }
 
     std::uint64_t written = 0;
@@ -62,8 +67,9 @@ writeTrace(TraceSource &source, const std::string &path,
         auto encoded = isa::encode(inst.inst);
         if (!encoded.ok()) {
             std::fclose(file);
-            panic(Msg() << "writeTrace: unencodable instruction at pc=0x"
-                        << std::hex << inst.pc);
+            throw WorkloadError(
+                Msg() << "writeTrace: unencodable instruction at pc=0x"
+                      << std::hex << inst.pc);
         }
         Record record{};
         record.seq = inst.seq;
@@ -74,19 +80,41 @@ writeTrace(TraceSource &source, const std::string &path,
         record.memSize = inst.memSize;
         record.flags = static_cast<std::uint8_t>(
             (inst.taken ? 1 : 0) | (inst.kernelMode ? 2 : 0));
-        if (std::fwrite(&record, sizeof(record), 1, file) != 1)
-            break;
+        if (std::fwrite(&record, sizeof(record), 1, file) != 1) {
+            std::fclose(file);
+            throw IoError(Msg() << "writeTrace: failed writing record "
+                                << written << " to " << path);
+        }
         ++written;
     }
 
     header.count = written;
-    std::fseek(file, 0, SEEK_SET);
-    std::fwrite(&header, sizeof(header), 1, file);
+    bool patched = std::fseek(file, 0, SEEK_SET) == 0 &&
+                   std::fwrite(&header, sizeof(header), 1, file) == 1;
+    bool flushed = std::fflush(file) == 0;
     std::fclose(file);
+    if (!patched || !flushed)
+        throw IoError(Msg() << "writeTrace: failed finalizing " << path);
     return written;
 }
 
-FileTraceSource::FileTraceSource(const std::string &path)
+std::vector<DynInst>
+readTrace(const std::string &path)
+{
+    FileTraceSource source(path);
+    std::vector<DynInst> trace;
+    trace.reserve(static_cast<std::size_t>(source.recordCount()));
+    DynInst inst;
+    while (source.next(inst))
+        trace.push_back(inst);
+    if (trace.size() != source.recordCount())
+        throw IoError(Msg() << path << " is truncated: header promises "
+                            << source.recordCount() << " records, found "
+                            << trace.size());
+    return trace;
+}
+
+FileTraceSource::FileTraceSource(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "rb");
     if (!file_)
@@ -123,7 +151,8 @@ FileTraceSource::next(DynInst &out)
         return false;
     auto inst = isa::decode(record.instWord);
     if (!inst) {
-        throw IoError(Msg() << "corrupt trace record " << read_
+        throw IoError(Msg() << path_ << ": corrupt trace record "
+                            << read_
                             << ": undecodable instruction word");
     }
     out = DynInst{};

@@ -20,6 +20,8 @@
 
 namespace cpe::sim {
 
+class TraceCache;
+
 /**
  * Observability knobs: cycle-level event tracing and interval stats
  * sampling.  Both default off and, when off, cost nothing — the hooks
@@ -84,6 +86,18 @@ struct SimConfig
 
     /** Event tracing + interval sampling (off by default). */
     ObsParams obs;
+
+    /**
+     * Shared functional-trace cache (not owned; null = execute the
+     * functional model live).  When set, simulate() acquires the
+     * committed-path capture for this config's functional half —
+     * executing it at most once per (workload, functional-knobs)
+     * group, even across concurrent sweep workers — and replays the
+     * immutable capture through the timing model.  Replayed results
+     * are byte-identical to live-executed ones (the replay
+     * determinism contract, tests/test_replay_differential.cc).
+     */
+    TraceCache *traceCache = nullptr;
 
     /** The machine model used throughout the evaluation. */
     static SimConfig defaults();

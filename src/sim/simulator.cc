@@ -1,7 +1,11 @@
 #include "sim/simulator.hh"
 
+#include <memory>
+
+#include "func/captured_trace.hh"
 #include "func/executor.hh"
 #include "obs/profiler.hh"
+#include "sim/trace_cache.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -17,15 +21,25 @@ Simulator::run()
     // first one panicking inside a component constructor.
     config_.validateOrThrow();
 
-    const auto &registry = workload::WorkloadRegistry::instance();
-    prog::Program program =
-        registry.build(config_.workloadName, config_.workload);
+    // The functional half: live golden-model execution by default, or
+    // a replay of the shared committed-path capture when a TraceCache
+    // is installed (execute-once, replay-many — the stream is
+    // identical either way, so the measured numbers are too).
+    std::shared_ptr<const func::CapturedTrace> captured;
+    std::unique_ptr<func::TraceSource> source;
+    if (config_.traceCache) {
+        captured = config_.traceCache->acquire(config_);
+        source = std::make_unique<func::ReplayTraceSource>(captured);
+    } else {
+        const auto &registry = workload::WorkloadRegistry::instance();
+        source = std::make_unique<func::Executor>(
+            registry.build(config_.workloadName, config_.workload));
+    }
 
-    func::Executor executor(program);
     mem::MemHierarchy hierarchy(config_.l2, config_.dram);
     cpu::CoreParams core_params = config_.core;
     core_params.warmupInsts = config_.warmupInsts;
-    cpu::OooCore core(core_params, &executor, &hierarchy);
+    cpu::OooCore core(core_params, source.get(), &hierarchy);
     core.setOnWarmupDone(
         [&hierarchy]() { hierarchy.statGroup().resetAll(); });
 

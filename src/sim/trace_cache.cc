@@ -1,0 +1,239 @@
+#include "sim/trace_cache.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+
+#include "func/executor.hh"
+#include "func/trace_file.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+#include "workload/registry.hh"
+
+namespace cpe::sim {
+
+namespace {
+
+/** FNV-1a 64-bit, for stable spill file names. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::string
+sanitizeForFilename(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+            c != '_')
+            c = '_';
+    return out;
+}
+
+} // namespace
+
+TraceCache::TraceCache(std::string spill_dir,
+                       std::size_t max_resident_bytes)
+    : spillDir_(std::move(spill_dir)),
+      maxResidentBytes_(max_resident_bytes)
+{
+}
+
+std::string
+TraceCache::key(const SimConfig &config)
+{
+    // Every functional knob, and nothing else: timing parameters do
+    // not change the committed path, so variants that differ only in
+    // timing must share one capture, while any functional difference
+    // must never share one.  The CPET version ties on-disk entries to
+    // the record layout they were written with.
+    std::ostringstream key;
+    key << config.workloadName
+        << "|scale=" << config.workload.scale
+        << "|seed=" << config.workload.seed
+        << "|os=" << config.workload.osLevel
+        << "|cpet=" << func::traceFileVersion();
+    return key.str();
+}
+
+std::string
+TraceCache::spillPath(const SimConfig &config) const
+{
+    if (spillDir_.empty())
+        return "";
+    std::ostringstream name;
+    name << sanitizeForFilename(config.workloadName) << "_" << std::hex
+         << fnv1a(key(config)) << ".cpet";
+    return (std::filesystem::path(spillDir_) / name.str()).string();
+}
+
+std::shared_ptr<const func::CapturedTrace>
+TraceCache::acquire(const SimConfig &config)
+{
+    const std::string cache_key = key(config);
+
+    std::promise<TracePtr> promise;
+    std::shared_future<TracePtr> future;
+    bool producer = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(cache_key);
+        if (it != entries_.end()) {
+            it->second.lastUse = ++useClock_;
+            future = it->second.future;
+        } else {
+            producer = true;
+            Entry entry;
+            entry.future = promise.get_future().share();
+            entry.lastUse = ++useClock_;
+            future = entry.future;
+            entries_.emplace(cache_key, std::move(entry));
+        }
+    }
+
+    if (!producer) {
+        // Single-flight: if the capture is still in progress on
+        // another worker, this blocks until it lands; either way the
+        // functional model is not re-executed.
+        TracePtr trace = future.get();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.replays;
+        stats_.instsSkipped += trace->size();
+        return trace;
+    }
+
+    try {
+        TracePtr trace = produce(config, cache_key);
+        promise.set_value(trace);
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(cache_key);
+        if (it != entries_.end()) {
+            it->second.bytes = trace->memoryBytes();
+            residentBytes_ += it->second.bytes;
+            evictLocked();
+        }
+        return trace;
+    } catch (...) {
+        // Failures are delivered to every waiter but never cached: a
+        // later acquire retries from scratch.
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(cache_key);
+        throw;
+    }
+}
+
+TraceCache::TracePtr
+TraceCache::produce(const SimConfig &config, const std::string &cache_key)
+{
+    const std::string path = spillPath(config);
+    if (!path.empty() && std::filesystem::exists(path)) {
+        try {
+            auto trace = std::make_shared<const func::CapturedTrace>(
+                func::readTrace(path));
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.diskLoads;
+            stats_.instsSkipped += trace->size();
+            return trace;
+        } catch (const SimError &error) {
+            warn(Msg() << "trace cache: spill entry " << path
+                       << " unusable (" << error.what()
+                       << "); falling back to live capture");
+        }
+    }
+
+    prog::Program program = workload::WorkloadRegistry::instance().build(
+        config.workloadName, config.workload);
+    func::Executor executor(std::move(program));
+    auto trace = std::make_shared<const func::CapturedTrace>(
+        func::CapturedTrace::capture(executor));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.captures;
+        stats_.instsCaptured += trace->size();
+    }
+
+    if (!path.empty()) {
+        // Spilling is an optimization: a full disk or unwritable
+        // directory must never fail the run.  Write-then-rename so a
+        // concurrent process sharing the directory never reads a
+        // half-written entry.
+        const std::string tmp =
+            path + ".tmp." + std::to_string(::getpid());
+        try {
+            std::filesystem::create_directories(spillDir_);
+            func::ReplayTraceSource writer(*trace);
+            func::writeTrace(writer, tmp);
+            std::filesystem::rename(tmp, path);
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.diskWrites;
+        } catch (const std::exception &error) {
+            warn(Msg() << "trace cache: could not spill " << cache_key
+                       << " to " << path << ": " << error.what());
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+        }
+    }
+    return trace;
+}
+
+void
+TraceCache::evictLocked()
+{
+    // LRU over ready entries; in-flight captures (bytes == 0) and the
+    // most recently used entry are never evicted, so the cache always
+    // makes forward progress even when one capture alone exceeds the
+    // bound.  Dropping an entry only releases the cache's reference —
+    // replays already holding the shared_ptr are unaffected.
+    while (residentBytes_ > maxResidentBytes_) {
+        auto victim = entries_.end();
+        std::uint64_t newest = 0;
+        std::size_t ready = 0;
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.bytes == 0)
+                continue;
+            ++ready;
+            newest = std::max(newest, it->second.lastUse);
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (ready <= 1 || victim == entries_.end() ||
+            victim->second.lastUse == newest)
+            return;
+        residentBytes_ -= victim->second.bytes;
+        ++stats_.evictions;
+        entries_.erase(victim);
+    }
+}
+
+TraceCache::Stats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+TraceCache::residentCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t count = 0;
+    for (const auto &[cache_key, entry] : entries_)
+        if (entry.bytes)
+            ++count;
+    return count;
+}
+
+} // namespace cpe::sim

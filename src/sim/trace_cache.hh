@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The execute-once, replay-many trace cache behind sweep grids.
+ *
+ * Every timing variant of the same (workload, functional-config) pair
+ * consumes an identical committed instruction stream, so an N-point
+ * sweep only needs the functional model once per distinct pair.  The
+ * TraceCache memoizes func::CapturedTrace objects under a key derived
+ * from the workload name, every functional knob (scale, seed, OS
+ * level), and the trace format version; SweepRunner grids consult it
+ * through SimConfig::traceCache, so the first run of each group
+ * captures and every other run — serial or on a concurrent sweep
+ * worker — replays the shared immutable capture.
+ *
+ * Concurrency: acquisition is single-flight.  When two parallel runs
+ * want the same uncached workload, exactly one executes the functional
+ * model while the other blocks on a shared future; both then replay
+ * the same capture (tests/test_trace_cache.cc proves one capture).
+ *
+ * On-disk spill (cpe_eval --trace-cache DIR): captures are also
+ * persisted as CPET files named by key hash, and a later process'
+ * cache miss loads from disk instead of re-executing — repeated
+ * cpe_eval invocations across CI runs skip functional execution
+ * entirely.  A corrupt or stale spill entry falls back to live
+ * capture with a warn(); spill I/O failures never fail a run.
+ */
+
+#ifndef CPE_SIM_TRACE_CACHE_HH
+#define CPE_SIM_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "func/captured_trace.hh"
+#include "sim/config.hh"
+
+namespace cpe::sim {
+
+/** Shared, thread-safe cache of captured functional traces. */
+class TraceCache
+{
+  public:
+    /** Cumulative accounting, for the per-grid summaries. */
+    struct Stats
+    {
+        std::uint64_t captures = 0;   ///< live functional executions
+        std::uint64_t replays = 0;    ///< served from a resident capture
+        std::uint64_t diskLoads = 0;  ///< served from the on-disk spill
+        std::uint64_t diskWrites = 0; ///< spill files written
+        std::uint64_t evictions = 0;  ///< captures dropped by the LRU
+        /** Functional instructions executed by captures. */
+        std::uint64_t instsCaptured = 0;
+        /** Functional instructions replays did NOT re-execute. */
+        std::uint64_t instsSkipped = 0;
+    };
+
+    /** The resident-set bound a default-constructed cache uses. */
+    static constexpr std::size_t DefaultMaxResidentBytes =
+        512ull * 1024 * 1024;
+
+    /**
+     * @param spill_dir directory for on-disk CPET spill ("" = memory
+     *        only).  Created on first write.
+     * @param max_resident_bytes LRU bound on resident capture bytes;
+     *        evicting an entry only drops the cache's reference, so
+     *        in-flight replays of it stay valid.
+     */
+    explicit TraceCache(
+        std::string spill_dir = "",
+        std::size_t max_resident_bytes = DefaultMaxResidentBytes);
+
+    /**
+     * Get the committed-path trace for @p config's functional half,
+     * capturing (or spill-loading) it on first use.  Safe to call from
+     * any number of sweep workers; a capture failure (e.g. the
+     * executor's ProgressError fuse) propagates to every waiter and is
+     * not cached, so a later acquire retries.
+     */
+    std::shared_ptr<const func::CapturedTrace>
+    acquire(const SimConfig &config);
+
+    /**
+     * The cache key of @p config: workload name + every functional
+     * knob + the CPET format version.  Timing knobs (ports, buffers,
+     * cache geometry, widths) are deliberately absent — they do not
+     * change the committed path — while any functional knob must
+     * never share a trace.
+     */
+    static std::string key(const SimConfig &config);
+
+    /** Where @p config's spill entry lives ("" without a spill dir). */
+    std::string spillPath(const SimConfig &config) const;
+
+    /** Snapshot of the accounting counters. */
+    Stats stats() const;
+
+    /** Resident captures (excludes in-flight acquisitions). */
+    std::size_t residentCount() const;
+
+    const std::string &spillDir() const { return spillDir_; }
+
+  private:
+    using TracePtr = std::shared_ptr<const func::CapturedTrace>;
+
+    struct Entry
+    {
+        std::shared_future<TracePtr> future;
+        /** memoryBytes() once ready; 0 while the capture is in
+         *  flight (in-flight entries are never evicted). */
+        std::size_t bytes = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Capture live or load from spill; runs outside the lock. */
+    TracePtr produce(const SimConfig &config, const std::string &key);
+
+    /** Drop least-recently-used entries beyond the byte bound. */
+    void evictLocked();
+
+    std::string spillDir_;
+    std::size_t maxResidentBytes_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    std::size_t residentBytes_ = 0;
+    std::uint64_t useClock_ = 0;
+    Stats stats_;
+};
+
+} // namespace cpe::sim
+
+#endif // CPE_SIM_TRACE_CACHE_HH

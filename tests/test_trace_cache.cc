@@ -1,0 +1,221 @@
+/**
+ * @file
+ * TraceCache tests: keying (timing-only variants share a capture,
+ * any functional difference never does), single capture per group —
+ * including under concurrent acquisition — LRU eviction that keeps
+ * in-flight replays valid, and the on-disk spill (round trip, corrupt
+ * entries falling back to live capture, failed captures never cached).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <vector>
+
+#include "func/executor.hh"
+#include "func/trace_file.hh"
+#include "sim/trace_cache.hh"
+#include "util/error.hh"
+#include "util/thread_pool.hh"
+#include "workload/registry.hh"
+
+#include "expect_error.hh"
+
+namespace cpe::sim {
+namespace {
+
+SimConfig
+cacheConfig(const std::string &workload)
+{
+    SimConfig config = SimConfig::defaults();
+    config.workloadName = workload;
+    return config;
+}
+
+/** A per-test spill directory under the gtest temp dir. */
+struct TempDir
+{
+    std::string path;
+    explicit TempDir(const std::string &name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(TraceCache, TimingOnlyVariantsShareAKey)
+{
+    SimConfig base = cacheConfig("copy");
+    SimConfig timing = base;
+    // Aggressive timing changes: none may change the committed path.
+    timing.core.dcache.tech = core::PortTechConfig::dualPortBase();
+    timing.core.fetch.fetchWidth = 1;
+    timing.core.dcache.cache.sizeBytes *= 2;
+    timing.label = "other";
+    EXPECT_EQ(TraceCache::key(base), TraceCache::key(timing));
+}
+
+TEST(TraceCache, FunctionalKnobsNeverShareAKey)
+{
+    SimConfig base = cacheConfig("copy");
+
+    SimConfig workload = base;
+    workload.workloadName = "crc";
+    EXPECT_NE(TraceCache::key(base), TraceCache::key(workload));
+
+    SimConfig scale = base;
+    scale.workload.scale += 1;
+    EXPECT_NE(TraceCache::key(base), TraceCache::key(scale));
+
+    SimConfig seed = base;
+    seed.workload.seed += 1;
+    EXPECT_NE(TraceCache::key(base), TraceCache::key(seed));
+
+    SimConfig os = base;
+    os.workload.osLevel += 1;
+    EXPECT_NE(TraceCache::key(base), TraceCache::key(os));
+}
+
+TEST(TraceCache, CapturesOnceThenReplays)
+{
+    TraceCache cache;
+    SimConfig config = cacheConfig("copy");
+
+    auto first = cache.acquire(config);
+    SimConfig variant = config;
+    variant.core.dcache.tech = core::PortTechConfig::dualPortBase();
+    auto second = cache.acquire(variant);
+
+    EXPECT_EQ(first.get(), second.get()) << "one shared capture";
+    TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.captures, 1u);
+    EXPECT_EQ(stats.replays, 1u);
+    EXPECT_EQ(stats.instsCaptured, first->size());
+    EXPECT_EQ(stats.instsSkipped, first->size());
+
+    // The capture is the exact committed stream a live executor emits.
+    func::Executor golden(workload::WorkloadRegistry::instance().build(
+        config.workloadName, config.workload));
+    auto expected = func::recordTrace(golden, ~std::size_t{0});
+    ASSERT_EQ(first->size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ((*first)[i].seq, expected[i].seq);
+        EXPECT_EQ((*first)[i].pc, expected[i].pc);
+        EXPECT_EQ((*first)[i].memAddr, expected[i].memAddr);
+        EXPECT_EQ((*first)[i].nextPc, expected[i].nextPc);
+        EXPECT_EQ((*first)[i].taken, expected[i].taken);
+    }
+}
+
+TEST(TraceCache, EvictsLruButKeepsInFlightReplaysValid)
+{
+    // A 1-byte bound forces an eviction as soon as a second capture
+    // lands; the MRU entry always survives.
+    TraceCache cache("", 1);
+    auto copy = cache.acquire(cacheConfig("copy"));
+    std::size_t copy_size = copy->size();
+    auto crc = cache.acquire(cacheConfig("crc"));
+
+    TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.captures, 2u);
+    EXPECT_GE(stats.evictions, 1u);
+    EXPECT_EQ(cache.residentCount(), 1u) << "only the MRU entry stays";
+
+    // The evicted capture is still alive through our shared_ptr.
+    EXPECT_EQ(copy->size(), copy_size);
+    EXPECT_GT(copy->size(), 0u);
+
+    // Re-acquiring the evicted workload re-captures (not a replay).
+    cache.acquire(cacheConfig("copy"));
+    EXPECT_EQ(cache.stats().captures, 3u);
+}
+
+TEST(TraceCache, ConcurrentAcquiresCaptureExactlyOnce)
+{
+    TraceCache cache;
+    SimConfig config = cacheConfig("histogram");
+
+    util::ThreadPool pool(4);
+    std::vector<std::future<const func::CapturedTrace *>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(pool.submit(
+            [&cache, config] { return cache.acquire(config).get(); }));
+
+    std::vector<const func::CapturedTrace *> traces;
+    for (auto &future : futures)
+        traces.push_back(future.get());
+    for (const auto *trace : traces)
+        EXPECT_EQ(trace, traces[0]) << "all waiters share one capture";
+
+    TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.captures, 1u) << "single-flight: one execution";
+    EXPECT_EQ(stats.replays, 7u);
+}
+
+TEST(TraceCache, SpillsToDiskAndLoadsAcrossInstances)
+{
+    TempDir dir("cpe_trace_cache_spill/");
+    SimConfig config = cacheConfig("copy");
+
+    TraceCache writer(dir.path);
+    auto captured = writer.acquire(config);
+    EXPECT_EQ(writer.stats().captures, 1u);
+    EXPECT_EQ(writer.stats().diskWrites, 1u);
+    ASSERT_FALSE(writer.spillPath(config).empty());
+    EXPECT_TRUE(std::filesystem::exists(writer.spillPath(config)));
+
+    // A fresh cache (a later cpe_eval invocation) loads the spill
+    // instead of re-executing the functional model.
+    TraceCache reader(dir.path);
+    auto loaded = reader.acquire(config);
+    TraceCache::Stats stats = reader.stats();
+    EXPECT_EQ(stats.captures, 0u) << "no functional execution";
+    EXPECT_EQ(stats.diskLoads, 1u);
+    EXPECT_EQ(stats.instsSkipped, loaded->size());
+    ASSERT_EQ(loaded->size(), captured->size());
+    for (std::size_t i = 0; i < loaded->size(); ++i) {
+        EXPECT_EQ((*loaded)[i].pc, (*captured)[i].pc);
+        EXPECT_EQ((*loaded)[i].memAddr, (*captured)[i].memAddr);
+    }
+}
+
+TEST(TraceCache, CorruptSpillEntryFallsBackToLiveCapture)
+{
+    TempDir dir("cpe_trace_cache_corrupt/");
+    SimConfig config = cacheConfig("copy");
+
+    TraceCache cache(dir.path);
+    std::filesystem::create_directories(dir.path);
+    std::FILE *f = std::fopen(cache.spillPath(config).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a CPET trace", f);
+    std::fclose(f);
+
+    // The corrupt entry warns and the capture proceeds live — a bad
+    // spill directory must never fail a run.
+    auto trace = cache.acquire(config);
+    EXPECT_GT(trace->size(), 0u);
+    TraceCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.diskLoads, 0u);
+    EXPECT_EQ(stats.captures, 1u);
+}
+
+TEST(TraceCache, FailedCapturesAreNotCached)
+{
+    TraceCache cache;
+    SimConfig config = cacheConfig("no-such-workload");
+
+    CPE_EXPECT_THROW_MSG(cache.acquire(config), WorkloadError,
+                         "no-such-workload");
+    EXPECT_EQ(cache.residentCount(), 0u);
+    // The failure was not memoized: the next acquire retries from
+    // scratch (and fails the same way, being deterministic).
+    CPE_EXPECT_THROW_MSG(cache.acquire(config), WorkloadError,
+                         "no-such-workload");
+}
+
+} // namespace
+} // namespace cpe::sim

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 
 #include "cpu/ooo_core.hh"
 #include "func/executor.hh"
@@ -112,6 +113,46 @@ TEST(TraceFile, MissingFileThrowsIoError)
 {
     CPE_EXPECT_THROW_MSG(FileTraceSource("/nonexistent/trace.bin"),
                          IoError, "cannot open");
+}
+
+TEST(TraceFile, UnwritablePathThrowsIoError)
+{
+    prog::Program program = sampleProgram();
+    Executor exec(program);
+    CPE_EXPECT_THROW_MSG(
+        writeTrace(exec, "/nonexistent-dir/trace.cpet", 10), IoError,
+        "cannot create");
+}
+
+TEST(TraceFile, ReadTraceMatchesStreamingReader)
+{
+    TempFile file("cpe_readtrace.trace");
+    prog::Program program = sampleProgram();
+    Executor exec(program);
+    writeTrace(exec, file.path, 2000);
+
+    std::vector<DynInst> whole = readTrace(file.path);
+    ASSERT_EQ(whole.size(), 2000u);
+    FileTraceSource reader(file.path);
+    DynInst inst;
+    for (const auto &want : whole) {
+        ASSERT_TRUE(reader.next(inst));
+        EXPECT_EQ(inst.seq, want.seq);
+        EXPECT_EQ(inst.pc, want.pc);
+    }
+}
+
+TEST(TraceFile, TruncatedFileThrowsIoError)
+{
+    TempFile file("cpe_truncated.trace");
+    prog::Program program = sampleProgram();
+    Executor exec(program);
+    writeTrace(exec, file.path, 100);
+
+    // Chop the last record in half: the header still promises 100.
+    auto size = std::filesystem::file_size(file.path);
+    std::filesystem::resize_file(file.path, size - 20);
+    CPE_EXPECT_THROW_MSG(readTrace(file.path), IoError, "truncated");
 }
 
 TEST(TraceFile, RejectsGarbage)
