@@ -74,9 +74,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F10",
     .title = "sensitivity to L1D capacity",
+    .description = "Scales L1D capacity to test whether the techniques survive cache-size changes.",
     .variants = variants,
     .workloads = {},
     .baseline = "2 ports",
+    .gateExclude = {},
     .run = run,
 });
 

@@ -76,9 +76,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F11",
     .title = "branch predictors x the buffered single port",
+    .description = "Swaps branch predictors to check the buffered port's sensitivity to fetch quality.",
     .variants = variants,
     .workloads = {},
     .baseline = "",
+    .gateExclude = {},
     .run = run,
 });
 

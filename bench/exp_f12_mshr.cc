@@ -48,10 +48,12 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F12",
     .title = "IPC vs outstanding-miss capacity (MSHRs)",
+    .description = "Sweeps MSHR capacity on miss-heavy workloads feeding the single port.",
     .variants = variants,
     .workloads = {"compress", "hashjoin", "spmv", "bsearch", "stencil",
                   "copy"},
     .baseline = "mshr1",
+    .gateExclude = {},
     .run = run,
 });
 

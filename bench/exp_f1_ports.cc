@@ -41,9 +41,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F1",
     .title = "performance vs number of cache ports",
+    .description = "Sweeps the L1D port count to show how far beyond one port the baseline core can profit.",
     .variants = variants,
     .workloads = {},
     .baseline = "1 port",
+    .gateExclude = {},
     .run = run,
 });
 

@@ -47,9 +47,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F2",
     .title = "single-port IPC vs store-buffer depth",
+    .description = "Deepens the store buffer on a single-ported cache to recover store-bound IPC.",
     .variants = variants,
     .workloads = {},
     .baseline = "no sb",
+    .gateExclude = {},
     .run = run,
 });
 

@@ -50,9 +50,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F3",
     .title = "single-port IPC vs number of line buffers",
+    .description = "Varies line-buffer count for the load-all-ports technique on one cache port.",
     .variants = variants,
     .workloads = {},
     .baseline = "no lb",
+    .gateExclude = {},
     .run = run,
 });
 

@@ -57,9 +57,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F4",
     .title = "single buffered port: IPC vs port width",
+    .description = "Widens a single buffered port to carry multiple accesses per cycle.",
     .variants = variants,
     .workloads = {},
     .baseline = "8B",
+    .gateExclude = {},
     .run = run,
 });
 

@@ -72,9 +72,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F5",
     .title = "single port + techniques vs dual-ported cache",
+    .description = "Headline: one buffered port with all techniques against a true dual-ported cache.",
     .variants = variants,
     .workloads = {},
     .baseline = "2 ports",
+    .gateExclude = {},
     .run = run,
 });
 

@@ -59,9 +59,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F6",
     .title = "technique effectiveness vs OS activity",
+    .description = "Re-runs the headline comparison while dialing in OS-like interference.",
     .variants = variants,
     .workloads = {},
     .baseline = "2 ports",
+    .gateExclude = {},
     .run = run,
 });
 

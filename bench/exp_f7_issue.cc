@@ -83,9 +83,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F7",
     .title = "port configurations vs issue width",
+    .description = "Crosses port configurations with machine issue width to locate the port bottleneck.",
     .variants = variants,
     .workloads = {},
     .baseline = "2 ports",
+    .gateExclude = {},
     .run = run,
 });
 

@@ -153,9 +153,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F8",
     .title = "ablations of the design choices",
+    .description = "Removes each port-efficiency technique in turn to attribute the headline gain.",
     .variants = variants,
     .workloads = {},
     .baseline = "idle-steal",
+    .gateExclude = {},
     .run = run,
 });
 

@@ -67,9 +67,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "F9",
     .title = "banked pseudo-dual-port vs buffered single port",
+    .description = "Pits a banked pseudo-dual-port cache against the buffered single port.",
     .variants = variants,
     .workloads = {},
     .baseline = "2 ports",
+    .gateExclude = {},
     .run = run,
 });
 

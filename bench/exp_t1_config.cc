@@ -50,9 +50,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "T1",
     .title = "machine configuration",
+    .description = "Prints the simulated machine configuration used throughout the evaluation.",
     .variants = variants,
     .workloads = {},
     .baseline = "",
+    .gateExclude = {},
     .run = run,
 });
 

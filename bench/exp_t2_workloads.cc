@@ -59,9 +59,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "T2",
     .title = "workload characterization",
+    .description = "Characterizes the workload suite: instruction mix, memory rates, branchiness.",
     .variants = variants,
     .workloads = {},
     .baseline = "",
+    .gateExclude = {},
     .run = run,
 });
 

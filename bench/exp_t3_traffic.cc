@@ -73,9 +73,11 @@ run(exp::Context &ctx)
 exp::Registrar reg({
     .id = "T3",
     .title = "port-traffic accounting (1p all-techniques)",
+    .description = "Accounts L1D port traffic by source for the all-techniques single-port machine.",
     .variants = variants,
     .workloads = {},
     .baseline = "",
+    .gateExclude = {},
     .run = run,
 });
 

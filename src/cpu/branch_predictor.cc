@@ -170,6 +170,36 @@ BranchPredictor::predict(Addr pc, const Inst &inst)
 }
 
 void
+BranchPredictor::warm(Addr pc, const Inst &inst, bool taken, Addr target)
+{
+    // The predict()-side structural updates (RAS pushes and pops)
+    // without any statistics, then the normal outcome update — so a
+    // fast-forwarded control op leaves the predictor in the same
+    // state a predicted-and-updated one would, without perturbing the
+    // lookup counters.
+    Addr fallthrough = pc + isa::InstBytes;
+    if (inst.op == Opcode::JAL) {
+        if (isCall(inst) && params_.rasEntries) {
+            if (rasTop_ < params_.rasEntries)
+                ras_[rasTop_++] = fallthrough;
+            else
+                ras_.back() = fallthrough;
+        }
+    } else if (inst.op == Opcode::JALR) {
+        if (isReturn(inst) && params_.rasEntries) {
+            if (rasTop_ > 0)
+                --rasTop_;
+        } else if (isCall(inst) && params_.rasEntries) {
+            if (rasTop_ < params_.rasEntries)
+                ras_[rasTop_++] = fallthrough;
+            else
+                ras_.back() = fallthrough;
+        }
+    }
+    update(pc, inst, taken, target);
+}
+
+void
 BranchPredictor::update(Addr pc, const Inst &inst, bool taken, Addr target)
 {
     if (isa::isCondBranch(inst.op)) {

@@ -69,6 +69,15 @@ class BranchPredictor
     void update(Addr pc, const isa::Inst &inst, bool taken, Addr target);
 
     /**
+     * Warm-only path (fast-forward phases of a sampled run): the
+     * structural effects of predict()-then-update() for one committed
+     * control op — RAS pushes/pops, counter/history training, BTB
+     * insertion — with no statistics, so warming is invisible to the
+     * accuracy counters.
+     */
+    void warm(Addr pc, const isa::Inst &inst, bool taken, Addr target);
+
+    /**
      * Did @p pred get this control instruction right?
      * @return true when the prediction matches the true outcome.
      */

@@ -49,6 +49,26 @@ FetchUnit::peek()
 }
 
 void
+FetchUnit::squashAndDrain(std::vector<func::DynInst> &pending)
+{
+    // Stream order: the queue's records are older than the fill
+    // buffer's remnant.
+    for (const TimingInst &inst : queue_)
+        pending.push_back(inst.di);
+    queue_.clear();
+    for (std::size_t i = bufPos_; i < bufLen_; ++i)
+        pending.push_back(buffer_[i]);
+    bufPos_ = bufLen_ = 0;
+    exhausted_ = false;
+    currentLine_ = NoLine;
+    stalledOnSeq_ = 0;
+    wrongPathPc_ = 0;
+    wrongPathBusyUntil_ = 0;
+    resumeCycle_ = 0;
+    waitKind_ = WaitKind::None;
+}
+
+void
 FetchUnit::resolveBranch(SeqNum seq, Cycle resume_cycle)
 {
     if (stalledOnSeq_ != seq)

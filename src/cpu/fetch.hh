@@ -14,6 +14,7 @@
 
 #include <array>
 #include <deque>
+#include <vector>
 
 #include "cpu/branch_predictor.hh"
 #include "cpu/pipeline_types.hh"
@@ -67,6 +68,21 @@ class FetchUnit
     {
         return exhausted_ && bufPos_ >= bufLen_;
     }
+
+    /**
+     * Phase-boundary squash (the cursor-repositioning contract of the
+     * sampled mode): append every fetched-but-unconsumed committed
+     * record — the fetch queue, then the fill buffer's remnant — to
+     * @p pending in stream order, and reset all fetch state (queue,
+     * buffer cursor, current line, branch/I-miss stalls, wrong-path
+     * machinery).  The end-of-stream latch is also cleared: the
+     * handed-back records precede whatever the source still holds, so
+     * exhaustion is re-detected by the next short fill.  Statistics
+     * and I-cache contents are left alone.  After this the unit
+     * resumes fetching exactly at the stream position the caller's
+     * @p pending (plus the source) represents.
+     */
+    void squashAndDrain(std::vector<func::DynInst> &pending);
 
     /** @return true while fetch is frozen on a mispredicted branch. */
     bool stalledOnBranch() const { return stalledOnSeq_ != 0; }

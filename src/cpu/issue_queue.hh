@@ -38,6 +38,9 @@ class IssueQueue
     /** Drop every entry that has issued. */
     void removeIssued();
 
+    /** Phase-boundary squash: drop every entry. */
+    void clear() { entries_.clear(); }
+
     stats::StatGroup &statGroup() { return statGroup_; }
 
     stats::Scalar added;

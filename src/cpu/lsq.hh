@@ -62,6 +62,15 @@ class Lsq
     std::size_t loads() const { return loadQueue_.size(); }
     std::size_t stores() const { return storeQueue_.size(); }
 
+    /** Phase-boundary squash: drop every queued entry (the pointed-to
+     *  instructions are owned — and dropped — by the ROB). */
+    void
+    clear()
+    {
+        loadQueue_.clear();
+        storeQueue_.clear();
+    }
+
     stats::StatGroup &statGroup() { return statGroup_; }
 
     stats::Scalar lsqForwards;       ///< loads forwarded from the SQ

@@ -164,16 +164,17 @@ OooCore::commit(Cycle now)
         ++totalCommitted_;
         lastCommitCycle_ = now;
         rob_.popHead();
-        if (params_.warmupInsts &&
-            totalCommitted_ == params_.warmupInsts) {
-            // Warm-up complete: statistics describe the measurement
-            // region from here on.
-            statGroup_.resetAll();
-            if (profiler_)
-                profiler_->reset();
-            warmupEndCycle_ = now;
-            if (onWarmupDone_)
-                onWarmupDone_();
+        if (boundaryTarget_ && totalCommitted_ == boundaryTarget_) {
+            boundaryTarget_ = 0;
+            bool keep_going = boundaryHook_ ? boundaryHook_(now) : true;
+            if (!keep_going) {
+                // The next phase is not detailed: leave commit (and the
+                // cycle) unfinished; runDetailed() exits with
+                // StopReason::Boundary and the phase engine squashes
+                // the in-flight window.
+                boundaryExit_ = true;
+                return;
+            }
         }
         if (halted_)
             return;
@@ -352,8 +353,8 @@ OooCore::tripWatchdog(const std::string &reason, Cycle now)
     throw ProgressError(message, std::move(snapshot));
 }
 
-Cycle
-OooCore::run()
+StopReason
+OooCore::runDetailed()
 {
     lastCommitCycle_ = now_;
     while (!halted_) {
@@ -363,11 +364,19 @@ OooCore::run()
         dcache_.beginCycle(now_);
         std::uint64_t committed_before = committed_.value();
         commit(now_);
-        // Warm-up reset can shrink the counter mid-commit; the strict >
-        // guard keeps the event honest across that discontinuity.
+        // A measurement reset can shrink the counter mid-commit; the
+        // strict > guard keeps the event honest across that
+        // discontinuity.
         if (tracer_ && committed_.value() > committed_before)
             tracer_->record(now_, obs::EventKind::Commit, 0,
                             committed_.value() - committed_before);
+        if (boundaryExit_) {
+            // The boundary hook cut the cycle short; the later stages
+            // never run and now_ stays put — the phase engine owns the
+            // machine from here.
+            boundaryExit_ = false;
+            return StopReason::Boundary;
+        }
         issue(now_);
         dispatch(now_);
         fetch_.tick(now_);
@@ -393,15 +402,75 @@ OooCore::run()
         if (!halted_ && fetch_.traceExhausted() && rob_.empty() &&
             fetch_.queue().empty()) {
             // Trace ended without HALT (partial-run mode).
-            break;
+            return StopReason::Exhausted;
         }
     }
+    return StopReason::Halted;
+}
+
+Cycle
+OooCore::finishRun()
+{
     now_ = dcache_.drainAll(now_);
     if (tracer_)
         tracer_->advanceTo(now_);
     if (sampler_)
         sampler_->finalize(now_);
     return now_;
+}
+
+Cycle
+OooCore::run()
+{
+    runDetailed();
+    return finishRun();
+}
+
+void
+OooCore::beginMeasurement(Cycle now)
+{
+    // Old warm-up-complete order: statistics first, then the profiler,
+    // then the cycle rebase.
+    statGroup_.resetAll();
+    if (profiler_)
+        profiler_->reset();
+    measureStartCycle_ = now;
+    measuredCycles_ = 0;
+    measuring_ = true;
+}
+
+void
+OooCore::pauseMeasurement(Cycle now)
+{
+    if (!measuring_)
+        return;
+    measuredCycles_ += now - measureStartCycle_;
+    measuring_ = false;
+}
+
+void
+OooCore::resumeMeasurement(Cycle now)
+{
+    if (measuring_)
+        return;
+    measureStartCycle_ = now;
+    measuring_ = true;
+}
+
+void
+OooCore::extractPending(std::vector<func::DynInst> &pending)
+{
+    for (TimingInst &inst : rob_.window())
+        pending.push_back(inst.di);
+    rob_.clear();
+    iq_.clear();
+    lsq_.clear();
+    rename_.clear();
+    fetch_.squashAndDrain(pending);
+    // Committed stores may still sit in the store buffer / MSHRs;
+    // flush them so the fast-forwarded cache state starts clean.
+    now_ = dcache_.drainAll(now_);
+    lastCommitCycle_ = now_;
 }
 
 } // namespace cpe::cpu

@@ -12,6 +12,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <vector>
 
 #include "core/dcache_unit.hh"
 #include "cpu/branch_predictor.hh"
@@ -45,15 +46,6 @@ struct CoreParams
     core::DCacheParams dcache;
 
     /**
-     * Warm-up length in committed instructions: when nonzero, every
-     * statistic (including the committed counter) is reset once this
-     * many instructions have committed, so dumped stats and ipc()
-     * describe only the measurement region.  run() still returns
-     * total cycles including warm-up.
-     */
-    std::uint64_t warmupInsts = 0;
-
-    /**
      * Absolute forward-progress budget: run() throws ProgressError —
      * carrying a pipeline snapshot — once this many cycles have been
      * simulated.  Guards CI jobs against pathological-but-live
@@ -71,6 +63,14 @@ struct CoreParams
     Cycle noCommitCycleLimit = 250'000;
 };
 
+/** Why runDetailed() returned. */
+enum class StopReason : std::uint8_t
+{
+    Halted,    ///< the program's HALT committed
+    Exhausted, ///< trace ended without HALT (partial-run mode)
+    Boundary,  ///< a commit boundary's hook requested an exit
+};
+
 /** The timing core. */
 class OooCore
 {
@@ -85,17 +85,88 @@ class OooCore
 
     /**
      * Run until the program's HALT commits (or the trace ends), then
-     * drain the memory subsystem.
+     * drain the memory subsystem.  Equivalent to runDetailed() +
+     * finishRun(); plain full-detail runs call this.
      * @return total simulated cycles.
      */
     Cycle run();
 
+    /**
+     * One detailed leg of a phase schedule: simulate cycle by cycle
+     * until HALT commits, the trace runs out, or an installed commit
+     * boundary's hook requests an exit.  A Boundary return leaves the
+     * current cycle incomplete (commit may have consumed only part of
+     * its width, and the later pipeline stages have not run) — the
+     * phase engine squashes the in-flight window at that point, so
+     * the partial cycle is never resumed.
+     */
+    StopReason runDetailed();
+
+    /**
+     * End-of-run epilogue: drain the memory subsystem (post-HALT
+     * stores), advance the tracer, finalize the sampler.
+     * @return total simulated cycles.
+     */
+    Cycle finishRun();
+
+    /**
+     * Install a commit boundary: when total stream position reaches
+     * @p stream_pos committed instructions, @p hook runs immediately
+     * after the boundary instruction commits (inside the commit
+     * stage, exactly where the old warm-up reset fired).  The hook
+     * may install the next boundary; its return decides whether the
+     * detailed loop continues (true — e.g. a warm-up/measure
+     * transition) or exits with StopReason::Boundary (false — e.g.
+     * the next phase is a fast-forward).  One boundary is armed at a
+     * time; @p stream_pos must be ahead of streamPos().
+     */
+    using BoundaryHook = std::function<bool(Cycle)>;
+    void
+    setCommitBoundary(std::uint64_t stream_pos, BoundaryHook hook)
+    {
+        boundaryTarget_ = stream_pos;
+        boundaryHook_ = std::move(hook);
+    }
+
+    /**
+     * Begin the measurement region at @p now: every statistic
+     * (including the committed counter) resets, as does the attached
+     * profiler, so dumped stats and ipc() describe the region from
+     * here on.  This is the old warm-up-complete transition; callers
+     * that warmed up via a boundary hook invoke it there.  The shared
+     * memory-hierarchy statistics are the caller's to reset (the core
+     * does not own them).
+     */
+    void beginMeasurement(Cycle now);
+
+    /**
+     * Sampled mode: suspend the measurement-cycle accumulator (the
+     * machine keeps running — fast-forward and detailed-warmup phases
+     * are simply not measured).  Statistics freezing is the phase
+     * engine's job (StatGroup snapshot/restore around the pause).
+     */
+    void pauseMeasurement(Cycle now);
+
+    /** Sampled mode: resume accumulating measured cycles at @p now. */
+    void resumeMeasurement(Cycle now);
+
+    /** Whether a measurement region is currently open. */
+    bool measuring() const { return measuring_; }
+
     /** Simulated cycles so far (including any warm-up). */
     Cycle cycles() const { return now_; }
-    /** Cycles in the measurement region (excludes warm-up). */
-    Cycle measuredCycles() const { return now_ - warmupEndCycle_; }
+
+    /** Cycles in the measurement region(s): excludes warm-up, and in
+     *  sampled mode everything outside DetailedMeasure intervals. */
+    Cycle measuredCycles() const
+    {
+        return measuredCycles_ +
+               (measuring_ ? now_ - measureStartCycle_ : 0);
+    }
+
     /** Committed instructions in the measurement region. */
     std::uint64_t committedInsts() const { return committed_.value(); }
+
     /** Instructions per cycle over the measurement region. */
     double ipc() const
     {
@@ -105,14 +176,27 @@ class OooCore
     }
 
     /**
-     * Extra action to run when warm-up completes (e.g. resetting the
-     * shared memory-hierarchy statistics, which the core does not
-     * own).
+     * Total committed-stream position: instructions committed in
+     * detail plus instructions fast-forwarded past (advanceStream).
+     * Commit boundaries are expressed in this coordinate.
      */
-    void setOnWarmupDone(std::function<void()> fn)
-    {
-        onWarmupDone_ = std::move(fn);
-    }
+    std::uint64_t streamPos() const { return totalCommitted_; }
+
+    /** Account @p n fast-forwarded instructions (the phase engine
+     *  consumed them from the source without simulating them). */
+    void advanceStream(std::uint64_t n) { totalCommitted_ += n; }
+
+    /**
+     * Phase-boundary squash: hand every in-flight committed-path
+     * record back to the caller in stream order — the ROB window,
+     * then the front end's queue and fill-buffer remnant
+     * (FetchUnit::squashAndDrain) — clear the pipeline structures,
+     * and drain the memory subsystem of already-committed stores.
+     * The caller replays the returned records functionally (they
+     * never committed in detail) before pulling fresh ones from the
+     * source.  Statistics and cache/predictor state are left alone.
+     */
+    void extractPending(std::vector<func::DynInst> &pending);
 
     /**
      * Per-instruction pipeline tracing (a gem5-pipeview-style debug
@@ -217,8 +301,20 @@ class OooCore
     obs::Profiler *profiler_ = nullptr;
     stats::IntervalSampler *sampler_ = nullptr;
     std::uint64_t totalCommitted_ = 0;
-    Cycle warmupEndCycle_ = 0;
-    std::function<void()> onWarmupDone_;
+
+    /** Armed commit boundary (0 = none) and its hook. */
+    std::uint64_t boundaryTarget_ = 0;
+    BoundaryHook boundaryHook_;
+    /** Set by commit() when a hook asks runDetailed() to exit. */
+    bool boundaryExit_ = false;
+
+    /** Measurement-cycle accounting.  A fresh core measures from
+     *  cycle 0; beginMeasurement() rebases, pause/resume bracket the
+     *  sampled mode's unmeasured phases. */
+    bool measuring_ = true;
+    Cycle measureStartCycle_ = 0;
+    Cycle measuredCycles_ = 0;
+
     stats::StatGroup statGroup_;
 };
 

@@ -49,6 +49,15 @@ class Rob
     /** Iterate the window oldest-first (issue-queue scans). */
     std::deque<TimingInst> &window() { return window_; }
 
+    /** Phase-boundary squash: drop every in-flight instruction
+     *  (statistics keep their values). */
+    void
+    clear()
+    {
+        window_.clear();
+        bySeq_.clear();
+    }
+
     stats::StatGroup &statGroup() { return statGroup_; }
 
     stats::Scalar dispatched;

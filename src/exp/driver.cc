@@ -76,6 +76,23 @@ constexpr const char *kUsage =
     "                           (CPET files) and reuse them across\n"
     "                           invocations; replay within one\n"
     "                           invocation is on regardless\n"
+    "  --trace-cache-mb N       resident-set bound for the shared\n"
+    "                           functional-trace cache, MiB (default:\n"
+    "                           512; colder captures spill to the\n"
+    "                           --trace-cache DIR or are dropped)\n"
+    "  --sample-mode MODE       SMARTS-style sampled simulation for\n"
+    "                           every run: off | periodic | fixed\n"
+    "                           (default: off; see docs/reproducing.md)\n"
+    "  --sample-insts N         instructions measured per sample\n"
+    "                           interval (default: 2000)\n"
+    "  --sample-warmup N        detailed stats-frozen warm-up before\n"
+    "                           each interval (default: 1000)\n"
+    "  --sample-period N        periodic mode: instructions between\n"
+    "                           measurement starts (default: 100000)\n"
+    "  --sample-intervals N     fixed mode: measurements spread over\n"
+    "                           the stream (default: 30)\n"
+    "  --sample-confidence C    confidence level of the reported IPC\n"
+    "                           interval (default: 0.95)\n"
     "  --no-replay              execute the functional model live for\n"
     "                           every run instead of capturing once per\n"
     "                           workload and replaying (results are\n"
@@ -121,6 +138,10 @@ struct Options
     unsigned profileTop = 0;    ///< --profile[=N]: 0 = off
     std::string traceCacheDir;  ///< --trace-cache: "" = no spill
     bool noReplay = false;      ///< --no-replay: live functional runs
+    /** --trace-cache-mb: resident bound for the shared cache. */
+    std::size_t traceCacheMb = sim::SimConfig::TraceCacheDefaultResidentMb;
+    /** --sample-*: sampled simulation for every run (mode off = off). */
+    sim::SampleParams sample;
 };
 
 std::string
@@ -216,6 +237,35 @@ parseArgs(int argc, char **argv)
                 usageError("--profile wants a positive top-N count");
         } else if (flag == "--trace-cache") {
             options.traceCacheDir = value();
+        } else if (flag == "--trace-cache-mb") {
+            options.traceCacheMb = static_cast<std::size_t>(
+                std::strtoull(value().c_str(), nullptr, 10));
+            if (!options.traceCacheMb)
+                usageError("--trace-cache-mb wants a positive size");
+        } else if (flag == "--sample-mode") {
+            // parseMode throws ConfigError on junk; surface it as a
+            // usage error here, before any machine is built.
+            try {
+                options.sample.mode =
+                    sim::SampleParams::parseMode(value());
+            } catch (const ConfigError &error) {
+                usageError(error.what());
+            }
+        } else if (flag == "--sample-insts") {
+            options.sample.measureInsts =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (flag == "--sample-warmup") {
+            options.sample.warmupInsts =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (flag == "--sample-period") {
+            options.sample.periodInsts =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (flag == "--sample-intervals") {
+            options.sample.intervals =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (flag == "--sample-confidence") {
+            options.sample.confidence =
+                std::strtod(value().c_str(), nullptr);
         } else if (flag == "--no-replay") {
             options.noReplay = true;
         } else if (flag == "--workloads") {
@@ -287,7 +337,7 @@ listExperiments()
 {
     TextTable table;
     table.addHeader({"id", "title", "variants", "workloads",
-                     "baseline"});
+                     "baseline", "description"});
     for (const auto *experiment :
          ExperimentRegistry::instance().all()) {
         auto variants = experiment->variants();
@@ -299,7 +349,10 @@ listExperiments()
                                 + " custom",
                       experiment->baseline.empty()
                           ? "-"
-                          : experiment->baseline});
+                          : experiment->baseline,
+                      experiment->description.empty()
+                          ? "-"
+                          : experiment->description});
     }
     std::cout << table.render();
     std::cout << "\n(run with --run <ids|all>; sim_speed microbenchmarks "
@@ -454,14 +507,24 @@ validateExperiments(const Options &options)
 }
 
 /** The grid the regression gate replays: an experiment's primary
- * variants over an explicit workload list. */
+ * variants over an explicit workload list, minus any gate-excluded
+ * columns (CI-bearing sampled estimates drift with sampling noise, so
+ * a drift gate over them would only measure the sampler). */
 sim::ResultGrid
 runPrimaryGrid(const Experiment &experiment,
                const std::vector<std::string> &workloads)
 {
     VerboseScope quiet(false);
+    auto variants = experiment.variants();
+    if (!experiment.gateExclude.empty())
+        std::erase_if(variants, [&](const Variant &variant) {
+            return std::find(experiment.gateExclude.begin(),
+                             experiment.gateExclude.end(),
+                             variant.label) !=
+                   experiment.gateExclude.end();
+        });
     return sim::SweepRunner().runGrid(
-        suiteConfigs(experiment.variants(), workloads));
+        suiteConfigs(variants, workloads));
 }
 
 std::vector<std::string>
@@ -626,6 +689,10 @@ checkExperiment(const std::string &id, const Json &baseline,
             ++failures;
         }
     }
+    // Gate-excluded columns are visible but never counted: the report
+    // says the gate chose to skip them rather than silently narrowing.
+    for (const auto &label : experiment.gateExclude)
+        report.push_back({id, label, "-", "-", "-", "SKIP"});
     return failures;
 }
 
@@ -655,8 +722,10 @@ evalMain(int argc, char **argv)
         std::unique_ptr<sim::TraceCache> trace_cache;
         if (!options.noReplay)
             trace_cache = std::make_unique<sim::TraceCache>(
-                options.traceCacheDir);
+                options.traceCacheDir,
+                options.traceCacheMb * 1024 * 1024);
         setTraceCache(trace_cache.get());
+        setSampling(options.sample);
         switch (options.mode) {
           case Mode::List:
             return listExperiments();

@@ -25,6 +25,9 @@ unsigned obsProfileTop = 0;
 /** The installed functional-trace cache (see setTraceCache). */
 sim::TraceCache *traceCache = nullptr;
 
+/** The installed sampled-simulation parameters (see setSampling). */
+sim::SampleParams sampleParams;
+
 void
 applyFaults(sim::SimConfig &config)
 {
@@ -117,6 +120,12 @@ setTraceCache(sim::TraceCache *cache)
     traceCache = cache;
 }
 
+void
+setSampling(const sim::SampleParams &params)
+{
+    sampleParams = params;
+}
+
 std::vector<sim::SimConfig>
 suiteConfigs(const std::vector<Variant> &variants,
              const std::vector<std::string> &workloads)
@@ -138,6 +147,8 @@ suiteConfigs(const std::vector<Variant> &variants,
                 config.obs.sampleCycles = obsSampleCycles;
             if (obsProfileTop)
                 config.obs.profileTop = obsProfileTop;
+            if (sampleParams.enabled())
+                config.sample = sampleParams;
             config.traceCache = traceCache;
             if (!faultPlan.empty())
                 applyFaults(config);

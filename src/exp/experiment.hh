@@ -85,6 +85,15 @@ void setObservability(obs::TraceSink *sink, Cycle sample_cycles,
  */
 void setTraceCache(sim::TraceCache *cache);
 
+/**
+ * Sampled-simulation hook (cpe_eval --sample-mode and friends): every
+ * config built by suiteConfigs() gets these [sample] parameters, so a
+ * whole evaluation can be re-run under SMARTS-style sampling without
+ * touching the experiment bodies.  Pass a default-constructed (mode
+ * off) value to clear.  Set before a sweep starts, never during one.
+ */
+void setSampling(const sim::SampleParams &params);
+
 class Context;
 
 /** One registered experiment of the reconstructed evaluation. */
@@ -95,6 +104,9 @@ struct Experiment
     /** Banner title, e.g. "single port + techniques vs dual-ported
      * cache". */
     std::string title;
+    /** One-sentence summary — what the experiment shows and which of
+     *  the paper's tables/figures it reconstructs (--list prints it). */
+    std::string description;
     /**
      * Builds the primary variant grid: the columns the regression
      * gate re-runs against the committed baselines, and what
@@ -109,6 +121,14 @@ struct Experiment
     std::vector<std::string> workloads;
     /** Baseline column of the primary grid ("" = no relative view). */
     std::string baseline;
+    /**
+     * Primary-grid variant labels the regression gate leaves out:
+     * columns whose metric is a statistical estimate with its own
+     * confidence interval (F13's sampled runs), where a scalar
+     * geomean-drift gate is the wrong contract.  --write-baseline and
+     * --check drop these columns and report them as SKIP.
+     */
+    std::vector<std::string> gateExclude;
     /**
      * The full experiment body: runs its grids through the Context
      * (so they land in the JSON document) and writes the same tables
@@ -190,6 +210,13 @@ class Context
     /** The document assembled so far (experiment, title, grids,
      * headlines). */
     const Json &doc() const { return doc_; }
+
+    /** Record an experiment-specific member in the JSON document
+     * (e.g. F13's per-workload sampled-validation rows). */
+    void record(const std::string &key, Json value)
+    {
+        doc_[key] = std::move(value);
+    }
 
   private:
     const Experiment &experiment_;

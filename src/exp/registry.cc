@@ -1,7 +1,9 @@
 #include "exp/registry.hh"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdlib>
+#include <numeric>
 
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -9,6 +11,26 @@
 namespace cpe::exp {
 
 namespace {
+
+/** Levenshtein distance, for the unknown-id suggestion. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    std::iota(row.begin(), row.end(), std::size_t{0});
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t next = std::min(
+                {row[j] + 1, row[j - 1] + 1,
+                 diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[b.size()];
+}
 
 /**
  * Canonical ordering key: tables (T*) before figures (F*), numeric
@@ -78,13 +100,25 @@ ExperimentRegistry::get(const std::string &id) const
     if (const Experiment *experiment = find(id))
         return *experiment;
     std::string known;
+    std::string closest;
+    std::size_t closest_distance = ~std::size_t{0};
     for (const auto &known_id : ids()) {
         if (!known.empty())
             known += ", ";
         known += known_id;
+        std::size_t distance = editDistance(id, known_id);
+        if (distance < closest_distance) {
+            closest_distance = distance;
+            closest = known_id;
+        }
     }
-    throw ConfigError(Msg() << "unknown experiment '" << id
-                             << "'; registered experiments: " << known);
+    Msg message;
+    message << "unknown experiment '" << id << "'";
+    // Only suggest near misses — a wild guess helps nobody.
+    if (!closest.empty() && closest_distance <= 2)
+        message << " (did you mean '" << closest << "'?)";
+    message << "; registered experiments: " << known;
+    throw ConfigError(message);
 }
 
 std::vector<std::string>

@@ -33,6 +33,86 @@ CapturedTrace::capture(TraceSource &source, std::uint64_t max_insts)
     return CapturedTrace(std::move(insts));
 }
 
+namespace {
+
+/**
+ * Drive @p emit over the warm-relevant records of @p insts: the same
+ * consecutive-run memo the record-by-record warm walk uses
+ * (PhaseEngine::warmSpan) — only a run's first probe, plus the first
+ * store into a run a load opened, can change cache state, so only
+ * those become commands.  Shared by the count and the fill pass so
+ * the two cannot disagree.
+ */
+template <typename Emit>
+void
+scanWarm(const std::vector<DynInst> &insts, Addr iMask, Addr dMask,
+         Emit &&emit)
+{
+    Addr lastILine = ~Addr{0};
+    Addr lastDLine = ~Addr{0};
+    bool lastDLineDirty = false;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const DynInst &rec = insts[i];
+        auto at = static_cast<std::uint32_t>(i);
+        Addr iline = rec.pc & iMask;
+        if (iline != lastILine) {
+            lastILine = iline;
+            emit(at, WarmKind::ILine, false, rec, iline, Addr{0});
+        }
+        if (rec.isControl())
+            emit(at, WarmKind::Ctrl, rec.taken, rec, rec.pc,
+                 rec.nextPc);
+        if (rec.isMem()) {
+            Addr dline = rec.memAddr & dMask;
+            bool store = rec.isStore();
+            if (dline != lastDLine || (store && !lastDLineDirty)) {
+                lastDLine = dline;
+                lastDLineDirty = store;
+                emit(at, WarmKind::DLine, store, rec, dline, Addr{0});
+            }
+        }
+    }
+}
+
+} // namespace
+
+const WarmIndex *
+CapturedTrace::warmIndex(unsigned iLineBytes, unsigned dLineBytes) const
+{
+    std::lock_guard<std::mutex> lock(warmMutex_);
+    for (const auto &index : warmIndexes_)
+        if (index->iLineBytes == iLineBytes &&
+            index->dLineBytes == dLineBytes)
+            return index.get();
+
+    CPE_ASSERT(insts_.size() <= ~std::uint32_t{0},
+               "trace too large for a 32-bit warm index");
+    auto index = std::make_unique<WarmIndex>();
+    index->iLineBytes = iLineBytes;
+    index->dLineBytes = dLineBytes;
+    Addr iMask = ~static_cast<Addr>(iLineBytes - 1);
+    Addr dMask = ~static_cast<Addr>(dLineBytes - 1);
+    // Count first, then fill into an exactly-sized vector: growth
+    // reallocation would copy the (large) command array several times
+    // over.
+    std::size_t count = 0;
+    scanWarm(insts_, iMask, dMask,
+             [&count](std::uint32_t, WarmKind, bool, const DynInst &,
+                      Addr, Addr) { ++count; });
+    index->cmds.reserve(count);
+    scanWarm(insts_, iMask, dMask,
+             [&cmds = index->cmds](std::uint32_t at, WarmKind kind,
+                                   bool flag, const DynInst &rec,
+                                   Addr a, Addr b) {
+                 cmds.push_back({at, kind, flag,
+                                 kind == WarmKind::Ctrl ? rec.inst
+                                                        : isa::Inst{},
+                                 a, b});
+             });
+    warmIndexes_.push_back(std::move(index));
+    return warmIndexes_.back().get();
+}
+
 ReplayTraceSource::ReplayTraceSource(
     std::shared_ptr<const CapturedTrace> trace)
     : owned_(std::move(trace)), trace_(owned_.get())
@@ -61,6 +141,28 @@ ReplayTraceSource::fill(DynInst *out, std::size_t max)
     std::copy_n(trace_->data() + pos_, n, out);
     pos_ += n;
     return n;
+}
+
+std::size_t
+ReplayTraceSource::view(const DynInst *&out, std::size_t max)
+{
+    std::size_t n = std::min(max, trace_->size() - pos_);
+    out = trace_->data() + pos_;
+    return n;
+}
+
+void
+ReplayTraceSource::advance(std::size_t n)
+{
+    pos_ += n;
+}
+
+const WarmIndex *
+ReplayTraceSource::warmIndex(unsigned iLineBytes, unsigned dLineBytes,
+                             std::size_t &pos)
+{
+    pos = pos_;
+    return trace_->warmIndex(iLineBytes, dLineBytes);
 }
 
 } // namespace cpe::func

@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "func/trace.hh"
@@ -34,6 +35,14 @@ class CapturedTrace
 {
   public:
     explicit CapturedTrace(std::vector<DynInst> insts);
+
+    /** Movable despite the warm-index mutex; a capture must not be
+     *  moved while another thread is building an index on it. */
+    CapturedTrace(CapturedTrace &&other) noexcept
+        : insts_(std::move(other.insts_)),
+          warmIndexes_(std::move(other.warmIndexes_))
+    {
+    }
 
     /**
      * Drain @p source to the end of its stream (at most @p max_insts
@@ -49,14 +58,28 @@ class CapturedTrace
     const DynInst *data() const { return insts_.data(); }
     const DynInst &operator[](std::size_t i) const { return insts_[i]; }
 
-    /** Resident footprint, for cache eviction accounting. */
+    /** Resident footprint, for cache eviction accounting.  Lazily
+     *  built warm indexes (bounded at ~15% of the trace each) are not
+     *  counted: they appear after the cache has sized the entry. */
     std::size_t memoryBytes() const
     {
         return insts_.capacity() * sizeof(DynInst);
     }
 
+    /**
+     * The warm-command stream (see WarmIndex) for this capture,
+     * compacted for the given L1 line geometry.  Built on first
+     * request and memoized per geometry; thread-safe, so concurrent
+     * sweep workers replaying one shared capture may all call it.
+     * The returned index lives as long as the capture.
+     */
+    const WarmIndex *warmIndex(unsigned iLineBytes,
+                               unsigned dLineBytes) const;
+
   private:
     std::vector<DynInst> insts_;
+    mutable std::mutex warmMutex_;
+    mutable std::vector<std::unique_ptr<WarmIndex>> warmIndexes_;
 };
 
 /**
@@ -78,6 +101,11 @@ class ReplayTraceSource : public TraceSource
 
     bool next(DynInst &out) override;
     std::size_t fill(DynInst *out, std::size_t max) override;
+    std::size_t view(const DynInst *&out, std::size_t max) override;
+    void advance(std::size_t n) override;
+    const WarmIndex *warmIndex(unsigned iLineBytes,
+                               unsigned dLineBytes,
+                               std::size_t &pos) override;
 
     /** Rewind to the start of the capture. */
     void rewind() { pos_ = 0; }

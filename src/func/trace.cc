@@ -48,4 +48,18 @@ VectorTraceSource::fill(DynInst *out, std::size_t max)
     return n;
 }
 
+std::size_t
+VectorTraceSource::view(const DynInst *&out, std::size_t max)
+{
+    std::size_t n = std::min(max, trace_.size() - pos_);
+    out = trace_.data() + pos_;
+    return n;
+}
+
+void
+VectorTraceSource::advance(std::size_t n)
+{
+    pos_ += n;
+}
+
 } // namespace cpe::func

@@ -45,6 +45,47 @@ struct DynInst
     }
 };
 
+/** What a WarmCmd asks the warm-only fast-forward path to do. */
+enum class WarmKind : std::uint8_t {
+    ILine,  ///< probe/fill one I-cache line (a = line address)
+    Ctrl,   ///< update the branch predictor (a = pc, b = successor)
+    DLine,  ///< probe/fill one D-cache line (a = line address)
+};
+
+/**
+ * One precomputed warm action.  A warm-command stream is the
+ * run-compacted form of a trace's cache/predictor footprint: one ILine
+ * (DLine) command per maximal run of consecutive records touching the
+ * same I- (D-) line — plus one extra DLine command where a store first
+ * dirties a run that a load opened — and one Ctrl command per control
+ * record.  Replaying the commands leaves caches and predictor in
+ * exactly the state a record-by-record warm walk would (skipped
+ * records cannot change cache state: each would re-probe the line the
+ * immediately preceding record just made most-recent), while streaming
+ * an order of magnitude fewer bytes than the full DynInst trace.
+ */
+struct WarmCmd
+{
+    std::uint32_t index = 0;  ///< trace index the action belongs to
+    WarmKind kind = WarmKind::ILine;
+    bool flag = false;        ///< DLine: is-store; Ctrl: taken
+    isa::Inst inst;           ///< Ctrl only: the static instruction
+    Addr a = 0;               ///< line address, or pc for Ctrl
+    Addr b = 0;               ///< Ctrl only: true successor pc
+};
+
+/**
+ * A warm-command stream plus the line geometry it was compacted for.
+ * Run boundaries depend on line size, so an index is only valid for a
+ * machine whose L1 caches match these — callers must check.
+ */
+struct WarmIndex
+{
+    unsigned iLineBytes = 0;
+    unsigned dLineBytes = 0;
+    std::vector<WarmCmd> cmds;  ///< ascending by index
+};
+
 /**
  * Pull-based producer of the committed instruction stream.
  */
@@ -73,6 +114,45 @@ class TraceSource
      * @return the number of records produced (0 at end of stream).
      */
     virtual std::size_t fill(DynInst *out, std::size_t max);
+
+    /**
+     * Zero-copy bulk access: point @p out at up to @p max records at
+     * the cursor WITHOUT advancing it; the caller consumes them with
+     * advance().  Unlike fill(), a short (even zero) return does NOT
+     * mean end of stream — only that the source has no contiguous
+     * records to lend right now (live executors never do); callers
+     * fall back to fill().  Overridden by contiguous-backing sources,
+     * where it saves the fill() copy on hot bulk walks (the sampled
+     * mode's fast-forward).
+     */
+    virtual std::size_t view(const DynInst *&out, std::size_t max)
+    {
+        (void)out;
+        (void)max;
+        return 0;
+    }
+
+    /** Consume @p n records previously exposed by view().  @p n must
+     *  not exceed the last view()'s return. */
+    virtual void advance(std::size_t n) { (void)n; }
+
+    /**
+     * Warm-command stream for the records view() would lend, compacted
+     * for the given line geometry, or nullptr when the source cannot
+     * provide one (live executors; pre-recorded sources that choose
+     * not to).  On success @p pos receives the global trace index of
+     * the record the cursor stands on, i.e. of view()'s first record —
+     * commands with WarmCmd::index >= pos are the ones still ahead.
+     */
+    virtual const WarmIndex *warmIndex(unsigned iLineBytes,
+                                       unsigned dLineBytes,
+                                       std::size_t &pos)
+    {
+        (void)iLineBytes;
+        (void)dLineBytes;
+        pos = 0;
+        return nullptr;
+    }
 };
 
 /**
@@ -86,6 +166,8 @@ class VectorTraceSource : public TraceSource
 
     bool next(DynInst &out) override;
     std::size_t fill(DynInst *out, std::size_t max) override;
+    std::size_t view(const DynInst *&out, std::size_t max) override;
+    void advance(std::size_t n) override;
 
     /** Rewind to the start of the trace. */
     void rewind() { pos_ = 0; }

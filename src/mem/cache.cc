@@ -87,6 +87,46 @@ Cache::access(Addr addr, bool write)
     return true;
 }
 
+bool
+Cache::warmAccess(Addr addr, bool write, FillResult *evicted)
+{
+    Loc loc = locate(addr);
+    if (loc.tag == lastHitTag_) {
+        Line &line = lines_[lastHitLine_];
+        line.lastUse = ++useClock_;
+        if (write)
+            line.dirty = true;
+        return true;
+    }
+    int way = findWay(loc.set, loc.tag);
+    if (way >= 0) {
+        std::size_t index =
+            loc.set * params_.assoc + static_cast<unsigned>(way);
+        Line &line = lines_[index];
+        line.lastUse = ++useClock_;
+        if (write)
+            line.dirty = true;
+        lastHitTag_ = loc.tag;
+        lastHitLine_ = index;
+        return true;
+    }
+
+    // Miss: write-allocate silently (state only, no counters).
+    forgetLastHit();
+    unsigned victim = victimWay(loc.set);
+    Line &line = lines_[loc.set * params_.assoc + victim];
+    if (line.valid && evicted) {
+        evicted->evicted = true;
+        evicted->evictedAddr = (line.tag << setShift_);
+        evicted->evictedDirty = line.dirty;
+    }
+    line.valid = true;
+    line.dirty = write;
+    line.tag = loc.tag;
+    line.lastUse = ++useClock_;
+    return false;
+}
+
 unsigned
 Cache::victimWay(std::size_t set)
 {

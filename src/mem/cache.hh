@@ -88,6 +88,19 @@ class Cache
     FillResult fill(Addr addr, bool dirty = false);
 
     /**
+     * Warm-only update path (fast-forward phases of a sampled run):
+     * the same state transitions as access() followed — on a miss —
+     * by a write-allocate fill(), but with no statistics, tracer, or
+     * profiler activity, so warming leaves every observable counter
+     * untouched.  The displaced victim (when any) is reported through
+     * @p evicted so the caller can keep the next level's dirty state
+     * coherent.
+     * @return true on hit.
+     */
+    bool warmAccess(Addr addr, bool write,
+                    FillResult *evicted = nullptr);
+
+    /**
      * Drop the line containing @p addr if present.
      * @return true if a line was invalidated.
      */

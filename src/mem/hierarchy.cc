@@ -35,6 +35,12 @@ MemHierarchy::fetchLine(Addr addr, Cycle now)
 }
 
 void
+MemHierarchy::warmLine(Addr addr, bool dirty)
+{
+    l2_.warmAccess(addr, dirty);
+}
+
+void
 MemHierarchy::writebackLine(Addr addr, Cycle now)
 {
     Cycle start = bookL2(now);

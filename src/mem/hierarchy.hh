@@ -50,6 +50,14 @@ class MemHierarchy
      */
     void writebackLine(Addr addr, Cycle now);
 
+    /**
+     * Warm-only update (fast-forward phases of a sampled run): the L2
+     * content transitions of fetchLine()/writebackLine() — lookup,
+     * write-allocate on miss, @p dirty marking — with no timing
+     * bookings, statistics, or DRAM traffic modeling.
+     */
+    void warmLine(Addr addr, bool dirty = false);
+
     Cache &l2() { return l2_; }
     Dram &dram() { return dram_; }
 

@@ -180,6 +180,38 @@ SimConfig::validate() const
                 " meets the 500M-instruction executor fuse; the "
                 "measurement region would be empty");
 
+    // Sampled simulation: the sampled run owns the warm-up/measure
+    // structure itself, and the cycle-exact observability artifacts
+    // (interval timeseries, event traces) are full-detail features —
+    // a sampled run's cycle axis has holes they cannot represent.
+    if (sample.enabled()) {
+        if (warmupInsts)
+            bad("sample.mode",
+                "sampled mode schedules its own per-interval warm-up; "
+                "drop warmup_insts");
+        if (obs.sampleCycles)
+            bad("sample.mode",
+                "cycle-interval stats sampling needs a full-detail "
+                "run; drop [obs] sample_cycles");
+        if (obs.traceSink)
+            bad("sample.mode",
+                "event tracing needs a full-detail run; drop --trace");
+        require_nonzero("sample.measure_insts", sample.measureInsts);
+        if (sample.mode == SampleParams::Mode::Periodic)
+            require_nonzero("sample.period_insts", sample.periodInsts);
+        if (sample.mode == SampleParams::Mode::Fixed)
+            require_nonzero("sample.intervals", sample.intervals);
+        if (!(sample.confidence > 0.0 && sample.confidence < 1.0))
+            bad("sample.confidence",
+                "confidence level must be in (0, 1), got " +
+                    std::to_string(sample.confidence));
+    }
+
+    // Trace-cache sizing: a zero resident bound would evict every
+    // capture immediately, silently re-executing the functional model
+    // per run.
+    require_nonzero("trace_cache_mb", traceCacheMb);
+
     // Watchdog budgets.
     require_nonzero("core.max_cycles", core.maxCycles);
     if (core.noCommitCycleLimit > core.maxCycles)

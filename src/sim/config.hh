@@ -16,6 +16,7 @@
 #include "cpu/ooo_core.hh"
 #include "mem/hierarchy.hh"
 #include "obs/tracer.hh"
+#include "sim/sample_scheduler.hh"
 #include "workload/registry.hh"
 
 namespace cpe::sim {
@@ -81,6 +82,16 @@ struct SimConfig
      */
     std::uint64_t warmupInsts = 0;
 
+    /**
+     * SMARTS-style sampled simulation (machine-file section [sample];
+     * off by default).  When enabled the run alternates warm-only
+     * fast-forward with short detailed measurement intervals and
+     * reports mean IPC with a Student-t confidence interval; warm-up,
+     * cycle-interval sampling, and event tracing are full-detail
+     * features and are rejected alongside it (see validate()).
+     */
+    SampleParams sample;
+
     /** A short tag for tables (defaults to the tech description). */
     std::string label;
 
@@ -98,6 +109,18 @@ struct SimConfig
      * determinism contract, tests/test_replay_differential.cc).
      */
     TraceCache *traceCache = nullptr;
+
+    /**
+     * Resident-set bound for the shared functional-trace cache, MiB
+     * (machine-file key [sim] trace_cache_mb; cpe_eval
+     * --trace-cache-mb).  Consulted by whoever constructs the shared
+     * TraceCache — the per-run pointer above carries no sizing.
+     */
+    std::size_t traceCacheMb =
+        TraceCacheDefaultResidentMb;
+
+    /** Default for traceCacheMb (TraceCache's own built-in bound). */
+    static constexpr std::size_t TraceCacheDefaultResidentMb = 512;
 
     /** The machine model used throughout the evaluation. */
     static SimConfig defaults();

@@ -51,6 +51,19 @@ parseU64(const std::string &value, std::uint64_t &out)
 }
 
 bool
+parseF64(const std::string &value, double &out)
+{
+    const char *begin = value.c_str();
+    char *end = nullptr;
+    errno = 0;
+    double parsed = std::strtod(begin, &end);
+    if (end == begin || *end != '\0' || errno == ERANGE)
+        return false;
+    out = parsed;
+    return true;
+}
+
+bool
 parseBool(const std::string &value, bool &out)
 {
     if (value == "true" || value == "1" || value == "yes") {
@@ -329,6 +342,51 @@ keyTable()
                  {"profile",
                   num<unsigned>(FIELD(unsigned, c.obs.profileTop))},
              }},
+            {"sim",
+             {
+                 {"trace_cache_mb",
+                  num<std::size_t>(FIELD(std::size_t,
+                                         c.traceCacheMb))},
+             }},
+            {"sample",
+             {
+                 {"mode",
+                  [](Ctx &ctx, const std::string &value) {
+                      auto &mode = ctx.config.sample.mode;
+                      if (value == "off")
+                          mode = SampleParams::Mode::Off;
+                      else if (value == "periodic")
+                          mode = SampleParams::Mode::Periodic;
+                      else if (value == "fixed")
+                          mode = SampleParams::Mode::Fixed;
+                      else
+                          return ctx.fail(
+                              "sample mode '" + value +
+                              "' is not one of off, periodic, fixed");
+                      return true;
+                  }},
+                 {"measure_insts",
+                  num<std::uint64_t>(FIELD(
+                      std::uint64_t, c.sample.measureInsts))},
+                 {"warmup_insts",
+                  num<std::uint64_t>(FIELD(std::uint64_t,
+                                           c.sample.warmupInsts))},
+                 {"period_insts",
+                  num<std::uint64_t>(FIELD(std::uint64_t,
+                                           c.sample.periodInsts))},
+                 {"intervals",
+                  num<std::uint64_t>(FIELD(std::uint64_t,
+                                           c.sample.intervals))},
+                 {"confidence",
+                  [](Ctx &ctx, const std::string &value) {
+                      double parsed;
+                      if (!parseF64(value, parsed))
+                          return ctx.fail("expected a number, got '" +
+                                          value + "'");
+                      ctx.config.sample.confidence = parsed;
+                      return true;
+                  }},
+             }},
         };
     return table;
 }
@@ -497,6 +555,18 @@ toMachineFile(const SimConfig &config)
     out << "\n[obs]\n";
     out << "sample_cycles = " << config.obs.sampleCycles << "\n";
     out << "profile = " << config.obs.profileTop << "\n";
+
+    out << "\n[sim]\n";
+    out << "trace_cache_mb = " << config.traceCacheMb << "\n";
+
+    out << "\n[sample]\n";
+    out << "mode = " << SampleParams::modeName(config.sample.mode)
+        << "\n";
+    out << "measure_insts = " << config.sample.measureInsts << "\n";
+    out << "warmup_insts = " << config.sample.warmupInsts << "\n";
+    out << "period_insts = " << config.sample.periodInsts << "\n";
+    out << "intervals = " << config.sample.intervals << "\n";
+    out << "confidence = " << config.sample.confidence << "\n";
     return out.str();
 }
 

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The phase engine: executes a SamplePlan against one machine.
+ *
+ * Detailed phases run the OoO timing core; FastForward phases drive
+ * the committed stream through the caches and branch predictor only
+ * (warm-only updates, zero simulated cycles).  The detailed<->FF
+ * hand-offs never lose or reorder stream records: at a detailed->FF
+ * boundary the core's in-flight window — ROB, fetch queue, fill-
+ * buffer remnant — is squashed back into a StitchedTraceSource, which
+ * serves those records again before delegating to the backing source.
+ * The stream is therefore consumed strictly forward, which works for
+ * live functional execution and replay alike.
+ *
+ * Measurement accounting: per DetailedMeasure interval the engine
+ * records IPC into a stats::Estimator (and, in phase mode, one
+ * IntervalSampler record), and freezes the statistics outside
+ * intervals by snapshotting every StatGroup at measure-exit and
+ * restoring at the next measure-entry — final stats are the union of
+ * the measurement intervals.  The degenerate plan (optional warm-up,
+ * then measure to the end) reproduces the old warmupInsts runs
+ * byte-identically (tests/test_sampled_differential.cc).
+ */
+
+#ifndef CPE_SIM_PHASE_ENGINE_HH
+#define CPE_SIM_PHASE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/ooo_core.hh"
+#include "func/trace.hh"
+#include "mem/hierarchy.hh"
+#include "sim/sample_scheduler.hh"
+#include "stats/estimator.hh"
+#include "stats/sampler.hh"
+
+namespace cpe::sim {
+
+/**
+ * A trace source that serves a hand-back buffer of pending records
+ * before delegating to the backing source.  prepend() is how a
+ * phase boundary returns fetched-but-uncommitted records; fill() tops
+ * up from the backing source so a short return still means true end
+ * of stream (the TraceSource contract).
+ */
+class StitchedTraceSource : public func::TraceSource
+{
+  public:
+    /** @param backing the real source (not owned). */
+    explicit StitchedTraceSource(func::TraceSource *backing)
+        : backing_(backing)
+    {
+    }
+
+    bool next(func::DynInst &out) override;
+    std::size_t fill(func::DynInst *out, std::size_t max) override;
+    std::size_t view(const func::DynInst *&out,
+                     std::size_t max) override;
+    void advance(std::size_t n) override;
+    const func::WarmIndex *warmIndex(unsigned iLineBytes,
+                                     unsigned dLineBytes,
+                                     std::size_t &pos) override;
+
+    /**
+     * Push @p records back to the front of the stream (they precede
+     * both any still-unserved earlier hand-back and the backing
+     * source's remainder).  @p records is consumed.
+     */
+    void prepend(std::vector<func::DynInst> &&records);
+
+    /** Hand-back records not yet re-served. */
+    std::size_t pendingCount() const { return pending_.size() - pos_; }
+
+  private:
+    func::TraceSource *backing_;
+    std::vector<func::DynInst> pending_;
+    std::size_t pos_ = 0;
+};
+
+/** Executes a SamplePlan; see the file comment. */
+class PhaseEngine
+{
+  public:
+    /**
+     * All references are borrowed and must outlive the engine; the
+     * core must have been constructed over @p source.
+     * @param confidence Student-t level for estimate().
+     */
+    PhaseEngine(const SamplePlan &plan, cpu::OooCore &core,
+                StitchedTraceSource &source,
+                mem::MemHierarchy &hierarchy, double confidence = 0.95);
+
+    /**
+     * Attach a phase-mode IntervalSampler (see
+     * IntervalSampler::setPhaseMode): one timeseries record per
+     * measurement interval.  A cycle-mode sampler should be attached
+     * to the core instead, as always.
+     */
+    void setSampler(stats::IntervalSampler *sampler)
+    {
+        sampler_ = sampler;
+    }
+
+    /**
+     * Execute the whole plan until the stream ends, then run the
+     * core's end-of-run epilogue.
+     * @return total simulated cycles.
+     */
+    Cycle run();
+
+    /** Per-measurement-interval CPI accumulator (CPI because its
+     *  arithmetic mean over equal-instruction intervals is unbiased
+     *  for the aggregate; per-interval IPC's would not be). */
+    const stats::Estimator &cpiEstimator() const { return estimator_; }
+
+    /** Mean-CPI confidence interval at the configured level. */
+    stats::Estimate cpiEstimate() const
+    {
+        return estimator_.estimate(confidence_);
+    }
+
+    /** Instructions consumed by FastForward phases (warm-only). */
+    std::uint64_t ffInsts() const { return ffInsts_; }
+
+  private:
+    const Phase &current() const;
+    /** Move to the next phase; false when the plan is over. */
+    bool advancePhase();
+
+    /** Arm the core's commit boundary for the current phase's end. */
+    void armBoundary();
+    /** The installed boundary hook (see OooCore::setCommitBoundary). */
+    bool onBoundary(Cycle now);
+
+    void enterMeasure(Cycle now);
+    /** @param complete false for a trailing partial interval (stream
+     *  ended mid-measurement): its statistics still count, but it is
+     *  left out of the CPI estimator — a fraction of an interval plus
+     *  the pipeline drain is not a steady-state CPI sample. */
+    void exitMeasure(Cycle now, bool complete = true);
+    void restoreSnapshots();
+
+    /** Deterministically jitter a fast-forward leg's length to break
+     *  aliasing between the sampling period and loop structure. */
+    std::uint64_t jittered(std::uint64_t insts);
+    /** Consume @p insts records warm-only; false at stream end. */
+    bool fastForward(std::uint64_t insts);
+    /** Warm caches/predictor from @p n committed-path records. */
+    void warmSpan(const func::DynInst *recs, std::size_t n);
+    /** Warm from the precomputed command stream instead of walking
+     *  every record; @p pos is the global trace index of span[0].
+     *  State-exact with warmSpan over the same records — see the
+     *  implementation comment. */
+    void warmCompacted(const func::DynInst *span, std::size_t n,
+                       const func::WarmIndex &index, std::size_t pos);
+
+    SamplePlan plan_;
+    cpu::OooCore &core_;
+    StitchedTraceSource &source_;
+    mem::MemHierarchy &hierarchy_;
+    double confidence_;
+    stats::IntervalSampler *sampler_ = nullptr;
+
+    bool inPrologue_ = true;
+    std::size_t phaseIdx_ = 0;
+
+    stats::Estimator estimator_;
+    std::uint64_t ffInsts_ = 0;
+    /** Fixed-seed LCG state for jittered() — deterministic runs. */
+    std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;
+
+    bool measuring_ = false;
+    bool firstMeasure_ = true;
+    Cycle intervalStartCycles_ = 0;
+    std::uint64_t intervalStartInsts_ = 0;
+    stats::StatSnapshot coreSnap_;
+    stats::StatSnapshot hierSnap_;
+
+    /** I-line memo for the warm loop (one warm access per new line,
+     *  matching the front end's one-line-per-group behaviour). */
+    /** Consecutive-run memos: a run of warm accesses to one line needs
+     *  only its first probe (plus one more if a store first dirties
+     *  it).  Skipping the rest preserves the final cache state exactly
+     *  — relative LRU order among distinct lines is untouched because
+     *  a run, by construction, has no other line interleaved.  Reset
+     *  when a detailed phase intervenes: it may evict the memoized
+     *  line. */
+    Addr lastILine_ = ~Addr{0};
+    Addr lastDLine_ = ~Addr{0};
+    bool lastDLineDirty_ = false;
+
+    std::vector<func::DynInst> pendingScratch_;
+    /** Fast-forward fill buffer, grown once and reused. */
+    std::vector<func::DynInst> ffBuffer_;
+};
+
+} // namespace cpe::sim
+
+#endif // CPE_SIM_PHASE_ENGINE_HH

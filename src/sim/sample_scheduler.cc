@@ -1,0 +1,103 @@
+#include "sim/sample_scheduler.hh"
+
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace cpe::sim {
+
+const char *
+phaseKindName(PhaseKind kind)
+{
+    switch (kind) {
+    case PhaseKind::FastForward:
+        return "fast_forward";
+    case PhaseKind::DetailedWarmup:
+        return "detailed_warmup";
+    case PhaseKind::DetailedMeasure:
+        return "detailed_measure";
+    }
+    return "?";
+}
+
+const char *
+SampleParams::modeName(Mode mode)
+{
+    switch (mode) {
+    case Mode::Off:
+        return "off";
+    case Mode::Periodic:
+        return "periodic";
+    case Mode::Fixed:
+        return "fixed";
+    }
+    return "?";
+}
+
+SampleParams::Mode
+SampleParams::parseMode(const std::string &text)
+{
+    if (text == "off")
+        return Mode::Off;
+    if (text == "periodic")
+        return Mode::Periodic;
+    if (text == "fixed")
+        return Mode::Fixed;
+    throw ConfigError("sample mode '" + text +
+                      "' is not one of off, periodic, fixed");
+}
+
+SamplePlan
+SampleScheduler::degenerate(std::uint64_t warmup_insts)
+{
+    SamplePlan plan;
+    if (warmup_insts)
+        plan.prologue.push_back(
+            {PhaseKind::DetailedWarmup, warmup_insts});
+    plan.prologue.push_back({PhaseKind::DetailedMeasure, 0});
+    return plan;
+}
+
+SamplePlan
+SampleScheduler::plan(const SampleParams &params,
+                      std::uint64_t stream_insts)
+{
+    if (!params.enabled())
+        return degenerate(0);
+
+    std::uint64_t period = params.periodInsts;
+    if (params.mode == SampleParams::Mode::Fixed) {
+        if (!stream_insts)
+            throw ConfigError(
+                "fixed-count sampling needs a known stream length; "
+                "run with the trace cache (replay) or use periodic "
+                "mode");
+        period = stream_insts / params.intervals;
+    }
+
+    std::uint64_t detailed = params.warmupInsts + params.measureInsts;
+    if (period < detailed)
+        throw ConfigError(
+            "sample period (" + std::to_string(period) +
+            " insts) is shorter than one detailed leg (warmup " +
+            std::to_string(params.warmupInsts) + " + measure " +
+            std::to_string(params.measureInsts) + ")");
+
+    // Fast-forward first, then the detailed warm-up, then measure:
+    // every interval — including the very first — follows a long
+    // functional-warming leg, so no sample ever sees a cold machine.
+    // (Measuring at offset 0 instead would bias small-n runs: the
+    // cold-start interval's CPI is an outlier the short detailed
+    // warm-up cannot absorb.)
+    SamplePlan plan;
+    if (period > detailed)
+        plan.cycle.push_back(
+            {PhaseKind::FastForward, period - detailed});
+    if (params.warmupInsts)
+        plan.cycle.push_back(
+            {PhaseKind::DetailedWarmup, params.warmupInsts});
+    plan.cycle.push_back(
+        {PhaseKind::DetailedMeasure, params.measureInsts});
+    return plan;
+}
+
+} // namespace cpe::sim

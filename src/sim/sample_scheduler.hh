@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The sampling schedule: how a run's committed-path instruction
+ * stream is carved into FastForward / DetailedWarmup /
+ * DetailedMeasure phases (the SMARTS recipe — see PAPERS.md).  The
+ * SampleScheduler turns the `[sample]` machine-file keys (or the
+ * cpe_eval --sample-* flags) into an explicit phase plan that the
+ * phase engine executes; a plain warm-up run is the degenerate
+ * two-phase plan (DetailedWarmup, DetailedMeasure-to-end), which the
+ * differential tests prove byte-identical to the old warmupInsts
+ * special case.
+ */
+
+#ifndef CPE_SIM_SAMPLE_SCHEDULER_HH
+#define CPE_SIM_SAMPLE_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpe::sim {
+
+/** What the machine does during one schedule phase. */
+enum class PhaseKind : std::uint8_t
+{
+    /** Drive the committed stream through the caches and branch
+     *  predictor only (warm-only updates), skipping the OoO timing
+     *  core.  Consumes zero simulated cycles. */
+    FastForward,
+    /** Full pipeline, statistics frozen: drains the cold-start bias
+     *  out of the timing structures before a measurement. */
+    DetailedWarmup,
+    /** Full pipeline, statistics live. */
+    DetailedMeasure,
+};
+
+const char *phaseKindName(PhaseKind kind);
+
+/** One phase of a plan: run @p kind for @p insts committed
+ *  instructions; insts == 0 means "to the end of the stream" and is
+ *  only meaningful for a plan's final phase. */
+struct Phase
+{
+    PhaseKind kind = PhaseKind::DetailedMeasure;
+    std::uint64_t insts = 0;
+};
+
+/**
+ * A schedule: the prologue runs once, then the cycle repeats until
+ * the stream ends.  An empty cycle means the prologue is the whole
+ * plan (the degenerate warm-up schedule); an empty prologue with a
+ * non-empty cycle is the periodic sampling schedule.
+ */
+struct SamplePlan
+{
+    std::vector<Phase> prologue;
+    std::vector<Phase> cycle;
+
+    bool sampled() const { return !cycle.empty(); }
+};
+
+/** The `[sample]` machine-file keys / cpe_eval --sample-* flags. */
+struct SampleParams
+{
+    enum class Mode : std::uint8_t
+    {
+        Off,      ///< full detail (plus the optional warm-up prologue)
+        Periodic, ///< one measurement every periodInsts instructions
+        Fixed,    ///< intervals measurements spread over the stream
+    };
+
+    Mode mode = Mode::Off;
+    /** Instructions measured per interval (the U of SMARTS). */
+    std::uint64_t measureInsts = 2'000;
+    /** Detailed (stats-frozen) warm-up before each measurement. */
+    std::uint64_t warmupInsts = 1'000;
+    /** Periodic mode: stream distance between measurement starts. */
+    std::uint64_t periodInsts = 100'000;
+    /** Fixed mode: how many measurements to spread over the stream. */
+    std::uint64_t intervals = 30;
+    /** Confidence level of the reported interval (0.90/0.95/0.99). */
+    double confidence = 0.95;
+
+    bool enabled() const { return mode != Mode::Off; }
+
+    static const char *modeName(Mode mode);
+    /** Parse "off" / "periodic" / "fixed"; throws ConfigError. */
+    static Mode parseMode(const std::string &text);
+};
+
+/**
+ * Builds phase plans.  Pure schedule arithmetic — no machine state —
+ * so tests can pin the emitted plans directly.
+ */
+class SampleScheduler
+{
+  public:
+    /**
+     * The degenerate full-detail plan: an optional stats-frozen
+     * warm-up of @p warmup_insts, then measure to the end.
+     */
+    static SamplePlan degenerate(std::uint64_t warmup_insts);
+
+    /**
+     * The plan for @p params.  Periodic mode needs no stream length:
+     * its (FastForward, DetailedWarmup, DetailedMeasure) cycle
+     * repeats until the stream runs out.  Fixed-count mode computes
+     * the period from @p stream_insts (the replayed capture's
+     * length); it throws ConfigError when @p stream_insts is 0
+     * (unknown — e.g. a live functional source), or when the
+     * requested intervals cannot fit.
+     */
+    static SamplePlan plan(const SampleParams &params,
+                           std::uint64_t stream_insts);
+};
+
+} // namespace cpe::sim
+
+#endif // CPE_SIM_SAMPLE_SCHEDULER_HH

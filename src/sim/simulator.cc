@@ -1,10 +1,12 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "func/captured_trace.hh"
 #include "func/executor.hh"
 #include "obs/profiler.hh"
+#include "sim/phase_engine.hh"
 #include "sim/trace_cache.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -37,11 +39,22 @@ Simulator::run()
     }
 
     mem::MemHierarchy hierarchy(config_.l2, config_.dram);
-    cpu::CoreParams core_params = config_.core;
-    core_params.warmupInsts = config_.warmupInsts;
-    cpu::OooCore core(core_params, source.get(), &hierarchy);
-    core.setOnWarmupDone(
-        [&hierarchy]() { hierarchy.statGroup().resetAll(); });
+    // The core always reads through the stitched source so phase
+    // boundaries can hand fetched-but-uncommitted records back to the
+    // stream (a no-op passthrough for full-detail runs).
+    StitchedTraceSource stitched(source.get());
+    cpu::OooCore core(config_.core, &stitched, &hierarchy);
+
+    // The phase schedule: a plain run is the degenerate plan (optional
+    // stats-frozen warm-up, then measure to the end); sampled runs
+    // alternate warm-only fast-forward with detailed intervals.
+    bool sampled = config_.sample.enabled();
+    SamplePlan plan =
+        sampled ? SampleScheduler::plan(config_.sample,
+                                        captured ? captured->size() : 0)
+                : SampleScheduler::degenerate(config_.warmupInsts);
+    PhaseEngine engine(plan, core, stitched, hierarchy,
+                       config_.sample.confidence);
 
     // Observability (all off by default).  The tracer, sampler, and
     // profiler are stack-local: they only observe, so their lifetime
@@ -58,7 +71,15 @@ Simulator::run()
     }
     if (config_.obs.profileTop)
         core.setProfiler(&profiler);
-    if (sampler.enabled()) {
+    if (sampled) {
+        // Phase-mode timeseries: one record per measurement interval,
+        // closed by the engine (the per-cycle tick is inert).
+        sampler.setPhaseMode();
+        sampler.attach(core.statGroup());
+        sampler.attach(hierarchy.statGroup());
+        sampler.start(0);
+        engine.setSampler(&sampler);
+    } else if (sampler.enabled()) {
         sampler.attach(core.statGroup());
         sampler.attach(hierarchy.statGroup());
         if (tracer.active())
@@ -67,7 +88,7 @@ Simulator::run()
         core.setSampler(&sampler);
     }
 
-    core.run();
+    engine.run();
 
     SimResult result;
     result.workload = config_.workloadName;
@@ -75,6 +96,48 @@ Simulator::run()
     result.cycles = core.measuredCycles();
     result.insts = core.committedInsts();
     result.ipc = core.ipc();
+    if (sampled) {
+        stats::Estimate cpi = engine.cpiEstimate();
+        result.sampled = true;
+        // The headline IPC is the inverted mean-CPI estimate — the
+        // SMARTS estimator — with the confidence interval transformed
+        // through the same reciprocal (CPI in [lo, hi] means IPC in
+        // [1/hi, 1/lo]).  A CI so wide its CPI floor reaches zero is
+        // clamped to a sliver of the mean rather than emitting an
+        // unrepresentable infinite bound.
+        if (cpi.n) {
+            result.ipc = cpi.mean > 0.0 ? 1.0 / cpi.mean : 0.0;
+            result.ipcCiLow =
+                cpi.ciHigh > 0.0 ? 1.0 / cpi.ciHigh : 0.0;
+            double cpi_floor = std::max(cpi.ciLow, 1e-3 * cpi.mean);
+            result.ipcCiHigh =
+                cpi_floor > 0.0 ? 1.0 / cpi_floor : result.ipc;
+        } else {
+            // A stream shorter than one full interval left no
+            // steady-state samples: fall back to the measured-union
+            // ratio with a collapsed interval.
+            result.ipcCiLow = result.ipc;
+            result.ipcCiHigh = result.ipc;
+        }
+        result.measuredIntervals = cpi.n;
+        result.ipcCiHalf = (result.ipcCiHigh - result.ipcCiLow) / 2.0;
+        result.ipcRelErrPct = cpi.relErrorPct();
+        result.ffInsts = engine.ffInsts();
+        Json sample_doc = Json::object();
+        sample_doc["mode"] = SampleParams::modeName(config_.sample.mode);
+        sample_doc["confidence"] = cpi.confidence;
+        sample_doc["intervals"] = cpi.n;
+        sample_doc["mean_cpi"] = cpi.mean;
+        sample_doc["mean_ipc"] = result.ipc;
+        sample_doc["ci_low"] = result.ipcCiLow;
+        sample_doc["ci_high"] = result.ipcCiHigh;
+        sample_doc["ci_half_width"] = result.ipcCiHalf;
+        sample_doc["rel_err_pct"] = cpi.relErrorPct();
+        sample_doc["ff_insts"] = engine.ffInsts();
+        sample_doc["measured_insts"] = result.insts;
+        sample_doc["measured_cycles"] = result.cycles;
+        result.sampleJson = sample_doc.dump(2);
+    }
 
     auto &dcache = core.dcache();
     result.portUtilization =

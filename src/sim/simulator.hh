@@ -59,6 +59,28 @@ struct SimResult
      * the aggregate stats above (tests/test_obs_profile.cc).
      */
     std::string profileJson;
+
+    // ---- Sampled-mode results (SimConfig::sample.enabled()) ----
+
+    /** Whether this run used SMARTS-style sampling.  When true, ipc
+     *  is the mean over measurement intervals, cycles/insts cover the
+     *  measurement union only, and the stats above describe the union
+     *  of the measurement intervals. */
+    bool sampled = false;
+    /** Measurement intervals that contributed to the estimate. */
+    std::uint64_t measuredIntervals = 0;
+    /** Student-t confidence interval on the mean interval IPC. */
+    double ipcCiLow = 0.0;
+    double ipcCiHigh = 0.0;
+    double ipcCiHalf = 0.0;
+    /** 100 * ipcCiHalf / ipc (the headline error bound). */
+    double ipcRelErrPct = 0.0;
+    /** Instructions fast-forwarded (warm-only, never simulated). */
+    std::uint64_t ffInsts = 0;
+    /** {"mode": ..., "confidence": ..., "intervals": N, "mean_ipc":
+     *  ..., "ci_low"/"ci_high"/"ci_half_width": ..., "ff_insts": ...}
+     *  — the sampling summary, for the JSON results documents. */
+    std::string sampleJson;
 };
 
 /** One-shot simulator: construct with a config, call run(). */

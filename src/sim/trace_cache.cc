@@ -115,6 +115,13 @@ TraceCache::acquire(const SimConfig &config)
 
     try {
         TracePtr trace = produce(config, cache_key);
+        // Prebuild the warm-command index for the acquiring machine's
+        // line geometry while the capture is fresh: the cost belongs
+        // to the execute-once trace preparation, not to every sampled
+        // run that fast-forwards over the capture.  A variant with a
+        // different geometry falls back to a lazy build.
+        trace->warmIndex(config.core.fetch.icache.lineBytes,
+                         config.core.dcache.cache.lineBytes);
         promise.set_value(trace);
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(cache_key);

@@ -1,0 +1,111 @@
+#include "stats/estimator.hh"
+
+#include <cmath>
+#include <cstddef>
+#include <iterator>
+
+namespace cpe::stats {
+
+namespace {
+
+/** Two-sided Student-t critical values.  Rows are degrees of freedom
+ *  1–30, then 40, 60, 120, and the normal limit; columns are the
+ *  supported confidence levels. */
+struct TRow
+{
+    std::size_t dof;
+    double t90, t95, t99;
+};
+
+constexpr TRow tTable[] = {
+    {1, 6.314, 12.706, 63.657},  {2, 2.920, 4.303, 9.925},
+    {3, 2.353, 3.182, 5.841},    {4, 2.132, 2.776, 4.604},
+    {5, 2.015, 2.571, 4.032},    {6, 1.943, 2.447, 3.707},
+    {7, 1.895, 2.365, 3.499},    {8, 1.860, 2.306, 3.355},
+    {9, 1.833, 2.262, 3.250},    {10, 1.812, 2.228, 3.169},
+    {11, 1.796, 2.201, 3.106},   {12, 1.782, 2.179, 3.055},
+    {13, 1.771, 2.160, 3.012},   {14, 1.761, 2.145, 2.977},
+    {15, 1.753, 2.131, 2.947},   {16, 1.746, 2.120, 2.921},
+    {17, 1.740, 2.110, 2.898},   {18, 1.734, 2.101, 2.878},
+    {19, 1.729, 2.093, 2.861},   {20, 1.725, 2.086, 2.845},
+    {21, 1.721, 2.080, 2.831},   {22, 1.717, 2.074, 2.819},
+    {23, 1.714, 2.069, 2.807},   {24, 1.711, 2.064, 2.797},
+    {25, 1.708, 2.060, 2.787},   {26, 1.706, 2.056, 2.779},
+    {27, 1.703, 2.052, 2.771},   {28, 1.701, 2.048, 2.763},
+    {29, 1.699, 2.045, 2.756},   {30, 1.697, 2.042, 2.750},
+    {40, 1.684, 2.021, 2.704},   {60, 1.671, 2.000, 2.660},
+    {120, 1.658, 1.980, 2.617},
+};
+
+/** The normal limit (dof -> infinity). */
+constexpr TRow tLimit = {0, 1.645, 1.960, 2.576};
+
+double
+pick(const TRow &row, double confidence)
+{
+    // Snap to the nearest supported level.
+    if (confidence < 0.925)
+        return row.t90;
+    if (confidence < 0.97)
+        return row.t95;
+    return row.t99;
+}
+
+} // namespace
+
+double
+Estimate::relErrorPct() const
+{
+    if (mean == 0.0)
+        return 0.0;
+    return 100.0 * halfWidth / mean;
+}
+
+void
+Estimator::add(double sample)
+{
+    // Welford's online update.
+    ++n_;
+    double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (sample - mean_);
+}
+
+double
+Estimator::tCritical(std::size_t dof, double confidence)
+{
+    if (dof == 0)
+        return 0.0;
+    // The next smaller tabulated dof gives a (slightly) wider,
+    // conservative interval for untabulated values.
+    const TRow *best = &tTable[0];
+    for (const TRow &row : tTable) {
+        if (row.dof > dof)
+            break;
+        best = &row;
+    }
+    if (dof > tTable[std::size(tTable) - 1].dof * 2)
+        best = &tLimit;
+    return pick(*best, confidence);
+}
+
+Estimate
+Estimator::estimate(double confidence) const
+{
+    Estimate out;
+    out.n = n_;
+    out.mean = mean_;
+    out.confidence = confidence;
+    if (n_ < 2) {
+        out.ciLow = out.ciHigh = mean_;
+        return out;
+    }
+    out.stddev = std::sqrt(m2_ / static_cast<double>(n_ - 1));
+    out.sem = out.stddev / std::sqrt(static_cast<double>(n_));
+    out.halfWidth = tCritical(n_ - 1, confidence) * out.sem;
+    out.ciLow = out.mean - out.halfWidth;
+    out.ciHigh = out.mean + out.halfWidth;
+    return out;
+}
+
+} // namespace cpe::stats

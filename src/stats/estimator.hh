@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Interval-sample estimation for the sampled simulation mode: the
+ * per-measurement-interval IPCs collected by the phase engine form a
+ * sample whose mean estimates the full-run IPC; this reports that
+ * mean with a Student-t confidence interval, following the SMARTS
+ * methodology (the intervals are treated as an independent sample of
+ * the workload's phases).
+ */
+
+#ifndef CPE_STATS_ESTIMATOR_HH
+#define CPE_STATS_ESTIMATOR_HH
+
+#include <cstddef>
+
+namespace cpe::stats {
+
+/** A mean with its Student-t confidence interval. */
+struct Estimate
+{
+    std::size_t n = 0;       ///< number of samples
+    double mean = 0.0;
+    double stddev = 0.0;     ///< sample standard deviation (n-1)
+    double sem = 0.0;        ///< standard error of the mean
+    double confidence = 0.0; ///< the requested confidence level
+    double halfWidth = 0.0;  ///< t * sem; 0 when n < 2
+    double ciLow = 0.0;      ///< mean - halfWidth
+    double ciHigh = 0.0;     ///< mean + halfWidth
+
+    /** Half-width as a percentage of the mean (0 when mean is 0). */
+    double relErrorPct() const;
+
+    /** Whether @p value lies inside [ciLow, ciHigh]. */
+    bool covers(double value) const
+    {
+        return value >= ciLow && value <= ciHigh;
+    }
+};
+
+/**
+ * Accumulates scalar samples (Welford's online algorithm, so long
+ * runs stay numerically stable) and reports their mean with a
+ * Student-t confidence interval at 90%, 95%, or 99% confidence.
+ */
+class Estimator
+{
+  public:
+    void add(double sample);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+
+    /**
+     * The estimate at @p confidence (one of 0.90, 0.95, 0.99 — other
+     * levels snap to the nearest supported one).  With fewer than two
+     * samples the interval is degenerate: halfWidth is 0 and the CI
+     * collapses to the mean.
+     */
+    Estimate estimate(double confidence = 0.95) const;
+
+    /**
+     * The two-sided Student-t critical value for @p dof degrees of
+     * freedom at @p confidence.  Tabulated for dof 1–30 and selected
+     * larger values; intermediate dofs use the next smaller tabulated
+     * entry, which is conservative (never understates the interval).
+     */
+    static double tCritical(std::size_t dof, double confidence);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0; ///< sum of squared deviations (Welford)
+};
+
+} // namespace cpe::stats
+
+#endif // CPE_STATS_ESTIMATOR_HH

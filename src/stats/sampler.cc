@@ -43,7 +43,7 @@ IntervalSampler::attach(const StatGroup &root)
 void
 IntervalSampler::start(Cycle now)
 {
-    if (!interval_)
+    if (!enabled())
         return;
     for (auto &ref : scalars_)
         ref.base = ref.stat->value();
@@ -54,6 +54,19 @@ IntervalSampler::start(Cycle now)
     intervalStart_ = now;
     next_ = now + interval_;
     started_ = true;
+}
+
+void
+IntervalSampler::rebase(Cycle now)
+{
+    CPE_ASSERT(started_, "IntervalSampler::rebase before start");
+    for (auto &ref : scalars_)
+        ref.base = ref.stat->value();
+    for (auto &ref : dists_) {
+        ref.baseSamples = ref.stat->totalSamples();
+        ref.baseSum = ref.stat->sum();
+    }
+    intervalStart_ = now;
 }
 
 double
@@ -136,6 +149,11 @@ IntervalSampler::sample(Cycle now)
 void
 IntervalSampler::finalize(Cycle now)
 {
+    // Phase mode: the engine closes intervals with sampleAt(); the
+    // core's end-of-run finalize must not append a bogus tail record
+    // covering a fast-forward leg.
+    if (phaseMode_)
+        return;
     if (!interval_ || !started_)
         return;
     if (now > intervalStart_)
@@ -148,6 +166,8 @@ IntervalSampler::toJson() const
 {
     Json out = Json::object();
     out["interval_cycles"] = interval_;
+    if (phaseMode_)
+        out["phase_mode"] = true;
     Json intervals = Json::array();
     for (const auto &record : records_)
         intervals.push(record);

@@ -49,8 +49,40 @@ class IntervalSampler
     IntervalSampler(const IntervalSampler &) = delete;
     IntervalSampler &operator=(const IntervalSampler &) = delete;
 
-    bool enabled() const { return interval_ > 0; }
+    bool enabled() const { return interval_ > 0 || phaseMode_; }
     Cycle interval() const { return interval_; }
+
+    /**
+     * Phase-driven mode (sampled simulation): instead of a fixed
+     * cycle period, the phase engine closes one record per
+     * DetailedMeasure interval with rebase()/sampleAt(), so the
+     * timeseries *is* the per-measurement-interval IPC series the
+     * Estimator consumes.  Call before start(); tick() and finalize()
+     * become no-ops (the engine owns interval boundaries).
+     */
+    void setPhaseMode() { phaseMode_ = true; }
+    bool phaseMode() const { return phaseMode_; }
+
+    /**
+     * Phase mode: re-baseline every attached stat at @p now (the
+     * start of a measurement interval).  Whatever accumulated since
+     * the last record — fast-forward or warm-up pollution, or a
+     * StatGroup::restore rolling values back — is discarded rather
+     * than reported.
+     */
+    void rebase(Cycle now);
+
+    /**
+     * Phase mode: close the record for [last rebase, @p now) (the end
+     * of a measurement interval).  A zero-length interval emits
+     * nothing.
+     */
+    void
+    sampleAt(Cycle now)
+    {
+        if (started_ && now > intervalStart_)
+            sample(now);
+    }
 
     /**
      * Register every scalar and distribution under @p root (full
@@ -121,6 +153,7 @@ class IntervalSampler
     Cycle interval_;
     Cycle next_ = 0;
     Cycle intervalStart_ = 0;
+    bool phaseMode_ = false;
     bool started_ = false;
     unsigned seq_ = 0;
     std::vector<ScalarRef> scalars_;

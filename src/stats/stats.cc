@@ -90,6 +90,70 @@ StatGroup::resetAll()
         child->resetAll();
 }
 
+StatSnapshot
+StatGroup::snapshot() const
+{
+    StatSnapshot snap;
+    for (const auto &entry : scalars_)
+        snap.scalars.push_back(entry.stat->value());
+    for (const auto &entry : averages_)
+        snap.averages.emplace_back(entry.stat->sum(),
+                                   entry.stat->count());
+    for (const auto &entry : dists_)
+        snap.dists.push_back(*entry.stat);
+    for (const auto *child : children_) {
+        StatSnapshot sub = child->snapshot();
+        snap.scalars.insert(snap.scalars.end(), sub.scalars.begin(),
+                            sub.scalars.end());
+        snap.averages.insert(snap.averages.end(),
+                             sub.averages.begin(), sub.averages.end());
+        snap.dists.insert(snap.dists.end(), sub.dists.begin(),
+                          sub.dists.end());
+    }
+    return snap;
+}
+
+namespace {
+
+/** Restore cursor: consumes snapshot entries in registration order. */
+struct RestoreCursor
+{
+    const StatSnapshot &snap;
+    std::size_t scalar = 0, average = 0, dist = 0;
+};
+
+} // namespace
+
+void
+StatGroup::restore(const StatSnapshot &snap)
+{
+    // Count this tree's entries first so a shape mismatch fails fast
+    // instead of corrupting half the counters.
+    StatSnapshot shape = snapshot();
+    if (shape.scalars.size() != snap.scalars.size() ||
+        shape.averages.size() != snap.averages.size() ||
+        shape.dists.size() != snap.dists.size())
+        fatal(Msg() << "StatGroup::restore: snapshot shape mismatch "
+                       "for group '"
+                    << name_ << "'");
+    std::function<void(StatGroup &, RestoreCursor &)> apply =
+        [&apply](StatGroup &group, RestoreCursor &cursor) {
+            for (auto &entry : group.scalars_)
+                entry.stat->set(cursor.snap.scalars[cursor.scalar++]);
+            for (auto &entry : group.averages_) {
+                const auto &[sum, count] =
+                    cursor.snap.averages[cursor.average++];
+                entry.stat->set(sum, count);
+            }
+            for (auto &entry : group.dists_)
+                *entry.stat = cursor.snap.dists[cursor.dist++];
+            for (auto *child : group.children_)
+                apply(*child, cursor);
+        };
+    RestoreCursor cursor{snap};
+    apply(*this, cursor);
+}
+
 std::string
 StatGroup::dump(const std::string &prefix) const
 {

@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/json.hh"
@@ -35,6 +36,8 @@ class Scalar
 
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+    /** Restore a snapshotted value (StatGroup::restore). */
+    void set(std::uint64_t value) { value_ = value; }
 
   private:
     std::uint64_t value_ = 0;
@@ -52,8 +55,15 @@ class Average
     }
 
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
     std::uint64_t count() const { return count_; }
     void reset() { sum_ = 0.0; count_ = 0; }
+    /** Restore a snapshotted state (StatGroup::restore). */
+    void set(double sum, std::uint64_t count)
+    {
+        sum_ = sum;
+        count_ = count;
+    }
 
   private:
     double sum_ = 0.0;
@@ -101,6 +111,22 @@ class Distribution
 };
 
 /**
+ * A value snapshot of a StatGroup tree (StatGroup::snapshot).  The
+ * phase engine pauses measurement by snapshotting and resumes by
+ * restoring, so everything accumulated in between — fast-forward and
+ * detailed-warmup pollution — vanishes from the totals, and the final
+ * stats are the exact union of the measurement intervals.  Entries
+ * are stored in registration order, so a snapshot is only valid for
+ * the exact group tree that produced it.
+ */
+struct StatSnapshot
+{
+    std::vector<std::uint64_t> scalars;
+    std::vector<std::pair<double, std::uint64_t>> averages;
+    std::vector<Distribution> dists;
+};
+
+/**
  * A named collection of statistics.  Components create one, register
  * their counters with addScalar()/addAverage()/addDistribution()/
  * addFormula(), and the reporter walks the group tree at dump time.
@@ -138,6 +164,14 @@ class StatGroup
 
     /** Zero every registered statistic, recursively. */
     void resetAll();
+
+    /** Capture every registered statistic's value, recursively, in
+     *  registration order (formulas recompute and need no state). */
+    StatSnapshot snapshot() const;
+
+    /** Restore a snapshot() taken from this same group tree; panics
+     *  when the shapes disagree (the tree changed in between). */
+    void restore(const StatSnapshot &snap);
 
     /**
      * Render "name value # desc" lines, gem5 stats.txt style, with the

@@ -24,7 +24,7 @@ TEST(ExperimentRegistry, AllExperimentsRegistered)
 {
     const std::vector<std::string> expected = {
         "T1", "T2", "T3", "F1", "F2", "F3", "F4", "F5",
-        "F6", "F7", "F8", "F9", "F10", "F11", "F12"};
+        "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13"};
     EXPECT_EQ(ExperimentRegistry::instance().ids(), expected);
 }
 

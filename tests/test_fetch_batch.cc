@@ -1,0 +1,223 @@
+/**
+ * @file
+ * FetchUnit fill-buffer edge cases: the FillBatch block-consumption
+ * contract (short fills latch exhaustion), batches narrower than the
+ * fetch width, and the squashAndDrain() cursor-repositioning contract
+ * the sampled mode's phase boundaries rely on — every
+ * fetched-but-unconsumed record handed back in stream order, stall
+ * state reset, and the exhaustion latch cleared for re-detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/fetch.hh"
+#include "func/trace.hh"
+#include "isa/isa.hh"
+
+namespace cpe::cpu {
+namespace {
+
+/** A synthesized ALU record at @p pc with commit order @p seq. */
+func::DynInst
+aluRecord(SeqNum seq, Addr pc)
+{
+    func::DynInst di;
+    di.seq = seq;
+    di.pc = pc;
+    di.inst = {isa::Opcode::ADDI, 5, 5, 0, 1};
+    di.cls = isa::classOf(di.inst.op);
+    di.nextPc = pc + isa::InstBytes;
+    return di;
+}
+
+/** @p count straight-line ALU records starting at 0x1000. */
+std::vector<func::DynInst>
+straightTrace(std::size_t count)
+{
+    std::vector<func::DynInst> trace;
+    Addr pc = 0x1000;
+    for (std::size_t i = 0; i < count; ++i, pc += isa::InstBytes)
+        trace.push_back(aluRecord(i + 1, pc));
+    return trace;
+}
+
+/** A fetch unit over a VectorTraceSource with exact length control. */
+struct BatchRig
+{
+    func::VectorTraceSource source;
+    BranchPredictor bpred;
+    mem::MemHierarchy hierarchy;
+    FetchUnit fetch;
+
+    explicit BatchRig(std::vector<func::DynInst> trace,
+                      FetchParams params = FetchParams{})
+        : source(std::move(trace)), bpred(BranchPredictorParams{}),
+          hierarchy(mem::L2Params{}, mem::DramParams{}),
+          fetch(params, &source, &bpred, &hierarchy)
+    {
+    }
+};
+
+/** Tick until the queue is non-empty (waits out I-cache fills). */
+Cycle
+tickUntilFetched(BatchRig &rig, Cycle now, Cycle limit = 1000)
+{
+    for (; now < limit && rig.fetch.queue().empty(); ++now)
+        rig.fetch.tick(now);
+    return now;
+}
+
+/** Tick to end of stream, popping the queue into a record list. */
+std::vector<func::DynInst>
+drainAll(BatchRig &rig, Cycle now, Cycle limit = 5000)
+{
+    std::vector<func::DynInst> out;
+    for (; now < limit; ++now) {
+        rig.fetch.tick(now);
+        while (!rig.fetch.queue().empty()) {
+            out.push_back(rig.fetch.queue().front().di);
+            rig.fetch.queue().pop_front();
+        }
+        if (rig.fetch.traceExhausted())
+            break;
+    }
+    return out;
+}
+
+void
+expectSeqRange(const std::vector<func::DynInst> &records, SeqNum first,
+               std::size_t count)
+{
+    ASSERT_EQ(records.size(), count);
+    for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(records[i].seq, first + i) << "at index " << i;
+}
+
+// A trace shorter than one FillBatch (64): the very first fill() comes
+// back short, latches exhaustion, and the unit still delivers every
+// record exactly once before reporting the end of the trace.
+TEST(FetchBatch, SourceExhaustedMidBatch)
+{
+    BatchRig rig(straightTrace(10));
+    auto records = drainAll(rig, 0);
+    expectSeqRange(records, 1, 10);
+    EXPECT_TRUE(rig.fetch.traceExhausted());
+    EXPECT_EQ(rig.fetch.fetchedInsts.value(), 10u);
+}
+
+// A batch narrower than the fetch width: two records against a
+// four-wide front end arrive in one fetch group, then the unit is
+// exhausted — no padding, no stall.
+TEST(FetchBatch, BatchNarrowerThanFetchWidth)
+{
+    FetchParams params;
+    params.fetchWidth = 4;
+    BatchRig rig(straightTrace(2), params);
+    tickUntilFetched(rig, 0);
+    EXPECT_EQ(rig.fetch.queue().size(), 2u);
+    EXPECT_TRUE(rig.fetch.traceExhausted());
+    EXPECT_EQ(rig.fetch.fetchedInsts.value(), 2u);
+}
+
+// The repositioning contract: a squash mid-stream hands back the fetch
+// queue followed by the fill buffer's remnant — one contiguous run of
+// stream records — and the next fetch resumes exactly after them.
+TEST(FetchBatch, RefillAfterSquashResumesAtHandedBackPosition)
+{
+    // 100 records: the first fill() pulls a full 64-record batch.
+    BatchRig rig(straightTrace(100));
+    tickUntilFetched(rig, 0);
+    std::size_t fetched = rig.fetch.queue().size();
+    ASSERT_GT(fetched, 0u);
+
+    std::vector<func::DynInst> pending;
+    rig.fetch.squashAndDrain(pending);
+    // Queue + buffer remnant = the whole first batch, in stream order.
+    expectSeqRange(pending, 1, 64);
+    EXPECT_TRUE(rig.fetch.queue().empty());
+    // Statistics are left alone by the squash.
+    EXPECT_EQ(rig.fetch.fetchedInsts.value(), fetched);
+
+    // Refill immediately after the squash: the next records fetched
+    // are the source's remainder, starting right after the hand-back.
+    auto resumed = drainAll(rig, 1000);
+    expectSeqRange(resumed, 65, 36);
+    EXPECT_TRUE(rig.fetch.traceExhausted());
+}
+
+// The end-of-stream latch is cleared by a squash (the handed-back
+// records precede whatever the source still holds), and re-latched by
+// the next short fill once the source really is dry.
+TEST(FetchBatch, SquashClearsExhaustionLatch)
+{
+    BatchRig rig(straightTrace(10));
+    Cycle now = tickUntilFetched(rig, 0);
+    // Let the whole (short) trace reach the queue.
+    for (; now < 1000 && !rig.fetch.traceExhausted(); ++now)
+        rig.fetch.tick(now);
+    ASSERT_TRUE(rig.fetch.traceExhausted());
+    ASSERT_EQ(rig.fetch.queue().size(), 10u);
+
+    std::vector<func::DynInst> pending;
+    rig.fetch.squashAndDrain(pending);
+    expectSeqRange(pending, 1, 10);
+    // Cleared: exhaustion must be re-detected, not remembered.
+    EXPECT_FALSE(rig.fetch.traceExhausted());
+
+    // The source really is empty, so one more fetch attempt re-latches
+    // without fetching anything.
+    rig.fetch.tick(now);
+    EXPECT_TRUE(rig.fetch.traceExhausted());
+    EXPECT_TRUE(rig.fetch.queue().empty());
+    EXPECT_EQ(rig.fetch.fetchedInsts.value(), 10u);
+}
+
+// A squash while frozen on a mispredicted branch resets the stall so
+// fetch resumes immediately — the phase boundary must not leave the
+// front end waiting for a resolveBranch() that will never come.
+TEST(FetchBatch, SquashWhileFrozenOnMispredictUnfreezes)
+{
+    // Five ALUs, then a taken branch a cold predictor gets wrong.
+    auto trace = straightTrace(5);
+    Addr branch_pc = trace.back().pc + isa::InstBytes;
+    func::DynInst branch;
+    branch.seq = 6;
+    branch.pc = branch_pc;
+    branch.inst = {isa::Opcode::BNE, isa::NoReg, 5, 0, 16};
+    branch.cls = isa::classOf(branch.inst.op);
+    branch.taken = true;
+    branch.nextPc = branch_pc + 0x100;
+    trace.push_back(branch);
+    trace.push_back(aluRecord(7, branch.nextPc));
+    BatchRig rig(std::move(trace));
+
+    Cycle now = 0;
+    for (; now < 1000 && !rig.fetch.stalledOnBranch(); ++now)
+        rig.fetch.tick(now);
+    ASSERT_TRUE(rig.fetch.stalledOnBranch());
+
+    // Frozen ticks only accumulate redirect stall cycles.
+    std::uint64_t frozen = rig.fetch.redirectCycles.value();
+    rig.fetch.tick(now);
+    EXPECT_GT(rig.fetch.redirectCycles.value(), frozen);
+
+    std::vector<func::DynInst> pending;
+    rig.fetch.squashAndDrain(pending);
+    EXPECT_FALSE(rig.fetch.stalledOnBranch());
+    // Everything fetched or buffered comes back: the whole 7-record
+    // trace fit in one batch, so the hand-back is the full stream.
+    expectSeqRange(pending, 1, 7);
+
+    // Unfrozen: further ticks go down the fetch path (no redirect
+    // accounting), and the now-empty source just reports exhaustion.
+    std::uint64_t after = rig.fetch.redirectCycles.value();
+    rig.fetch.tick(now + 1);
+    rig.fetch.tick(now + 2);
+    EXPECT_EQ(rig.fetch.redirectCycles.value(), after);
+    EXPECT_TRUE(rig.fetch.traceExhausted());
+}
+
+} // namespace
+} // namespace cpe::cpu

@@ -338,13 +338,19 @@ TEST(Core, WarmupResetsStatistics)
     func::Executor counter(program);
     std::uint64_t total = counter.run();
 
-    CoreParams warm;
-    warm.warmupInsts = total / 2;
     func::Executor executor(program);
     mem::MemHierarchy hierarchy(mem::L2Params{}, mem::DramParams{});
-    cpu::OooCore core(warm, &executor, &hierarchy);
+    cpu::OooCore core(CoreParams{}, &executor, &hierarchy);
+    // The degenerate warm-up schedule, hand-rolled: a commit boundary
+    // at the halfway point whose hook starts the measurement region
+    // (what the phase engine installs for a warmup_insts config).
     bool warmup_fired = false;
-    core.setOnWarmupDone([&]() { warmup_fired = true; });
+    core.setCommitBoundary(total / 2, [&](Cycle now) {
+        warmup_fired = true;
+        core.beginMeasurement(now);
+        hierarchy.statGroup().resetAll();
+        return true;
+    });
     Cycle cycles = core.run();
 
     EXPECT_TRUE(warmup_fired);

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The degenerate-schedule proof: a run with `warmup_insts` set — now
+ * implemented as a two-phase (DetailedWarmup, DetailedMeasure)
+ * schedule — must reproduce the pre-refactor warm-up semantics byte
+ * for byte.  The committed golden under tests/golden/ was generated
+ * against the monolithic warm-up special case; every artifact of a
+ * warmed run (headline numbers, the full stats dump and JSON, the
+ * event trace, the interval timeseries, the stall profile, and whole
+ * sweep-grid documents, serial and parallel) is pinned against it.
+ * Regenerate with CPE_REGEN_GOLDEN=1 only for an intentional,
+ * explained change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/port_config.hh"
+#include "obs/tracer.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep_runner.hh"
+#include "util/json.hh"
+
+#ifndef CPE_GOLDEN_DIR
+#error "CPE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace cpe::sim {
+namespace {
+
+/** FNV-1a over the raw bytes: artifacts too big to commit verbatim
+ *  (the trace, the timeseries) are pinned by hash + length instead. */
+std::string
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    std::ostringstream out;
+    out << std::hex << hash;
+    return out.str();
+}
+
+SimConfig
+warmConfig(const std::string &workload, std::uint64_t warmup_insts,
+           const std::string &label)
+{
+    SimConfig config = SimConfig::defaults();
+    config.workloadName = workload;
+    config.core.dcache.tech =
+        core::PortTechConfig::singlePortAllTechniques();
+    config.warmupInsts = warmup_insts;
+    config.label = label;
+    return config;
+}
+
+/** The warm-up boundary must land mid-stream so the proof covers a
+ *  boundary that actually fires: half of the full run's commits. */
+std::uint64_t
+midstreamWarmup(const std::string &workload)
+{
+    SimResult full = simulate(warmConfig(workload, 0, "full"));
+    EXPECT_GT(full.insts, 4u) << workload;
+    return full.insts / 2;
+}
+
+/** Every artifact of one fully-observed warmed run, as a stable JSON
+ *  document (small members verbatim, bulky ones by hash + length). */
+Json
+degenerateRunDoc()
+{
+    std::uint64_t warmup = midstreamWarmup("compress");
+
+    obs::StringTraceSink sink;
+    SimConfig config = warmConfig("compress", warmup, "warm");
+    config.obs.traceSink = &sink;
+    config.obs.sampleCycles = 2000;
+    config.obs.profileTop = 5;
+    SimResult result = simulate(config);
+
+    std::size_t trace_lines = 0;
+    for (char c : sink.text())
+        trace_lines += c == '\n';
+
+    Json doc = Json::object();
+    doc["workload"] = "compress";
+    doc["warmup_insts"] = warmup;
+    doc["cycles"] = result.cycles;
+    doc["insts"] = result.insts;
+    doc["ipc"] = result.ipc;
+    doc["port_utilization"] = result.portUtilization;
+    doc["l1d_miss_rate"] = result.l1dMissRate;
+    doc["lb_hit_rate"] = result.lineBufferHitRate;
+    doc["sb_stores_per_drain"] = result.sbStoresPerDrain;
+    doc["load_port_fraction"] = result.loadPortFraction;
+    doc["cond_accuracy"] = result.condAccuracy;
+    doc["store_commit_stalls"] = result.storeCommitStalls;
+    doc["stats"] = Json::parse(result.statsJson, "stats");
+    doc["stats_dump_fnv"] = fnv1a(result.statsDump);
+    doc["profile_fnv"] = fnv1a(result.profileJson);
+    doc["timeseries_fnv"] = fnv1a(result.timeseriesJson);
+    doc["trace_fnv"] = fnv1a(sink.text());
+    doc["trace_lines"] = static_cast<std::uint64_t>(trace_lines);
+    return doc;
+}
+
+/** A warmed sweep grid (full and warmed columns over two workloads). */
+std::vector<SimConfig>
+degenerateGrid()
+{
+    std::vector<SimConfig> configs;
+    for (const std::string workload : {"copy", "compress"}) {
+        configs.push_back(warmConfig(workload, 0, "full"));
+        configs.push_back(
+            warmConfig(workload, midstreamWarmup(workload), "warm"));
+    }
+    return configs;
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(CPE_GOLDEN_DIR) + "/" + name;
+}
+
+/** Compare @p doc against the committed golden (or regenerate it). */
+void
+expectMatchesGolden(const Json &doc, const std::string &name)
+{
+    const std::string path = goldenPath(name);
+    const std::string text = doc.dump(2) + "\n";
+
+    if (std::getenv("CPE_REGEN_GOLDEN")) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << text;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (generate with CPE_REGEN_GOLDEN=1)";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), text)
+        << "warmed-run artifacts diverged from the pre-refactor "
+           "golden; a degenerate two-phase schedule must be "
+           "byte-identical to the old warmupInsts special case";
+}
+
+TEST(SampledDifferential, DegenerateWarmupMatchesGolden)
+{
+    expectMatchesGolden(degenerateRunDoc(), "degenerate_warmup.json");
+}
+
+TEST(SampledDifferential, DegenerateSweepSerialMatchesParallel)
+{
+    std::vector<SimConfig> configs = degenerateGrid();
+    Json serial = SweepRunner(1).runGrid(configs).toJson();
+    Json parallel = SweepRunner(4).runGrid(configs).toJson();
+    EXPECT_EQ(serial.dump(2), parallel.dump(2));
+    expectMatchesGolden(serial, "degenerate_warmup_grid.json");
+}
+
+} // namespace
+} // namespace cpe::sim
