@@ -20,6 +20,7 @@
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep_runner.hh"
+#include "util/fault.hh"
 #include "util/table.hh"
 #include "util/logging.hh"
 #include "workload/registry.hh"
@@ -113,6 +114,14 @@ main(int argc, char **argv)
     }
     if (!workload::WorkloadRegistry::instance().has(config.workloadName))
         usage();
+
+    // A [chaos] section in the machine file arms fault injection for
+    // this process; arming happens here at the CLI boundary, never
+    // inside simulate().
+    if (config.chaos.enabled())
+        util::FaultInjector::instance().arm(config.chaos);
+    else
+        util::FaultInjector::instance().disarm();
 
     if (all_workloads) {
         // One row per registered workload, same machine configuration,

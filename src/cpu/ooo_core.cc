@@ -290,6 +290,7 @@ OooCore::pipelineSnapshot(Cycle now)
 {
     Json snapshot = Json::object();
     snapshot["cycle"] = now;
+    snapshot["phase"] = phaseLabel_;
     snapshot["committed_insts"] = totalCommitted_;
     snapshot["last_commit_cycle"] = lastCommitCycle_;
 

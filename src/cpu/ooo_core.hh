@@ -253,13 +253,23 @@ class OooCore
 
     /**
      * Structured snapshot of the machine for progress diagnostics:
-     * cycle and commit progress, fetch state (PC at the window head,
-     * queue depth, trace/stall status), ROB/issue-queue/LSQ occupancy,
-     * and store-buffer/MSHR state.  This is what a tripped watchdog
-     * attaches to its ProgressError, turning a hang into a bug report
-     * that names the stalled structure.
+     * cycle and commit progress, the current phase label, fetch state
+     * (PC at the window head, queue depth, trace/stall status),
+     * ROB/issue-queue/LSQ occupancy, and store-buffer/MSHR state.
+     * This is what a tripped watchdog attaches to its ProgressError,
+     * turning a hang into a bug report that names the stalled
+     * structure.
      */
     Json pipelineSnapshot(Cycle now);
+
+    /**
+     * Label the execution phase for diagnostics ("run" by default;
+     * the phase engine sets "warmup"/"measure" at its transitions) so
+     * a watchdog trip in a sampled run says which leg hung.  The
+     * pointer must outlive its use — pass string literals.
+     */
+    void setPhaseLabel(const char *label) { phaseLabel_ = label; }
+    const char *phaseLabel() const { return phaseLabel_; }
 
     stats::Scalar committed_;
     stats::Scalar committedLoads;
@@ -296,6 +306,7 @@ class OooCore
     Cycle now_ = 0;
     Cycle lastCommitCycle_ = 0;  ///< no-commit watchdog bookkeeping
     bool halted_ = false;
+    const char *phaseLabel_ = "run";
     std::ostream *pipeTrace_ = nullptr;
     obs::Tracer *tracer_ = nullptr;
     obs::Profiler *profiler_ = nullptr;

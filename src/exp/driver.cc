@@ -12,16 +12,26 @@
 #include <sstream>
 
 #include "exp/registry.hh"
+#include "sim/run_journal.hh"
 #include "sim/sweep_runner.hh"
 #include "sim/trace_cache.hh"
 #include "util/error.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
+#include "util/retry.hh"
 #include "util/table.hh"
 #include "workload/registry.hh"
 
 namespace cpe::exp {
 
 namespace {
+
+/** Documented exit codes (kUsage, docs/robustness.md). */
+constexpr int ExitOk = 0;
+constexpr int ExitRunFailure = 1;    ///< run failures (--keep-going),
+                                     ///< runtime/IO errors
+constexpr int ExitConfigError = 2;   ///< config or usage errors
+constexpr int ExitBaselineDrift = 3; ///< --check found drift
 
 /** A sink for table output when the stdout format is csv/json. */
 class NullBuffer : public std::streambuf
@@ -97,7 +107,25 @@ constexpr const char *kUsage =
     "                           every run instead of capturing once per\n"
     "                           workload and replaying (results are\n"
     "                           byte-identical either way)\n"
-    "(every --flag VALUE is also accepted as --flag=VALUE)\n";
+    "  --chaos SPEC             deterministic fault injection at every\n"
+    "                           I/O and lifecycle seam; SPEC is\n"
+    "                           seed=N,rate=P[,point=GLOB] (see\n"
+    "                           docs/robustness.md for the point\n"
+    "                           catalog)\n"
+    "  --retries N              retries per run after a transient\n"
+    "                           failure (default: 1; deterministic\n"
+    "                           failures are never retried)\n"
+    "  --retry-backoff-ms N     base delay before a retry, doubled per\n"
+    "                           attempt with deterministic jitter\n"
+    "                           (default: 0 = retry immediately)\n"
+    "  --resume JOURNAL         crash-safe sweep resume: append one\n"
+    "                           fsync'd record per completed run to\n"
+    "                           JOURNAL and, on restart, skip runs\n"
+    "                           already recorded there\n"
+    "(every --flag VALUE is also accepted as --flag=VALUE)\n"
+    "exit codes: 0 success; 1 run failures (--keep-going) or runtime\n"
+    "errors; 2 configuration/usage errors (including --validate FAIL);\n"
+    "3 baseline drift (--check FAIL)\n";
 
 [[noreturn]] void
 usageError(const std::string &message)
@@ -138,6 +166,10 @@ struct Options
     unsigned profileTop = 0;    ///< --profile[=N]: 0 = off
     std::string traceCacheDir;  ///< --trace-cache: "" = no spill
     bool noReplay = false;      ///< --no-replay: live functional runs
+    std::string chaosSpec;      ///< --chaos: "" = disarmed
+    unsigned retries = 1;       ///< --retries: transient retry count
+    unsigned retryBackoffMs = 0; ///< --retry-backoff-ms: 0 = immediate
+    std::string resumePath;     ///< --resume: "" = no journal
     /** --trace-cache-mb: resident bound for the shared cache. */
     std::size_t traceCacheMb = sim::SimConfig::TraceCacheDefaultResidentMb;
     /** --sample-*: sampled simulation for every run (mode off = off). */
@@ -216,9 +248,9 @@ parseArgs(int argc, char **argv)
                            spec + "'");
             std::string workload = spec.substr(0, colon);
             std::string kind = spec.substr(colon + 1);
-            if (kind != "config" && kind != "hang")
-                usageError("--fault-inject kind must be 'config' or "
-                           "'hang', got '" + kind + "'");
+            // Kind validation happens in setFaultInjection, which
+            // rejects unknown kinds with a structured ConfigError
+            // naming the valid ones (exit code 2).
             options.faultPlan.emplace_back(std::move(workload),
                                            std::move(kind));
         } else if (flag == "--trace") {
@@ -268,6 +300,19 @@ parseArgs(int argc, char **argv)
                 std::strtod(value().c_str(), nullptr);
         } else if (flag == "--no-replay") {
             options.noReplay = true;
+        } else if (flag == "--chaos") {
+            options.chaosSpec = value();
+        } else if (flag == "--retries") {
+            options.retries = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (flag == "--retry-backoff-ms") {
+            options.retryBackoffMs = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (flag == "--resume") {
+            std::string path = value();
+            if (path.empty())
+                usageError("--resume wants a journal path");
+            options.resumePath = path;
         } else if (flag == "--workloads") {
             options.workloads =
                 splitList(value());
@@ -363,6 +408,8 @@ listExperiments()
 void
 writeFile(const std::filesystem::path &path, const std::string &text)
 {
+    if (CPE_FAULT_POINT("results.write"))
+        throw IoError("chaos: injected fault at results.write");
     std::ofstream out(path);
     if (!out)
         throw IoError(Msg() << "cannot write " << path.string());
@@ -452,9 +499,9 @@ runExperiments(const Options &options)
                   << " failure(s):\n";
         for (const auto &line : failure_summaries)
             std::cerr << "  " << line << "\n";
-        return 1;
+        return ExitRunFailure;
     }
-    return 0;
+    return ExitOk;
 }
 
 /** The workload list an experiment's primary grid would use. */
@@ -498,12 +545,12 @@ validateExperiments(const Options &options)
         std::cout << "\nvalidate: FAIL — " << diagnostics
                   << " problem(s) across " << configs_checked
                   << " config(s)\n";
-        return 1;
+        return ExitConfigError;
     }
     std::cout << "validate: OK — " << configs_checked
               << " config(s) across " << experiments.size()
               << " experiment(s)\n";
-    return 0;
+    return ExitOk;
 }
 
 /** The grid the regression gate replays: an experiment's primary
@@ -596,13 +643,13 @@ checkBaselines(const Options &options)
                   << TextTable::num(options.tolerancePct, 2)
                   << "% (refresh intentional changes with "
                      "--write-baseline)\n";
-        return 1;
+        return ExitBaselineDrift;
     }
     std::cout << "\nregression gate: PASS — " << experiments.size()
               << " experiment(s), " << configs_checked
               << " config geomeans within "
               << TextTable::num(options.tolerancePct, 2) << "%\n";
-    return 0;
+    return ExitOk;
 }
 
 } // namespace
@@ -619,6 +666,8 @@ Json
 loadBaseline(const std::string &dir, const std::string &id)
 {
     auto path = std::filesystem::path(dir) / (id + ".json");
+    if (CPE_FAULT_POINT("baseline.read"))
+        throw IoError("chaos: injected fault at baseline.read");
     std::ifstream in(path);
     if (!in)
         throw IoError(Msg()
@@ -702,10 +751,26 @@ evalMain(int argc, char **argv)
     Options options = parseArgs(argc, argv);
     if (options.noReplay && !options.traceCacheDir.empty())
         usageError("--no-replay and --trace-cache are contradictory");
-    setFaultInjection(options.faultPlan);
     // The CLI boundary: everything below throws SimError for
-    // recoverable failures; only here do they become an exit code.
+    // recoverable failures; only here do they become an exit code
+    // (ConfigError -> 2, everything else -> 1; see kUsage).
     try {
+        setFaultInjection(options.faultPlan);
+        // Chaos arms (or explicitly disarms — evalMain may be called
+        // repeatedly in-process by the tests) before any run starts.
+        if (options.chaosSpec.empty()) {
+            util::FaultInjector::instance().disarm();
+        } else {
+            util::FaultInjector::instance().arm(
+                util::ChaosSpec::parse(options.chaosSpec));
+        }
+        // Retry policy for every sweep this invocation runs: N retries
+        // on top of the first attempt, exponential backoff from the
+        // base delay.
+        util::RetryPolicy retry_policy;
+        retry_policy.maxAttempts = options.retries + 1;
+        retry_policy.backoffBaseMs = options.retryBackoffMs;
+        sim::SweepRunner::setDefaultRetryPolicy(retry_policy);
         // One shared sink for the whole invocation: concurrent sweep
         // runs interleave whole event batches, each line tagged with
         // its run id.
@@ -726,26 +791,60 @@ evalMain(int argc, char **argv)
                 options.traceCacheMb * 1024 * 1024);
         setTraceCache(trace_cache.get());
         setSampling(options.sample);
+        // Crash-safe resume: load the journal (skipping any torn
+        // trailing line a killed process left) and let the sweep
+        // runner serve completed runs from it.
+        std::unique_ptr<sim::RunJournal> journal;
+        std::size_t journaled_before = 0;
+        if (!options.resumePath.empty()) {
+            journal =
+                std::make_unique<sim::RunJournal>(options.resumePath);
+            journaled_before = journal->entries();
+        }
+        sim::RunJournal::setActive(journal.get());
+
+        int rc = ExitRunFailure;
         switch (options.mode) {
           case Mode::List:
-            return listExperiments();
-          case Mode::Run:
-            return runExperiments(options);
-          case Mode::Check:
-            return checkBaselines(options);
-          case Mode::WriteBaseline:
-            return writeBaselines(options);
-          case Mode::Validate:
-            return validateExperiments(options);
-          case Mode::None:
+            rc = listExperiments();
             break;
+          case Mode::Run:
+            rc = runExperiments(options);
+            break;
+          case Mode::Check:
+            rc = checkBaselines(options);
+            break;
+          case Mode::WriteBaseline:
+            rc = writeBaselines(options);
+            break;
+          case Mode::Validate:
+            rc = validateExperiments(options);
+            break;
+          case Mode::None:
+            sim::RunJournal::setActive(nullptr);
+            usageError("no mode given");
         }
+        sim::RunJournal::setActive(nullptr);
+        if (journal) {
+            // To stderr: --format json/csv callers parse stdout.
+            std::cerr << "resume: " << journaled_before
+                      << " run(s) served from " << journal->path()
+                      << ", "
+                      << (journal->entries() - journaled_before)
+                      << " appended\n";
+        }
+        return rc;
+    } catch (const ConfigError &error) {
+        std::cerr << "cpe_eval: " << error.kind()
+                  << " error: " << error.what() << "\n";
+        sim::RunJournal::setActive(nullptr);
+        return ExitConfigError;
     } catch (const SimError &error) {
         std::cerr << "cpe_eval: " << error.kind() << " error: "
                   << error.what() << "\n";
-        return 1;
+        sim::RunJournal::setActive(nullptr);
+        return ExitRunFailure;
     }
-    usageError("no mode given");
 }
 
 } // namespace cpe::exp

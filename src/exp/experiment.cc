@@ -61,6 +61,8 @@ struct ReplaySavings
     std::uint64_t replays = 0;   ///< in-memory + disk-loaded
     std::uint64_t diskLoads = 0;
     std::uint64_t instsSkipped = 0;
+    std::uint64_t spillFailures = 0;
+    bool degraded = false;  ///< spill circuit breaker open
 
     Json toJson() const
     {
@@ -69,6 +71,8 @@ struct ReplaySavings
         out["replays"] = replays;
         out["disk_loads"] = diskLoads;
         out["insts_skipped"] = instsSkipped;
+        out["spill_failures"] = spillFailures;
+        out["degraded"] = Json(degraded);
         return out;
     }
 };
@@ -82,7 +86,11 @@ printReplaySummary(std::ostream &out, const std::string &experiment_id,
         << " replay(s)";
     if (saved.diskLoads)
         out << " (" << saved.diskLoads << " from disk)";
-    out << ", " << saved.instsSkipped << " functional insts skipped\n\n";
+    out << ", " << saved.instsSkipped << " functional insts skipped";
+    if (saved.degraded)
+        out << " [degraded: spill disabled after " << saved.spillFailures
+            << " failure(s)]";
+    out << "\n\n";
 }
 
 ReplaySavings
@@ -94,6 +102,8 @@ savingsSince(const sim::TraceCache::Stats &before)
     delta.diskLoads = now.diskLoads - before.diskLoads;
     delta.replays = (now.replays - before.replays) + delta.diskLoads;
     delta.instsSkipped = now.instsSkipped - before.instsSkipped;
+    delta.spillFailures = now.spillFailures - before.spillFailures;
+    delta.degraded = traceCache->degraded();
     return delta;
 }
 
@@ -102,6 +112,14 @@ savingsSince(const sim::TraceCache::Stats &before)
 void
 setFaultInjection(std::vector<std::pair<std::string, std::string>> plan)
 {
+    // Reject unknown kinds here, at installation time, with a
+    // structured error — not deep in a sweep where a typo would
+    // silently inject nothing.
+    for (const auto &[workload, kind] : plan)
+        if (kind != "config" && kind != "hang")
+            throw ConfigError("unknown fault-injection kind '" + kind +
+                              "' for workload '" + workload +
+                              "' (valid kinds: config, hang)");
     faultPlan = std::move(plan);
 }
 

@@ -56,7 +56,9 @@ suiteConfigs(const std::vector<Variant> &variants,
  * associativity (a validate()-caught geometry error), kind "hang"
  * drops the no-commit watchdog to a handful of cycles (a guaranteed
  * ProgressError with a pipeline snapshot).  Pass an empty vector to
- * clear.  A testing hook, not an evaluation feature.
+ * clear.  Unknown kinds are rejected here, at installation time, with
+ * a ConfigError naming the valid ones.  A testing hook, not an
+ * evaluation feature.
  */
 void setFaultInjection(
     std::vector<std::pair<std::string, std::string>> plan);

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "util/error.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace cpe::obs {
@@ -56,6 +57,8 @@ void
 FileTraceSink::write(const char *data, std::size_t size)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (CPE_FAULT_POINT("trace_sink.write"))
+        throw IoError("chaos: injected fault at trace_sink.write");
     out_.write(data, static_cast<std::streamsize>(size));
     if (!out_)
         throw IoError(Msg() << "failed writing trace file '" << path_

@@ -17,6 +17,7 @@
 #include "mem/hierarchy.hh"
 #include "obs/tracer.hh"
 #include "sim/sample_scheduler.hh"
+#include "util/fault.hh"
 #include "workload/registry.hh"
 
 namespace cpe::sim {
@@ -121,6 +122,16 @@ struct SimConfig
 
     /** Default for traceCacheMb (TraceCache's own built-in bound). */
     static constexpr std::size_t TraceCacheDefaultResidentMb = 512;
+
+    /**
+     * Fault-injection schedule (machine-file section [chaos]; cpe_eval
+     * --chaos).  Off by default (rate 0).  The schedule itself is
+     * process-wide — simulate() never arms it — so a config carrying
+     * one stays a pure description; the CLI boundary that loaded it
+     * (cpe_eval, technique_explorer) arms the FaultInjector before
+     * running.  See docs/robustness.md.
+     */
+    util::ChaosSpec chaos;
 
     /** The machine model used throughout the evaluation. */
     static SimConfig defaults();

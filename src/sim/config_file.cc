@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -387,6 +388,28 @@ keyTable()
                       return true;
                   }},
              }},
+            {"chaos",
+             {
+                 {"seed", num<std::uint64_t>(FIELD(
+                              std::uint64_t, c.chaos.seed))},
+                 {"rate",
+                  [](Ctx &ctx, const std::string &value) {
+                      double parsed;
+                      if (!parseF64(value, parsed))
+                          return ctx.fail("expected a number, got '" +
+                                          value + "'");
+                      if (parsed < 0.0 || parsed > 1.0)
+                          return ctx.fail("chaos rate " + value +
+                                          " is outside [0, 1]");
+                      ctx.config.chaos.rate = parsed;
+                      return true;
+                  }},
+                 {"point",
+                  [](Ctx &ctx, const std::string &value) {
+                      ctx.config.chaos.points = value;
+                      return true;
+                  }},
+             }},
         };
     return table;
 }
@@ -567,6 +590,20 @@ toMachineFile(const SimConfig &config)
     out << "period_insts = " << config.sample.periodInsts << "\n";
     out << "intervals = " << config.sample.intervals << "\n";
     out << "confidence = " << config.sample.confidence << "\n";
+
+    // Emitted only when armed: the disarmed default stays absent, so
+    // pre-chaos machine files (and every resume-journal key derived
+    // from this text) are byte-identical to before the section
+    // existed.
+    if (config.chaos.enabled()) {
+        out << "\n[chaos]\n";
+        out << "seed = " << config.chaos.seed << "\n";
+        char rate[64];
+        auto end = std::to_chars(rate, rate + sizeof(rate),
+                                 config.chaos.rate);
+        out << "rate = " << std::string(rate, end.ptr) << "\n";
+        out << "point = " << config.chaos.points << "\n";
+    }
     return out.str();
 }
 

@@ -168,6 +168,8 @@ PhaseEngine::onBoundary(Cycle now)
         exitMeasure(now);
     else if (!measuring_ && next.kind == PhaseKind::DetailedMeasure)
         enterMeasure(now);
+    if (next.kind == PhaseKind::DetailedWarmup)
+        core_.setPhaseLabel("warmup");
     armBoundary();
     return true;
 }
@@ -190,6 +192,7 @@ PhaseEngine::enterMeasure(Cycle now)
     if (sampler_ && sampler_->phaseMode())
         sampler_->rebase(now);
     measuring_ = true;
+    core_.setPhaseLabel("measure");
 }
 
 void
@@ -408,6 +411,8 @@ PhaseEngine::run()
         }
         if (phase.kind == PhaseKind::DetailedMeasure && !measuring_)
             enterMeasure(core_.cycles());
+        else if (phase.kind == PhaseKind::DetailedWarmup)
+            core_.setPhaseLabel("warmup");
         armBoundary();
         cpu::StopReason stop = core_.runDetailed();
         if (stop != cpu::StopReason::Boundary)

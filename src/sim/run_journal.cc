@@ -1,0 +1,273 @@
+#include "sim/run_journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "sim/config_file.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace cpe::sim {
+
+namespace {
+
+std::atomic<RunJournal *> activeJournal{nullptr};
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::string
+hex64(std::uint64_t value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::uint64_t
+asU64(const Json &doc, const char *key)
+{
+    const Json *member = doc.find(key);
+    return member && member->isNumber()
+               ? static_cast<std::uint64_t>(member->asNumber())
+               : 0;
+}
+
+double
+asF64(const Json &doc, const char *key)
+{
+    const Json *member = doc.find(key);
+    return member && member->isNumber() ? member->asNumber() : 0.0;
+}
+
+std::string
+asStr(const Json &doc, const char *key)
+{
+    const Json *member = doc.find(key);
+    return member && member->isString() ? member->asString()
+                                        : std::string();
+}
+
+} // namespace
+
+Json
+resultToJson(const SimResult &result)
+{
+    Json doc = Json::object();
+    doc["workload"] = result.workload;
+    doc["config"] = result.configTag;
+    doc["cycles"] = Json(static_cast<std::uint64_t>(result.cycles));
+    doc["insts"] = Json(result.insts);
+    doc["ipc"] = result.ipc;
+    doc["port_utilization"] = result.portUtilization;
+    doc["l1d_miss_rate"] = result.l1dMissRate;
+    doc["line_buffer_hit_rate"] = result.lineBufferHitRate;
+    doc["sb_stores_per_drain"] = result.sbStoresPerDrain;
+    doc["load_port_fraction"] = result.loadPortFraction;
+    doc["cond_accuracy"] = result.condAccuracy;
+    doc["store_commit_stalls"] = Json(result.storeCommitStalls);
+    doc["mode_switches"] = Json(result.modeSwitches);
+    doc["stats_dump"] = result.statsDump;
+    doc["stats_json"] = result.statsJson;
+    doc["timeseries_json"] = result.timeseriesJson;
+    doc["profile_json"] = result.profileJson;
+    doc["sampled"] = Json(result.sampled);
+    doc["measured_intervals"] = Json(result.measuredIntervals);
+    doc["ipc_ci_low"] = result.ipcCiLow;
+    doc["ipc_ci_high"] = result.ipcCiHigh;
+    doc["ipc_ci_half"] = result.ipcCiHalf;
+    doc["ipc_rel_err_pct"] = result.ipcRelErrPct;
+    doc["ff_insts"] = Json(result.ffInsts);
+    doc["sample_json"] = result.sampleJson;
+    return doc;
+}
+
+SimResult
+resultFromJson(const Json &doc)
+{
+    SimResult result;
+    result.workload = asStr(doc, "workload");
+    result.configTag = asStr(doc, "config");
+    result.cycles = asU64(doc, "cycles");
+    result.insts = asU64(doc, "insts");
+    result.ipc = asF64(doc, "ipc");
+    result.portUtilization = asF64(doc, "port_utilization");
+    result.l1dMissRate = asF64(doc, "l1d_miss_rate");
+    result.lineBufferHitRate = asF64(doc, "line_buffer_hit_rate");
+    result.sbStoresPerDrain = asF64(doc, "sb_stores_per_drain");
+    result.loadPortFraction = asF64(doc, "load_port_fraction");
+    result.condAccuracy = asF64(doc, "cond_accuracy");
+    result.storeCommitStalls = asU64(doc, "store_commit_stalls");
+    result.modeSwitches = asU64(doc, "mode_switches");
+    result.statsDump = asStr(doc, "stats_dump");
+    result.statsJson = asStr(doc, "stats_json");
+    result.timeseriesJson = asStr(doc, "timeseries_json");
+    result.profileJson = asStr(doc, "profile_json");
+    if (const Json *sampled = doc.find("sampled"))
+        result.sampled = sampled->isBool() && sampled->asBool();
+    result.measuredIntervals = asU64(doc, "measured_intervals");
+    result.ipcCiLow = asF64(doc, "ipc_ci_low");
+    result.ipcCiHigh = asF64(doc, "ipc_ci_high");
+    result.ipcCiHalf = asF64(doc, "ipc_ci_half");
+    result.ipcRelErrPct = asF64(doc, "ipc_rel_err_pct");
+    result.ffInsts = asU64(doc, "ff_insts");
+    result.sampleJson = asStr(doc, "sample_json");
+    return result;
+}
+
+RunJournal::RunJournal(const std::string &path) : path_(path)
+{
+    load();
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0)
+        throw IoError("cannot open resume journal '" + path +
+                      "': " + std::strerror(errno));
+    // Terminate any torn trailing record a crash mid-append left, so
+    // the next record starts on a fresh line instead of concatenating
+    // onto the tear (which would lose that record too).
+    off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size > 0) {
+        char last = '\n';
+        if (::pread(fd_, &last, 1, size - 1) == 1 && last != '\n') {
+            if (::write(fd_, "\n", 1) != 1)
+                warn(Msg() << "resume journal " << path
+                           << ": could not terminate torn record");
+        }
+    }
+}
+
+RunJournal::~RunJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+RunJournal::load()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // no journal yet: a fresh sweep
+    std::string line;
+    std::size_t lineno = 0, torn = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        Json doc;
+        std::string error;
+        if (!Json::tryParse(line, doc, error) || !doc.isObject()) {
+            // A torn trailing line is the expected signature of a
+            // crash mid-append; anything else is still skipped (one
+            // lost line costs one re-execution, nothing more).
+            ++torn;
+            warn(Msg() << "resume journal " << path_ << ":" << lineno
+                       << ": skipping unreadable record (" << error
+                       << ")");
+            continue;
+        }
+        std::string key = asStr(doc, "k");
+        const Json *result = doc.find("result");
+        if (key.empty() || !result || !result->isObject()) {
+            warn(Msg() << "resume journal " << path_ << ":" << lineno
+                       << ": skipping incomplete record");
+            continue;
+        }
+        entries_[key] = resultFromJson(*result);
+    }
+    if (!entries_.empty() || torn)
+        inform(Msg() << "resume journal " << path_ << ": "
+                     << entries_.size() << " completed run(s) loaded"
+                     << (torn ? ", torn/unreadable lines skipped"
+                              : ""));
+}
+
+std::string
+RunJournal::keyFor(const SimConfig &config)
+{
+    return hex64(fnv1a64(toMachineFile(config)));
+}
+
+bool
+RunJournal::lookup(const std::string &key, SimResult &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+RunJournal::record(const std::string &key, const SimResult &result)
+{
+    Json doc = Json::object();
+    doc["t"] = "run";
+    doc["k"] = key;
+    doc["workload"] = result.workload;
+    doc["config"] = result.configTag;
+    doc["result"] = resultToJson(result);
+    std::string line = doc.dump();
+    line.push_back('\n');
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (CPE_FAULT_POINT("journal.append"))
+        throw IoError("chaos: injected fault at journal.append");
+    // One write(2) per record keeps a record's bytes contiguous even
+    // with future multi-process appenders (O_APPEND atomicity).
+    const char *data = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+        ssize_t wrote = ::write(fd_, data, left);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            throw IoError("resume journal append failed on '" + path_ +
+                          "': " + std::strerror(errno));
+        }
+        data += wrote;
+        left -= static_cast<std::size_t>(wrote);
+    }
+    if (::fsync(fd_) != 0)
+        throw IoError("resume journal fsync failed on '" + path_ +
+                      "': " + std::strerror(errno));
+    entries_[key] = result;
+}
+
+std::size_t
+RunJournal::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+RunJournal::setActive(RunJournal *journal)
+{
+    activeJournal.store(journal, std::memory_order_release);
+}
+
+RunJournal *
+RunJournal::active()
+{
+    return activeJournal.load(std::memory_order_acquire);
+}
+
+} // namespace cpe::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Crash-safe sweep resume journal (see docs/robustness.md "Resume
+ * journal").
+ *
+ * A journal is an append-only JSONL file: one line per *successfully
+ * completed* run, written with write(2) + fsync(2) so a line is either
+ * durably on disk or absent — a crash mid-append leaves at most one
+ * torn trailing line, which the loader tolerates and discards.  Each
+ * line carries the run's key (an FNV-1a hash of the config's
+ * machine-file serialization — the same "identity is the config text"
+ * idea the trace cache uses), the workload/config identity for humans,
+ * and the full SimResult, so a resumed sweep reconstructs a grid
+ * byte-identical to an uninterrupted one without re-executing the
+ * completed runs.
+ *
+ * Failed runs are never journaled: a failure may be transient, and
+ * re-attempting it on resume is exactly what the operator wants.
+ * Journal append failures are downgraded to warnings — losing a
+ * journal line costs one re-execution on the next resume, never the
+ * result itself.
+ *
+ * The active journal is a process-wide hook consulted by
+ * SweepRunner's per-run executor, following the repo's hook idiom
+ * (install before a sweep starts, never during one).
+ */
+
+#ifndef CPE_SIM_RUN_JOURNAL_HH
+#define CPE_SIM_RUN_JOURNAL_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace cpe::sim {
+
+/** Full-fidelity SimResult <-> JSON round trip (journal payloads). */
+Json resultToJson(const SimResult &result);
+SimResult resultFromJson(const Json &doc);
+
+class RunJournal
+{
+  public:
+    /**
+     * Open (creating if absent) the journal at @p path and load every
+     * complete record already in it.  Throws IoError when the file
+     * cannot be opened or created.
+     */
+    explicit RunJournal(const std::string &path);
+    ~RunJournal();
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /** The resume key for @p config: FNV-1a hex of its machine-file
+     *  text (includes the workload, scale, seed, and every knob). */
+    static std::string keyFor(const SimConfig &config);
+
+    /** Fetch a completed run's result; false when not journaled. */
+    bool lookup(const std::string &key, SimResult &out) const;
+
+    /**
+     * Durably append one completed run (write + fsync).  Throws
+     * IoError when the append cannot be made durable; callers treat
+     * that as a warning, not a run failure.
+     */
+    void record(const std::string &key, const SimResult &result);
+
+    /** Completed records loaded or appended so far. */
+    std::size_t entries() const;
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Process-wide active journal consulted by SweepRunner (nullptr =
+     * resume disabled).  The journal must outlive every sweep run
+     * while installed.
+     */
+    static void setActive(RunJournal *journal);
+    static RunJournal *active();
+
+  private:
+    void load();
+
+    std::string path_;
+    int fd_ = -1;
+    mutable std::mutex mutex_;
+    std::map<std::string, SimResult> entries_;
+};
+
+} // namespace cpe::sim
+
+#endif // CPE_SIM_RUN_JOURNAL_HH

@@ -8,6 +8,8 @@
 #include "obs/profiler.hh"
 #include "sim/phase_engine.hh"
 #include "sim/trace_cache.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -33,6 +35,9 @@ Simulator::run()
         captured = config_.traceCache->acquire(config_);
         source = std::make_unique<func::ReplayTraceSource>(captured);
     } else {
+        if (CPE_FAULT_POINT("workload.capture"))
+            throw IoError(
+                "chaos: injected fault at workload.capture");
         const auto &registry = workload::WorkloadRegistry::instance();
         source = std::make_unique<func::Executor>(
             registry.build(config_.workloadName, config_.workload));

@@ -5,7 +5,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <future>
+#include <mutex>
+#include <thread>
 
+#include "sim/run_journal.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workload/registry.hh"
@@ -15,22 +19,41 @@ namespace cpe::sim {
 namespace {
 std::atomic<unsigned> defaultJobsOverride{0};
 
+std::mutex defaultPolicyMutex;
+util::RetryPolicy defaultPolicy;
+
 /**
- * Execute one config with fault capture and the transient-retry
- * policy.  Never throws: every failure lands in the outcome.
+ * Execute one config with fault capture and the runner's retry
+ * policy.  Never throws: every failure lands in the outcome.  When a
+ * resume journal is active, a journaled run returns its recorded
+ * result without executing, and a fresh success is durably appended.
  */
 RunOutcome
-runOne(const SimConfig &config)
+runOne(const SimConfig &config, const util::RetryPolicy &policy)
 {
     RunOutcome outcome;
     outcome.workload = config.workloadName;
     outcome.configTag = config.tag();
 
-    constexpr unsigned MaxAttempts = 2;
+    RunJournal *journal = RunJournal::active();
+    std::string journalKey;
+    if (journal) {
+        journalKey = RunJournal::keyFor(config);
+        if (journal->lookup(journalKey, outcome.result)) {
+            outcome.hasResult = true;
+            outcome.resumed = true;
+            return outcome;
+        }
+    }
+
+    const unsigned maxAttempts = std::max(policy.maxAttempts, 1u);
+    const std::string salt = outcome.workload + "|" + outcome.configTag;
     while (true) {
         ++outcome.attempts;
         auto start = std::chrono::steady_clock::now();
         try {
+            if (CPE_FAULT_POINT("sweep.run"))
+                throw IoError("chaos: injected fault at sweep.run");
             outcome.result = simulate(config);
             outcome.hasResult = true;
             outcome.errorKind.clear();
@@ -60,16 +83,35 @@ runOne(const SimConfig &config)
                 std::chrono::steady_clock::now() - start)
                 .count();
 
-        if (outcome.ok() || outcome.attempts >= MaxAttempts)
+        if (outcome.ok()) {
+            if (journal) {
+                // A lost journal line costs one re-execution on the
+                // next resume, never the result — warn, don't fail.
+                try {
+                    journal->record(journalKey, outcome.result);
+                } catch (const SimError &error) {
+                    warn(Msg()
+                         << "sweep: could not journal "
+                         << outcome.workload << " / "
+                         << outcome.configTag << ": " << error.what());
+                }
+            }
             return outcome;
-        // Only io failures are plausibly transient; a simulation is a
-        // pure function of its config, so config/workload/progress
+        }
+        if (outcome.attempts >= maxAttempts)
+            return outcome;
+        // Only transient kinds are worth another try; a simulation is
+        // a pure function of its config, so config/workload/progress
         // failures would reproduce exactly.
-        if (outcome.errorKind != "io" && outcome.errorKind != "exception")
+        if (!policy.retryable(outcome.errorKind))
             return outcome;
         warn(Msg() << "sweep: retrying " << outcome.workload << " / "
                    << outcome.configTag << " after " << outcome.errorKind
                    << " failure: " << outcome.errorMessage);
+        unsigned delay = policy.delayMs(outcome.attempts + 1, salt);
+        if (delay)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
     }
 }
 
@@ -115,8 +157,22 @@ SweepRunner::setDefaultJobs(unsigned jobs)
     defaultJobsOverride.store(jobs, std::memory_order_relaxed);
 }
 
+util::RetryPolicy
+SweepRunner::defaultRetryPolicy()
+{
+    std::lock_guard<std::mutex> lock(defaultPolicyMutex);
+    return defaultPolicy;
+}
+
+void
+SweepRunner::setDefaultRetryPolicy(const util::RetryPolicy &policy)
+{
+    std::lock_guard<std::mutex> lock(defaultPolicyMutex);
+    defaultPolicy = policy;
+}
+
 SweepRunner::SweepRunner(unsigned jobs)
-    : jobs_(jobs ? jobs : defaultJobs())
+    : jobs_(jobs ? jobs : defaultJobs()), policy_(defaultRetryPolicy())
 {
 }
 
@@ -126,7 +182,7 @@ SweepRunner::runOutcomes(const std::vector<SimConfig> &configs) const
     std::vector<RunOutcome> outcomes(configs.size());
     if (jobs_ <= 1 || configs.size() <= 1) {
         for (std::size_t i = 0; i < configs.size(); ++i)
-            outcomes[i] = runOne(configs[i]);
+            outcomes[i] = runOne(configs[i], policy_);
         return outcomes;
     }
 
@@ -140,8 +196,8 @@ SweepRunner::runOutcomes(const std::vector<SimConfig> &configs) const
     std::vector<std::future<RunOutcome>> futures;
     futures.reserve(configs.size());
     for (const auto &config : configs)
-        futures.push_back(pool.submit([&config]() {
-            return runOne(config);
+        futures.push_back(pool.submit([&config, this]() {
+            return runOne(config, policy_);
         }));
 
     // Collect in submission order; runOne never throws, so every

@@ -16,9 +16,17 @@
  * Fault-isolation contract: one bad point must never cost the whole
  * grid.  runOutcomes() captures each run's failure — a thrown SimError
  * or any other exception — into its RunOutcome instead of letting it
- * escape, retries transient (IoError) failures once, and always
- * completes every run.  run() keeps the original throwing contract for
- * callers that want all-or-nothing, built on the same machinery.
+ * escape, retries transient failures per its util::RetryPolicy
+ * (IoError and unknown exceptions; two attempts and no backoff by
+ * default), and always completes every run.  run() keeps the original
+ * throwing contract for callers that want all-or-nothing, built on the
+ * same machinery.
+ *
+ * Resume contract: when a RunJournal is installed
+ * (RunJournal::setActive), runs whose config key is already journaled
+ * return their recorded result without executing (resumed = true,
+ * attempts = 0), and every freshly completed run is durably appended —
+ * see run_journal.hh.
  */
 
 #ifndef CPE_SIM_SWEEP_RUNNER_HH
@@ -31,6 +39,7 @@
 #include "sim/simulator.hh"
 #include "util/error.hh"
 #include "util/json.hh"
+#include "util/retry.hh"
 
 namespace cpe::sim {
 
@@ -58,8 +67,9 @@ struct RunOutcome
     std::exception_ptr exception;
 
     /** Execution metadata. */
-    unsigned attempts = 0;     ///< 1 normally, 2 after a retry
+    unsigned attempts = 0;     ///< simulate() calls made (0 if resumed)
     double wallMs = 0.0;       ///< wall-clock time of the final attempt
+    bool resumed = false;      ///< served from the resume journal
 
     bool ok() const { return hasResult; }
 
@@ -94,13 +104,20 @@ class SweepRunner
     /**
      * Fault-isolating variant: run every config and return one
      * RunOutcome per config in input order, never throwing for a
-     * per-run failure.  Runs that fail with IoError (transient by
-     * contract) are retried once; deterministic failures (ConfigError,
-     * WorkloadError, ProgressError) are not, since a pure function of
-     * the config will fail identically again.
+     * per-run failure.  Runs that fail with a transient kind (IoError,
+     * unknown exceptions) are retried per retryPolicy(); deterministic
+     * failures (ConfigError, WorkloadError, ProgressError) are not,
+     * since a pure function of the config will fail identically again.
      */
     std::vector<RunOutcome>
     runOutcomes(const std::vector<SimConfig> &configs) const;
+
+    /** The retry policy this runner applies to transient failures. */
+    const util::RetryPolicy &retryPolicy() const { return policy_; }
+    void setRetryPolicy(const util::RetryPolicy &policy)
+    {
+        policy_ = policy;
+    }
 
     /** Convenience: run() then fold the results into a ResultGrid. */
     ResultGrid runGrid(const std::vector<SimConfig> &configs,
@@ -120,8 +137,18 @@ class SweepRunner
      */
     static void setDefaultJobs(unsigned jobs);
 
+    /**
+     * The retry policy new runners start from: the last
+     * setDefaultRetryPolicy() value, else the built-in defaults.
+     * Same hook idiom as setDefaultJobs — used by the driver's
+     * --retries / --retry-backoff-ms flags before a sweep starts.
+     */
+    static util::RetryPolicy defaultRetryPolicy();
+    static void setDefaultRetryPolicy(const util::RetryPolicy &policy);
+
   private:
     unsigned jobs_;
+    util::RetryPolicy policy_;
 };
 
 } // namespace cpe::sim

@@ -1,9 +1,12 @@
 #include "sim/trace_cache.hh"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <system_error>
@@ -11,12 +14,34 @@
 #include "func/executor.hh"
 #include "func/trace_file.hh"
 #include "util/error.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "workload/registry.hh"
 
 namespace cpe::sim {
 
 namespace {
+
+/**
+ * Flush @p path (a file or, with @p directory, the directory entry
+ * table) to stable storage; throws IoError so spill code treats an
+ * unsyncable entry exactly like an unwritable one.
+ */
+void
+fsyncPath(const std::string &path, bool directory)
+{
+    int fd = ::open(path.c_str(),
+                    directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+    if (fd < 0)
+        throw IoError("cannot open '" + path +
+                      "' for fsync: " + std::strerror(errno));
+    int rc = ::fsync(fd);
+    int saved = errno;
+    ::close(fd);
+    if (rc != 0)
+        throw IoError("fsync failed on '" + path +
+                      "': " + std::strerror(saved));
+}
 
 /** FNV-1a 64-bit, for stable spill file names. */
 std::uint64_t
@@ -48,6 +73,33 @@ TraceCache::TraceCache(std::string spill_dir,
     : spillDir_(std::move(spill_dir)),
       maxResidentBytes_(max_resident_bytes)
 {
+    sweepOrphanedTmpFiles();
+}
+
+void
+TraceCache::sweepOrphanedTmpFiles()
+{
+    if (spillDir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(spillDir_, ec);
+    if (ec)
+        return; // no spill dir yet: nothing to sweep
+    std::size_t swept = 0;
+    for (const auto &entry : it) {
+        const std::string name = entry.path().filename().string();
+        // Spill tmp names are "<entry>.cpet.tmp.<pid>"; a crash
+        // between write and rename leaves them behind, and they can
+        // never become live entries (the rename target is gone).
+        if (name.find(".cpet.tmp.") == std::string::npos)
+            continue;
+        std::filesystem::remove(entry.path(), ec);
+        if (!ec)
+            ++swept;
+    }
+    if (swept)
+        inform(Msg() << "trace cache: swept " << swept
+                     << " orphaned tmp file(s) from " << spillDir_);
 }
 
 std::string
@@ -145,21 +197,31 @@ TraceCache::TracePtr
 TraceCache::produce(const SimConfig &config, const std::string &cache_key)
 {
     const std::string path = spillPath(config);
-    if (!path.empty() && std::filesystem::exists(path)) {
+    if (!path.empty() && spillUsable() &&
+        std::filesystem::exists(path)) {
         try {
+            if (CPE_FAULT_POINT("trace_cache.spill_read"))
+                throw IoError(
+                    "chaos: injected fault at trace_cache.spill_read");
             auto trace = std::make_shared<const func::CapturedTrace>(
                 func::readTrace(path));
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.diskLoads;
-            stats_.instsSkipped += trace->size();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.diskLoads;
+                stats_.instsSkipped += trace->size();
+            }
+            noteSpillSuccess();
             return trace;
         } catch (const SimError &error) {
             warn(Msg() << "trace cache: spill entry " << path
                        << " unusable (" << error.what()
                        << "); falling back to live capture");
+            noteSpillFailure();
         }
     }
 
+    if (CPE_FAULT_POINT("trace_cache.capture"))
+        throw IoError("chaos: injected fault at trace_cache.capture");
     prog::Program program = workload::WorkloadRegistry::instance().build(
         config.workloadName, config.workload);
     func::Executor executor(std::move(program));
@@ -171,28 +233,81 @@ TraceCache::produce(const SimConfig &config, const std::string &cache_key)
         stats_.instsCaptured += trace->size();
     }
 
-    if (!path.empty()) {
+    if (!path.empty() && spillUsable()) {
         // Spilling is an optimization: a full disk or unwritable
-        // directory must never fail the run.  Write-then-rename so a
-        // concurrent process sharing the directory never reads a
-        // half-written entry.
+        // directory must never fail the run.  Write-fsync-rename-fsync
+        // so a crash at any instant leaves either a complete entry or
+        // none — never a half-written one — and a concurrent process
+        // sharing the directory never reads a partial file.
         const std::string tmp =
             path + ".tmp." + std::to_string(::getpid());
         try {
             std::filesystem::create_directories(spillDir_);
+            if (CPE_FAULT_POINT("trace_cache.spill_write"))
+                throw IoError(
+                    "chaos: injected fault at trace_cache.spill_write");
             func::ReplayTraceSource writer(*trace);
             func::writeTrace(writer, tmp);
+            fsyncPath(tmp, false);
             std::filesystem::rename(tmp, path);
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.diskWrites;
+            fsyncPath(spillDir_, true);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.diskWrites;
+            }
+            noteSpillSuccess();
         } catch (const std::exception &error) {
             warn(Msg() << "trace cache: could not spill " << cache_key
                        << " to " << path << ": " << error.what());
             std::error_code ec;
             std::filesystem::remove(tmp, ec);
+            noteSpillFailure();
         }
     }
     return trace;
+}
+
+bool
+TraceCache::spillUsable() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !degraded_;
+}
+
+void
+TraceCache::noteSpillSuccess()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    consecutiveSpillFailures_ = 0;
+}
+
+void
+TraceCache::noteSpillFailure()
+{
+    bool tripped = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.spillFailures;
+        if (!degraded_ &&
+            ++consecutiveSpillFailures_ >= SpillBreakerThreshold) {
+            degraded_ = true;
+            tripped = true;
+        }
+    }
+    // Exactly one warning at the trip; per-attempt warnings stop with
+    // the attempts themselves.
+    if (tripped)
+        warn(Msg() << "trace cache: circuit breaker open after "
+                   << SpillBreakerThreshold
+                   << " consecutive spill failures; continuing "
+                      "memory-only (spill dir " << spillDir_ << ")");
+}
+
+bool
+TraceCache::degraded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degraded_;
 }
 
 void

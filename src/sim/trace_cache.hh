@@ -23,6 +23,16 @@
  * cpe_eval invocations across CI runs skip functional execution
  * entirely.  A corrupt or stale spill entry falls back to live
  * capture with a warn(); spill I/O failures never fail a run.
+ * Spill writes are crash-safe: the tmp file (and the directory after
+ * the rename) are fsync'd, so a spill entry is either complete on
+ * disk or absent, and construction sweeps orphaned *.tmp.* files a
+ * crashed writer left behind.
+ *
+ * Circuit breaker (see docs/robustness.md): consecutive spill I/O
+ * failures trip the cache into a degraded memory-only mode — one
+ * warning, no further spill reads or writes — instead of paying and
+ * logging a doomed I/O attempt per run on a dead disk.  A spill
+ * success before the trip resets the count.
  */
 
 #ifndef CPE_SIM_TRACE_CACHE_HH
@@ -56,7 +66,12 @@ class TraceCache
         std::uint64_t instsCaptured = 0;
         /** Functional instructions replays did NOT re-execute. */
         std::uint64_t instsSkipped = 0;
+        /** Spill read/write attempts that failed (I/O or corrupt). */
+        std::uint64_t spillFailures = 0;
     };
+
+    /** Consecutive spill failures that trip the circuit breaker. */
+    static constexpr unsigned SpillBreakerThreshold = 3;
 
     /** The resident-set bound a default-constructed cache uses. */
     static constexpr std::size_t DefaultMaxResidentBytes =
@@ -101,6 +116,9 @@ class TraceCache
     /** Resident captures (excludes in-flight acquisitions). */
     std::size_t residentCount() const;
 
+    /** Has the spill circuit breaker tripped to memory-only mode? */
+    bool degraded() const;
+
     const std::string &spillDir() const { return spillDir_; }
 
   private:
@@ -121,6 +139,16 @@ class TraceCache
     /** Drop least-recently-used entries beyond the byte bound. */
     void evictLocked();
 
+    /** Remove *.tmp.* leftovers a crashed spill writer abandoned. */
+    void sweepOrphanedTmpFiles();
+
+    /** Circuit-breaker bookkeeping for one spill attempt's outcome. */
+    void noteSpillSuccess();
+    void noteSpillFailure();
+
+    /** Is spill I/O currently worth attempting? */
+    bool spillUsable() const;
+
     std::string spillDir_;
     std::size_t maxResidentBytes_;
 
@@ -129,6 +157,8 @@ class TraceCache
     std::size_t residentBytes_ = 0;
     std::uint64_t useClock_ = 0;
     Stats stats_;
+    unsigned consecutiveSpillFailures_ = 0;
+    bool degraded_ = false;
 };
 
 } // namespace cpe::sim

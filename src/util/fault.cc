@@ -1,0 +1,208 @@
+#include "util/fault.hh"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "util/error.hh"
+
+namespace cpe::util {
+
+namespace {
+
+// FNV-1a folds the point name into the decision stream so distinct
+// points armed under the same seed draw independent sequences.
+std::uint64_t
+fnv1a64(const char *text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char *p = text; *p; ++p) {
+        hash ^= static_cast<unsigned char>(*p);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+// splitmix64 finalizer: a cheap, well-mixed hash of the combined
+// (seed, point, counter) state.
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+double
+parseRate(const std::string &text)
+{
+    double value = 0.0;
+    auto result =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (result.ec != std::errc() ||
+        result.ptr != text.data() + text.size())
+        throw ConfigError("chaos rate '" + text + "' is not a number");
+    if (value < 0.0 || value > 1.0)
+        throw ConfigError("chaos rate " + text +
+                          " is outside [0, 1]");
+    return value;
+}
+
+std::uint64_t
+parseSeed(const std::string &text)
+{
+    std::uint64_t value = 0;
+    auto result =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (result.ec != std::errc() ||
+        result.ptr != text.data() + text.size())
+        throw ConfigError("chaos seed '" + text +
+                          "' is not an unsigned integer");
+    return value;
+}
+
+} // namespace
+
+ChaosSpec
+ChaosSpec::parse(const std::string &text)
+{
+    ChaosSpec spec;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        std::string item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            throw ConfigError("chaos item '" + item +
+                              "' is not key=value");
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        if (key == "seed")
+            spec.seed = parseSeed(value);
+        else if (key == "rate")
+            spec.rate = parseRate(value);
+        else if (key == "point")
+            spec.points = value;
+        else
+            throw ConfigError("unknown chaos key '" + key +
+                              "' (valid: seed, rate, point)");
+    }
+    return spec;
+}
+
+std::string
+ChaosSpec::toString() const
+{
+    std::string out = "seed=" + std::to_string(seed) + ",rate=";
+    // Shortest round-trip form, same as the JSON writer.
+    char buf[64];
+    auto result = std::to_chars(buf, buf + sizeof(buf), rate);
+    out.append(buf, result.ptr);
+    out += ",point=" + points;
+    return out;
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative match with single-star backtracking: enough for the
+    // dotted-path point names this guards.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(const ChaosSpec &spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spec_ = spec;
+    points_.clear();
+    armed_.store(spec.enabled(), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_.store(false, std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::shouldFire(const char *point)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PointStats &stats = points_[point];
+    std::uint64_t draw_index = stats.evaluated++;
+    if (!globMatch(spec_.points, point))
+        return false;
+    // Map the mixed 64-bit draw onto [0, 1) and compare with the rate.
+    std::uint64_t draw =
+        mix64(spec_.seed ^ fnv1a64(point) ^
+              (draw_index * 0x9e3779b97f4a7c15ull));
+    double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    bool fire = unit < spec_.rate;
+    if (fire)
+        ++stats.fired;
+    return fire;
+}
+
+ChaosSpec
+FaultInjector::spec() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spec_;
+}
+
+std::map<std::string, FaultInjector::PointStats>
+FaultInjector::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return points_;
+}
+
+Json
+FaultInjector::statsJson() const
+{
+    Json out = Json::object();
+    for (const auto &[name, stats] : this->stats()) {
+        Json entry = Json::object();
+        entry["evaluated"] = Json(stats.evaluated);
+        entry["fired"] = Json(stats.fired);
+        out[name] = std::move(entry);
+    }
+    return out;
+}
+
+} // namespace cpe::util

@@ -45,8 +45,10 @@ warn(const std::string &msg)
 void
 inform(const std::string &msg)
 {
+    // stderr, like warn(): stdout carries machine-readable output
+    // (--format json, tables) and status lines must not corrupt it.
     if (verbose())
-        std::cout << "info: " << msg << std::endl;
+        std::cerr << "info: " << msg << std::endl;
 }
 
 } // namespace cpe

@@ -1,0 +1,51 @@
+#include "util/retry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cpe::util {
+
+namespace {
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+unsigned
+RetryPolicy::delayMs(unsigned next_attempt, const std::string &salt) const
+{
+    if (backoffBaseMs == 0 || next_attempt < 2)
+        return 0;
+    double exponent = static_cast<double>(next_attempt - 2);
+    double delay = static_cast<double>(backoffBaseMs) *
+                   std::pow(std::max(backoffFactor, 1.0), exponent);
+    delay = std::min(delay, static_cast<double>(backoffMaxMs));
+    // Deterministic jitter in [0.5, 1.0): spreads workers without
+    // introducing nondeterminism.
+    std::uint64_t draw =
+        mix64(jitterSeed ^ fnv1a64(salt) ^
+              (static_cast<std::uint64_t>(next_attempt) *
+               0x9e3779b97f4a7c15ull));
+    double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    return static_cast<unsigned>(delay * (0.5 + unit / 2.0));
+}
+
+} // namespace cpe::util

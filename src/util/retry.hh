@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Configurable retry policy for transient failures (see
+ * docs/robustness.md "Retry policy").
+ *
+ * The sweep runner retries a failed run only when two things hold: the
+ * policy has attempts left, and the failure's error kind is classified
+ * transient.  Deterministic failures — ConfigError, WorkloadError,
+ * ProgressError — are never retried: a run is a pure function of its
+ * SimConfig, so a deterministic failure would simply repeat.  IoError
+ * ("io") and unknown exceptions ("exception") are retryable by
+ * default.
+ *
+ * Backoff between attempts is exponential with deterministic jitter:
+ * the delay before attempt k is
+ *
+ *     min(backoffMaxMs, backoffBaseMs * factor^(k-1)) * (0.5 + u/2)
+ *
+ * where u in [0, 1) is a hash of (jitterSeed, salt, k).  The salt is
+ * the run's identity (workload|config tag), so concurrent workers
+ * de-synchronize without any nondeterminism — the same sweep always
+ * sleeps the same schedule.  The default base of 0 disables sleeping
+ * entirely, preserving the historical retry-immediately behavior.
+ */
+
+#ifndef CPE_UTIL_RETRY_HH
+#define CPE_UTIL_RETRY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cpe::util {
+
+struct RetryPolicy
+{
+    /** Total tries per run, first attempt included (min 1). */
+    unsigned maxAttempts = 2;
+
+    /** Delay before the first retry; 0 disables backoff sleeps. */
+    unsigned backoffBaseMs = 0;
+
+    /** Growth per retry (attempt k waits base * factor^(k-1)). */
+    double backoffFactor = 2.0;
+
+    /** Upper bound on any single delay. */
+    unsigned backoffMaxMs = 10000;
+
+    /** Seed folded into the jitter hash. */
+    std::uint64_t jitterSeed = 0;
+
+    /** Is a failure of this error kind worth another attempt? */
+    bool retryable(const std::string &error_kind) const
+    {
+        return error_kind == "io" || error_kind == "exception";
+    }
+
+    /**
+     * The jittered delay in ms before retry attempt @p next_attempt
+     * (2 = the first retry).  @p salt identifies the run so parallel
+     * workers spread out; the result is a pure function of the policy,
+     * the salt, and the attempt number.
+     */
+    unsigned delayMs(unsigned next_attempt, const std::string &salt) const;
+};
+
+} // namespace cpe::util
+
+#endif // CPE_UTIL_RETRY_HH

@@ -8,6 +8,8 @@
  */
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -15,7 +17,9 @@
 
 #include "exp/driver.hh"
 #include "exp/experiment.hh"
+#include "exp/registry.hh"
 #include "sim/config.hh"
+#include "sim/run_journal.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep_runner.hh"
 #include "util/error.hh"
@@ -176,8 +180,31 @@ TEST(Watchdog, NoCommitLimitTripsWithSnapshot)
                                 "store_buffer", "mshrs", "fetch"})
             EXPECT_NE(snapshot.find(key), nullptr) << key;
         EXPECT_EQ(snapshot.at("committed_insts", "snap").asNumber(), 0);
+        // A plain run is in its measurement region from cycle 0.
+        EXPECT_EQ(snapshot.at("phase", "snap").asString(), "measure");
         EXPECT_NE(std::string(error.what()).find("pipeline snapshot"),
                   std::string::npos);
+    }
+}
+
+TEST(Watchdog, SampledMeasureLegCarriesPhaseInSnapshot)
+{
+    // A wedge inside a sampled run's DetailedMeasure leg: the sampled
+    // schedule fast-forwards, drops straight into measurement (no
+    // warm-up leg), and the watchdog trips there — the snapshot must
+    // say which phase died.
+    auto config = goodConfig();
+    config.sample.mode = sim::SampleParams::Mode::Periodic;
+    config.sample.warmupInsts = 0;
+    config.core.noCommitCycleLimit = 2;
+    try {
+        sim::simulate(config);
+        FAIL() << "expected ProgressError";
+    } catch (const ProgressError &error) {
+        const Json &snapshot = error.snapshot();
+        ASSERT_FALSE(snapshot.isNull());
+        ASSERT_NE(snapshot.find("phase"), nullptr);
+        EXPECT_EQ(snapshot.at("phase", "snap").asString(), "measure");
     }
 }
 
@@ -257,9 +284,10 @@ TEST(EvalValidate, CleanExperimentPasses)
 
 TEST(EvalValidate, InjectedConfigFaultFailsWithoutRunning)
 {
+    // --validate FAIL is a configuration error: exit code 2.
     EXPECT_EQ(evalWith({"--validate", "--run", "T3", "--workloads",
                         "crc", "--fault-inject", "crc:config"}),
-              1);
+              2);
 }
 
 TEST(EvalKeepGoing, InvalidRunBecomesStructuredFailure)
@@ -271,6 +299,97 @@ TEST(EvalKeepGoing, InvalidRunBecomesStructuredFailure)
                         "--keep-going", "--format", "json",
                         "--fault-inject", "crc:config"}),
               1);
+}
+
+TEST(EvalKeepGoing, HealthySiblingIsBitIdenticalToStandalone)
+{
+    // A hang-faulted run beside a healthy one, keep-going, serial
+    // workers: the failure must leave zero residue in the sibling —
+    // not a frozen stat, not a counter, not a byte.
+    VerboseScope quiet(false);
+    auto healthy = goodConfig();
+    auto hung = goodConfig();
+    hung.workloadName = "copy";
+    hung.core.noCommitCycleLimit = 2;
+
+    sim::SimResult standalone = sim::simulate(healthy);
+    auto outcomes =
+        sim::SweepRunner(1).runOutcomes({hung, healthy});
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_FALSE(outcomes[0].ok());
+    EXPECT_EQ(outcomes[0].errorKind, "progress");
+    EXPECT_NE(outcomes[0].errorJson().find("snapshot"), nullptr);
+    ASSERT_TRUE(outcomes[1].ok());
+    EXPECT_EQ(sim::resultToJson(outcomes[1].result).dump(),
+              sim::resultToJson(standalone).dump());
+}
+
+// The documented exit-code contract (kUsage, docs/robustness.md):
+// 0 success, 1 run failures, 2 config/usage errors, 3 baseline drift.
+
+TEST(EvalExitCodes, SuccessIsZero)
+{
+    EXPECT_EQ(evalWith({"--validate", "--run", "T3", "--workloads",
+                        "crc"}),
+              0);
+}
+
+TEST(EvalExitCodes, KeepGoingRunFailureIsOne)
+{
+    EXPECT_EQ(evalWith({"--run", "T3", "--workloads", "crc",
+                        "--keep-going", "--format", "json",
+                        "--fault-inject", "crc:hang"}),
+              1);
+}
+
+TEST(EvalExitCodes, UnknownFaultKindIsConfigErrorTwo)
+{
+    // Satellite contract: a typo'd --fault-inject KIND is rejected
+    // with a structured ConfigError naming the valid kinds, before
+    // anything runs.
+    EXPECT_EQ(evalWith({"--validate", "--run", "T3", "--workloads",
+                        "crc", "--fault-inject", "crc:bogus"}),
+              2);
+}
+
+TEST(EvalExitCodes, UnknownChaosKeyIsConfigErrorTwo)
+{
+    EXPECT_EQ(evalWith({"--validate", "--run", "T3", "--workloads",
+                        "crc", "--chaos", "sede=1"}),
+              2);
+}
+
+TEST(EvalExitCodes, BaselineDriftIsThree)
+{
+    // A doctored baseline whose geomeans can't possibly match: the
+    // gate must report drift with its own exit code, distinct from
+    // run failures and usage errors.
+    VerboseScope quiet(false);
+    auto dir = std::filesystem::temp_directory_path() /
+               "cpe_drift_baseline_test";
+    std::filesystem::create_directories(dir);
+    const exp::Experiment &t3 =
+        exp::ExperimentRegistry::instance().get("T3");
+    Json geomeans = Json::object();
+    Json ipc = Json::object();
+    for (const auto &variant : t3.variants())
+        geomeans[variant.label] = 999.0;
+    Json workloads = Json::array();
+    workloads.push("crc");
+    Json doc = Json::object();
+    doc["experiment"] = "T3";
+    doc["schema"] = 1;
+    doc["workloads"] = std::move(workloads);
+    doc["geomean_ipc"] = std::move(geomeans);
+    doc["ipc"] = std::move(ipc);
+    {
+        std::ofstream out(dir / "T3.json");
+        out << doc.dump(2) << "\n";
+    }
+    EXPECT_EQ(evalWith({"--check", "--run", "T3", "--baseline",
+                        dir.string()}),
+              3);
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The crash-safe resume journal: full-fidelity SimResult round trips,
+ * durable append + reload, torn-trailing-line tolerance, and the
+ * kill-and-resume contract — a sweep resumed from a journal holding K
+ * of N completed runs re-executes exactly N-K and stitches a grid
+ * byte-identical to an uninterrupted one.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/config_file.hh"
+#include "sim/report.hh"
+#include "sim/run_journal.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep_runner.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace cpe {
+namespace {
+
+/** A scratch journal path, removed on scope exit. */
+struct ScratchJournal
+{
+    std::filesystem::path path;
+
+    explicit ScratchJournal(const std::string &name)
+        : path(std::filesystem::temp_directory_path() / name)
+    {
+        std::filesystem::remove(path);
+    }
+    ~ScratchJournal()
+    {
+        sim::RunJournal::setActive(nullptr);
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+};
+
+sim::SimConfig
+journalConfig(const std::string &workload, bool dual = false)
+{
+    sim::SimConfig config = sim::SimConfig::defaults();
+    config.workloadName = workload;
+    config.core.dcache.tech =
+        dual ? core::PortTechConfig::dualPortBase()
+             : core::PortTechConfig::singlePortAllTechniques();
+    config.label = dual ? "dual" : "techniques";
+    return config;
+}
+
+TEST(ResumeJournal, ResultJsonRoundTripsByteExactly)
+{
+    sim::SimResult result = sim::simulate(journalConfig("crc"));
+    Json doc = sim::resultToJson(result);
+    sim::SimResult back = sim::resultFromJson(
+        Json::parse(doc.dump(), "round trip"));
+    // The serialization uses shortest-round-trip doubles, so one more
+    // trip through JSON must reproduce the exact same bytes.
+    EXPECT_EQ(sim::resultToJson(back).dump(), doc.dump());
+    EXPECT_EQ(back.workload, result.workload);
+    EXPECT_EQ(back.configTag, result.configTag);
+    EXPECT_EQ(back.cycles, result.cycles);
+    EXPECT_EQ(back.ipc, result.ipc);
+    EXPECT_EQ(back.statsJson, result.statsJson);
+    EXPECT_EQ(back.statsDump, result.statsDump);
+}
+
+TEST(ResumeJournal, KeyTracksEveryConfigKnob)
+{
+    sim::SimConfig config = journalConfig("crc");
+    std::string key = sim::RunJournal::keyFor(config);
+    EXPECT_EQ(key, sim::RunJournal::keyFor(config)) << "stable";
+
+    sim::SimConfig other = journalConfig("crc");
+    other.core.dcache.tech.storeBufferEntries += 1;
+    EXPECT_NE(sim::RunJournal::keyFor(other), key);
+
+    sim::SimConfig scaled = journalConfig("crc");
+    scaled.workload.scale = 2;
+    EXPECT_NE(sim::RunJournal::keyFor(scaled), key);
+
+    // A disarmed chaos spec must not leak into the key: pre-chaos
+    // journals keep resolving.
+    sim::SimConfig with_chaos = journalConfig("crc");
+    EXPECT_EQ(sim::RunJournal::keyFor(with_chaos), key);
+    EXPECT_EQ(sim::toMachineFile(with_chaos).find("[chaos]"),
+              std::string::npos);
+    with_chaos.chaos = util::ChaosSpec::parse("seed=1,rate=0.5");
+    EXPECT_NE(sim::RunJournal::keyFor(with_chaos), key);
+}
+
+TEST(ResumeJournal, RecordPersistsAcrossReopen)
+{
+    VerboseScope quiet(false);
+    ScratchJournal scratch("cpe_resume_persist.jsonl");
+    sim::SimConfig config = journalConfig("crc");
+    sim::SimResult result = sim::simulate(config);
+    std::string key = sim::RunJournal::keyFor(config);
+    {
+        sim::RunJournal journal(scratch.path.string());
+        EXPECT_EQ(journal.entries(), 0u);
+        journal.record(key, result);
+        EXPECT_EQ(journal.entries(), 1u);
+    }
+    sim::RunJournal reopened(scratch.path.string());
+    EXPECT_EQ(reopened.entries(), 1u);
+    sim::SimResult loaded;
+    ASSERT_TRUE(reopened.lookup(key, loaded));
+    EXPECT_EQ(sim::resultToJson(loaded).dump(),
+              sim::resultToJson(result).dump());
+    EXPECT_FALSE(reopened.lookup("no-such-key", loaded));
+}
+
+TEST(ResumeJournal, TornTrailingLineIsDiscarded)
+{
+    VerboseScope quiet(false);
+    ScratchJournal scratch("cpe_resume_torn.jsonl");
+    sim::SimConfig config = journalConfig("crc");
+    sim::SimResult result = sim::simulate(config);
+    std::string key = sim::RunJournal::keyFor(config);
+    {
+        sim::RunJournal journal(scratch.path.string());
+        journal.record(key, result);
+    }
+    // A crash mid-append leaves a partial line with no newline.
+    {
+        std::ofstream torn(scratch.path, std::ios::app);
+        torn << "{\"t\":\"run\",\"k\":\"feedface\",\"work";
+    }
+    sim::RunJournal journal(scratch.path.string());
+    EXPECT_EQ(journal.entries(), 1u);
+    sim::SimResult loaded;
+    EXPECT_TRUE(journal.lookup(key, loaded));
+    EXPECT_FALSE(journal.lookup("feedface", loaded));
+
+    // Appending after the torn line still yields a loadable journal:
+    // record() starts every record on a fresh line.
+    sim::SimConfig other = journalConfig("copy");
+    journal.record(sim::RunJournal::keyFor(other), sim::simulate(other));
+    sim::RunJournal reopened(scratch.path.string());
+    EXPECT_EQ(reopened.entries(), 2u);
+}
+
+TEST(ResumeJournal, KillAndResumeStitchesByteIdenticalGrid)
+{
+    VerboseScope quiet(false);
+    // Golden: the uninterrupted 2x2 grid, no journal anywhere near it.
+    std::vector<sim::SimConfig> configs;
+    for (const char *workload : {"crc", "copy"})
+        for (bool dual : {false, true})
+            configs.push_back(journalConfig(workload, dual));
+    std::string golden =
+        sim::SweepRunner(1).runGrid(configs).toJson().dump(2);
+
+    // "Crash" after K=2 of N=4 runs: journal only the first two, then
+    // tear the file the way an interrupted append would.
+    ScratchJournal scratch("cpe_resume_kill.jsonl");
+    {
+        sim::RunJournal journal(scratch.path.string());
+        for (std::size_t i = 0; i < 2; ++i)
+            journal.record(sim::RunJournal::keyFor(configs[i]),
+                           sim::simulate(configs[i]));
+    }
+    {
+        std::ofstream torn(scratch.path, std::ios::app);
+        torn << "{\"t\":\"run\",\"k\":\"0123\"";
+    }
+
+    // Resume: the journaled pair must come back without re-execution,
+    // the other pair must run, and the stitched grid must match the
+    // golden byte for byte.
+    sim::RunJournal journal(scratch.path.string());
+    EXPECT_EQ(journal.entries(), 2u);
+    sim::RunJournal::setActive(&journal);
+    auto outcomes = sim::SweepRunner(1).runOutcomes(configs);
+    sim::RunJournal::setActive(nullptr);
+
+    ASSERT_EQ(outcomes.size(), 4u);
+    unsigned resumed = 0;
+    unsigned executed = 0;
+    sim::ResultGrid grid("IPC");
+    for (const auto &outcome : outcomes) {
+        ASSERT_TRUE(outcome.ok());
+        if (outcome.resumed) {
+            ++resumed;
+            EXPECT_EQ(outcome.attempts, 0u)
+                << "a resumed run never calls simulate()";
+        } else {
+            ++executed;
+        }
+        grid.add(outcome.result);
+    }
+    EXPECT_EQ(resumed, 2u);
+    EXPECT_EQ(executed, 2u) << "exactly N-K re-executions";
+    EXPECT_EQ(grid.toJson().dump(2), golden);
+
+    // The re-executed runs were journaled in turn: a second resume
+    // re-executes nothing.
+    EXPECT_EQ(journal.entries(), 4u);
+    unsigned executed_again = 0;
+    sim::RunJournal::setActive(&journal);
+    auto again = sim::SweepRunner(1).runOutcomes(configs);
+    sim::RunJournal::setActive(nullptr);
+    for (const auto &outcome : again)
+        executed_again += outcome.resumed ? 0 : 1;
+    EXPECT_EQ(executed_again, 0u);
+}
+
+TEST(ResumeJournal, AppendFailureWarnsButRunSucceeds)
+{
+    VerboseScope quiet(false);
+    ScratchJournal scratch("cpe_resume_appendfail.jsonl");
+    sim::RunJournal journal(scratch.path.string());
+    sim::RunJournal::setActive(&journal);
+    util::FaultInjector::instance().arm(
+        util::ChaosSpec::parse("seed=1,rate=1,point=journal.append"));
+    auto outcomes =
+        sim::SweepRunner(1).runOutcomes({journalConfig("crc")});
+    util::FaultInjector::instance().disarm();
+    sim::RunJournal::setActive(nullptr);
+
+    // Losing the journal line costs a future re-execution, never the
+    // run: the outcome is still a success, the journal still empty.
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].ok());
+    EXPECT_EQ(journal.entries(), 0u);
+    sim::RunJournal reopened(scratch.path.string());
+    EXPECT_EQ(reopened.entries(), 0u);
+}
+
+TEST(ResumeJournal, UnopenablePathIsStructuredIoError)
+{
+    EXPECT_THROW(sim::RunJournal("/no/such/dir/journal.jsonl"), IoError);
+}
+
+} // namespace
+} // namespace cpe
