@@ -1,0 +1,325 @@
+/**
+ * @file
+ * cpe_serve — the persistent evaluation service and its client.
+ *
+ *   cpe_serve --serve  --socket PATH --store DIR [--jobs N]
+ *       Listen for sweep requests until a client sends a shutdown
+ *       request (newline-delimited JSON protocol; docs/serving.md).
+ *
+ *   cpe_serve --client --socket PATH [--experiment ID]
+ *       [--machine FILE] [--workloads a,b,c] [--jobs N] [--retries N]
+ *       [--ping | --flush | --shutdown]
+ *       Submit one sweep (or a control request) and stream the
+ *       response records.
+ *
+ *   cpe_serve --smoke  --store DIR [--socket PATH]
+ *       Self-contained warm-store proof: start an in-process server,
+ *       run a reduced F5 grid twice, and require the second pass to be
+ *       served entirely from the result store (zero simulations).
+ *
+ * Exit codes: 0 success, 1 request/assertion failure, 2 usage error.
+ */
+
+#include <unistd.h>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+#include "serve/result_store.hh"
+#include "serve/server.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace cpe;
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: cpe_serve --serve  --socket PATH --store DIR"
+           " [--jobs N]\n"
+           "       cpe_serve --client --socket PATH [--experiment ID]\n"
+           "                 [--machine FILE] [--workloads a,b,c]"
+           " [--jobs N] [--retries N]\n"
+           "                 [--ping | --flush | --shutdown]\n"
+           "       cpe_serve --smoke  --store DIR [--socket PATH]\n";
+}
+
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read machine file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string
+member(const Json &doc, const char *key)
+{
+    const Json *value = doc.find(key);
+    return value && value->isString() ? value->asString() : std::string();
+}
+
+double
+number(const Json &doc, const char *key)
+{
+    const Json *value = doc.find(key);
+    return value && value->isNumber() ? value->asNumber() : 0.0;
+}
+
+/** Render one response record as a human-readable progress line. */
+void
+printRecord(const Json &record)
+{
+    std::string type = member(record, "t");
+    if (type == "accepted") {
+        std::cout << "[serve] accepted: " << number(record, "runs")
+                  << " run(s)\n";
+    } else if (type == "result") {
+        const Json *result = record.find("result");
+        std::cout << "[serve] run " << number(record, "run") << ": "
+                  << (result ? member(*result, "workload") : "?") << " / "
+                  << (result ? member(*result, "config") : "?")
+                  << ": ipc=" << (result ? number(*result, "ipc") : 0.0)
+                  << " (" << member(record, "source") << ")\n";
+    } else if (type == "error") {
+        std::cout << "[serve] error";
+        if (record.find("run"))
+            std::cout << " in run " << number(record, "run");
+        std::cout << ": " << member(record, "kind") << ": "
+                  << member(record, "message") << "\n";
+    }
+}
+
+int
+clientMain(const std::string &socket_path,
+           const serve::SweepRequest &request, const std::string &control)
+{
+    serve::Client client(socket_path);
+    if (control == "ping") {
+        bool ok = client.ping();
+        std::cout << "[serve] ping: " << (ok ? "pong" : "no pong") << "\n";
+        return ok ? 0 : 1;
+    }
+    if (control == "flush") {
+        bool ok = client.flush();
+        std::cout << "[serve] flush: " << (ok ? "ok" : "failed") << "\n";
+        return ok ? 0 : 1;
+    }
+    if (control == "shutdown") {
+        bool ok = client.shutdownServer();
+        std::cout << "[serve] shutdown: "
+                  << (ok ? "acknowledged" : "failed") << "\n";
+        return ok ? 0 : 1;
+    }
+
+    Json terminal = client.sweep(request, printRecord);
+    if (member(terminal, "t") != "done") {
+        std::cout << "[serve] request failed\n";
+        return 1;
+    }
+    const Json *tally = terminal.find("tally");
+    if (tally) {
+        std::cout << "[serve] done: " << number(*tally, "runs")
+                  << " run(s): " << number(*tally, "store_hits")
+                  << " store hit(s), " << number(*tally, "shared")
+                  << " shared, " << number(*tally, "simulated")
+                  << " simulated, " << number(*tally, "errors")
+                  << " error(s), " << number(*tally, "cancelled")
+                  << " cancelled\n";
+        if (number(*tally, "errors") > 0)
+            return 1;
+    }
+    return 0;
+}
+
+int
+smokeMain(std::string socket_path, const std::string &store_dir)
+{
+    if (socket_path.empty())
+        socket_path = "/tmp/cpe_serve_smoke_" +
+                      std::to_string(::getpid()) + ".sock";
+
+    serve::ResultStore store(store_dir);
+    serve::ServerOptions options;
+    options.socketPath = socket_path;
+    serve::Server server(options, &store);
+    server.start();
+
+    serve::SweepRequest request;
+    request.experiment = "F5";
+    request.workloads = {"crc"};
+
+    auto pass = [&](const char *label) -> serve::RequestTally {
+        serve::Client client(socket_path);
+        Json terminal = client.sweep(request);
+        if (member(terminal, "t") != "done")
+            fatal(Msg() << "serve_smoke: " << label
+                        << " pass did not complete: "
+                        << terminal.dump());
+        const Json &tally = terminal.at("tally", "done record");
+        serve::RequestTally out;
+        out.runs = static_cast<std::uint64_t>(number(tally, "runs"));
+        out.storeHits =
+            static_cast<std::uint64_t>(number(tally, "store_hits"));
+        out.simulated =
+            static_cast<std::uint64_t>(number(tally, "simulated"));
+        out.errors = static_cast<std::uint64_t>(number(tally, "errors"));
+        return out;
+    };
+
+    serve::RequestTally cold = pass("cold");
+    std::cout << "serve_smoke: cold pass: " << cold.runs << " run(s), "
+              << cold.simulated << " simulated, " << cold.storeHits
+              << " store hit(s)\n";
+    if (!cold.runs || cold.errors || cold.simulated != cold.runs) {
+        std::cout << "serve_smoke: FAIL — cold pass should simulate "
+                     "every run of an empty store\n";
+        server.stop();
+        return 1;
+    }
+
+    serve::RequestTally warm = pass("warm");
+    std::cout << "serve_smoke: warm pass: " << warm.runs << " run(s), "
+              << warm.simulated << " simulated, " << warm.storeHits
+              << " store hit(s)\n";
+
+    {
+        serve::Client client(socket_path);
+        if (!client.shutdownServer())
+            std::cout << "serve_smoke: warning: shutdown not "
+                         "acknowledged\n";
+    }
+    server.waitForShutdownRequest();
+    server.stop();
+
+    if (warm.errors || warm.simulated != 0 ||
+        warm.storeHits != warm.runs) {
+        std::cout << "serve_smoke: FAIL — warm pass re-simulated "
+                  << warm.simulated << " run(s)\n";
+        return 1;
+    }
+    std::cout << "serve_smoke: OK — second pass served entirely from "
+                 "the store (0 simulations)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mode, socket_path, store_dir, control;
+    serve::SweepRequest request;
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    auto value = [&](std::size_t &i, const std::string &flag,
+                     const std::string &inline_value,
+                     bool has_inline) -> std::string {
+        if (has_inline)
+            return inline_value;
+        if (i + 1 >= args.size())
+            fatal("flag " + flag + " needs a value (see --help)");
+        return args[++i];
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string arg = args[i], inline_value;
+        bool has_inline = false;
+        if (std::size_t eq = arg.find('=');
+            eq != std::string::npos && arg.rfind("--", 0) == 0) {
+            inline_value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_inline = true;
+        }
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--serve" || arg == "--client" ||
+                   arg == "--smoke") {
+            mode = arg.substr(2);
+        } else if (arg == "--ping" || arg == "--flush" ||
+                   arg == "--shutdown") {
+            control = arg.substr(2);
+        } else if (arg == "--socket") {
+            socket_path = value(i, arg, inline_value, has_inline);
+        } else if (arg == "--store") {
+            store_dir = value(i, arg, inline_value, has_inline);
+        } else if (arg == "--experiment") {
+            request.experiment = value(i, arg, inline_value, has_inline);
+        } else if (arg == "--machine") {
+            request.machineText =
+                readFile(value(i, arg, inline_value, has_inline));
+        } else if (arg == "--workloads") {
+            request.workloads =
+                splitList(value(i, arg, inline_value, has_inline));
+        } else if (arg == "--jobs") {
+            request.jobs = static_cast<unsigned>(std::stoul(
+                value(i, arg, inline_value, has_inline)));
+        } else if (arg == "--retries") {
+            request.retries = static_cast<unsigned>(std::stoul(
+                value(i, arg, inline_value, has_inline)));
+        } else {
+            usage(std::cerr);
+            cpe::fatal("unknown flag '" + args[i] + "'");
+        }
+    }
+
+    try {
+        if (mode == "serve") {
+            if (socket_path.empty() || store_dir.empty())
+                fatal("--serve needs --socket and --store");
+            serve::ResultStore store(store_dir);
+            serve::ServerOptions options;
+            options.socketPath = socket_path;
+            options.jobs = request.jobs;
+            serve::Server server(options, &store);
+            server.start();
+            server.waitForShutdownRequest();
+            server.stop();
+            serve::Server::Stats stats = server.stats();
+            std::cout << "[serve] served " << stats.requests
+                      << " request(s), " << stats.runs << " run(s): "
+                      << stats.storeHits << " store hit(s), "
+                      << stats.simulated << " simulated\n";
+            return 0;
+        }
+        if (mode == "client") {
+            if (socket_path.empty())
+                fatal("--client needs --socket");
+            return clientMain(socket_path, request, control);
+        }
+        if (mode == "smoke") {
+            if (store_dir.empty())
+                fatal("--smoke needs --store");
+            return smokeMain(socket_path, store_dir);
+        }
+    } catch (const SimError &error) {
+        std::cerr << "cpe_serve: " << error.kind() << ": "
+                  << error.what() << "\n";
+        return 1;
+    }
+
+    usage(std::cerr);
+    return 2;
+}

@@ -1,0 +1,156 @@
+#include "serve/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hh"
+
+namespace cpe::serve {
+
+namespace {
+
+/** Is @p record the terminal record of a sweep response stream? */
+bool
+isTerminal(const Json &record)
+{
+    const Json *type = record.find("t");
+    if (!type || !type->isString())
+        return false;
+    if (type->asString() == "done")
+        return true;
+    // An "error" record without a "run" member is request-level: the
+    // server rejected or aborted the whole request.
+    return type->asString() == "error" && !record.find("run");
+}
+
+} // namespace
+
+Client::Client(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path))
+        throw IoError("socket path '" + socket_path +
+                      "' is empty or too long for a Unix socket");
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw IoError(std::string("cannot create client socket: ") +
+                      std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw IoError("cannot connect to cpe_serve at '" + socket_path +
+                      "': " + std::strerror(saved));
+    }
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Client::sendText(std::string text)
+{
+    text.push_back('\n');
+    const char *data = text.data();
+    std::size_t left = text.size();
+    while (left > 0) {
+        ssize_t wrote = ::send(fd_, data, left, MSG_NOSIGNAL);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            throw IoError(std::string("request write failed: ") +
+                          std::strerror(errno));
+        }
+        data += wrote;
+        left -= static_cast<std::size_t>(wrote);
+    }
+}
+
+Json
+Client::readRecord()
+{
+    std::string line;
+    char buffer[4096];
+    while (!reader_.next(line)) {
+        ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            throw IoError(std::string("response read failed: ") +
+                          std::strerror(errno));
+        }
+        if (got == 0)
+            throw IoError("server closed the connection before a "
+                          "terminal record");
+        reader_.append(buffer, static_cast<std::size_t>(got));
+    }
+    return Json::parse(line, "cpe_serve response");
+}
+
+Json
+Client::sweep(const SweepRequest &request,
+              const RecordCallback &on_record)
+{
+    sendText(request.toJson().dump());
+    while (true) {
+        Json record = readRecord();
+        if (on_record)
+            on_record(record);
+        if (isTerminal(record))
+            return record;
+    }
+}
+
+bool
+Client::ping()
+{
+    Json doc = Json::object();
+    doc["t"] = "ping";
+    sendText(doc.dump());
+    Json reply = readRecord();
+    const Json *type = reply.find("t");
+    return type && type->isString() && type->asString() == "pong";
+}
+
+bool
+Client::flush()
+{
+    Json doc = Json::object();
+    doc["t"] = "flush";
+    sendText(doc.dump());
+    Json reply = readRecord();
+    const Json *type = reply.find("t");
+    return type && type->isString() && type->asString() == "flushed";
+}
+
+bool
+Client::shutdownServer()
+{
+    Json doc = Json::object();
+    doc["t"] = "shutdown";
+    sendText(doc.dump());
+    Json reply = readRecord();
+    const Json *type = reply.find("t");
+    return type && type->isString() && type->asString() == "bye";
+}
+
+Json
+Client::roundTripLine(const std::string &line)
+{
+    sendText(line);
+    return readRecord();
+}
+
+} // namespace cpe::serve

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The cpe_serve client: a thin blocking wrapper over the Unix-socket
+ * protocol, used by `cpe_serve --client`, the smoke lane, and the
+ * differential tests.
+ *
+ * One Client owns one connection.  sweep() writes a request line and
+ * then consumes response records until the terminal one — "done", or
+ * an "error" record with no "run" member (the request-level marker) —
+ * invoking the caller's callback for every record in arrival order.
+ * EOF before a terminal record is an IoError: the server went away
+ * mid-stream, and the caller must not mistake a truncated stream for
+ * a completed one.
+ */
+
+#ifndef CPE_SERVE_CLIENT_HH
+#define CPE_SERVE_CLIENT_HH
+
+#include <functional>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace cpe::serve {
+
+/** Blocking client for one connection to a cpe_serve server. */
+class Client
+{
+  public:
+    /** Connect to @p socket_path; throws IoError when nobody listens. */
+    explicit Client(const std::string &socket_path);
+
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    using RecordCallback = std::function<void(const Json &)>;
+
+    /**
+     * Run @p request and stream every response record through
+     * @p on_record (nullable).  @return the terminal record: "done"
+     * on success, or the request-level "error" record.  Throws
+     * IoError when the connection dies before a terminal record.
+     */
+    Json sweep(const SweepRequest &request,
+               const RecordCallback &on_record = nullptr);
+
+    /** Liveness probe; @return true on a "pong" response. */
+    bool ping();
+
+    /** Ask the server to clear its result store. */
+    bool flush();
+
+    /** Ask the server to shut down; @return true on "bye". */
+    bool shutdownServer();
+
+    /**
+     * Write @p line verbatim (no newline needed) and read one response
+     * record — the protocol-test primitive for sending junk a real
+     * request builder could never produce.
+     */
+    Json roundTripLine(const std::string &line);
+
+  private:
+    void sendText(std::string text);
+
+    /** Read records until @p until says stop; throws IoError on EOF. */
+    Json readRecord();
+
+    int fd_ = -1;
+    LineReader reader_;
+};
+
+} // namespace cpe::serve
+
+#endif // CPE_SERVE_CLIENT_HH

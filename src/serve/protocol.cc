@@ -1,0 +1,192 @@
+#include "serve/protocol.hh"
+
+#include "sim/run_journal.hh"
+#include "util/error.hh"
+
+namespace cpe::serve {
+
+namespace {
+
+std::string
+requireString(const Json &doc, const char *key)
+{
+    const Json *member = doc.find(key);
+    if (!member || member->isNull())
+        return std::string();
+    if (!member->isString())
+        throw ConfigError(std::string("request member '") + key +
+                          "' must be a string");
+    return member->asString();
+}
+
+unsigned
+requireCount(const Json &doc, const char *key, unsigned fallback)
+{
+    const Json *member = doc.find(key);
+    if (!member || member->isNull())
+        return fallback;
+    if (!member->isNumber() || member->asNumber() < 0 ||
+        member->asNumber() != static_cast<double>(
+                                  static_cast<unsigned>(member->asNumber())))
+        throw ConfigError(std::string("request member '") + key +
+                          "' must be a non-negative integer");
+    return static_cast<unsigned>(member->asNumber());
+}
+
+} // namespace
+
+Json
+SweepRequest::toJson() const
+{
+    Json doc = Json::object();
+    doc["t"] = "sweep";
+    if (!experiment.empty())
+        doc["experiment"] = experiment;
+    if (!machineText.empty())
+        doc["machine"] = machineText;
+    if (!workloads.empty()) {
+        Json list = Json::array();
+        for (const auto &name : workloads)
+            list.push(name);
+        doc["workloads"] = std::move(list);
+    }
+    if (jobs)
+        doc["jobs"] = jobs;
+    doc["retries"] = retries;
+    return doc;
+}
+
+SweepRequest
+SweepRequest::fromJson(const Json &doc)
+{
+    if (!doc.isObject())
+        throw ConfigError("request is not a JSON object");
+    SweepRequest request;
+    request.experiment = requireString(doc, "experiment");
+    request.machineText = requireString(doc, "machine");
+    if (const Json *list = doc.find("workloads")) {
+        if (!list->isArray())
+            throw ConfigError(
+                "request member 'workloads' must be an array of strings");
+        for (const auto &item : list->items()) {
+            if (!item.isString())
+                throw ConfigError("request member 'workloads' must be an "
+                                  "array of strings");
+            request.workloads.push_back(item.asString());
+        }
+    }
+    request.jobs = requireCount(doc, "jobs", 0);
+    request.retries = requireCount(doc, "retries", 1);
+    if (request.experiment.empty() && request.machineText.empty() &&
+        request.workloads.empty())
+        throw ConfigError("empty sweep request: give at least one of "
+                          "'experiment', 'machine', or 'workloads'");
+    return request;
+}
+
+Json
+RequestTally::toJson() const
+{
+    Json doc = Json::object();
+    doc["runs"] = runs;
+    doc["store_hits"] = storeHits;
+    doc["shared"] = shared;
+    doc["simulated"] = simulated;
+    doc["errors"] = errors;
+    doc["cancelled"] = cancelled;
+    return doc;
+}
+
+Json
+acceptedRecord(const SweepRequest &request, std::size_t runs)
+{
+    Json doc = Json::object();
+    doc["t"] = "accepted";
+    doc["protocol"] = kProtocolVersion;
+    if (!request.experiment.empty())
+        doc["experiment"] = request.experiment;
+    doc["runs"] = Json(static_cast<std::uint64_t>(runs));
+    return doc;
+}
+
+Json
+progressRecord(std::size_t run, std::size_t of,
+               const std::string &workload,
+               const std::string &config_tag)
+{
+    Json doc = Json::object();
+    doc["t"] = "progress";
+    doc["run"] = Json(static_cast<std::uint64_t>(run));
+    doc["of"] = Json(static_cast<std::uint64_t>(of));
+    doc["workload"] = workload;
+    doc["config"] = config_tag;
+    return doc;
+}
+
+Json
+resultRecord(std::size_t run, const sim::SimResult &result,
+             const std::string &source)
+{
+    Json doc = Json::object();
+    doc["t"] = "result";
+    doc["run"] = Json(static_cast<std::uint64_t>(run));
+    doc["source"] = source;
+    doc["result"] = sim::resultToJson(result);
+    return doc;
+}
+
+Json
+runErrorRecord(std::size_t run, const std::string &workload,
+               const std::string &config_tag, const std::string &kind,
+               const std::string &message)
+{
+    Json doc = Json::object();
+    doc["t"] = "error";
+    doc["run"] = Json(static_cast<std::uint64_t>(run));
+    doc["workload"] = workload;
+    doc["config"] = config_tag;
+    doc["kind"] = kind;
+    doc["message"] = message;
+    return doc;
+}
+
+Json
+requestErrorRecord(const std::string &kind, const std::string &message)
+{
+    // No "run" member: that absence is the request-level/terminal
+    // marker the protocol comment documents.
+    Json doc = Json::object();
+    doc["t"] = "error";
+    doc["kind"] = kind;
+    doc["message"] = message;
+    return doc;
+}
+
+Json
+doneRecord(const RequestTally &tally)
+{
+    Json doc = Json::object();
+    doc["t"] = "done";
+    doc["protocol"] = kProtocolVersion;
+    doc["tally"] = tally.toJson();
+    return doc;
+}
+
+void
+LineReader::append(const char *data, std::size_t len)
+{
+    buffer_.append(data, len);
+}
+
+bool
+LineReader::next(std::string &line)
+{
+    std::size_t pos = buffer_.find('\n');
+    if (pos == std::string::npos)
+        return false;
+    line = buffer_.substr(0, pos);
+    buffer_.erase(0, pos + 1);
+    return true;
+}
+
+} // namespace cpe::serve

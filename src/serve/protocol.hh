@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The cpe_serve wire protocol: newline-delimited JSON over a local
+ * Unix-domain stream socket.  One request object per line from the
+ * client; a stream of response records per line from the server.
+ *
+ * Requests (discriminated by "t"):
+ *   {"t":"sweep", "experiment":"F5", "machine":"...", "workloads":[..],
+ *    "jobs":N, "retries":N}     — run a grid (all members optional
+ *                                 except "t"; empty machine = defaults,
+ *                                 no experiment = one run per workload)
+ *   {"t":"ping"}                — liveness probe -> {"t":"pong"}
+ *   {"t":"flush"}               — clear the result store -> {"t":"flushed"}
+ *   {"t":"shutdown"}            — stop the server -> {"t":"bye"}
+ *
+ * Sweep responses, in order: one "accepted" record, then per run (in
+ * deterministic submission order, regardless of --jobs) a "progress"
+ * record followed by a "result" or "error" record, then one "done"
+ * record with the request tally.  A malformed or rejected request gets
+ * a single "error" record with no "run" member — the absence of "run"
+ * is the request-level/terminal marker clients key off.
+ *
+ * The "result" record embeds the byte-exact sim::resultToJson
+ * rendering, so a client can rebuild a ResultGrid whose JSON dump is
+ * identical to a direct cpe_eval run's (tests/test_serve_differential.cc
+ * proves this).  Record schemas are pinned by
+ * tests/golden/serve_protocol.jsonl.
+ */
+
+#ifndef CPE_SERVE_PROTOCOL_HH
+#define CPE_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "util/json.hh"
+
+namespace cpe::serve {
+
+/** Protocol revision, carried in every accepted/done record. */
+constexpr unsigned kProtocolVersion = 1;
+
+/** A parsed sweep request. */
+struct SweepRequest
+{
+    std::string experiment;   ///< registry id ("" = machine-only run)
+    std::string machineText;  ///< machine-file text ("" = defaults)
+    std::vector<std::string> workloads; ///< empty = experiment/suite
+    unsigned jobs = 0;        ///< worker cap (0 = server default)
+    unsigned retries = 1;     ///< extra attempts for transient failures
+
+    Json toJson() const;
+
+    /**
+     * Parse a request object; throws ConfigError (rendered as a
+     * structured request-level error record, never a crash) on a
+     * missing/invalid member.
+     */
+    static SweepRequest fromJson(const Json &doc);
+};
+
+/** Per-request accounting, rendered in the "done" record. */
+struct RequestTally
+{
+    std::uint64_t runs = 0;
+    std::uint64_t storeHits = 0;  ///< served from the result store
+    std::uint64_t shared = 0;     ///< joined another request's flight
+    std::uint64_t simulated = 0;  ///< actually executed
+    std::uint64_t errors = 0;
+    std::uint64_t cancelled = 0;
+
+    Json toJson() const;
+};
+
+/** Response-record builders (insertion order = wire byte order). */
+Json acceptedRecord(const SweepRequest &request, std::size_t runs);
+Json progressRecord(std::size_t run, std::size_t of,
+                    const std::string &workload,
+                    const std::string &config_tag);
+Json resultRecord(std::size_t run, const sim::SimResult &result,
+                  const std::string &source);
+Json runErrorRecord(std::size_t run, const std::string &workload,
+                    const std::string &config_tag,
+                    const std::string &kind,
+                    const std::string &message);
+Json requestErrorRecord(const std::string &kind,
+                        const std::string &message);
+Json doneRecord(const RequestTally &tally);
+
+/**
+ * Reassemble newline-delimited frames from arbitrary read() chunks.
+ * Partial (torn) trailing data is held until its newline arrives and
+ * simply discarded when the peer disconnects mid-frame — a torn frame
+ * is a dropped request, never a parse of half a line.
+ */
+class LineReader
+{
+  public:
+    /** Feed @p len bytes received from the socket. */
+    void append(const char *data, std::size_t len);
+
+    /** Pop the next complete line (without its '\n') into @p line. */
+    bool next(std::string &line);
+
+    /** Bytes of an incomplete trailing frame currently buffered. */
+    std::size_t pendingBytes() const { return buffer_.size(); }
+
+  private:
+    std::string buffer_;
+};
+
+} // namespace cpe::serve
+
+#endif // CPE_SERVE_PROTOCOL_HH

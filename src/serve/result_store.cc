@@ -1,0 +1,345 @@
+#include "serve/result_store.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "func/trace_file.hh"
+#include "sim/config_file.hh"
+#include "sim/run_journal.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace cpe::serve {
+
+namespace {
+
+/** FNV-1a 64-bit, matching the journal/trace-cache key hashing. */
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::string
+hex64(std::uint64_t value)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/**
+ * Flush @p path (or its directory entry table) to stable storage;
+ * throws IoError so insert treats an unsyncable entry exactly like an
+ * unwritable one.
+ */
+void
+fsyncPath(const std::string &path, bool directory)
+{
+    int fd = ::open(path.c_str(),
+                    directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+    if (fd < 0)
+        throw IoError("cannot open '" + path +
+                      "' for fsync: " + std::strerror(errno));
+    int rc = ::fsync(fd);
+    int saved = errno;
+    ::close(fd);
+    if (rc != 0)
+        throw IoError("fsync failed on '" + path +
+                      "': " + std::strerror(saved));
+}
+
+std::string
+memberString(const Json &doc, const char *key)
+{
+    const Json *member = doc.find(key);
+    return member && member->isString() ? member->asString()
+                                        : std::string();
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    // Sweep tmp leftovers a crashed writer abandoned: they can never
+    // become live entries (their rename never happened), and leaving
+    // them around would make the directory grow without bound.
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir_, ec);
+    if (ec)
+        return; // no store dir yet: created on first insert
+    std::size_t swept = 0;
+    for (const auto &entry : it) {
+        const std::string name = entry.path().filename().string();
+        if (name.find(".json.tmp.") == std::string::npos)
+            continue;
+        std::filesystem::remove(entry.path(), ec);
+        if (!ec)
+            ++swept;
+    }
+    if (swept)
+        inform(Msg() << "result store: swept " << swept
+                     << " orphaned tmp file(s) from " << dir_);
+}
+
+std::string
+ResultStore::version()
+{
+    std::ostringstream out;
+    out << "serve-1|cpet-" << func::traceFileVersion();
+    return out.str();
+}
+
+std::string
+ResultStore::keyFor(const std::string &machine_text,
+                    const std::string &experiment_id,
+                    const std::string &store_version)
+{
+    // Canonicalize first: two machine files that parse to the same
+    // config — reordered sections, comments, whitespace — must land
+    // on the same entry.  The '@' lines cannot collide with machine
+    // text ('@' is not valid machine-file syntax).
+    std::string canonical = sim::canonicalMachineFile(machine_text);
+    return hex64(fnv1a64(canonical + "\n@experiment=" + experiment_id +
+                         "\n@version=" + store_version));
+}
+
+std::string
+ResultStore::entryPath(const std::string &key) const
+{
+    return dir_ + "/" + key + ".json";
+}
+
+bool
+ResultStore::lookup(const std::string &key, sim::SimResult &out)
+{
+    const std::string path = entryPath(key);
+    std::string text;
+    try {
+        if (CPE_FAULT_POINT("serve.store_read"))
+            throw IoError("chaos: injected fault at serve.store_read");
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.misses;
+            return false;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    } catch (const SimError &error) {
+        // An unreadable entry costs one re-execution, nothing more;
+        // the next insert overwrites it with a fresh one.
+        warn(Msg() << "result store: treating " << path
+                   << " as a miss: " << error.what());
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.corrupt;
+        ++stats_.misses;
+        return false;
+    }
+
+    Json doc;
+    std::string parse_error;
+    std::string why;
+    if (!Json::tryParse(text, doc, parse_error) || !doc.isObject())
+        why = "unparseable entry (" + parse_error + ")";
+    else if (memberString(doc, "k") != key)
+        why = "key mismatch (torn or misnamed entry)";
+    else if (memberString(doc, "version") != version())
+        why = "version '" + memberString(doc, "version") +
+              "' does not match '" + version() + "'";
+    else if (const Json *result = doc.find("result");
+             !result || !result->isObject())
+        why = "entry has no result member";
+    else {
+        out = sim::resultFromJson(*result);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.hits;
+        return true;
+    }
+
+    warn(Msg() << "result store: treating " << path << " as a miss: "
+               << why);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.corrupt;
+    ++stats_.misses;
+    return false;
+}
+
+void
+ResultStore::insert(const std::string &key, const sim::SimResult &result)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        throw IoError("cannot create result store directory '" + dir_ +
+                      "': " + ec.message());
+
+    Json doc = Json::object();
+    doc["t"] = "entry";
+    doc["k"] = key;
+    doc["version"] = version();
+    doc["workload"] = result.workload;
+    doc["config"] = result.configTag;
+    doc["result"] = sim::resultToJson(result);
+    std::string line = doc.dump();
+    line.push_back('\n');
+
+    const std::string path = entryPath(key);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    try {
+        if (CPE_FAULT_POINT("serve.store_write"))
+            throw IoError("chaos: injected fault at serve.store_write");
+        {
+            std::ofstream outFile(tmp, std::ios::binary | std::ios::trunc);
+            if (!outFile || !(outFile << line) || !outFile.flush())
+                throw IoError("cannot write result store entry '" + tmp +
+                              "'");
+        }
+        fsyncPath(tmp, false);
+        std::filesystem::rename(tmp, path, ec);
+        if (ec)
+            throw IoError("cannot publish result store entry '" + path +
+                          "': " + ec.message());
+        fsyncPath(dir_, true);
+    } catch (...) {
+        std::filesystem::remove(tmp, ec);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.insertFailures;
+        }
+        throw;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.inserts;
+}
+
+sim::SimResult
+ResultStore::fetchOrCompute(const std::string &key,
+                            const std::function<sim::SimResult()> &compute,
+                            std::string *source)
+{
+    // Single-flight: the first caller of a key installs a promise and
+    // computes outside the lock; concurrent callers of the same key
+    // block on the shared future instead of re-simulating.
+    std::shared_future<sim::SimResult> flight;
+    bool leader = false;
+    std::promise<sim::SimResult> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = inFlight_.find(key);
+        if (it != inFlight_.end()) {
+            flight = it->second;
+            ++stats_.sharedWaits;
+        } else {
+            flight = promise.get_future().share();
+            inFlight_.emplace(key, flight);
+            leader = true;
+        }
+    }
+
+    if (!leader) {
+        if (source)
+            *source = "shared";
+        return flight.get(); // rethrows the leader's failure
+    }
+
+    sim::SimResult result;
+    try {
+        if (lookup(key, result)) {
+            if (source)
+                *source = "store";
+            promise.set_value(result);
+            std::lock_guard<std::mutex> lock(mutex_);
+            inFlight_.erase(key);
+            return result;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.computes;
+        }
+        result = compute();
+    } catch (...) {
+        // Failures propagate to every waiter of this flight and are
+        // never memoized: the next request retries from scratch.
+        promise.set_exception(std::current_exception());
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inFlight_.erase(key);
+        }
+        throw;
+    }
+
+    if (source)
+        *source = "sim";
+    try {
+        insert(key, result);
+    } catch (const SimError &error) {
+        // Losing durability for one entry costs a re-simulation on
+        // some future request; losing the result would cost this one.
+        warn(Msg() << "result store: could not store " << key << ": "
+                   << error.what());
+    }
+    promise.set_value(result);
+    std::lock_guard<std::mutex> lock(mutex_);
+    inFlight_.erase(key);
+    return result;
+}
+
+void
+ResultStore::clear()
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir_, ec);
+    if (ec)
+        return;
+    std::size_t removed = 0;
+    for (const auto &entry : it) {
+        if (entry.path().extension() != ".json")
+            continue;
+        std::filesystem::remove(entry.path(), ec);
+        if (!ec)
+            ++removed;
+    }
+    if (removed)
+        inform(Msg() << "result store: cleared " << removed
+                     << " entr(y/ies) from " << dir_);
+}
+
+std::size_t
+ResultStore::entries() const
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir_, ec);
+    if (ec)
+        return 0;
+    std::size_t count = 0;
+    for (const auto &entry : it)
+        if (entry.path().extension() == ".json")
+            ++count;
+    return count;
+}
+
+ResultStore::Stats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace cpe::serve

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The content-addressed result store behind cpe_serve: completed
+ * SimResults memoized on disk so identical sweeps across clients, CI
+ * runs, and server restarts are simulated exactly once.
+ *
+ * Keys are fnv1a64 over the *canonical* machine-file text
+ * (sim::canonicalMachineFile — a parse + re-serialize round trip, so
+ * incidental formatting never splits the cache), the experiment id the
+ * run belongs to, and a store version string that folds in the CPET
+ * trace-format version — bumping either invalidates every old entry
+ * without touching the directory.
+ *
+ * Entries are single-line JSON files named `<key>.json`, embedding the
+ * byte-exact sim::resultToJson rendering (the same round trip the
+ * resume journal relies on), written with the trace cache's
+ * tmp + fsync + rename + directory-fsync discipline: an entry is
+ * either complete on disk or absent, never torn.
+ *
+ * Concurrency: fetchOrCompute() is single-flight (the TraceCache
+ * shared_future idiom) — N concurrent identical requests execute the
+ * simulation once and share the result; a compute failure propagates
+ * to every waiter and is never memoized, so a later request retries.
+ *
+ * Failure policy (see docs/serving.md): a corrupt, truncated, or
+ * version-mismatched entry is a miss (warn + re-execute + overwrite),
+ * and an insert failure costs durability for that one result, never
+ * the result itself.  Chaos seams: "serve.store_read" makes lookups
+ * fail like a corrupt entry, "serve.store_write" makes inserts fail
+ * like a full disk (docs/robustness.md).
+ */
+
+#ifndef CPE_SERVE_RESULT_STORE_HH
+#define CPE_SERVE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace cpe::serve {
+
+/** On-disk, single-flight memo table of completed SimResults. */
+class ResultStore
+{
+  public:
+    /** Cumulative accounting, for --client summaries and the tests. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;        ///< lookups served from disk
+        std::uint64_t misses = 0;      ///< lookups that found nothing
+        std::uint64_t inserts = 0;     ///< entries durably written
+        std::uint64_t corrupt = 0;     ///< unreadable entries skipped
+        std::uint64_t computes = 0;    ///< compute callbacks executed
+        std::uint64_t sharedWaits = 0; ///< waiters that joined a flight
+        std::uint64_t insertFailures = 0; ///< writes that failed (warned)
+    };
+
+    /** @param dir entry directory, created on first write. */
+    explicit ResultStore(std::string dir);
+
+    /**
+     * The store format + simulator version folded into every key:
+     * bump "serve-N" when the entry schema changes; the CPET version
+     * rides along so a trace-format bump (which changes what runs
+     * compute) also invalidates served results.
+     */
+    static std::string version();
+
+    /**
+     * Derive the store key for one run: canonicalized machine-file
+     * text (throws ConfigError when @p machine_text does not parse)
+     * + @p experiment_id + @p version, FNV-1a-hashed to 16 hex digits.
+     * The machine text already carries the workload name and options
+     * (scale, seed, OS level), so they perturb the key through it.
+     */
+    static std::string keyFor(const std::string &machine_text,
+                              const std::string &experiment_id,
+                              const std::string &store_version = version());
+
+    /**
+     * Load the entry for @p key into @p out.  Unreadable, torn, or
+     * key/version-mismatched entries count as misses (warn once,
+     * leave the file to be overwritten by the next insert).
+     */
+    bool lookup(const std::string &key, sim::SimResult &out);
+
+    /**
+     * Durably write @p result under @p key (tmp + fsync + rename).
+     * Throws IoError on failure; fetchOrCompute downgrades that to a
+     * warning because the computed result must still reach the caller.
+     */
+    void insert(const std::string &key, const sim::SimResult &result);
+
+    /**
+     * The serving primitive: return the stored result for @p key, or
+     * run @p compute exactly once — even under N concurrent callers of
+     * the same key — store its result, and hand it to every waiter.
+     * A @p compute failure propagates to all waiters of this flight
+     * and is not memoized.  @p source, when given, reports where the
+     * result came from: "store", "sim", or "shared".
+     */
+    sim::SimResult
+    fetchOrCompute(const std::string &key,
+                   const std::function<sim::SimResult()> &compute,
+                   std::string *source = nullptr);
+
+    /** Remove every entry (store invalidation / tests). */
+    void clear();
+
+    /** Complete entries currently on disk. */
+    std::size_t entries() const;
+
+    /** Where @p key's entry lives. */
+    std::string entryPath(const std::string &key) const;
+
+    Stats stats() const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string dir_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_future<sim::SimResult>> inFlight_;
+    Stats stats_;
+};
+
+} // namespace cpe::serve
+
+#endif // CPE_SERVE_RESULT_STORE_HH

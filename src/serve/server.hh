@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The cpe_serve server: a persistent evaluation service listening on a
+ * local Unix-domain socket, speaking the newline-delimited JSON
+ * protocol of serve/protocol.hh, fanning sweep requests out over a
+ * util::ThreadPool, and memoizing every completed run in a
+ * serve::ResultStore so identical sweeps across clients and restarts
+ * are simulated exactly once.
+ *
+ * Determinism contract: the server adds nothing to a run.  Configs are
+ * expanded exactly as cpe_eval's grids are (exp::suiteConfigs /
+ * SimConfig::defaults + machine file), executed through the same
+ * SweepRunner step, and streamed back in submission order regardless
+ * of --jobs — so a grid rebuilt from a served stream is byte-identical
+ * to a direct run's (tests/test_serve_differential.cc).
+ *
+ * Cancellation contract: a client disconnect surfaces as a response
+ * write failure, which flips the request's cancel flag — queued runs
+ * then complete immediately as "cancelled" without simulating, while
+ * the in-flight runs finish under their normal watchdog budgets (their
+ * results still land in the store).  A request-level failure of any
+ * kind is reported as a structured error record, never a server crash.
+ *
+ * Chaos seams (docs/robustness.md): "serve.request_read" fails a
+ * connection's read path, "serve.response_write" fails a record write
+ * (modelling a vanished client); the store adds "serve.store_read" /
+ * "serve.store_write".
+ */
+
+#ifndef CPE_SERVE_SERVER_HH
+#define CPE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/result_store.hh"
+
+namespace cpe::serve {
+
+/** Knobs a server starts with. */
+struct ServerOptions
+{
+    /** Filesystem path of the listening socket (unlinked on start). */
+    std::string socketPath;
+    /** Worker cap per request; 0 = SweepRunner::defaultJobs(). */
+    unsigned jobs = 0;
+    /** Ceiling on per-request extra retry attempts. */
+    unsigned maxRetries = 4;
+};
+
+/** The persistent evaluation service. */
+class Server
+{
+  public:
+    /** Cumulative accounting across every request served. */
+    struct Stats
+    {
+        std::uint64_t requests = 0;     ///< sweep requests accepted
+        std::uint64_t badRequests = 0;  ///< rejected with error records
+        std::uint64_t runs = 0;
+        std::uint64_t storeHits = 0;
+        std::uint64_t shared = 0;       ///< joined another flight
+        std::uint64_t simulated = 0;
+        std::uint64_t errors = 0;
+        std::uint64_t cancelled = 0;
+    };
+
+    /** @param store the result store; must outlive the server. */
+    Server(ServerOptions options, ResultStore *store);
+
+    /** stop() and join everything. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and start accepting; throws IoError on failure. */
+    void start();
+
+    /**
+     * Stop accepting, finish in-progress requests, join every thread,
+     * and remove the socket.  Idempotent.
+     */
+    void stop();
+
+    bool running() const { return running_.load(std::memory_order_acquire); }
+
+    /** Block until a client sends {"t":"shutdown"} (or stop()). */
+    void waitForShutdownRequest();
+
+    const ServerOptions &options() const { return options_; }
+
+    Stats stats() const;
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    /** One request line: parse, dispatch, respond.  @return false to
+     *  close the connection (shutdown request, or a response write
+     *  failed and the stream is no longer trustworthy). */
+    bool handleLine(int fd, const std::string &line,
+                    std::atomic<bool> &cancel);
+
+    /** @return false when a response write failed mid-stream: the
+     *  client can no longer tell where the record stream stands, so
+     *  the connection must close (a still-listening client sees EOF
+     *  instead of waiting forever on records that will never come). */
+    bool handleSweep(int fd, const Json &doc, std::atomic<bool> &cancel);
+
+    /** Expand a request into the flat config list its grid runs. */
+    std::vector<sim::SimConfig> expandRequest(const SweepRequest &request);
+
+    ServerOptions options_;
+    ResultStore *store_;
+
+    int listenFd_ = -1;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::thread acceptThread_;
+
+    std::mutex connectionsMutex_;
+    std::vector<std::thread> connections_;
+
+    std::mutex shutdownMutex_;
+    std::condition_variable shutdownCv_;
+    bool shutdownRequested_ = false;
+
+    mutable std::mutex statsMutex_;
+    Stats stats_;
+};
+
+} // namespace cpe::serve
+
+#endif // CPE_SERVE_SERVER_HH

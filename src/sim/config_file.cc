@@ -9,6 +9,8 @@
 #include <map>
 #include <sstream>
 
+#include "util/error.hh"
+
 namespace cpe::sim {
 
 namespace {
@@ -605,6 +607,16 @@ toMachineFile(const SimConfig &config)
         out << "point = " << config.chaos.points << "\n";
     }
     return out.str();
+}
+
+std::string
+canonicalMachineFile(const std::string &source)
+{
+    ConfigParseResult parsed = parseConfig(source);
+    if (!parsed.ok)
+        throw ConfigError("machine-file text does not parse: " +
+                          parsed.error);
+    return toMachineFile(parsed.config);
 }
 
 ConfigParseResult

@@ -52,6 +52,17 @@ ConfigParseResult loadConfigFile(const std::string &path);
  */
 std::string toMachineFile(const SimConfig &config);
 
+/**
+ * The canonical form of machine-file text: parse @p source and
+ * re-serialize the result, so reordered sections, comments, and
+ * whitespace all collapse to one representation.  Everything that
+ * hashes machine-file text into a cache key (sim::RunJournal,
+ * serve::ResultStore) goes through this round trip, so two equivalent
+ * descriptions of one machine always hit the same entry.  Throws
+ * ConfigError when @p source does not parse.
+ */
+std::string canonicalMachineFile(const std::string &source);
+
 } // namespace cpe::sim
 
 #endif // CPE_SIM_CONFIG_FILE_HH

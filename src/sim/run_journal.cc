@@ -201,7 +201,11 @@ RunJournal::load()
 std::string
 RunJournal::keyFor(const SimConfig &config)
 {
-    return hex64(fnv1a64(toMachineFile(config)));
+    // Hash the canonical (parse + re-serialize) form so the key never
+    // depends on incidental formatting: a hand-written machine file
+    // with reordered sections or comments maps to the same entry as
+    // the toMachineFile() rendering of the equivalent config.
+    return hex64(fnv1a64(canonicalMachineFile(toMachineFile(config))));
 }
 
 bool

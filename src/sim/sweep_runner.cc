@@ -29,11 +29,23 @@ util::RetryPolicy defaultPolicy;
  * result without executing, and a fresh success is durably appended.
  */
 RunOutcome
-runOne(const SimConfig &config, const util::RetryPolicy &policy)
+executeOne(const SimConfig &config, const util::RetryPolicy &policy,
+           const std::atomic<bool> *cancel)
 {
     RunOutcome outcome;
     outcome.workload = config.workloadName;
     outcome.configTag = config.tag();
+
+    // Cancellation is consulted once, before any work: a cancelled
+    // run never simulated, so it carries no result and a dedicated
+    // "cancelled" kind that no retry policy considers transient.
+    if (cancel && cancel->load(std::memory_order_acquire)) {
+        outcome.errorKind = "cancelled";
+        outcome.errorMessage = "run cancelled before execution";
+        outcome.exception = std::make_exception_ptr(
+            SimError(outcome.errorMessage, "cancelled"));
+        return outcome;
+    }
 
     RunJournal *journal = RunJournal::active();
     std::string journalKey;
@@ -176,13 +188,19 @@ SweepRunner::SweepRunner(unsigned jobs)
 {
 }
 
+RunOutcome
+SweepRunner::runOne(const SimConfig &config) const
+{
+    return executeOne(config, policy_, cancel_);
+}
+
 std::vector<RunOutcome>
 SweepRunner::runOutcomes(const std::vector<SimConfig> &configs) const
 {
     std::vector<RunOutcome> outcomes(configs.size());
     if (jobs_ <= 1 || configs.size() <= 1) {
         for (std::size_t i = 0; i < configs.size(); ++i)
-            outcomes[i] = runOne(configs[i], policy_);
+            outcomes[i] = executeOne(configs[i], policy_, cancel_);
         return outcomes;
     }
 
@@ -197,7 +215,7 @@ SweepRunner::runOutcomes(const std::vector<SimConfig> &configs) const
     futures.reserve(configs.size());
     for (const auto &config : configs)
         futures.push_back(pool.submit([&config, this]() {
-            return runOne(config, policy_);
+            return executeOne(config, policy_, cancel_);
         }));
 
     // Collect in submission order; runOne never throws, so every

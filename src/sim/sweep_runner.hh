@@ -32,6 +32,7 @@
 #ifndef CPE_SIM_SWEEP_RUNNER_HH
 #define CPE_SIM_SWEEP_RUNNER_HH
 
+#include <atomic>
 #include <exception>
 #include <vector>
 
@@ -112,6 +113,27 @@ class SweepRunner
     std::vector<RunOutcome>
     runOutcomes(const std::vector<SimConfig> &configs) const;
 
+    /**
+     * Run one config through the same journal-consult / fault-capture
+     * / retry machinery as runOutcomes(), inline on the calling
+     * thread.  This is the unit the serving layer schedules itself
+     * (serve::Server owns the pool there, so it needs the per-run
+     * step without the fan-out).
+     */
+    RunOutcome runOne(const SimConfig &config) const;
+
+    /**
+     * Install a cancellation flag consulted before each run starts.
+     * When the flag reads true, queued runs complete immediately with
+     * a "cancelled" outcome instead of simulating (in-flight runs are
+     * not interrupted — they are bounded by the watchdog budget).
+     * The flag must outlive every run; nullptr clears it.
+     */
+    void setCancelFlag(const std::atomic<bool> *cancel)
+    {
+        cancel_ = cancel;
+    }
+
     /** The retry policy this runner applies to transient failures. */
     const util::RetryPolicy &retryPolicy() const { return policy_; }
     void setRetryPolicy(const util::RetryPolicy &policy)
@@ -149,6 +171,7 @@ class SweepRunner
   private:
     unsigned jobs_;
     util::RetryPolicy policy_;
+    const std::atomic<bool> *cancel_ = nullptr;
 };
 
 } // namespace cpe::sim

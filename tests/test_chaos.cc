@@ -10,6 +10,8 @@
  * injector at all.
  */
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -18,7 +20,11 @@
 
 #include <gtest/gtest.h>
 
+#include "serve/client.hh"
+#include "serve/result_store.hh"
+#include "serve/server.hh"
 #include "sim/config.hh"
+#include "sim/config_file.hh"
 #include "sim/run_journal.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep_runner.hh"
@@ -393,6 +399,115 @@ TEST(Chaos, ParallelSweepInvariantHolds)
                         outcome.errorKind == "exception")
                 << outcome.errorKind;
     }
+}
+
+/**
+ * The chaos invariant extended over the serving layer: with every
+ * serve.* seam armed — request reads, response writes, store reads,
+ * store writes — a served grid's result records are still byte-
+ * identical to their fault-free twins, failures surface as structured
+ * error records or a cleanly dropped connection (never a crash or a
+ * wrong number), and a disarmed rerun over the same store serves the
+ * full grid byte-identically.
+ */
+TEST(Chaos, ServedGridInvariantUnderServeFaults)
+{
+    VerboseScope quiet(false);
+    DisarmGuard guard;
+    util::FaultInjector::instance().disarm();
+
+    // Fault-free reference results, computed directly (no server).
+    std::map<std::string, std::string> golden;
+    for (const char *workload : {"crc", "copy"})
+        golden[workload] =
+            sim::resultToJson(sim::simulate(chaosConfig(workload, false)))
+                .dump();
+
+    auto scratch = std::filesystem::temp_directory_path() /
+                   ("cpe_chaos_serve." + std::to_string(::getpid()));
+    std::filesystem::remove_all(scratch);
+    std::filesystem::create_directories(scratch);
+    serve::ResultStore store((scratch / "store").string());
+    serve::ServerOptions options;
+    options.socketPath = (scratch / "sock").string();
+    options.jobs = 1;
+    serve::Server server(options, &store);
+    server.start();
+
+    serve::SweepRequest request;
+    request.machineText = sim::toMachineFile(chaosConfig("crc", false));
+    request.workloads = {"crc", "copy"};
+
+    // One sweep request; records checked against the reference as they
+    // stream.  A mid-stream connection loss (an injected read/write
+    // fault) is a tolerated outcome — the next request starts fresh.
+    auto served_sweep = [&](unsigned &checked, unsigned &errors) {
+        serve::Client client(options.socketPath);
+        Json terminal = client.sweep(request, [&](const Json &record) {
+            const Json *type = record.find("t");
+            if (!type || !type->isString())
+                return;
+            if (type->asString() == "result") {
+                const Json &result =
+                    record.at("result", "result record");
+                std::string workload =
+                    result.at("workload", "result").asString();
+                EXPECT_EQ(result.dump(), golden[workload])
+                    << "served result diverged for " << workload;
+                ++checked;
+            } else if (type->asString() == "error") {
+                // Run- or request-level: structured either way.
+                EXPECT_TRUE(record.find("kind"));
+                EXPECT_TRUE(record.find("message"));
+                ++errors;
+            }
+        });
+        const Json *type = terminal.find("t");
+        return type && type->isString() && type->asString() == "done";
+    };
+
+    unsigned checked = 0;
+    unsigned errors = 0;
+    unsigned dropped = 0;
+    for (unsigned seed : {7u, 8u, 9u}) {
+        for (const char *points :
+             {"serve.store_*", "serve.request_read",
+              "serve.response_write", "serve.*"}) {
+            util::FaultInjector::instance().arm(util::ChaosSpec::parse(
+                "seed=" + std::to_string(seed) + ",rate=0.2,point=" +
+                std::string(points)));
+            try {
+                served_sweep(checked, errors);
+            } catch (const SimError &error) {
+                // The connection died mid-stream (injected read or
+                // write fault): tolerated, but only as an "io" loss.
+                EXPECT_EQ(std::string(error.kind()), "io")
+                    << error.what();
+                ++dropped;
+            }
+        }
+    }
+    auto injector_stats = util::FaultInjector::instance().stats();
+    util::FaultInjector::instance().disarm();
+
+    // The matrix must have actually reached the serving seams.
+    EXPECT_GT(injector_stats.count("serve.store_read") +
+                  injector_stats.count("serve.store_write") +
+                  injector_stats.count("serve.request_read") +
+                  injector_stats.count("serve.response_write"),
+              0u);
+    EXPECT_GT(checked, 0u) << "no served result was ever checked";
+
+    // Disarmed, the same server over the same store serves the full
+    // grid byte-identically — whatever the chaos matrix left behind.
+    unsigned clean_checked = 0;
+    unsigned clean_errors = 0;
+    EXPECT_TRUE(served_sweep(clean_checked, clean_errors));
+    EXPECT_EQ(clean_checked, 2u);
+    EXPECT_EQ(clean_errors, 0u);
+
+    server.stop();
+    std::filesystem::remove_all(scratch);
 }
 
 TEST(Chaos, SpillCircuitBreakerDegradesToMemoryOnly)

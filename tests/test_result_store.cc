@@ -1,0 +1,383 @@
+/**
+ * @file
+ * serve::ResultStore in isolation: byte-exact hit/miss/insert round
+ * trips, key sensitivity (machine text, workload options, experiment
+ * id, store version — and formatting-invariance via the canonical
+ * machine-file round trip), corrupt-entry fallback without poisoning
+ * the store, chaos-injected store I/O failures, and single-flight
+ * dedup executing exactly once under concurrent identical requests.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/result_store.hh"
+#include "sim/config.hh"
+#include "sim/config_file.hh"
+#include "sim/run_journal.hh"
+#include "sim/simulator.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace cpe {
+namespace {
+
+/** A scratch store directory, removed on scope exit. */
+struct ScratchStore
+{
+    std::filesystem::path dir;
+
+    explicit ScratchStore(const std::string &name)
+        : dir(std::filesystem::temp_directory_path() / name)
+    {
+        std::filesystem::remove_all(dir);
+    }
+    ~ScratchStore()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+};
+
+sim::SimConfig
+storeConfig(const std::string &workload)
+{
+    sim::SimConfig config = sim::SimConfig::defaults();
+    config.workloadName = workload;
+    config.label = "store-test";
+    return config;
+}
+
+std::string
+keyOf(const sim::SimConfig &config, const std::string &experiment = "F5")
+{
+    return serve::ResultStore::keyFor(sim::toMachineFile(config),
+                                      experiment);
+}
+
+/** A fully hand-made result: store tests need bytes, not physics. */
+sim::SimResult
+fakeResult(const std::string &workload, double ipc)
+{
+    sim::SimResult result;
+    result.workload = workload;
+    result.configTag = "fake";
+    result.cycles = 1234;
+    result.insts = 5678;
+    result.ipc = ipc;
+    result.statsDump = "stats text\nwith lines\n";
+    result.statsJson = "{\"fake\":true}";
+    return result;
+}
+
+TEST(ResultStore, HitMissInsertRoundTripIsByteExact)
+{
+    VerboseScope quiet(false);
+    ScratchStore scratch("cpe_result_store_roundtrip");
+    serve::ResultStore store(scratch.dir.string());
+
+    sim::SimConfig config = storeConfig("crc");
+    std::string key = keyOf(config);
+
+    sim::SimResult loaded;
+    EXPECT_FALSE(store.lookup(key, loaded)) << "cold store is a miss";
+    EXPECT_EQ(store.entries(), 0u);
+
+    sim::SimResult result = sim::simulate(config);
+    store.insert(key, result);
+    EXPECT_EQ(store.entries(), 1u);
+
+    ASSERT_TRUE(store.lookup(key, loaded));
+    // The entry embeds resultToJson, whose doubles are shortest-round-
+    // trip — a store round trip must reproduce the exact bytes.
+    EXPECT_EQ(sim::resultToJson(loaded).dump(),
+              sim::resultToJson(result).dump());
+
+    serve::ResultStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST(ResultStore, EntrySurvivesReopen)
+{
+    VerboseScope quiet(false);
+    ScratchStore scratch("cpe_result_store_reopen");
+    sim::SimResult result = fakeResult("crc", 1.25);
+    std::string key = keyOf(storeConfig("crc"));
+    {
+        serve::ResultStore store(scratch.dir.string());
+        store.insert(key, result);
+    }
+    serve::ResultStore reopened(scratch.dir.string());
+    EXPECT_EQ(reopened.entries(), 1u);
+    sim::SimResult loaded;
+    ASSERT_TRUE(reopened.lookup(key, loaded));
+    EXPECT_EQ(sim::resultToJson(loaded).dump(),
+              sim::resultToJson(result).dump());
+}
+
+TEST(ResultStore, KeyTracksContentNotFormatting)
+{
+    sim::SimConfig config = storeConfig("crc");
+    std::string key = keyOf(config);
+    EXPECT_EQ(key, keyOf(config)) << "stable";
+
+    // Workload options all perturb the key...
+    sim::SimConfig scaled = storeConfig("crc");
+    scaled.workload.scale = 2;
+    EXPECT_NE(keyOf(scaled), key);
+
+    sim::SimConfig reseeded = storeConfig("crc");
+    reseeded.workload.seed = 7;
+    EXPECT_NE(keyOf(reseeded), key);
+
+    EXPECT_NE(keyOf(storeConfig("copy")), key);
+
+    // ...as do timing knobs, the experiment id, and the version.
+    sim::SimConfig timing = storeConfig("crc");
+    timing.core.dcache.tech.storeBufferEntries += 1;
+    EXPECT_NE(keyOf(timing), key);
+
+    EXPECT_NE(keyOf(config, "F6"), key);
+    EXPECT_NE(serve::ResultStore::keyFor(sim::toMachineFile(config), "F5",
+                                         "serve-999|cpet-0"),
+              key);
+
+    // A disarmed chaos spec must not perturb the key (it is not
+    // serialized), so pre-chaos stores keep resolving; arming it must.
+    sim::SimConfig with_chaos = storeConfig("crc");
+    EXPECT_EQ(keyOf(with_chaos), key);
+    with_chaos.chaos = util::ChaosSpec::parse("seed=1,rate=0.5");
+    EXPECT_NE(keyOf(with_chaos), key);
+}
+
+TEST(ResultStore, ReorderedEquivalentMachineTextHitsSameKey)
+{
+    // Two hand-written descriptions of one machine: reordered
+    // sections, comments, and loose whitespace.  The canonical
+    // round trip must collapse them to a single cache entry.
+    const std::string plain = "workload = crc\n"
+                              "[core]\n"
+                              "issue_width = 8\n"
+                              "[tech]\n"
+                              "ports = 1\n"
+                              "store_buffer = 8\n";
+    const std::string reordered = "# same machine, different prose\n"
+                                  "workload = crc\n"
+                                  "\n"
+                                  "[tech]\n"
+                                  "store_buffer   =   8\n"
+                                  "ports = 1\n"
+                                  "\n"
+                                  "# the core section, later this time\n"
+                                  "[core]\n"
+                                  "issue_width = 8\n";
+    EXPECT_NE(plain, reordered);
+    EXPECT_EQ(serve::ResultStore::keyFor(plain, "F5"),
+              serve::ResultStore::keyFor(reordered, "F5"));
+
+    // And a genuinely different machine must not collide.
+    const std::string different = plain + "line_buffers = 2\n";
+    EXPECT_NE(serve::ResultStore::keyFor(different, "F5"),
+              serve::ResultStore::keyFor(plain, "F5"));
+}
+
+TEST(ResultStore, KeyForRejectsUnparseableMachineText)
+{
+    EXPECT_THROW(serve::ResultStore::keyFor("[no_such_section]\nx = 1\n",
+                                            "F5"),
+                 ConfigError);
+}
+
+TEST(ResultStore, CorruptEntryFallsBackWithoutPoisoningTheStore)
+{
+    VerboseScope quiet(false);
+    ScratchStore scratch("cpe_result_store_corrupt");
+    serve::ResultStore store(scratch.dir.string());
+    sim::SimResult result = fakeResult("crc", 1.5);
+    std::string key = keyOf(storeConfig("crc"));
+    store.insert(key, result);
+
+    // Truncate the entry mid-JSON, the way a torn write would (the
+    // tmp+fsync+rename discipline makes this impossible for our own
+    // writes, but a store directory is user-editable).
+    {
+        std::ofstream torn(store.entryPath(key),
+                           std::ios::binary | std::ios::trunc);
+        torn << "{\"t\":\"entry\",\"k\":\"" << key << "\",\"vers";
+    }
+    sim::SimResult loaded;
+    EXPECT_FALSE(store.lookup(key, loaded)) << "corrupt entry is a miss";
+    EXPECT_GE(store.stats().corrupt, 1u);
+
+    // The store is not poisoned: a fresh insert overwrites the corpse
+    // and the next lookup hits.
+    store.insert(key, result);
+    ASSERT_TRUE(store.lookup(key, loaded));
+    EXPECT_EQ(sim::resultToJson(loaded).dump(),
+              sim::resultToJson(result).dump());
+
+    // A wrong-version entry is equally a miss.
+    {
+        std::ofstream stale(store.entryPath(key),
+                            std::ios::binary | std::ios::trunc);
+        stale << "{\"t\":\"entry\",\"k\":\"" << key
+              << "\",\"version\":\"serve-0|cpet-0\",\"result\":{}}\n";
+    }
+    EXPECT_FALSE(store.lookup(key, loaded));
+}
+
+TEST(ResultStore, FetchOrComputeReportsItsSource)
+{
+    VerboseScope quiet(false);
+    ScratchStore scratch("cpe_result_store_source");
+    serve::ResultStore store(scratch.dir.string());
+    std::string key = keyOf(storeConfig("crc"));
+
+    std::string source;
+    sim::SimResult first = store.fetchOrCompute(
+        key, []() { return fakeResult("crc", 2.0); }, &source);
+    EXPECT_EQ(source, "sim");
+    EXPECT_EQ(store.stats().computes, 1u);
+    EXPECT_EQ(store.entries(), 1u);
+
+    sim::SimResult second = store.fetchOrCompute(
+        key,
+        []() -> sim::SimResult {
+            throw WorkloadError("must not recompute a stored result");
+        },
+        &source);
+    EXPECT_EQ(source, "store");
+    EXPECT_EQ(sim::resultToJson(second).dump(),
+              sim::resultToJson(first).dump());
+    EXPECT_EQ(store.stats().computes, 1u);
+}
+
+TEST(ResultStore, SingleFlightDedupExecutesExactlyOnce)
+{
+    VerboseScope quiet(false);
+    ScratchStore scratch("cpe_result_store_singleflight");
+    serve::ResultStore store(scratch.dir.string());
+    std::string key = keyOf(storeConfig("crc"));
+
+    constexpr unsigned kCallers = 8;
+    std::atomic<unsigned> executions{0};
+    auto compute = [&executions]() {
+        ++executions;
+        // Hold the flight open long enough that every caller joins it.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return fakeResult("crc", 3.0);
+    };
+
+    std::vector<std::thread> callers;
+    std::vector<std::string> dumps(kCallers);
+    std::vector<std::string> sources(kCallers);
+    for (unsigned i = 0; i < kCallers; ++i)
+        callers.emplace_back([&, i]() {
+            sim::SimResult result =
+                store.fetchOrCompute(key, compute, &sources[i]);
+            dumps[i] = sim::resultToJson(result).dump();
+        });
+    for (auto &thread : callers)
+        thread.join();
+
+    EXPECT_EQ(executions.load(), 1u)
+        << "N concurrent identical requests must simulate once";
+    for (unsigned i = 1; i < kCallers; ++i)
+        EXPECT_EQ(dumps[i], dumps[0]);
+    unsigned shared = 0;
+    for (const auto &source : sources)
+        shared += source == "shared" ? 1 : 0;
+    EXPECT_EQ(shared, kCallers - 1) << "exactly one leader";
+    EXPECT_EQ(store.stats().sharedWaits, kCallers - 1);
+}
+
+TEST(ResultStore, ComputeFailurePropagatesAndIsNotMemoized)
+{
+    VerboseScope quiet(false);
+    ScratchStore scratch("cpe_result_store_failure");
+    serve::ResultStore store(scratch.dir.string());
+    std::string key = keyOf(storeConfig("crc"));
+
+    EXPECT_THROW(store.fetchOrCompute(key,
+                                      []() -> sim::SimResult {
+                                          throw WorkloadError("boom");
+                                      }),
+                 WorkloadError);
+    EXPECT_EQ(store.entries(), 0u) << "failures are never stored";
+
+    // The flight is gone: a later request retries and can succeed.
+    std::string source;
+    sim::SimResult result = store.fetchOrCompute(
+        key, []() { return fakeResult("crc", 4.0); }, &source);
+    EXPECT_EQ(source, "sim");
+    EXPECT_EQ(result.ipc, 4.0);
+    EXPECT_EQ(store.entries(), 1u);
+}
+
+TEST(ResultStore, InsertFailureIsSurvivable)
+{
+    VerboseScope quiet(false);
+    ScratchStore scratch("cpe_result_store_insertfail");
+    serve::ResultStore store(scratch.dir.string());
+    std::string key = keyOf(storeConfig("crc"));
+
+    util::FaultInjector::instance().arm(
+        util::ChaosSpec::parse("seed=1,rate=1,point=serve.store_write"));
+    std::string source;
+    sim::SimResult result = store.fetchOrCompute(
+        key, []() { return fakeResult("crc", 5.0); }, &source);
+    util::FaultInjector::instance().disarm();
+
+    // Losing durability for the entry costs a future re-simulation,
+    // never this result.
+    EXPECT_EQ(source, "sim");
+    EXPECT_EQ(result.ipc, 5.0);
+    EXPECT_EQ(store.entries(), 0u);
+    EXPECT_GE(store.stats().insertFailures, 1u);
+}
+
+TEST(ResultStore, ReadFaultFallsBackToRecomputation)
+{
+    VerboseScope quiet(false);
+    ScratchStore scratch("cpe_result_store_readfault");
+    serve::ResultStore store(scratch.dir.string());
+    std::string key = keyOf(storeConfig("crc"));
+    store.insert(key, fakeResult("crc", 6.0));
+
+    util::FaultInjector::instance().arm(
+        util::ChaosSpec::parse("seed=1,rate=1,point=serve.store_read"));
+    std::string source;
+    sim::SimResult result = store.fetchOrCompute(
+        key, []() { return fakeResult("crc", 6.0); }, &source);
+    util::FaultInjector::instance().disarm();
+
+    EXPECT_EQ(source, "sim") << "an unreadable entry re-executes";
+    EXPECT_EQ(result.ipc, 6.0);
+}
+
+TEST(ResultStore, ClearRemovesEverything)
+{
+    VerboseScope quiet(false);
+    ScratchStore scratch("cpe_result_store_clear");
+    serve::ResultStore store(scratch.dir.string());
+    store.insert(keyOf(storeConfig("crc")), fakeResult("crc", 1.0));
+    store.insert(keyOf(storeConfig("copy")), fakeResult("copy", 2.0));
+    EXPECT_EQ(store.entries(), 2u);
+    store.clear();
+    EXPECT_EQ(store.entries(), 0u);
+    sim::SimResult loaded;
+    EXPECT_FALSE(store.lookup(keyOf(storeConfig("crc")), loaded));
+}
+
+} // namespace
+} // namespace cpe

@@ -99,6 +99,40 @@ TEST(ResumeJournal, KeyTracksEveryConfigKnob)
     EXPECT_NE(sim::RunJournal::keyFor(with_chaos), key);
 }
 
+TEST(ResumeJournal, KeyIsIndependentOfMachineFileFormatting)
+{
+    // Journal keys hash the *canonical* machine-file text — a parse +
+    // re-serialize round trip — so a config loaded from a hand-edited
+    // machine file (reordered sections, comments, loose whitespace)
+    // resolves the same journal entries as the pristine rendering.
+    sim::SimConfig config = journalConfig("crc");
+    std::string pristine = sim::toMachineFile(config);
+
+    // toMachineFile output must be a fixed point of canonicalization,
+    // or every pre-existing journal key would silently change.
+    EXPECT_EQ(sim::canonicalMachineFile(pristine), pristine);
+
+    // Scruff up the rendering without changing its meaning: comments,
+    // blank lines, and trailing horizontal whitespace on every line.
+    std::string scruffy = "# hand-edited copy\n\n";
+    for (char c : pristine) {
+        scruffy += c;
+        if (c == '\n')
+            scruffy += " \t\n";
+    }
+    ASSERT_NE(scruffy, pristine);
+    sim::ConfigParseResult reparsed = sim::parseConfig(scruffy);
+    ASSERT_TRUE(reparsed.ok) << reparsed.error;
+    EXPECT_EQ(sim::RunJournal::keyFor(reparsed.config),
+              sim::RunJournal::keyFor(config));
+
+    // A real change still moves the key.
+    sim::SimConfig changed = journalConfig("crc");
+    changed.workload.seed += 1;
+    EXPECT_NE(sim::RunJournal::keyFor(changed),
+              sim::RunJournal::keyFor(config));
+}
+
 TEST(ResumeJournal, RecordPersistsAcrossReopen)
 {
     VerboseScope quiet(false);

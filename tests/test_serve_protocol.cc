@@ -1,0 +1,284 @@
+/**
+ * @file
+ * The cpe_serve wire protocol: junk requests become structured error
+ * records (never a server crash — the same connection keeps working),
+ * torn/partial frames are reassembled or discarded cleanly, request
+ * parsing rejects bad member types with ConfigError, and every record
+ * schema is pinned — field by field — against a committed golden file
+ * (regenerate with CPE_REGEN_GOLDEN=1 and commit the new file).
+ */
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/result_store.hh"
+#include "serve/server.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+#ifndef CPE_GOLDEN_DIR
+#error "CPE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace cpe {
+namespace {
+
+/** An in-process server on a scratch socket + store, torn down last. */
+struct ScratchServer
+{
+    std::filesystem::path dir;
+    serve::ResultStore store;
+    serve::Server server;
+
+    explicit ScratchServer(const std::string &name)
+        : dir(std::filesystem::temp_directory_path() /
+              (name + "." + std::to_string(::getpid()))),
+          store((std::filesystem::remove_all(dir),
+                 std::filesystem::create_directories(dir),
+                 (dir / "store").string())),
+          server(
+              [this]() {
+                  serve::ServerOptions options;
+                  options.socketPath = (dir / "sock").string();
+                  options.jobs = 1;
+                  return options;
+              }(),
+              &store)
+    {
+        server.start();
+    }
+
+    ~ScratchServer()
+    {
+        server.stop();
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+
+    std::string socket() const { return (dir / "sock").string(); }
+};
+
+std::string
+member(const Json &doc, const char *key)
+{
+    const Json *value = doc.find(key);
+    return value && value->isString() ? value->asString() : std::string();
+}
+
+TEST(ServeProtocol, LineReaderReassemblesArbitraryChunks)
+{
+    serve::LineReader reader;
+    std::string line;
+    EXPECT_FALSE(reader.next(line));
+
+    // One frame delivered a byte at a time.
+    const std::string frame = "{\"t\":\"ping\"}\n";
+    for (char c : frame) {
+        EXPECT_FALSE(reader.next(line)) << "no early frame";
+        reader.append(&c, 1);
+    }
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line, "{\"t\":\"ping\"}");
+    EXPECT_FALSE(reader.next(line));
+    EXPECT_EQ(reader.pendingBytes(), 0u);
+
+    // Two frames plus a torn tail in one chunk.
+    const std::string chunk = "{\"a\":1}\n{\"b\":2}\n{\"torn";
+    reader.append(chunk.data(), chunk.size());
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line, "{\"a\":1}");
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line, "{\"b\":2}");
+    EXPECT_FALSE(reader.next(line)) << "torn tail is held, not parsed";
+    EXPECT_EQ(reader.pendingBytes(), 6u);
+
+    // The tail completes when its newline finally arrives.
+    reader.append("\":3}\n", 5);
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line, "{\"torn\":3}");
+}
+
+TEST(ServeProtocol, SweepRequestJsonRoundTrips)
+{
+    serve::SweepRequest request;
+    request.experiment = "F5";
+    request.machineText = "workload = crc\n";
+    request.workloads = {"crc", "copy"};
+    request.jobs = 3;
+    request.retries = 2;
+
+    serve::SweepRequest back =
+        serve::SweepRequest::fromJson(request.toJson());
+    EXPECT_EQ(back.experiment, request.experiment);
+    EXPECT_EQ(back.machineText, request.machineText);
+    EXPECT_EQ(back.workloads, request.workloads);
+    EXPECT_EQ(back.jobs, request.jobs);
+    EXPECT_EQ(back.retries, request.retries);
+}
+
+TEST(ServeProtocol, SweepRequestRejectsBadMemberTypes)
+{
+    auto parse = [](const std::string &text) {
+        return serve::SweepRequest::fromJson(
+            Json::parse(text, "request"));
+    };
+    EXPECT_THROW(parse("[1,2,3]"), ConfigError) << "not an object";
+    EXPECT_THROW(parse("{\"t\":\"sweep\",\"experiment\":7}"),
+                 ConfigError);
+    EXPECT_THROW(parse("{\"t\":\"sweep\",\"workloads\":\"crc\"}"),
+                 ConfigError)
+        << "workloads must be an array";
+    EXPECT_THROW(parse("{\"t\":\"sweep\",\"workloads\":[1]}"),
+                 ConfigError);
+    EXPECT_THROW(
+        parse("{\"t\":\"sweep\",\"experiment\":\"F5\",\"jobs\":-1}"),
+        ConfigError);
+    EXPECT_THROW(
+        parse("{\"t\":\"sweep\",\"experiment\":\"F5\",\"jobs\":1.5}"),
+        ConfigError);
+    EXPECT_THROW(parse("{\"t\":\"sweep\"}"), ConfigError)
+        << "an empty request names nothing to run";
+}
+
+TEST(ServeProtocol, JunkRequestsGetStructuredErrorsNeverACrash)
+{
+    VerboseScope quiet(false);
+    ScratchServer scratch("cpe_serve_protocol_junk");
+    serve::Client client(scratch.socket());
+
+    // Unparseable JSON.
+    Json reply = client.roundTripLine("this is not json");
+    EXPECT_EQ(member(reply, "t"), "error");
+    EXPECT_EQ(member(reply, "kind"), "config");
+    EXPECT_FALSE(reply.find("run")) << "request-level error";
+
+    // Parseable, but not an object / unknown type / bad members.
+    reply = client.roundTripLine("[1,2,3]");
+    EXPECT_EQ(member(reply, "t"), "error");
+    reply = client.roundTripLine("{\"t\":\"frobnicate\"}");
+    EXPECT_EQ(member(reply, "t"), "error");
+    EXPECT_NE(member(reply, "message").find("frobnicate"),
+              std::string::npos);
+    reply = client.roundTripLine("{\"t\":\"sweep\",\"workloads\":42}");
+    EXPECT_EQ(member(reply, "t"), "error");
+
+    // Unknown experiment / workload ids are rejected with the ids
+    // spelled out, not with a dead connection.
+    reply = client.roundTripLine(
+        "{\"t\":\"sweep\",\"experiment\":\"Z9\"}");
+    EXPECT_EQ(member(reply, "t"), "error");
+    EXPECT_EQ(member(reply, "kind"), "config");
+    reply = client.roundTripLine(
+        "{\"t\":\"sweep\",\"workloads\":[\"no_such_kernel\"]}");
+    EXPECT_EQ(member(reply, "t"), "error");
+    EXPECT_NE(member(reply, "message").find("no_such_kernel"),
+              std::string::npos);
+
+    // After all of that abuse, the same connection still serves.
+    EXPECT_TRUE(client.ping()) << "server survived every junk request";
+}
+
+TEST(ServeProtocol, TornFrameOnDisconnectIsTolerated)
+{
+    VerboseScope quiet(false);
+    ScratchServer scratch("cpe_serve_protocol_torn");
+    {
+        // A client that dies mid-frame: raw socket, half a request, no
+        // newline, then gone.  The partial line must be discarded, not
+        // parsed or crashed on.
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, scratch.socket().c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        const char torn[] = "{\"t\":\"sweep\", \"experiment\": \"F5";
+        ASSERT_GT(::send(fd, torn, sizeof(torn) - 1, MSG_NOSIGNAL), 0);
+        // Give the server a moment to buffer the torn bytes before the
+        // EOF that abandons them.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        ::close(fd);
+    }
+    serve::Client fresh(scratch.socket());
+    EXPECT_TRUE(fresh.ping()) << "server alive after torn traffic";
+}
+
+TEST(ServeProtocol, RecordSchemasMatchCommittedGolden)
+{
+    // One record of every type, built from fixed inputs, so any schema
+    // change — field added, renamed, reordered — shows up as a diff.
+    serve::SweepRequest request;
+    request.experiment = "F5";
+    request.workloads = {"crc"};
+    request.retries = 1;
+
+    sim::SimResult result;
+    result.workload = "crc";
+    result.configTag = "golden";
+    result.cycles = 100;
+    result.insts = 250;
+    result.ipc = 2.5;
+    result.statsDump = "golden stats";
+    result.statsJson = "{\"golden\":true}";
+
+    serve::RequestTally tally;
+    tally.runs = 2;
+    tally.storeHits = 1;
+    tally.simulated = 1;
+
+    std::vector<Json> records;
+    records.push_back(request.toJson());
+    records.push_back(serve::acceptedRecord(request, 2));
+    records.push_back(serve::progressRecord(1, 2, "crc", "golden"));
+    records.push_back(serve::resultRecord(1, result, "sim"));
+    records.push_back(
+        serve::runErrorRecord(2, "crc", "golden", "io", "disk fell off"));
+    records.push_back(
+        serve::requestErrorRecord("config", "unknown experiment"));
+    records.push_back(serve::doneRecord(tally));
+
+    std::string rendered;
+    for (const Json &record : records) {
+        rendered += record.dump();
+        rendered += '\n';
+    }
+
+    const std::string path =
+        std::string(CPE_GOLDEN_DIR) + "/serve_protocol.jsonl";
+    if (std::getenv("CPE_REGEN_GOLDEN")) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << rendered;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (generate with CPE_REGEN_GOLDEN=1)";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(rendered, buffer.str())
+        << "record schema changed; regenerate the golden file if "
+           "intentional";
+}
+
+} // namespace
+} // namespace cpe
