@@ -11,6 +11,7 @@
 
 #include "core/dcache_unit.hh"
 #include "func/executor.hh"
+#include "obs/metrics.hh"
 #include "obs/tracer.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep_runner.hh"
@@ -181,6 +182,39 @@ BENCHMARK(BM_SuiteSweep)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+/**
+ * The same grid with the telemetry registry armed (clock reads, pool
+ * observer, per-run histograms live — everything cpe_serve turns on).
+ * The kips delta against BM_SuiteSweep at the same job count is the
+ * total instrumentation overhead; it should be noise, since a run is
+ * milliseconds of simulation against nanoseconds of atomics.
+ */
+void
+BM_SuiteSweepMetricsArmed(benchmark::State &state)
+{
+    setVerbose(false);
+    obs::MetricsRegistry::arm();
+    auto configs = sweepGridConfigs();
+    sim::SweepRunner runner(static_cast<unsigned>(state.range(0)));
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        auto results = runner.run(configs);
+        for (const auto &result : results)
+            insts += result.insts;
+        benchmark::DoNotOptimize(results.data());
+    }
+    obs::MetricsRegistry::disarm();
+    state.counters["kips"] = benchmark::Counter(
+        static_cast<double>(insts) / 1000.0, benchmark::Counter::kIsRate);
+    state.counters["jobs"] = static_cast<double>(runner.jobs());
+}
+BENCHMARK(BM_SuiteSweepMetricsArmed)
+    ->Arg(1)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();

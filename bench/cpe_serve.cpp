@@ -12,22 +12,38 @@
  *       Submit one sweep (or a control request) and stream the
  *       response records.
  *
- *   cpe_serve --smoke  --store DIR [--socket PATH]
+ *   cpe_serve --smoke  --store DIR [--socket PATH] [--metrics-file PATH]
  *       Self-contained warm-store proof: start an in-process server,
  *       run a reduced F5 grid twice, and require the second pass to be
  *       served entirely from the result store (zero simulations).
+ *       With --metrics-file, telemetry is armed and the store-hit /
+ *       simulate counters must reconcile with the per-pass tallies.
+ *
+ * Telemetry (docs/observability.md, "Service telemetry"):
+ *   --serve --metrics-file PATH [--metrics-interval-ms N]
+ *       Periodic atomic-rename Prometheus snapshots for scraping.
+ *   --serve --log-file PATH [--log-level debug|info|warn|error]
+ *       Request-correlated JSONL service log.
+ *   --client --metrics       One JSON telemetry snapshot, pretty-printed.
+ *   --client --watch [--watch-interval-ms N] [--watch-count N]
+ *       Live refreshing terminal dashboard from repeated snapshots.
+ *   --version                Simulator / CPET trace / store schema
+ *       versions (the three cache-invalidation inputs).
  *
  * Exit codes: 0 success, 1 request/assertion failure, 2 usage error.
  */
 
 #include <unistd.h>
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "serve/client.hh"
 #include "serve/result_store.hh"
 #include "serve/server.hh"
@@ -43,11 +59,19 @@ usage(std::ostream &out)
 {
     out << "usage: cpe_serve --serve  --socket PATH --store DIR"
            " [--jobs N]\n"
+           "                 [--metrics-file PATH [--metrics-interval-ms"
+           " N]]\n"
+           "                 [--log-file PATH [--log-level LVL]]\n"
            "       cpe_serve --client --socket PATH [--experiment ID]\n"
            "                 [--machine FILE] [--workloads a,b,c]"
            " [--jobs N] [--retries N]\n"
-           "                 [--ping | --flush | --shutdown]\n"
-           "       cpe_serve --smoke  --store DIR [--socket PATH]\n";
+           "                 [--ping | --flush | --shutdown | --metrics"
+           " |\n"
+           "                  --watch [--watch-interval-ms N]"
+           " [--watch-count N]]\n"
+           "       cpe_serve --smoke  --store DIR [--socket PATH]"
+           " [--metrics-file PATH]\n"
+           "       cpe_serve --version\n";
 }
 
 std::vector<std::string>
@@ -111,11 +135,126 @@ printRecord(const Json &record)
     }
 }
 
+/** Pull one named counter out of a {"t":"metrics"} record (0 when
+ *  absent, so a dashboard never crashes on a schema skew). */
+double
+snapshotCounter(const Json &record, const std::string &name)
+{
+    const Json *metrics = record.find("metrics");
+    const Json *counters = metrics ? metrics->find("counters") : nullptr;
+    const Json *value = counters ? counters->find(name) : nullptr;
+    return value && value->isNumber() ? value->asNumber() : 0.0;
+}
+
+double
+snapshotGauge(const Json &record, const std::string &name)
+{
+    const Json *metrics = record.find("metrics");
+    const Json *gauges = metrics ? metrics->find("gauges") : nullptr;
+    const Json *value = gauges ? gauges->find(name) : nullptr;
+    return value && value->isNumber() ? value->asNumber() : 0.0;
+}
+
+double
+snapshotQuantile(const Json &record, const std::string &name,
+                 const char *quantile)
+{
+    const Json *metrics = record.find("metrics");
+    const Json *histograms =
+        metrics ? metrics->find("histograms") : nullptr;
+    const Json *entry = histograms ? histograms->find(name) : nullptr;
+    const Json *value = entry ? entry->find(quantile) : nullptr;
+    return value && value->isNumber() ? value->asNumber() : 0.0;
+}
+
+/** One dashboard frame for --watch. */
+void
+printDashboard(const Json &record)
+{
+    const double hits = snapshotCounter(record, "store.hits");
+    const double misses = snapshotCounter(record, "store.misses");
+    const double lookups = hits + misses;
+    std::cout << "cpe_serve — uptime "
+              << static_cast<std::uint64_t>(number(record, "uptime_ms") /
+                                            1000.0)
+              << "s\n"
+              << "  requests  : "
+              << snapshotCounter(record, "serve.requests") << " sweep, "
+              << snapshotCounter(record, "serve.control_requests")
+              << " control, "
+              << snapshotCounter(record, "serve.bad_requests")
+              << " bad, in-flight "
+              << snapshotGauge(record, "serve.in_flight_requests")
+              << "\n"
+              << "  runs      : " << snapshotCounter(record, "serve.runs")
+              << " total, "
+              << snapshotCounter(record, "serve.simulated")
+              << " simulated, "
+              << snapshotCounter(record, "serve.store_hits")
+              << " store, " << snapshotCounter(record, "serve.shared")
+              << " shared, " << snapshotCounter(record, "serve.errors")
+              << " error(s)\n"
+              << "  store     : hit rate "
+              << (lookups > 0.0 ? 100.0 * hits / lookups : 0.0)
+              << "% (" << hits << "/" << lookups << " lookups), "
+              << snapshotGauge(record, "store.entries") << " entr(y/ies), "
+              << snapshotGauge(record, "store.bytes") << " byte(s)\n"
+              << "  pool      : queue depth "
+              << snapshotGauge(record, "pool.serve.queue_depth")
+              << ", busy "
+              << snapshotGauge(record, "pool.serve.busy_workers")
+              << ", task p99 "
+              << snapshotQuantile(record, "pool.serve.task_exec_us",
+                                  "p99")
+              << " us\n"
+              << "  latency   : sweep p50 "
+              << snapshotQuantile(record,
+                                  "serve.request_latency_us.sweep", "p50")
+              << " us, p99 "
+              << snapshotQuantile(record,
+                                  "serve.request_latency_us.sweep", "p99")
+              << " us\n";
+    std::cout.flush();
+}
+
+int
+watchMain(const std::string &socket_path, unsigned interval_ms,
+          unsigned count)
+{
+    const bool ansi = ::isatty(1);
+    for (unsigned frame = 0; count == 0 || frame < count; ++frame) {
+        // One connection per frame: the dashboard must keep rendering
+        // across server restarts, and a fresh connect is the probe.
+        Json record;
+        try {
+            serve::Client client(socket_path);
+            record = client.metrics();
+        } catch (const SimError &error) {
+            std::cout << "cpe_serve — unreachable: " << error.what()
+                      << "\n";
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+            continue;
+        }
+        if (ansi)
+            std::cout << "\x1b[H\x1b[J"; // home + clear: repaint in place
+        printDashboard(record);
+        if (count == 0 || frame + 1 < count)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+    }
+    return 0;
+}
+
 int
 clientMain(const std::string &socket_path,
            const serve::SweepRequest &request, const std::string &control)
 {
     serve::Client client(socket_path);
+    if (control == "metrics") {
+        std::cout << client.metrics().dump(2) << "\n";
+        return 0;
+    }
     if (control == "ping") {
         bool ok = client.ping();
         std::cout << "[serve] ping: " << (ok ? "pong" : "no pong") << "\n";
@@ -147,6 +286,11 @@ clientMain(const std::string &socket_path,
                   << " simulated, " << number(*tally, "errors")
                   << " error(s), " << number(*tally, "cancelled")
                   << " cancelled\n";
+        if (number(*tally, "insert_failures") > 0)
+            std::cout << "[serve] warning: "
+                      << number(*tally, "insert_failures")
+                      << " result(s) were not durably cached and will "
+                         "be recomputed on a future request\n";
         if (number(*tally, "errors") > 0)
             return 1;
     }
@@ -154,15 +298,22 @@ clientMain(const std::string &socket_path,
 }
 
 int
-smokeMain(std::string socket_path, const std::string &store_dir)
+smokeMain(std::string socket_path, const std::string &store_dir,
+          const std::string &metrics_file, unsigned metrics_interval_ms)
 {
     if (socket_path.empty())
         socket_path = "/tmp/cpe_serve_smoke_" +
                       std::to_string(::getpid()) + ".sock";
 
+    const bool metrics = !metrics_file.empty();
+    if (metrics)
+        obs::MetricsRegistry::arm();
+
     serve::ResultStore store(store_dir);
     serve::ServerOptions options;
     options.socketPath = socket_path;
+    options.metricsFile = metrics_file;
+    options.metricsIntervalMs = metrics_interval_ms;
     serve::Server server(options, &store);
     server.start();
 
@@ -204,6 +355,34 @@ smokeMain(std::string socket_path, const std::string &store_dir)
               << warm.simulated << " simulated, " << warm.storeHits
               << " store hit(s)\n";
 
+    // With telemetry armed, the registry's counters must reconcile
+    // exactly with the per-request tallies the client saw: the cold
+    // pass simulated everything, the warm pass hit the store for
+    // everything, and the snapshot is the proof (the metrics_smoke
+    // ctest keys off this).
+    if (metrics) {
+        serve::Client client(socket_path);
+        Json snapshot = client.metrics();
+        const double simulated =
+            snapshotCounter(snapshot, "serve.simulated");
+        const double storeHits =
+            snapshotCounter(snapshot, "serve.store_hits");
+        const double storeDiskHits = snapshotCounter(snapshot, "store.hits");
+        if (simulated != static_cast<double>(cold.simulated) ||
+            storeHits != static_cast<double>(warm.storeHits) ||
+            storeDiskHits < static_cast<double>(warm.runs)) {
+            std::cout << "serve_smoke: FAIL — metrics snapshot does not "
+                         "reconcile: serve.simulated="
+                      << simulated << " serve.store_hits=" << storeHits
+                      << " store.hits=" << storeDiskHits << "\n";
+            server.stop();
+            return 1;
+        }
+        std::cout << "serve_smoke: metrics reconcile — "
+                  << "serve.simulated=" << simulated
+                  << " serve.store_hits=" << storeHits << "\n";
+    }
+
     {
         serve::Client client(socket_path);
         if (!client.shutdownServer())
@@ -219,6 +398,25 @@ smokeMain(std::string socket_path, const std::string &store_dir)
                   << warm.simulated << " run(s)\n";
         return 1;
     }
+
+    // stop() wrote the final Prometheus snapshot; a scrape target that
+    // does not mention the serve counters is a broken exporter.
+    if (metrics) {
+        std::ifstream in(metrics_file, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        if (!in ||
+            buffer.str().find("cpe_serve_store_hits") ==
+                std::string::npos) {
+            std::cout << "serve_smoke: FAIL — Prometheus snapshot "
+                      << metrics_file
+                      << " is missing or lacks cpe_serve_store_hits\n";
+            return 1;
+        }
+        std::cout << "serve_smoke: Prometheus snapshot OK ("
+                  << metrics_file << ")\n";
+    }
+
     std::cout << "serve_smoke: OK — second pass served entirely from "
                  "the store (0 simulations)\n";
     return 0;
@@ -230,6 +428,11 @@ int
 main(int argc, char **argv)
 {
     std::string mode, socket_path, store_dir, control;
+    std::string metrics_file, log_file;
+    std::string log_level = "info";
+    unsigned metrics_interval_ms = 1000;
+    unsigned watch_interval_ms = 1000;
+    unsigned watch_count = 0;
     serve::SweepRequest request;
 
     std::vector<std::string> args(argv + 1, argv + argc);
@@ -255,12 +458,31 @@ main(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             return 0;
+        } else if (arg == "--version") {
+            std::cout << "cpe_serve: " << serve::versionSummary() << "\n";
+            return 0;
         } else if (arg == "--serve" || arg == "--client" ||
                    arg == "--smoke") {
             mode = arg.substr(2);
         } else if (arg == "--ping" || arg == "--flush" ||
-                   arg == "--shutdown") {
+                   arg == "--shutdown" || arg == "--metrics" ||
+                   arg == "--watch") {
             control = arg.substr(2);
+        } else if (arg == "--metrics-file") {
+            metrics_file = value(i, arg, inline_value, has_inline);
+        } else if (arg == "--metrics-interval-ms") {
+            metrics_interval_ms = static_cast<unsigned>(std::stoul(
+                value(i, arg, inline_value, has_inline)));
+        } else if (arg == "--log-file") {
+            log_file = value(i, arg, inline_value, has_inline);
+        } else if (arg == "--log-level") {
+            log_level = value(i, arg, inline_value, has_inline);
+        } else if (arg == "--watch-interval-ms") {
+            watch_interval_ms = static_cast<unsigned>(std::stoul(
+                value(i, arg, inline_value, has_inline)));
+        } else if (arg == "--watch-count") {
+            watch_count = static_cast<unsigned>(std::stoul(
+                value(i, arg, inline_value, has_inline)));
         } else if (arg == "--socket") {
             socket_path = value(i, arg, inline_value, has_inline);
         } else if (arg == "--store") {
@@ -289,10 +511,19 @@ main(int argc, char **argv)
         if (mode == "serve") {
             if (socket_path.empty() || store_dir.empty())
                 fatal("--serve needs --socket and --store");
+            // The service arms its own telemetry: counters, latency
+            // histograms, and pool gauges are what operating it runs
+            // on.  Deterministic direct runs (cpe_eval) stay disarmed.
+            obs::MetricsRegistry::arm();
+            if (!log_file.empty())
+                obs::ServiceLog::instance().open(
+                    log_file, obs::parseLogLevel(log_level));
             serve::ResultStore store(store_dir);
             serve::ServerOptions options;
             options.socketPath = socket_path;
             options.jobs = request.jobs;
+            options.metricsFile = metrics_file;
+            options.metricsIntervalMs = metrics_interval_ms;
             serve::Server server(options, &store);
             server.start();
             server.waitForShutdownRequest();
@@ -302,17 +533,25 @@ main(int argc, char **argv)
                       << " request(s), " << stats.runs << " run(s): "
                       << stats.storeHits << " store hit(s), "
                       << stats.simulated << " simulated\n";
+            if (stats.insertFailures)
+                std::cout << "[serve] warning: " << stats.insertFailures
+                          << " result(s) were not durably cached\n";
+            obs::ServiceLog::instance().close();
             return 0;
         }
         if (mode == "client") {
             if (socket_path.empty())
                 fatal("--client needs --socket");
+            if (control == "watch")
+                return watchMain(socket_path, watch_interval_ms,
+                                 watch_count);
             return clientMain(socket_path, request, control);
         }
         if (mode == "smoke") {
             if (store_dir.empty())
                 fatal("--smoke needs --store");
-            return smokeMain(socket_path, store_dir);
+            return smokeMain(socket_path, store_dir, metrics_file,
+                             metrics_interval_ms);
         }
     } catch (const SimError &error) {
         std::cerr << "cpe_serve: " << error.kind() << ": "

@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "exp/registry.hh"
+#include "obs/metrics.hh"
 #include "sim/run_journal.hh"
 #include "sim/sweep_runner.hh"
 #include "sim/trace_cache.hh"
@@ -122,6 +123,8 @@ constexpr const char *kUsage =
     "                           fsync'd record per completed run to\n"
     "                           JOURNAL and, on restart, skip runs\n"
     "                           already recorded there\n"
+    "  --version                print simulator, CPET trace, and\n"
+    "                           result-store schema versions and exit\n"
     "(every --flag VALUE is also accepted as --flag=VALUE)\n"
     "exit codes: 0 success; 1 run failures (--keep-going) or runtime\n"
     "errors; 2 configuration/usage errors (including --validate FAIL);\n"
@@ -796,10 +799,15 @@ evalMain(int argc, char **argv)
         // runner serve completed runs from it.
         std::unique_ptr<sim::RunJournal> journal;
         std::size_t journaled_before = 0;
+        std::uint64_t append_failures_before = 0;
         if (!options.resumePath.empty()) {
             journal =
                 std::make_unique<sim::RunJournal>(options.resumePath);
             journaled_before = journal->entries();
+            append_failures_before =
+                obs::MetricsRegistry::instance()
+                    .counter("sweep.journal_append_failures")
+                    ->value();
         }
         sim::RunJournal::setActive(journal.get());
 
@@ -827,11 +835,20 @@ evalMain(int argc, char **argv)
         sim::RunJournal::setActive(nullptr);
         if (journal) {
             // To stderr: --format json/csv callers parse stdout.
+            const std::uint64_t append_failures =
+                obs::MetricsRegistry::instance()
+                    .counter("sweep.journal_append_failures")
+                    ->value() -
+                append_failures_before;
             std::cerr << "resume: " << journaled_before
                       << " run(s) served from " << journal->path()
                       << ", "
                       << (journal->entries() - journaled_before)
-                      << " appended\n";
+                      << " appended";
+            if (append_failures > 0)
+                std::cerr << ", " << append_failures
+                          << " append failure(s)";
+            std::cerr << "\n";
         }
         return rc;
     } catch (const ConfigError &error) {

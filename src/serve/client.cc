@@ -124,6 +124,15 @@ Client::ping()
     return type && type->isString() && type->asString() == "pong";
 }
 
+Json
+Client::metrics()
+{
+    Json doc = Json::object();
+    doc["t"] = "metrics";
+    sendText(doc.dump());
+    return readRecord();
+}
+
 bool
 Client::flush()
 {

@@ -49,6 +49,10 @@ class Client
     /** Liveness probe; @return true on a "pong" response. */
     bool ping();
 
+    /** Fetch the server's telemetry snapshot ({"t":"metrics",...});
+     *  throws IoError when the connection dies first. */
+    Json metrics();
+
     /** Ask the server to clear its result store. */
     bool flush();
 

@@ -94,11 +94,13 @@ RequestTally::toJson() const
     doc["simulated"] = simulated;
     doc["errors"] = errors;
     doc["cancelled"] = cancelled;
+    doc["insert_failures"] = insertFailures;
     return doc;
 }
 
 Json
-acceptedRecord(const SweepRequest &request, std::size_t runs)
+acceptedRecord(const SweepRequest &request, std::size_t runs,
+               const std::string &rid)
 {
     Json doc = Json::object();
     doc["t"] = "accepted";
@@ -106,6 +108,7 @@ acceptedRecord(const SweepRequest &request, std::size_t runs)
     if (!request.experiment.empty())
         doc["experiment"] = request.experiment;
     doc["runs"] = Json(static_cast<std::uint64_t>(runs));
+    doc["rid"] = rid;
     return doc;
 }
 
@@ -169,6 +172,20 @@ doneRecord(const RequestTally &tally)
     doc["t"] = "done";
     doc["protocol"] = kProtocolVersion;
     doc["tally"] = tally.toJson();
+    return doc;
+}
+
+Json
+metricsRecord(const Json &snapshot)
+{
+    Json doc = Json::object();
+    doc["t"] = "metrics";
+    doc["protocol"] = kProtocolVersion;
+    // Flatten the snapshot's members into the record so the wire
+    // format is one level deep: uptime_ms, counters/gauges/histograms
+    // under "metrics", chaos fault-point stats under "chaos".
+    for (const auto &[name, value] : snapshot.members())
+        doc[name] = value;
     return doc;
 }
 

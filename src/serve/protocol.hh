@@ -10,6 +10,7 @@
  *                                 except "t"; empty machine = defaults,
  *                                 no experiment = one run per workload)
  *   {"t":"ping"}                — liveness probe -> {"t":"pong"}
+ *   {"t":"metrics"}             — telemetry snapshot -> {"t":"metrics",..}
  *   {"t":"flush"}               — clear the result store -> {"t":"flushed"}
  *   {"t":"shutdown"}            — stop the server -> {"t":"bye"}
  *
@@ -70,12 +71,18 @@ struct RequestTally
     std::uint64_t simulated = 0;  ///< actually executed
     std::uint64_t errors = 0;
     std::uint64_t cancelled = 0;
+    /** Results computed but NOT durably cached (store insert failed):
+     *  correct answers the client should expect to pay for again. */
+    std::uint64_t insertFailures = 0;
 
     Json toJson() const;
 };
 
-/** Response-record builders (insertion order = wire byte order). */
-Json acceptedRecord(const SweepRequest &request, std::size_t runs);
+/** Response-record builders (insertion order = wire byte order).
+ *  @p rid is the server-assigned request id that correlates the
+ *  response stream with the service log (obs::ServiceLog). */
+Json acceptedRecord(const SweepRequest &request, std::size_t runs,
+                    const std::string &rid);
 Json progressRecord(std::size_t run, std::size_t of,
                     const std::string &workload,
                     const std::string &config_tag);
@@ -88,6 +95,10 @@ Json runErrorRecord(std::size_t run, const std::string &workload,
 Json requestErrorRecord(const std::string &kind,
                         const std::string &message);
 Json doneRecord(const RequestTally &tally);
+
+/** Reply to {"t":"metrics"}: the server's snapshot (uptime, registry
+ *  metrics, chaos fault-point stats) wrapped in a protocol record. */
+Json metricsRecord(const Json &snapshot);
 
 /**
  * Reassemble newline-delimited frames from arbitrary read() chunks.

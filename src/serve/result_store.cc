@@ -75,6 +75,30 @@ memberString(const Json &doc, const char *key)
 
 ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
 {
+    auto &registry = obs::MetricsRegistry::instance();
+    hitsCounter_ =
+        registry.counter("store.hits", "lookups served from disk");
+    missesCounter_ =
+        registry.counter("store.misses", "lookups that found nothing");
+    corruptCounter_ = registry.counter(
+        "store.corrupt", "unreadable entries treated as misses");
+    insertsCounter_ =
+        registry.counter("store.inserts", "entries durably written");
+    insertFailuresCounter_ = registry.counter(
+        "store.insert_failures", "entry writes that failed");
+    computesCounter_ = registry.counter(
+        "store.computes", "compute callbacks executed (cache fills)");
+    sharedWaitsCounter_ = registry.counter(
+        "store.shared_waits", "waiters that joined an in-flight compute");
+    entriesGauge_ =
+        registry.gauge("store.entries", "complete entries on disk");
+    bytesGauge_ =
+        registry.gauge("store.bytes", "bytes of entries on disk");
+    fetchLatency_ = registry.histogram(
+        "store.fetch_latency_us", obs::MetricsRegistry::latencyBucketsUs(),
+        "fetchOrCompute leader path, microseconds");
+    syncUsageGauges();
+
     // Sweep tmp leftovers a crashed writer abandoned: they can never
     // become live entries (their rename never happened), and leaving
     // them around would make the directory grow without bound.
@@ -100,7 +124,18 @@ std::string
 ResultStore::version()
 {
     std::ostringstream out;
-    out << "serve-1|cpet-" << func::traceFileVersion();
+    out << "serve-1|sim-" << sim::simulatorVersion() << "|cpet-"
+        << func::traceFileVersion();
+    return out.str();
+}
+
+std::string
+versionSummary()
+{
+    std::ostringstream out;
+    out << "simulator " << sim::simulatorVersion() << ", cpet trace "
+        << func::traceFileVersion() << ", store schema "
+        << ResultStore::version();
     return out.str();
 }
 
@@ -134,6 +169,7 @@ ResultStore::lookup(const std::string &key, sim::SimResult &out)
             throw IoError("chaos: injected fault at serve.store_read");
         std::ifstream in(path, std::ios::binary);
         if (!in) {
+            missesCounter_->inc();
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.misses;
             return false;
@@ -146,6 +182,8 @@ ResultStore::lookup(const std::string &key, sim::SimResult &out)
         // the next insert overwrites it with a fresh one.
         warn(Msg() << "result store: treating " << path
                    << " as a miss: " << error.what());
+        corruptCounter_->inc();
+        missesCounter_->inc();
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.corrupt;
         ++stats_.misses;
@@ -167,6 +205,7 @@ ResultStore::lookup(const std::string &key, sim::SimResult &out)
         why = "entry has no result member";
     else {
         out = sim::resultFromJson(*result);
+        hitsCounter_->inc();
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.hits;
         return true;
@@ -174,6 +213,8 @@ ResultStore::lookup(const std::string &key, sim::SimResult &out)
 
     warn(Msg() << "result store: treating " << path << " as a miss: "
                << why);
+    corruptCounter_->inc();
+    missesCounter_->inc();
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.corrupt;
     ++stats_.misses;
@@ -219,21 +260,28 @@ ResultStore::insert(const std::string &key, const sim::SimResult &result)
         fsyncPath(dir_, true);
     } catch (...) {
         std::filesystem::remove(tmp, ec);
+        insertFailuresCounter_->inc();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.insertFailures;
         }
         throw;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.inserts;
+    insertsCounter_->inc();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.inserts;
+    }
+    syncUsageGauges();
 }
 
 sim::SimResult
 ResultStore::fetchOrCompute(const std::string &key,
                             const std::function<sim::SimResult()> &compute,
-                            std::string *source)
+                            std::string *source, bool *insert_failed)
 {
+    if (insert_failed)
+        *insert_failed = false;
     // Single-flight: the first caller of a key installs a promise and
     // computes outside the lock; concurrent callers of the same key
     // block on the shared future instead of re-simulating.
@@ -245,6 +293,7 @@ ResultStore::fetchOrCompute(const std::string &key,
         auto it = inFlight_.find(key);
         if (it != inFlight_.end()) {
             flight = it->second;
+            sharedWaitsCounter_->inc();
             ++stats_.sharedWaits;
         } else {
             flight = promise.get_future().share();
@@ -259,6 +308,7 @@ ResultStore::fetchOrCompute(const std::string &key,
         return flight.get(); // rethrows the leader's failure
     }
 
+    obs::ScopedTimerUs timer(fetchLatency_);
     sim::SimResult result;
     try {
         if (lookup(key, result)) {
@@ -269,6 +319,7 @@ ResultStore::fetchOrCompute(const std::string &key,
             inFlight_.erase(key);
             return result;
         }
+        computesCounter_->inc();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.computes;
@@ -292,6 +343,10 @@ ResultStore::fetchOrCompute(const std::string &key,
     } catch (const SimError &error) {
         // Losing durability for one entry costs a re-simulation on
         // some future request; losing the result would cost this one.
+        // The caller learns through insert_failed (and the counters)
+        // that its correct answer was not cached.
+        if (insert_failed)
+            *insert_failed = true;
         warn(Msg() << "result store: could not store " << key << ": "
                    << error.what());
     }
@@ -319,20 +374,40 @@ ResultStore::clear()
     if (removed)
         inform(Msg() << "result store: cleared " << removed
                      << " entr(y/ies) from " << dir_);
+    syncUsageGauges();
 }
 
 std::size_t
 ResultStore::entries() const
 {
+    return diskUsage().entries;
+}
+
+ResultStore::DiskUsage
+ResultStore::diskUsage() const
+{
+    DiskUsage usage;
     std::error_code ec;
     std::filesystem::directory_iterator it(dir_, ec);
     if (ec)
-        return 0;
-    std::size_t count = 0;
-    for (const auto &entry : it)
-        if (entry.path().extension() == ".json")
-            ++count;
-    return count;
+        return usage;
+    for (const auto &entry : it) {
+        if (entry.path().extension() != ".json")
+            continue;
+        ++usage.entries;
+        std::uint64_t size = entry.file_size(ec);
+        if (!ec)
+            usage.bytes += size;
+    }
+    return usage;
+}
+
+void
+ResultStore::syncUsageGauges() const
+{
+    DiskUsage usage = diskUsage();
+    entriesGauge_->set(static_cast<std::int64_t>(usage.entries));
+    bytesGauge_->set(static_cast<std::int64_t>(usage.bytes));
 }
 
 ResultStore::Stats

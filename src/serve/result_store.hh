@@ -40,6 +40,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hh"
 #include "sim/simulator.hh"
 
 namespace cpe::serve {
@@ -65,9 +66,11 @@ class ResultStore
 
     /**
      * The store format + simulator version folded into every key:
-     * bump "serve-N" when the entry schema changes; the CPET version
-     * rides along so a trace-format bump (which changes what runs
-     * compute) also invalidates served results.
+     * bump "serve-N" when the entry schema changes; the simulator and
+     * CPET versions ride along so a modeling or trace-format bump
+     * (either changes what runs compute) also invalidates served
+     * results.  These three are the cache-invalidation inputs the
+     * `--version` flag prints (versionSummary()).
      */
     static std::string version();
 
@@ -102,18 +105,30 @@ class ResultStore
      * the same key — store its result, and hand it to every waiter.
      * A @p compute failure propagates to all waiters of this flight
      * and is not memoized.  @p source, when given, reports where the
-     * result came from: "store", "sim", or "shared".
+     * result came from: "store", "sim", or "shared".  @p insert_failed,
+     * when given, is set when the result computed fine but could NOT
+     * be durably cached (the caller got a correct answer it will pay
+     * for again) — surfaced to clients in the done record.
      */
     sim::SimResult
     fetchOrCompute(const std::string &key,
                    const std::function<sim::SimResult()> &compute,
-                   std::string *source = nullptr);
+                   std::string *source = nullptr,
+                   bool *insert_failed = nullptr);
 
     /** Remove every entry (store invalidation / tests). */
     void clear();
 
     /** Complete entries currently on disk. */
     std::size_t entries() const;
+
+    /** Entry count + total bytes on disk (one directory scan). */
+    struct DiskUsage
+    {
+        std::size_t entries = 0;
+        std::uint64_t bytes = 0;
+    };
+    DiskUsage diskUsage() const;
 
     /** Where @p key's entry lives. */
     std::string entryPath(const std::string &key) const;
@@ -123,12 +138,37 @@ class ResultStore
     const std::string &dir() const { return dir_; }
 
   private:
+    /** Refresh the store.entries/store.bytes gauges (rare: inserts
+     *  and clears only, so the directory scan is off the hot path). */
+    void syncUsageGauges() const;
+
     std::string dir_;
 
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_future<sim::SimResult>> inFlight_;
     Stats stats_;
+
+    // Process-wide mirrors of the per-instance Stats (the struct stays
+    // the source of truth for per-store assertions; the registry view
+    // is what the metrics snapshot and Prometheus export read).
+    obs::Counter *hitsCounter_;
+    obs::Counter *missesCounter_;
+    obs::Counter *corruptCounter_;
+    obs::Counter *insertsCounter_;
+    obs::Counter *insertFailuresCounter_;
+    obs::Counter *computesCounter_;
+    obs::Counter *sharedWaitsCounter_;
+    obs::Gauge *entriesGauge_;
+    obs::Gauge *bytesGauge_;
+    obs::Histogram *fetchLatency_;
 };
+
+/**
+ * One line naming the three cache-invalidation inputs — simulator,
+ * CPET trace, and store schema versions — for `--version` output and
+ * stale-store debugging.
+ */
+std::string versionSummary();
 
 } // namespace cpe::serve
 

@@ -8,9 +8,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <future>
 
 #include "exp/registry.hh"
+#include "obs/metrics.hh"
 #include "sim/config_file.hh"
 #include "sim/sweep_runner.hh"
 #include "util/error.hh"
@@ -90,6 +93,7 @@ struct ServedRun
 {
     sim::RunOutcome outcome;
     std::string source; ///< "store", "sim", "shared", or "" on error
+    bool insertFailed = false; ///< computed fine, but not durably cached
 };
 
 /**
@@ -101,7 +105,8 @@ struct ServedRun
 ServedRun
 serveOne(const sim::SimConfig &config, const sim::SweepRunner &runner,
          ResultStore &store, const std::string &experiment_id,
-         const std::atomic<bool> &cancel)
+         const std::atomic<bool> &cancel, const std::string &rid,
+         std::size_t run_index)
 {
     ServedRun served;
     served.outcome.workload = config.workloadName;
@@ -115,25 +120,39 @@ serveOne(const sim::SimConfig &config, const sim::SweepRunner &runner,
         return served;
     }
 
+    obs::LogSpan span("run", rid, [&](Json &fields) {
+        fields["run"] = Json(static_cast<std::uint64_t>(run_index));
+        fields["workload"] = config.workloadName;
+        fields["config"] = config.tag();
+    });
     try {
         std::string key =
             ResultStore::keyFor(sim::toMachineFile(config), experiment_id);
-        served.outcome.result = store.fetchOrCompute(
-            key,
-            [&]() {
-                sim::RunOutcome inner = runner.runOne(config);
-                if (!inner.ok())
-                    std::rethrow_exception(inner.exception);
-                return inner.result;
-            },
-            &served.source);
+        {
+            obs::LogSpan fetch("store_fetch", rid, [&](Json &fields) {
+                fields["key"] = key;
+            });
+            served.outcome.result = store.fetchOrCompute(
+                key,
+                [&]() {
+                    sim::RunOutcome inner = runner.runOne(config);
+                    if (!inner.ok())
+                        std::rethrow_exception(inner.exception);
+                    return inner.result;
+                },
+                &served.source, &served.insertFailed);
+            fetch.note("source", Json(served.source));
+        }
         served.outcome.hasResult = true;
+        span.note("source", Json(served.source));
     } catch (const SimError &error) {
         served.outcome.errorKind = error.kind();
         served.outcome.errorMessage = error.what();
+        span.note("error", Json(served.outcome.errorKind));
     } catch (const std::exception &error) {
         served.outcome.errorKind = "exception";
         served.outcome.errorMessage = error.what();
+        span.note("error", Json(served.outcome.errorKind));
     }
     return served;
 }
@@ -143,6 +162,42 @@ serveOne(const sim::SimConfig &config, const sim::SweepRunner &runner,
 Server::Server(ServerOptions options, ResultStore *store)
     : options_(std::move(options)), store_(store)
 {
+    auto &registry = obs::MetricsRegistry::instance();
+    sweepRequests_ =
+        registry.counter("serve.requests", "sweep requests accepted");
+    controlRequests_ = registry.counter(
+        "serve.control_requests", "ping/metrics/flush requests handled");
+    badRequests_ = registry.counter("serve.bad_requests",
+                                    "requests rejected with error records");
+    accepts_ =
+        registry.counter("serve.accepts", "client connections accepted");
+    tornFrames_ = registry.counter(
+        "serve.torn_frames", "incomplete trailing frames discarded at EOF");
+    writeFailures_ = registry.counter(
+        "serve.write_failures",
+        "response writes that failed (client vanished or chaos)");
+    runs_ = registry.counter("serve.runs", "grid runs served");
+    storeHits_ =
+        registry.counter("serve.store_hits", "runs served from the store");
+    shared_ = registry.counter("serve.shared",
+                               "runs that joined another request's flight");
+    simulated_ =
+        registry.counter("serve.simulated", "runs actually executed");
+    errors_ = registry.counter("serve.errors", "runs that failed");
+    cancelled_ = registry.counter("serve.cancelled", "runs cancelled");
+    insertFailures_ = registry.counter(
+        "serve.insert_failures",
+        "served results that could not be durably cached");
+    inFlightRequests_ = registry.gauge("serve.in_flight_requests",
+                                       "sweep requests being served now");
+    sweepLatency_ = registry.histogram(
+        "serve.request_latency_us.sweep",
+        obs::MetricsRegistry::latencyBucketsUs(),
+        "sweep request service time, microseconds");
+    controlLatency_ = registry.histogram(
+        "serve.request_latency_us.control",
+        obs::MetricsRegistry::latencyBucketsUs(),
+        "ping/metrics/flush service time, microseconds");
 }
 
 Server::~Server()
@@ -188,9 +243,25 @@ Server::start()
                       "': " + std::strerror(saved));
     }
 
+    // The registry is process-wide and outlives any one server; zero
+    // this server's prefixes so stats() and the metrics snapshots are
+    // exact per-session counts (tests run several servers per process).
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.zeroPrefix("serve.");
+    registry.zeroPrefix("pool.serve.");
+    ridSeq_.store(0, std::memory_order_relaxed);
+    startTime_ = std::chrono::steady_clock::now();
+
     stopRequested_.store(false, std::memory_order_release);
     running_.store(true, std::memory_order_release);
     acceptThread_ = std::thread([this]() { acceptLoop(); });
+    if (!options_.metricsFile.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(exporterMutex_);
+            exporterStop_ = false;
+        }
+        exporterThread_ = std::thread([this]() { exporterLoop(); });
+    }
     inform(Msg() << "cpe_serve: listening on " << options_.socketPath);
 }
 
@@ -211,6 +282,17 @@ Server::stop()
 
     if (acceptThread_.joinable())
         acceptThread_.join();
+    if (exporterThread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(exporterMutex_);
+            exporterStop_ = true;
+        }
+        exporterCv_.notify_all();
+        exporterThread_.join();
+        // One final snapshot so the file reflects the completed
+        // session, not wherever the last interval happened to land.
+        writeMetricsFile();
+    }
     std::vector<std::thread> connections;
     {
         std::lock_guard<std::mutex> lock(connectionsMutex_);
@@ -237,8 +319,85 @@ Server::waitForShutdownRequest()
 Server::Stats
 Server::stats() const
 {
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    return stats_;
+    Stats stats;
+    stats.requests = sweepRequests_->value();
+    stats.badRequests = badRequests_->value();
+    stats.runs = runs_->value();
+    stats.storeHits = storeHits_->value();
+    stats.shared = shared_->value();
+    stats.simulated = simulated_->value();
+    stats.errors = errors_->value();
+    stats.cancelled = cancelled_->value();
+    stats.insertFailures = insertFailures_->value();
+    return stats;
+}
+
+Json
+Server::metricsJson() const
+{
+    Json doc = Json::object();
+    doc["uptime_ms"] = Json(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count());
+    doc["metrics"] = obs::MetricsRegistry::instance().snapshotJson();
+    doc["chaos"] = util::FaultInjector::instance().statsJson();
+    return doc;
+}
+
+std::string
+Server::nextRid()
+{
+    return "r-" + std::to_string(
+                      ridSeq_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+void
+Server::exporterLoop()
+{
+    std::unique_lock<std::mutex> lock(exporterMutex_);
+    for (;;) {
+        exporterCv_.wait_for(
+            lock,
+            std::chrono::milliseconds(
+                std::max(options_.metricsIntervalMs, 1u)),
+            [this]() { return exporterStop_; });
+        if (exporterStop_)
+            return; // stop() writes the final snapshot after the join
+        lock.unlock();
+        writeMetricsFile();
+        lock.lock();
+    }
+}
+
+void
+Server::writeMetricsFile()
+{
+    // tmp + rename, the store's discipline: a scraper reading the file
+    // mid-write sees the previous complete snapshot, never a torn one.
+    const std::string tmp =
+        options_.metricsFile + ".tmp." + std::to_string(::getpid());
+    try {
+        {
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            if (!out ||
+                !(out << obs::MetricsRegistry::instance()
+                             .prometheusText()) ||
+                !out.flush())
+                throw IoError("cannot write metrics snapshot '" + tmp +
+                              "'");
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp, options_.metricsFile, ec);
+        if (ec)
+            throw IoError("cannot publish metrics snapshot '" +
+                          options_.metricsFile + "': " + ec.message());
+    } catch (const SimError &error) {
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        warn(Msg() << "cpe_serve: metrics snapshot failed: "
+                   << error.what());
+    }
 }
 
 void
@@ -273,6 +432,7 @@ Server::acceptLoop()
 void
 Server::serveConnection(int fd)
 {
+    accepts_->inc();
     LineReader reader;
     // Flipped when this connection's client goes away (a response
     // write fails): queued runs of its in-progress request then
@@ -312,10 +472,12 @@ Server::serveConnection(int fd)
         if (got == 0) {
             // EOF: client is gone.  A torn trailing frame is simply
             // discarded — a dropped request, never a half-parse.
-            if (reader.pendingBytes())
+            if (reader.pendingBytes()) {
+                tornFrames_->inc();
                 inform(Msg() << "cpe_serve: discarding "
                              << reader.pendingBytes()
                              << " byte(s) of torn trailing frame");
+            }
             break;
         }
         reader.append(buffer, static_cast<std::size_t>(got));
@@ -337,10 +499,7 @@ Server::handleLine(int fd, const std::string &line,
     Json doc;
     std::string parse_error;
     if (!Json::tryParse(line, doc, parse_error) || !doc.isObject()) {
-        {
-            std::lock_guard<std::mutex> lock(statsMutex_);
-            ++stats_.badRequests;
-        }
+        badRequests_->inc();
         // The connection survives a junk request — but only if the
         // error record actually reached the client.
         return sendOrClose(fd, requestErrorRecord(
@@ -355,12 +514,21 @@ Server::handleLine(int fd, const std::string &line,
     if (kind == "sweep")
         return handleSweep(fd, doc, cancel);
     if (kind == "ping") {
+        obs::ScopedTimerUs timer(controlLatency_);
+        controlRequests_->inc();
         Json pong = Json::object();
         pong["t"] = "pong";
         pong["protocol"] = kProtocolVersion;
         return sendOrClose(fd, pong);
     }
+    if (kind == "metrics") {
+        obs::ScopedTimerUs timer(controlLatency_);
+        controlRequests_->inc();
+        return sendOrClose(fd, metricsRecord(metricsJson()));
+    }
     if (kind == "flush") {
+        obs::ScopedTimerUs timer(controlLatency_);
+        controlRequests_->inc();
         store_->clear();
         Json flushed = Json::object();
         flushed["t"] = "flushed";
@@ -378,10 +546,7 @@ Server::handleLine(int fd, const std::string &line,
         return false;
     }
 
-    {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++stats_.badRequests;
-    }
+    badRequests_->inc();
     return sendOrClose(fd, requestErrorRecord(
                                "config",
                                "unknown request type '" + kind + "'"));
@@ -444,24 +609,26 @@ Server::handleSweep(int fd, const Json &doc, std::atomic<bool> &cancel)
         request = SweepRequest::fromJson(doc);
         configs = expandRequest(request);
     } catch (const SimError &error) {
-        {
-            std::lock_guard<std::mutex> lock(statsMutex_);
-            ++stats_.badRequests;
-        }
+        badRequests_->inc();
         // The connection survives a rejected request — but only if
         // the error record actually reached the client.
         return sendOrClose(fd,
                            requestErrorRecord(error.kind(), error.what()));
     }
 
-    {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++stats_.requests;
-    }
+    sweepRequests_->inc();
+    const std::string rid = nextRid();
+    obs::ScopedTimerUs timer(sweepLatency_);
+    inFlightRequests_->add(1);
+    obs::LogSpan span("request", rid, [&](Json &fields) {
+        if (!request.experiment.empty())
+            fields["experiment"] = request.experiment;
+        fields["runs"] = Json(static_cast<std::uint64_t>(configs.size()));
+    });
 
     bool writeFailed = false;
     try {
-        sendLine(fd, acceptedRecord(request, configs.size()));
+        sendLine(fd, acceptedRecord(request, configs.size(), rid));
     } catch (const SimError &) {
         writeFailed = true;
         cancel.store(true, std::memory_order_release);
@@ -485,13 +652,20 @@ Server::handleSweep(int fd, const Json &doc, std::atomic<bool> &cancel)
     // existence before any worker touches it.
     workload::WorkloadRegistry::instance();
 
+    // The pool observer reads clocks per task; install it only when
+    // telemetry is armed so disarmed serving stays timing-free.
+    // Declared before the pool: workers may still call it while the
+    // pool destructor drains.
+    obs::PoolMetricsObserver poolObserver("pool.serve");
     util::ThreadPool pool(workers);
+    if (obs::MetricsRegistry::armed())
+        pool.setObserver(&poolObserver);
     std::vector<std::future<ServedRun>> futures;
     futures.reserve(configs.size());
-    for (const auto &config : configs)
-        futures.push_back(pool.submit([&]() {
-            return serveOne(config, runner, *store_,
-                            request.experiment, cancel);
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        futures.push_back(pool.submit([&, i]() {
+            return serveOne(configs[i], runner, *store_,
+                            request.experiment, cancel, rid, i + 1);
         }));
 
     // Drain in submission order: the response stream is deterministic
@@ -524,6 +698,8 @@ Server::handleSweep(int fd, const Json &doc, std::atomic<bool> &cancel)
         } else {
             ++tally.errors;
         }
+        if (served.insertFailed)
+            ++tally.insertFailures;
         if (writeFailed)
             continue;
         try {
@@ -546,18 +722,20 @@ Server::handleSweep(int fd, const Json &doc, std::atomic<bool> &cancel)
     // goes out: a client that has seen "done" must be able to observe
     // its own request in stats() (the smoke gate and the differential
     // tests read stats the moment their sweeps return).
-    {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        stats_.runs += tally.runs;
-        stats_.storeHits += tally.storeHits;
-        stats_.shared += tally.shared;
-        stats_.simulated += tally.simulated;
-        stats_.errors += tally.errors;
-        stats_.cancelled += tally.cancelled;
-    }
+    runs_->inc(tally.runs);
+    storeHits_->inc(tally.storeHits);
+    shared_->inc(tally.shared);
+    simulated_->inc(tally.simulated);
+    errors_->inc(tally.errors);
+    cancelled_->inc(tally.cancelled);
+    insertFailures_->inc(tally.insertFailures);
 
     if (!writeFailed && !sendOrClose(fd, doneRecord(tally)))
         writeFailed = true;
+    if (writeFailed)
+        writeFailures_->inc();
+    inFlightRequests_->add(-1);
+    span.note("tally", tally.toJson());
     // A failed write leaves the client unable to tell where the
     // record stream stands; close the connection so it sees EOF
     // rather than waiting on records that will never come.

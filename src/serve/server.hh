@@ -31,6 +31,7 @@
 #define CPE_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -38,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "serve/protocol.hh"
 #include "serve/result_store.hh"
 
@@ -52,13 +54,23 @@ struct ServerOptions
     unsigned jobs = 0;
     /** Ceiling on per-request extra retry attempts. */
     unsigned maxRetries = 4;
+    /** When non-empty, write a Prometheus-text metrics snapshot here
+     *  every metricsIntervalMs (atomic tmp+rename; scrapers never see
+     *  a torn file), plus a final one at stop(). */
+    std::string metricsFile;
+    unsigned metricsIntervalMs = 1000;
 };
 
 /** The persistent evaluation service. */
 class Server
 {
   public:
-    /** Cumulative accounting across every request served. */
+    /**
+     * Cumulative accounting across every request served.  A compat
+     * view over the obs::MetricsRegistry "serve.*" counters — the
+     * registry is the single counting path (start() zeroes the
+     * "serve." prefix so these are exact per-session).
+     */
     struct Stats
     {
         std::uint64_t requests = 0;     ///< sweep requests accepted
@@ -69,6 +81,7 @@ class Server
         std::uint64_t simulated = 0;
         std::uint64_t errors = 0;
         std::uint64_t cancelled = 0;
+        std::uint64_t insertFailures = 0; ///< results not durably cached
     };
 
     /** @param store the result store; must outlive the server. */
@@ -98,6 +111,11 @@ class Server
 
     Stats stats() const;
 
+    /** The {"t":"metrics"} reply body (also what the exporter writes,
+     *  as Prometheus text): uptime_ms + registry snapshot + chaos
+     *  fault-point stats. */
+    Json metricsJson() const;
+
   private:
     void acceptLoop();
     void serveConnection(int fd);
@@ -117,6 +135,13 @@ class Server
     /** Expand a request into the flat config list its grid runs. */
     std::vector<sim::SimConfig> expandRequest(const SweepRequest &request);
 
+    /** Next request id: "r-1", "r-2", … per server session. */
+    std::string nextRid();
+
+    /** Periodic Prometheus snapshot writer (--metrics-file). */
+    void exporterLoop();
+    void writeMetricsFile();
+
     ServerOptions options_;
     ResultStore *store_;
 
@@ -132,8 +157,32 @@ class Server
     std::condition_variable shutdownCv_;
     bool shutdownRequested_ = false;
 
-    mutable std::mutex statsMutex_;
-    Stats stats_;
+    // Registry-backed telemetry (registered once in the constructor;
+    // pointers are stable for the registry's lifetime).
+    obs::Counter *sweepRequests_;
+    obs::Counter *controlRequests_;
+    obs::Counter *badRequests_;
+    obs::Counter *accepts_;
+    obs::Counter *tornFrames_;
+    obs::Counter *writeFailures_;
+    obs::Counter *runs_;
+    obs::Counter *storeHits_;
+    obs::Counter *shared_;
+    obs::Counter *simulated_;
+    obs::Counter *errors_;
+    obs::Counter *cancelled_;
+    obs::Counter *insertFailures_;
+    obs::Gauge *inFlightRequests_;
+    obs::Histogram *sweepLatency_;
+    obs::Histogram *controlLatency_;
+
+    std::atomic<std::uint64_t> ridSeq_{0};
+    std::chrono::steady_clock::time_point startTime_{};
+
+    std::thread exporterThread_;
+    std::mutex exporterMutex_;
+    std::condition_variable exporterCv_;
+    bool exporterStop_ = false;
 };
 
 } // namespace cpe::serve

@@ -187,6 +187,12 @@ Simulator::run()
     return result;
 }
 
+const char *
+simulatorVersion()
+{
+    return "1";
+}
+
 SimResult
 simulate(const SimConfig &config)
 {

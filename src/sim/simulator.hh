@@ -102,6 +102,14 @@ class Simulator
     SimConfig config_;
 };
 
+/**
+ * The simulator's behavioral version: bump when a modeling change
+ * makes previously computed results stale (one of the three inputs to
+ * result-store cache invalidation, next to the CPET trace version and
+ * the store schema version — see serve::ResultStore::version()).
+ */
+const char *simulatorVersion();
+
 /** Convenience: build, run, and return in one call. */
 SimResult simulate(const SimConfig &config);
 

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hh"
 #include "sim/run_journal.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -21,6 +22,49 @@ std::atomic<unsigned> defaultJobsOverride{0};
 
 std::mutex defaultPolicyMutex;
 util::RetryPolicy defaultPolicy;
+
+/** Registry-backed sweep accounting (registered once, updated with
+ *  relaxed atomics from every worker thread). */
+struct SweepMetrics
+{
+    obs::Counter *runs;
+    obs::Counter *failures;
+    obs::Counter *cancelled;
+    obs::Counter *resumed;
+    obs::Counter *attempts;
+    obs::Counter *retries;
+    obs::Counter *journalAppendFailures;
+    obs::Histogram *wallMs;
+};
+
+SweepMetrics &
+sweepMetrics()
+{
+    static SweepMetrics metrics = []() {
+        auto &registry = obs::MetricsRegistry::instance();
+        SweepMetrics m;
+        m.runs = registry.counter("sweep.runs",
+                                  "runs completed successfully");
+        m.failures = registry.counter(
+            "sweep.failures", "runs that exhausted every attempt");
+        m.cancelled =
+            registry.counter("sweep.cancelled", "runs cancelled");
+        m.resumed = registry.counter(
+            "sweep.resumed", "runs answered from the resume journal");
+        m.attempts =
+            registry.counter("sweep.attempts", "execution attempts");
+        m.retries = registry.counter(
+            "sweep.retries", "attempts retried after transient failures");
+        m.journalAppendFailures = registry.counter(
+            "sweep.journal_append_failures",
+            "journal lines lost to append failures (results kept)");
+        m.wallMs = registry.histogram(
+            "sweep.run_wall_ms", obs::MetricsRegistry::wallMsBuckets(),
+            "per-run wall time across all attempts, milliseconds");
+        return m;
+    }();
+    return metrics;
+}
 
 /**
  * Execute one config with fault capture and the runner's retry
@@ -44,6 +88,7 @@ executeOne(const SimConfig &config, const util::RetryPolicy &policy,
         outcome.errorMessage = "run cancelled before execution";
         outcome.exception = std::make_exception_ptr(
             SimError(outcome.errorMessage, "cancelled"));
+        sweepMetrics().cancelled->inc();
         return outcome;
     }
 
@@ -54,6 +99,7 @@ executeOne(const SimConfig &config, const util::RetryPolicy &policy,
         if (journal->lookup(journalKey, outcome.result)) {
             outcome.hasResult = true;
             outcome.resumed = true;
+            sweepMetrics().resumed->inc();
             return outcome;
         }
     }
@@ -62,6 +108,7 @@ executeOne(const SimConfig &config, const util::RetryPolicy &policy,
     const std::string salt = outcome.workload + "|" + outcome.configTag;
     while (true) {
         ++outcome.attempts;
+        sweepMetrics().attempts->inc();
         auto start = std::chrono::steady_clock::now();
         try {
             if (CPE_FAULT_POINT("sweep.run"))
@@ -99,24 +146,33 @@ executeOne(const SimConfig &config, const util::RetryPolicy &policy,
             if (journal) {
                 // A lost journal line costs one re-execution on the
                 // next resume, never the result — warn, don't fail.
+                // The loss IS counted: operators read
+                // sweep.journal_append_failures to learn their resume
+                // coverage is thinner than the run count suggests.
                 try {
                     journal->record(journalKey, outcome.result);
                 } catch (const SimError &error) {
+                    sweepMetrics().journalAppendFailures->inc();
                     warn(Msg()
                          << "sweep: could not journal "
                          << outcome.workload << " / "
                          << outcome.configTag << ": " << error.what());
                 }
             }
+            sweepMetrics().runs->inc();
+            sweepMetrics().wallMs->observe(outcome.wallMs);
             return outcome;
         }
-        if (outcome.attempts >= maxAttempts)
+        if (outcome.attempts >= maxAttempts ||
+            !policy.retryable(outcome.errorKind)) {
+            // Only transient kinds are worth another try; a simulation
+            // is a pure function of its config, so config/workload/
+            // progress failures would reproduce exactly.
+            sweepMetrics().failures->inc();
+            sweepMetrics().wallMs->observe(outcome.wallMs);
             return outcome;
-        // Only transient kinds are worth another try; a simulation is
-        // a pure function of its config, so config/workload/progress
-        // failures would reproduce exactly.
-        if (!policy.retryable(outcome.errorKind))
-            return outcome;
+        }
+        sweepMetrics().retries->inc();
         warn(Msg() << "sweep: retrying " << outcome.workload << " / "
                    << outcome.configTag << " after " << outcome.errorKind
                    << " failure: " << outcome.errorMessage);
@@ -210,7 +266,13 @@ SweepRunner::runOutcomes(const std::vector<SimConfig> &configs) const
 
     unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(jobs_, configs.size()));
+    // Declared before the pool: workers may still call the observer
+    // while the pool destructor drains.  Installed only when armed so
+    // unobserved sweeps never read per-task clocks.
+    obs::PoolMetricsObserver poolObserver("pool.sweep");
     util::ThreadPool pool(workers);
+    if (obs::MetricsRegistry::armed())
+        pool.setObserver(&poolObserver);
     std::vector<std::future<RunOutcome>> futures;
     futures.reserve(configs.size());
     for (const auto &config : configs)

@@ -13,6 +13,7 @@
 
 #include "func/executor.hh"
 #include "func/trace_file.hh"
+#include "obs/metrics.hh"
 #include "util/error.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -21,6 +22,53 @@
 namespace cpe::sim {
 
 namespace {
+
+/** Registry mirrors of the per-instance Stats (process-wide totals,
+ *  shared by every TraceCache in the process). */
+struct CacheMetrics
+{
+    obs::Counter *captures;
+    obs::Counter *replays;
+    obs::Counter *diskLoads;
+    obs::Counter *diskWrites;
+    obs::Counter *evictions;
+    obs::Counter *spillFailures;
+    obs::Counter *instsCaptured;
+    obs::Counter *instsSkipped;
+    obs::Gauge *residentBytes;
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics metrics = []() {
+        auto &registry = obs::MetricsRegistry::instance();
+        CacheMetrics m;
+        m.captures = registry.counter("trace_cache.captures",
+                                      "functional executions captured");
+        m.replays = registry.counter(
+            "trace_cache.replays", "runs served from a resident trace");
+        m.diskLoads = registry.counter("trace_cache.disk_loads",
+                                       "spill entries read back");
+        m.diskWrites = registry.counter("trace_cache.disk_writes",
+                                        "spill entries written");
+        m.evictions = registry.counter("trace_cache.evictions",
+                                       "resident traces evicted (LRU)");
+        m.spillFailures = registry.counter(
+            "trace_cache.spill_failures", "spill reads/writes that failed");
+        m.instsCaptured = registry.counter(
+            "trace_cache.insts_captured",
+            "instructions functionally executed into captures");
+        m.instsSkipped = registry.counter(
+            "trace_cache.insts_skipped",
+            "functional instructions avoided by replay/spill reuse");
+        m.residentBytes = registry.gauge(
+            "trace_cache.resident_bytes",
+            "bytes of captured traces resident in memory");
+        return m;
+    }();
+    return metrics;
+}
 
 /**
  * Flush @p path (a file or, with @p directory, the directory entry
@@ -159,6 +207,8 @@ TraceCache::acquire(const SimConfig &config)
         // another worker, this blocks until it lands; either way the
         // functional model is not re-executed.
         TracePtr trace = future.get();
+        cacheMetrics().replays->inc();
+        cacheMetrics().instsSkipped->inc(trace->size());
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.replays;
         stats_.instsSkipped += trace->size();
@@ -181,6 +231,8 @@ TraceCache::acquire(const SimConfig &config)
             it->second.bytes = trace->memoryBytes();
             residentBytes_ += it->second.bytes;
             evictLocked();
+            cacheMetrics().residentBytes->set(
+                static_cast<std::int64_t>(residentBytes_));
         }
         return trace;
     } catch (...) {
@@ -205,6 +257,8 @@ TraceCache::produce(const SimConfig &config, const std::string &cache_key)
                     "chaos: injected fault at trace_cache.spill_read");
             auto trace = std::make_shared<const func::CapturedTrace>(
                 func::readTrace(path));
+            cacheMetrics().diskLoads->inc();
+            cacheMetrics().instsSkipped->inc(trace->size());
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++stats_.diskLoads;
@@ -227,6 +281,8 @@ TraceCache::produce(const SimConfig &config, const std::string &cache_key)
     func::Executor executor(std::move(program));
     auto trace = std::make_shared<const func::CapturedTrace>(
         func::CapturedTrace::capture(executor));
+    cacheMetrics().captures->inc();
+    cacheMetrics().instsCaptured->inc(trace->size());
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.captures;
@@ -251,6 +307,7 @@ TraceCache::produce(const SimConfig &config, const std::string &cache_key)
             fsyncPath(tmp, false);
             std::filesystem::rename(tmp, path);
             fsyncPath(spillDir_, true);
+            cacheMetrics().diskWrites->inc();
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++stats_.diskWrites;
@@ -285,6 +342,7 @@ void
 TraceCache::noteSpillFailure()
 {
     bool tripped = false;
+    cacheMetrics().spillFailures->inc();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.spillFailures;
@@ -336,6 +394,7 @@ TraceCache::evictLocked()
             return;
         residentBytes_ -= victim->second.bytes;
         ++stats_.evictions;
+        cacheMetrics().evictions->inc();
         entries_.erase(victim);
     }
 }

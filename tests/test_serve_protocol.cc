@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "serve/result_store.hh"
@@ -244,15 +245,40 @@ TEST(ServeProtocol, RecordSchemasMatchCommittedGolden)
     tally.storeHits = 1;
     tally.simulated = 1;
 
+    // The metrics record's snapshot comes from a fixed test-local
+    // registry — never the process-wide one, whose values depend on
+    // which tests ran before this one.
+    obs::MetricsRegistry registry;
+    registry.counter("serve.requests", "sweep requests accepted")
+        ->inc(2);
+    registry.gauge("serve.in_flight_requests", "sweeps in flight")
+        ->set(1);
+    obs::Histogram *latency = registry.histogram(
+        "serve.request_latency_us.sweep", {100.0, 1000.0},
+        "sweep latency");
+    latency->observe(50.0);
+    latency->observe(500.0);
+    latency->observe(5000.0);
+    Json snapshot = Json::object();
+    snapshot["uptime_ms"] = 1234.0;
+    snapshot["metrics"] = registry.snapshotJson();
+    Json chaos_point = Json::object();
+    chaos_point["evaluated"] = 3.0;
+    chaos_point["fired"] = 1.0;
+    Json chaos = Json::object();
+    chaos["sweep.run"] = std::move(chaos_point);
+    snapshot["chaos"] = std::move(chaos);
+
     std::vector<Json> records;
     records.push_back(request.toJson());
-    records.push_back(serve::acceptedRecord(request, 2));
+    records.push_back(serve::acceptedRecord(request, 2, "r-1"));
     records.push_back(serve::progressRecord(1, 2, "crc", "golden"));
     records.push_back(serve::resultRecord(1, result, "sim"));
     records.push_back(
         serve::runErrorRecord(2, "crc", "golden", "io", "disk fell off"));
     records.push_back(
         serve::requestErrorRecord("config", "unknown experiment"));
+    records.push_back(serve::metricsRecord(snapshot));
     records.push_back(serve::doneRecord(tally));
 
     std::string rendered;
